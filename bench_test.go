@@ -1,0 +1,95 @@
+// Benchmark harness: one benchmark per table/figure of the Nautilus
+// paper's evaluation, plus the ablation studies from DESIGN.md. Each
+// iteration regenerates the corresponding experiment at a reduced-but-
+// representative scale (5 runs per GA variant instead of the paper's 40) so
+// `go test -bench=.` completes in minutes; run cmd/experiments for the
+// full paper-scale tables.
+package nautilus
+
+import (
+	"testing"
+
+	"nautilus/internal/experiments"
+)
+
+// benchCfg is the reduced scale used per benchmark iteration.
+func benchCfg() experiments.Config {
+	return experiments.Config{Runs: 5}
+}
+
+func runExperiment(b *testing.B, fn func(experiments.Config) ([]experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := fn(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkFig1RouterSpace characterizes the ~28k-point VC router space and
+// summarizes its LUT/frequency landscape (paper Figure 1).
+func BenchmarkFig1RouterSpace(b *testing.B) { runExperiment(b, experiments.Fig1) }
+
+// BenchmarkFig2NoCLandscape characterizes all 64-endpoint network
+// configurations across eight topology families at 65nm (paper Figure 2).
+func BenchmarkFig2NoCLandscape(b *testing.B) { runExperiment(b, experiments.Fig2) }
+
+// BenchmarkFig3BiasHints compares the baseline GA against Nautilus with one
+// and two bias hints on FFT score-vs-generation (paper Figure 3).
+func BenchmarkFig3BiasHints(b *testing.B) { runExperiment(b, experiments.Fig3) }
+
+// BenchmarkFig4NoCFrequency runs the NoC maximize-frequency query with
+// non-expert hints at three guidance levels (paper Figure 4).
+func BenchmarkFig4NoCFrequency(b *testing.B) { runExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5AreaDelay runs the NoC minimize-area-delay-product composite
+// query (paper Figure 5).
+func BenchmarkFig5AreaDelay(b *testing.B) { runExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig6FFTLUTs runs the FFT minimize-LUTs query with expert hints,
+// including the random-sampling comparison (paper Figure 6).
+func BenchmarkFig6FFTLUTs(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7ThroughputPerLUT runs the FFT maximize-throughput-per-LUT
+// composite query with expert hints (paper Figure 7).
+func BenchmarkFig7ThroughputPerLUT(b *testing.B) { runExperiment(b, experiments.Fig7) }
+
+// BenchmarkHeadlineNumbers regenerates the Section 4.2 summary ratios.
+func BenchmarkHeadlineNumbers(b *testing.B) { runExperiment(b, experiments.Headline) }
+
+// BenchmarkAblations regenerates the design-choice studies: confidence
+// sweep, hint classes, importance decay, adversarial hints, and GA
+// parameter sensitivity.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Ablations(experiments.Config{Runs: 3, Generations: 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != 5 {
+			b.Fatalf("expected 5 ablation tables, got %d", len(tables))
+		}
+	}
+}
+
+// BenchmarkExtensionBaselines compares Nautilus against random sampling,
+// hill climbing, and simulated annealing under equal cost accounting.
+func BenchmarkExtensionBaselines(b *testing.B) { runExperiment(b, experiments.ExtensionBaselines) }
+
+// BenchmarkExtensionPareto extracts the FFT area-throughput Pareto front
+// and measures how close single-query answers land to it.
+func BenchmarkExtensionPareto(b *testing.B) { runExperiment(b, experiments.ExtensionPareto) }
+
+// BenchmarkExtensionSimVsAnalytical cross-validates the analytical
+// bisection-bandwidth model against the cycle-based wormhole simulator.
+func BenchmarkExtensionSimVsAnalytical(b *testing.B) {
+	runExperiment(b, experiments.ExtensionSimVsAnalytical)
+}
+
+// BenchmarkExtensionThirdIP runs the generality study on the systolic GEMM
+// generator.
+func BenchmarkExtensionThirdIP(b *testing.B) { runExperiment(b, experiments.ExtensionThirdIP) }

@@ -1,0 +1,86 @@
+// Command experiments regenerates every table and figure of the Nautilus
+// paper's evaluation against this repository's synthesis substrate.
+//
+// Usage:
+//
+//	experiments [-fig all|fig1..fig7|headline|ablations|
+//	             ext-baselines|ext-pareto|ext-sim-validate|ext-thirdip]
+//	            [-runs N] [-gens N] [-out DIR] [-md FILE]
+//
+// With -out, each figure's raw series is also written as CSV for
+// re-plotting; with -md, a markdown report is produced. Paper-scale
+// settings (the defaults) take under a minute; lower -runs for a quick
+// look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nautilus/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to regenerate (all, fig1..fig7, headline, ablations, ext-*)")
+	runs := flag.Int("runs", 0, "override GA runs per variant (0 = paper defaults)")
+	gens := flag.Int("gens", 0, "override GA generations (0 = paper defaults)")
+	out := flag.String("out", "", "directory for CSV output (optional)")
+	md := flag.String("md", "", "also write a markdown report to this file (optional)")
+	flag.Parse()
+
+	cfg := experiments.Config{Runs: *runs, Generations: *gens, OutDir: *out}
+	drivers := map[string]func(experiments.Config) ([]experiments.Table, error){
+		"all":              experiments.All,
+		"fig1":             experiments.Fig1,
+		"fig2":             experiments.Fig2,
+		"fig3":             experiments.Fig3,
+		"fig4":             experiments.Fig4,
+		"fig5":             experiments.Fig5,
+		"fig6":             experiments.Fig6,
+		"fig7":             experiments.Fig7,
+		"headline":         experiments.Headline,
+		"ablations":        experiments.Ablations,
+		"ext-baselines":    experiments.ExtensionBaselines,
+		"ext-pareto":       experiments.ExtensionPareto,
+		"ext-sim-validate": experiments.ExtensionSimVsAnalytical,
+		"ext-thirdip":      experiments.ExtensionThirdIP,
+	}
+	driver, ok := drivers[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	tables, err := driver(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for i := range tables {
+		tables[i].Fprint(os.Stdout)
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteMarkdown(f, tables, time.Now()); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown report written to %s\n", *md)
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		fmt.Printf("CSV series written to %s\n", *out)
+	}
+}

@@ -1,0 +1,79 @@
+// Command mapspace enumerates and characterizes an IP generator's full
+// design space to CSV - the offline characterization step the paper ran on
+// a 200+ core cluster for two weeks, reproduced here against the analytical
+// synthesis substrate.
+//
+// Usage:
+//
+//	mapspace -ip noc|fft|network|gemm [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/fft"
+	"nautilus/internal/gemm"
+	"nautilus/internal/metrics"
+	"nautilus/internal/noc"
+	"nautilus/internal/param"
+)
+
+func main() {
+	ip := flag.String("ip", "noc", "IP generator to map: noc (VC router), fft, network (64-endpoint NoCs), or gemm")
+	out := flag.String("o", "", "output CSV file (default stdout)")
+	flag.Parse()
+
+	var (
+		space *param.Space
+		eval  dataset.Evaluator
+	)
+	switch *ip {
+	case "noc":
+		s := noc.RouterSpace()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return noc.RouterEvaluate(s, pt) }
+	case "fft":
+		s := fft.Space()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return fft.Evaluate(s, pt) }
+	case "network":
+		s := noc.NetworkSpace()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return noc.NetworkEvaluate(s, pt) }
+	case "gemm":
+		s := gemm.Space()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return gemm.Evaluate(s, pt) }
+	default:
+		fmt.Fprintf(os.Stderr, "mapspace: unknown IP %q\n", *ip)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	ds, err := dataset.Build(space, eval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapspace: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapspace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "mapspace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mapspace: %s: %d feasible + %d infeasible points in %v\n",
+		*ip, ds.Size(), ds.Infeasible(), time.Since(start).Round(time.Millisecond))
+}

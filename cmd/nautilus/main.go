@@ -1,0 +1,222 @@
+// Command nautilus runs a guided design-space search query against one of
+// the bundled IP generators and prints the best configuration found along
+// with the search trace - the end-user experience the paper targets: an IP
+// user states an optimization goal, and the generator tunes its own
+// parameters.
+//
+// Usage:
+//
+//	nautilus -ip noc|fft|gemm -query QUERY [-guidance baseline|weak|strong]
+//	         [-gens N] [-pop N] [-seed N] [-trace] [-rtl FILE]
+//	         [-hints FILE] [-save-hints FILE]
+//
+// Queries:
+//
+//	noc:  max-frequency | min-luts | min-area-delay
+//	fft:  min-luts | max-throughput | max-throughput-per-lut | max-snr
+//	gemm: min-luts | max-gmacs | max-gmacs-per-lut
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nautilus/internal/core"
+	"nautilus/internal/dataset"
+	"nautilus/internal/fft"
+	"nautilus/internal/ga"
+	"nautilus/internal/gemm"
+	"nautilus/internal/hintcal"
+	"nautilus/internal/metrics"
+	"nautilus/internal/noc"
+	"nautilus/internal/param"
+	"nautilus/internal/rtl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nautilus: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ip := flag.String("ip", "fft", "IP generator: noc, fft, or gemm")
+	query := flag.String("query", "min-luts", "optimization query (see doc)")
+	guidance := flag.String("guidance", "strong", "baseline, weak, or strong")
+	gens := flag.Int("gens", 80, "GA generations")
+	pop := flag.Int("pop", 10, "GA population size")
+	seed := flag.Int64("seed", 1, "random seed")
+	trace := flag.Bool("trace", false, "print per-generation progress")
+	emitRTL := flag.String("rtl", "", "write the best design's Verilog to this file")
+	hintsIn := flag.String("hints", "", "load the hint library from this JSON file instead of the built-in one")
+	hintsOut := flag.String("save-hints", "", "write the active hint library to this JSON file")
+	flag.Parse()
+
+	var (
+		space *param.Space
+		eval  dataset.Evaluator
+		lib   *core.Library
+		obj   metrics.Objective
+		// weights expresses the query for hint compilation (nil = plain
+		// metric objective).
+		weights map[string]float64
+	)
+
+	switch *ip {
+	case "noc":
+		s := noc.RouterSpace()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return noc.RouterEvaluate(s, pt) }
+		// Non-expert hints, estimated from ~80 synthesized designs - the
+		// paper's NoC methodology.
+		var err error
+		lib, _, err = hintcal.Estimate(s, eval, []string{metrics.FmaxMHz, metrics.LUTs},
+			hintcal.Options{Budget: 80, Seed: 5})
+		if err != nil {
+			return err
+		}
+		switch *query {
+		case "max-frequency":
+			obj = metrics.MaximizeMetric(metrics.FmaxMHz)
+		case "min-luts":
+			obj = metrics.MinimizeMetric(metrics.LUTs)
+		case "min-area-delay":
+			obj = metrics.AreaDelayProduct()
+			weights = map[string]float64{metrics.LUTs: 1, metrics.FmaxMHz: -1}
+		default:
+			return fmt.Errorf("unknown noc query %q", *query)
+		}
+	case "fft":
+		s := fft.Space()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return fft.Evaluate(s, pt) }
+		lib = fft.ExpertHints() // expert hints ship with the generator
+		switch *query {
+		case "min-luts":
+			obj = metrics.MinimizeMetric(metrics.LUTs)
+		case "max-throughput":
+			obj = metrics.MaximizeMetric(metrics.ThroughputMSPS)
+		case "max-throughput-per-lut":
+			obj = metrics.ThroughputPerLUT()
+			weights = map[string]float64{"throughput_per_lut": 1}
+		case "max-snr":
+			obj = metrics.MaximizeMetric(metrics.SNRdB)
+		default:
+			return fmt.Errorf("unknown fft query %q", *query)
+		}
+	case "gemm":
+		s := gemm.Space()
+		space = s
+		eval = func(pt param.Point) (metrics.Metrics, error) { return gemm.Evaluate(s, pt) }
+		lib = gemm.ExpertHints()
+		switch *query {
+		case "min-luts":
+			obj = metrics.MinimizeMetric(metrics.LUTs)
+		case "max-gmacs":
+			obj = metrics.MaximizeMetric(gemm.MetricGMACS)
+		case "max-gmacs-per-lut":
+			obj = metrics.MaximizeDerived(gemm.MetricEfficiency, metrics.Ratio(gemm.MetricGMACS, metrics.LUTs))
+			weights = map[string]float64{gemm.MetricEfficiency: 1}
+		default:
+			return fmt.Errorf("unknown gemm query %q", *query)
+		}
+	default:
+		return fmt.Errorf("unknown IP %q", *ip)
+	}
+
+	if *hintsIn != "" {
+		f, err := os.Open(*hintsIn)
+		if err != nil {
+			return err
+		}
+		lib, err = core.LoadLibrary(space, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *hintsOut != "" {
+		f, err := os.Create(*hintsOut)
+		if err != nil {
+			return err
+		}
+		if err := lib.SaveJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("hint library written to %s\n", *hintsOut)
+	}
+
+	var guid *core.Guidance
+	switch *guidance {
+	case "baseline":
+	case "weak", "strong":
+		conf := 0.9
+		if *guidance == "weak" {
+			conf = 0.4
+		}
+		var err error
+		if weights != nil {
+			guid, err = lib.Guidance(obj.Direction(), weights, conf)
+		} else {
+			guid, err = lib.GuidanceForObjective(obj, conf)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown guidance level %q", *guidance)
+	}
+
+	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed}
+	res, err := core.Run(space, obj, eval, cfg, guid)
+	if err != nil {
+		return err
+	}
+
+	if *trace {
+		fmt.Println("gen  distinct-evals  best-so-far")
+		for _, gp := range res.Trajectory {
+			fmt.Printf("%3d  %14d  %.4g\n", gp.Generation, gp.DistinctEvals, gp.BestValue)
+		}
+	}
+
+	if res.BestPoint == nil {
+		return fmt.Errorf("no feasible design found")
+	}
+	m, err := eval(res.BestPoint)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query:           %s on %s (%s guidance)\n", obj, *ip, *guidance)
+	fmt.Printf("best value:      %.4g\n", res.BestValue)
+	fmt.Printf("configuration:   %s\n", space.Describe(res.BestPoint))
+	fmt.Printf("all metrics:     %s\n", m)
+	fmt.Printf("synthesis jobs:  %d distinct design evaluations\n", res.DistinctEvals)
+
+	if *emitRTL != "" {
+		var design *rtl.Design
+		switch *ip {
+		case "noc":
+			design, err = noc.DecodeRouter(space, res.BestPoint).Verilog()
+		case "fft":
+			design, err = fft.Decode(space, res.BestPoint).Verilog()
+		case "gemm":
+			design, err = gemm.Decode(space, res.BestPoint).Verilog()
+		}
+		if err != nil {
+			return fmt.Errorf("emit RTL: %w", err)
+		}
+		if err := os.WriteFile(*emitRTL, []byte(design.Verilog()), 0o644); err != nil {
+			return err
+		}
+		stats := design.Summarize()
+		fmt.Printf("RTL written:     %s (%d modules, %d instances)\n", *emitRTL, stats.Modules, stats.Instances)
+	}
+	return nil
+}

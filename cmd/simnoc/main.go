@@ -1,0 +1,84 @@
+// Command simnoc drives the cycle-based NoC simulator directly: pick a
+// topology, router configuration, and traffic pattern, and measure
+// latency-throughput curves or the saturation point - the characterization
+// step that feeds simulation-derived metrics into Nautilus queries.
+//
+// Usage:
+//
+//	simnoc -topology mesh -endpoints 64 -vcs 2 -depth 4 [-traffic uniform]
+//	       [-loads 0.05,0.1,0.2,0.4] [-saturation] [-packet 4] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nautilus/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "simnoc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	topology := flag.String("topology", "mesh", "ring, double_ring, conc_ring, conc_double_ring, mesh, torus, fat_tree")
+	endpoints := flag.Int("endpoints", 64, "endpoint count (power of two >= 16; square for mesh/torus)")
+	vcs := flag.Int("vcs", 2, "virtual channels per port")
+	depth := flag.Int("depth", 4, "flit buffer depth per VC")
+	pipeline := flag.Int("pipeline", 2, "cycles per router+link hop")
+	traffic := flag.String("traffic", netsim.TrafficUniform, "traffic pattern")
+	loads := flag.String("loads", "0.05,0.1,0.2,0.3,0.5", "comma-separated offered loads (flits/endpoint/cycle)")
+	saturation := flag.Bool("saturation", false, "also search for the saturation throughput")
+	packet := flag.Int("packet", 4, "packet length in flits")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	topo, err := netsim.Build(*topology, *endpoints)
+	if err != nil {
+		return err
+	}
+	base := netsim.Config{
+		Topology: topo,
+		Router: netsim.RouterConfig{
+			VCs: *vcs, BufDepth: *depth, PipelineLatency: *pipeline,
+		},
+		Traffic:     *traffic,
+		PacketFlits: *packet,
+		Seed:        *seed,
+	}
+
+	var loadVals []float64
+	for _, part := range strings.Split(*loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad load %q: %w", part, err)
+		}
+		loadVals = append(loadVals, v)
+	}
+
+	fmt.Printf("%s, %d endpoints, %d VCs x %d flits, %s traffic, %d-flit packets\n",
+		*topology, *endpoints, *vcs, *depth, *traffic, *packet)
+	curve, err := netsim.Sweep(base, loadVals)
+	if err != nil {
+		return err
+	}
+	fmt.Println("offered   accepted  avg-latency(cyc)")
+	for _, p := range curve {
+		fmt.Printf("%7.3f   %7.3f  %10.1f\n", p.Offered, p.Throughput, p.AvgLatency)
+	}
+
+	if *saturation {
+		sat, err := netsim.SaturationThroughput(base, 3, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saturation throughput: %.3f flits/endpoint/cycle (latency <= 3x zero-load)\n", sat)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// noc_simulation characterizes NoC design points by *measured* performance:
+// it runs the cycle-based wormhole simulator over several topologies,
+// producing latency-throughput curves and saturation points, and then uses
+// a simulation-derived metric (saturation throughput per mm^2) as a
+// Nautilus optimization objective over the network design space - the
+// "simulation tools" half of the paper's characterization flow in action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nautilus/internal/core"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/netsim"
+	"nautilus/internal/noc"
+	"nautilus/internal/param"
+)
+
+func main() {
+	// Part 1: latency-throughput curves for three topology families.
+	fmt.Println("latency-throughput curves (64 endpoints, 2 VCs, 4-flit buffers):")
+	for _, kind := range []string{netsim.TopoRing, netsim.TopoMesh, netsim.TopoFatTree} {
+		topo, err := netsim.Build(kind, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := netsim.Config{
+			Topology: topo,
+			Router:   netsim.RouterConfig{VCs: 2, BufDepth: 4, PipelineLatency: 2},
+			Seed:     1,
+		}
+		curve, err := netsim.Sweep(base, []float64{0.05, 0.15, 0.3, 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s", kind)
+		for _, p := range curve {
+			fmt.Printf("  load %.2f: %5.1f cyc/%.2f acc", p.Offered, p.AvgLatency, p.Throughput)
+		}
+		sat, err := netsim.SaturationThroughput(base, 3, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  | saturation %.2f\n", sat)
+	}
+
+	// Part 2: optimize a simulation-derived composite objective over the
+	// network space: saturation throughput per mm^2 of silicon.
+	space := noc.NetworkSpace()
+	evaluate := func(pt param.Point) (metrics.Metrics, error) {
+		m, err := noc.NetworkEvaluate(space, pt)
+		if err != nil {
+			return nil, err
+		}
+		n := noc.DecodeNetwork(space, pt)
+		sim, err := n.SimulatePerformance(7)
+		if err != nil {
+			return nil, err // unsimulatable configs are infeasible
+		}
+		m[noc.MetricSatThroughput] = sim[noc.MetricSatThroughput]
+		m[noc.MetricZeroLoadLatency] = sim[noc.MetricZeroLoadLatency]
+		return m, nil
+	}
+	objective := metrics.MaximizeDerived("sat_per_mm2",
+		metrics.Ratio(noc.MetricSatThroughput, metrics.AreaMM2))
+
+	// Constrain to designs with acceptable zero-load latency.
+	constrained := objective.Constrained(metrics.AtMost(noc.MetricZeroLoadLatency, 60))
+
+	fmt.Println("\noptimizing saturation-throughput-per-mm2 (latency <= 60 cycles):")
+	res, err := core.RunBaseline(space, constrained, evaluate,
+		ga.Config{Seed: 5, Generations: 12, PopulationSize: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.BestPoint == nil {
+		log.Fatal("no feasible network found")
+	}
+	m, err := evaluate(res.BestPoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  best: %s\n", space.Describe(res.BestPoint))
+	fmt.Printf("  metrics: %s\n", m)
+	fmt.Printf("  simulation+synthesis jobs: %d\n", res.DistinctEvals)
+}

@@ -1,0 +1,3 @@
+module nautilus
+
+go 1.22

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nautilus/internal/core"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// The complete Nautilus flow on a toy IP: declare the space, provide an
+// evaluator, embed author hints, and run a guided search.
+func Example() {
+	space := param.MustSpace(
+		param.Int("depth", 0, 31, 1),
+		param.Int("width", 0, 31, 1),
+	)
+	// "Synthesis": area grows with both parameters.
+	evaluate := func(pt param.Point) (metrics.Metrics, error) {
+		d, w := float64(pt[0]), float64(pt[1])
+		return metrics.Metrics{metrics.LUTs: 100 + 12*d + 5*w + d*w}, nil
+	}
+
+	// The IP author's knowledge: both parameters inflate area, depth more
+	// strongly.
+	lib := core.NewLibrary(space)
+	lib.Metric(metrics.LUTs).
+		SetImportance("depth", 80, 0.05).SetBias("depth", 0.9).
+		SetImportance("width", 40, 0.05).SetBias("width", 0.7)
+
+	obj := metrics.MinimizeMetric(metrics.LUTs)
+	guidance, err := lib.GuidanceForObjective(obj, 0.9)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := core.Run(space, obj, evaluate, ga.Config{Seed: 1, Generations: 30}, guidance)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("best LUTs:", res.BestValue)
+	fmt.Println("at:", space.Describe(res.BestPoint))
+	// Output:
+	// best LUTs: 100
+	// at: depth=0 width=0
+}

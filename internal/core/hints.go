@@ -1,0 +1,416 @@
+// Package core implements Nautilus, the paper's primary contribution: a
+// genetic algorithm extended so that IP authors can embed design-space
+// knowledge as hints that guide - but never fully constrain - the search.
+//
+// The hint vocabulary follows Section 3 of the paper:
+//
+//   - Importance (1..100, per parameter per metric): how strongly the
+//     parameter is expected to affect the metric. Skews which genes are
+//     picked for mutation.
+//   - Importance decay (0..1, per parameter): lets importance differences
+//     relax toward neutral as generations pass, shifting the search from
+//     coarse navigation to fine-tuning.
+//   - Bias (-1..1, per parameter per metric): the expected correlation
+//     between the parameter's value and the metric. Skews the direction a
+//     mutated gene moves.
+//   - Target (a value, per parameter per metric): good solutions are known
+//     to cluster near this value. Mutated genes sample near it. A parameter
+//     may carry a bias or a target for a given metric, not both.
+//   - Confidence (0..1, global): how much to trust the hints. 0 reproduces
+//     the baseline GA; 1 approaches directed, gradient-descent-like search.
+//   - Auxiliary settings: a mutation step bound per parameter, and ordering
+//     relations that give categorical parameters a numeric axis (e.g.,
+//     allocator variants ordered by expected clock frequency).
+//
+// Hints are applied probabilistically, preserving the GA's stochastic
+// nature - the search remains free to explore the full space and to
+// overcome regions where the author's intuition is wrong.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// Hint is the author guidance for one parameter with respect to one metric.
+type Hint struct {
+	// Importance in [1,100]; 0 means unset (neutral).
+	Importance float64
+	// ImportanceDecay in [0,1]: the per-generation rate at which this
+	// parameter's importance differential relaxes toward neutral.
+	ImportanceDecay float64
+	// Bias in [-1,1]: expected correlation between the parameter's value
+	// (along its numeric axis) and the metric. 0 means unset.
+	Bias float64
+	// Target is the value (on the parameter's numeric axis) near which good
+	// solutions cluster; valid only when HasTarget.
+	Target    float64
+	HasTarget bool
+	// Step bounds the mutation step along the numeric axis, in index units;
+	// 0 means unset (engine default).
+	Step int
+}
+
+// HintSet collects the author's hints about how the IP's parameters relate
+// to one metric (e.g. "luts" or "fmax_mhz").
+type HintSet struct {
+	space  *param.Space
+	metric string
+	hints  []Hint
+	orders [][]int // optional per-param value ordering (rank -> value index)
+}
+
+// NewHintSet creates an empty hint set for the given metric over the space.
+func NewHintSet(space *param.Space, metric string) *HintSet {
+	return &HintSet{
+		space:  space,
+		metric: metric,
+		hints:  make([]Hint, space.Len()),
+		orders: make([][]int, space.Len()),
+	}
+}
+
+// Metric returns the metric this hint set describes.
+func (h *HintSet) Metric() string { return h.metric }
+
+func (h *HintSet) paramIndex(name string) int {
+	i := h.space.IndexOf(name)
+	if i < 0 {
+		panic(fmt.Sprintf("core: unknown parameter %q", name))
+	}
+	return i
+}
+
+// SetImportance declares how strongly the named parameter affects the
+// metric (1..100), with an optional decay rate (0..1) toward neutrality.
+func (h *HintSet) SetImportance(name string, importance, decay float64) *HintSet {
+	if importance < 1 || importance > 100 {
+		panic(fmt.Sprintf("core: importance %v for %q outside [1,100]", importance, name))
+	}
+	if decay < 0 || decay > 1 {
+		panic(fmt.Sprintf("core: importance decay %v for %q outside [0,1]", decay, name))
+	}
+	i := h.paramIndex(name)
+	h.hints[i].Importance = importance
+	h.hints[i].ImportanceDecay = decay
+	return h
+}
+
+// SetBias declares the expected correlation (-1..1) between the named
+// parameter and the metric. The parameter must have a numeric axis (be
+// ordered, or have an ordering hint installed first via SetOrder).
+func (h *HintSet) SetBias(name string, bias float64) *HintSet {
+	if bias < -1 || bias > 1 {
+		panic(fmt.Sprintf("core: bias %v for %q outside [-1,1]", bias, name))
+	}
+	i := h.paramIndex(name)
+	if h.hints[i].HasTarget {
+		panic(fmt.Sprintf("core: parameter %q already has a target hint (bias and target are mutually exclusive)", name))
+	}
+	if !h.axisAvailable(i) {
+		panic(fmt.Sprintf("core: parameter %q has no numeric axis; install an ordering hint first", name))
+	}
+	h.hints[i].Bias = bias
+	return h
+}
+
+// SetTarget declares that good solutions cluster near the given value on
+// the named parameter's numeric axis.
+func (h *HintSet) SetTarget(name string, target float64) *HintSet {
+	i := h.paramIndex(name)
+	if h.hints[i].Bias != 0 {
+		panic(fmt.Sprintf("core: parameter %q already has a bias hint (bias and target are mutually exclusive)", name))
+	}
+	if !h.axisAvailable(i) {
+		panic(fmt.Sprintf("core: parameter %q has no numeric axis; install an ordering hint first", name))
+	}
+	h.hints[i].Target = target
+	h.hints[i].HasTarget = true
+	return h
+}
+
+// SetTargetChoice declares that good solutions cluster at the named
+// categorical value. Works for any parameter kind.
+func (h *HintSet) SetTargetChoice(name, value string) *HintSet {
+	i := h.paramIndex(name)
+	if h.hints[i].Bias != 0 {
+		panic(fmt.Sprintf("core: parameter %q already has a bias hint (bias and target are mutually exclusive)", name))
+	}
+	vi := h.space.Param(i).IndexOf(value)
+	if vi < 0 {
+		panic(fmt.Sprintf("core: unknown value %q for parameter %q", value, name))
+	}
+	h.hints[i].Target = h.axisOf(i, vi)
+	h.hints[i].HasTarget = true
+	return h
+}
+
+// SetStep bounds the mutation step of the named parameter (in index units
+// along its numeric axis) - the paper's auxiliary "stepping" setting.
+func (h *HintSet) SetStep(name string, step int) *HintSet {
+	if step < 1 {
+		panic(fmt.Sprintf("core: step %d for %q must be >= 1", step, name))
+	}
+	h.hints[h.paramIndex(name)].Step = step
+	return h
+}
+
+// SetOrder installs an ordering relation among the values of a categorical
+// parameter, giving it a numeric axis for bias/target hints - the paper's
+// auxiliary ordering setting (e.g., allocator options ordered by clock
+// frequency). values must be a permutation of the parameter's values,
+// listed from low to high.
+func (h *HintSet) SetOrder(name string, values ...string) *HintSet {
+	i := h.paramIndex(name)
+	p := h.space.Param(i)
+	if len(values) != p.Card() {
+		panic(fmt.Sprintf("core: ordering for %q has %d values, want %d", name, len(values), p.Card()))
+	}
+	order := make([]int, len(values))
+	seen := make(map[int]bool, len(values))
+	for rank, v := range values {
+		vi := p.IndexOf(v)
+		if vi < 0 {
+			panic(fmt.Sprintf("core: unknown value %q for parameter %q", v, name))
+		}
+		if seen[vi] {
+			panic(fmt.Sprintf("core: duplicate value %q in ordering for %q", v, name))
+		}
+		seen[vi] = true
+		order[rank] = vi
+	}
+	h.orders[i] = order
+	return h
+}
+
+// axisAvailable reports whether parameter i has a numeric axis: natively
+// ordered, or given an ordering hint.
+func (h *HintSet) axisAvailable(i int) bool {
+	return h.space.Param(i).IsOrdered() || h.orders[i] != nil
+}
+
+// axisOf maps value index vi of parameter i onto its numeric axis. For
+// natively ordered parameters this is the parameter's numeric value; for
+// ordering-hinted parameters it is the rank; for unordered parameters it is
+// the raw index (only meaningful for exact-match targets).
+func (h *HintSet) axisOf(i, vi int) float64 {
+	if h.orders[i] != nil {
+		for rank, idx := range h.orders[i] {
+			if idx == vi {
+				return float64(rank)
+			}
+		}
+		return math.NaN()
+	}
+	if v, ok := h.space.Param(i).Numeric(vi); ok {
+		return v
+	}
+	return float64(vi)
+}
+
+// Library is an IP author's complete hint package: one HintSet per metric
+// the IP's characterization produces. It ships with the IP generator, as
+// the paper prescribes.
+type Library struct {
+	space    *param.Space
+	byMetric map[string]*HintSet
+}
+
+// NewLibrary creates an empty hint library for an IP's design space.
+func NewLibrary(space *param.Space) *Library {
+	return &Library{space: space, byMetric: make(map[string]*HintSet)}
+}
+
+// Space returns the library's design space.
+func (l *Library) Space() *param.Space { return l.space }
+
+// Metric returns the hint set for the named metric, creating it on first
+// use.
+func (l *Library) Metric(name string) *HintSet {
+	hs, ok := l.byMetric[name]
+	if !ok {
+		hs = NewHintSet(l.space, name)
+		l.byMetric[name] = hs
+	}
+	return hs
+}
+
+// Metrics returns the metric names that have hint sets.
+func (l *Library) Metrics() []string {
+	out := make([]string, 0, len(l.byMetric))
+	for name := range l.byMetric {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Guidance compiles the library into an objective-oriented Guidance for a
+// query. weights gives the sign and magnitude with which each hinted metric
+// enters the objective value: positive when increasing the metric increases
+// the objective value (e.g. minimizing period x LUTs uses
+// {period_ns: 1, luts: 1} with direction Minimize; maximizing MSPS/LUT uses
+// {throughput_msps: 1, luts: -1} with direction Maximize). Metrics without
+// hint sets are ignored; if none of the weighted metrics have hints the
+// Guidance degenerates to baseline behaviour.
+func (l *Library) Guidance(dir metrics.Direction, weights map[string]float64, confidence float64) (*Guidance, error) {
+	if confidence < 0 || confidence > 1 {
+		return nil, fmt.Errorf("core: confidence %v outside [0,1]", confidence)
+	}
+	g := newGuidance(l.space, confidence)
+
+	// Objective orientation: when minimizing, a metric that increases the
+	// objective value should be pushed down, so flip the sign.
+	orient := 1.0
+	if dir == metrics.Minimize {
+		orient = -1
+	}
+
+	// Iterate hinted metrics in sorted name order so compilation is
+	// deterministic regardless of map layout.
+	names := make([]string, 0, len(weights))
+	var totalW float64
+	for name, w := range weights {
+		if _, ok := l.byMetric[name]; ok {
+			names = append(names, name)
+			totalW += math.Abs(w)
+		}
+	}
+	if totalW == 0 {
+		return g, nil // no applicable hints: baseline behaviour
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		hs := l.byMetric[name]
+		w := weights[name]
+		frac := math.Abs(w) / totalW
+		for i := range hs.hints {
+			hint := hs.hints[i]
+			if hint.Importance > 0 {
+				g.importance[i] += frac * hint.Importance
+				g.decay[i] += frac * hint.ImportanceDecay
+				g.impSet[i] = true
+			}
+			if hint.Bias != 0 {
+				// Oriented bias: positive means increasing the parameter
+				// (along its axis) is expected to improve the objective.
+				// When two metrics installed different orderings for the
+				// same categorical parameter, the first (sorted) order is
+				// canonical and later biases are remapped onto it by the
+				// rank correlation between the orderings.
+				b := orient * sign(w) * frac * hint.Bias
+				if hs.orders[i] != nil {
+					if g.order[i] == nil {
+						g.order[i] = hs.orders[i]
+					} else {
+						b *= orderAgreement(g.order[i], hs.orders[i])
+					}
+				}
+				g.bias[i] += b
+			}
+			if hint.HasTarget && !g.hasTarget[i] {
+				if hs.orders[i] != nil && g.order[i] != nil && !sameOrder(g.order[i], hs.orders[i]) {
+					// The target was expressed as a rank along a different
+					// ordering than the canonical one: translate it.
+					rank := int(math.Round(hint.Target))
+					if rank >= 0 && rank < len(hs.orders[i]) {
+						vi := hs.orders[i][rank]
+						for cr, cvi := range g.order[i] {
+							if cvi == vi {
+								hint.Target = float64(cr)
+								break
+							}
+						}
+					}
+				}
+				g.target[i] = hint.Target
+				g.hasTarget[i] = true
+				if hs.orders[i] != nil && g.order[i] == nil {
+					g.order[i] = hs.orders[i]
+				}
+			}
+			if hint.Step > 0 && (g.step[i] == 0 || hint.Step < g.step[i]) {
+				g.step[i] = hint.Step
+			}
+		}
+	}
+	for i := range g.bias {
+		g.bias[i] = clamp(g.bias[i], -1, 1)
+		if g.bias[i] != 0 && g.hasTarget[i] {
+			// Conflicting hints from different metrics: the paper forbids
+			// bias and target on the same parameter; when a composite
+			// objective merges sets that disagree, prefer the target (the
+			// more specific hint) and drop the bias.
+			g.bias[i] = 0
+		}
+		if !g.impSet[i] {
+			g.importance[i] = 1 // neutral
+		}
+	}
+	return g, nil
+}
+
+// GuidanceForObjective compiles guidance for a plain single-metric
+// objective.
+func (l *Library) GuidanceForObjective(obj metrics.Objective, confidence float64) (*Guidance, error) {
+	return l.Guidance(obj.Direction(), map[string]float64{obj.Name(): 1}, confidence)
+}
+
+// orderAgreement is the Spearman correlation between two orderings of the
+// same value set: 1 for identical, -1 for reversed, near 0 for unrelated.
+func orderAgreement(a, b []int) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 1
+	}
+	rankB := make(map[int]int, n)
+	for r, vi := range b {
+		rankB[vi] = r
+	}
+	// Pearson correlation of the rank sequences.
+	mean := float64(n-1) / 2
+	var sxy, sxx float64
+	for ra, vi := range a {
+		dx := float64(ra) - mean
+		dy := float64(rankB[vi]) - mean
+		sxy += dx * dy
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return 1
+	}
+	return sxy / sxx
+}
+
+func sameOrder(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func hintSpace() *param.Space {
+	return param.MustSpace(
+		param.Int("depth", 1, 16, 1),
+		param.Levels("width", 8, 16, 32, 64),
+		param.Choice("alloc", "a", "b", "c"),
+		param.Flag("spec"),
+	)
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestHintSetValidation(t *testing.T) {
+	s := hintSpace()
+	h := NewHintSet(s, metrics.LUTs)
+	mustPanic(t, "importance too low", func() { h.SetImportance("depth", 0.5, 0) })
+	mustPanic(t, "importance too high", func() { h.SetImportance("depth", 101, 0) })
+	mustPanic(t, "decay out of range", func() { h.SetImportance("depth", 50, 1.5) })
+	mustPanic(t, "bias out of range", func() { h.SetBias("depth", 2) })
+	mustPanic(t, "unknown param", func() { h.SetBias("nope", 0.5) })
+	mustPanic(t, "step < 1", func() { h.SetStep("depth", 0) })
+	mustPanic(t, "bias on unordered", func() { h.SetBias("alloc", 0.5) })
+	mustPanic(t, "target on unordered", func() { h.SetTarget("alloc", 1) })
+	mustPanic(t, "unknown target choice", func() { h.SetTargetChoice("alloc", "zzz") })
+	mustPanic(t, "bad ordering length", func() { h.SetOrder("alloc", "a", "b") })
+	mustPanic(t, "bad ordering value", func() { h.SetOrder("alloc", "a", "b", "zzz") })
+	mustPanic(t, "duplicate ordering value", func() { h.SetOrder("alloc", "a", "b", "b") })
+}
+
+func TestBiasTargetMutuallyExclusive(t *testing.T) {
+	s := hintSpace()
+	h := NewHintSet(s, metrics.LUTs)
+	h.SetBias("depth", 0.8)
+	mustPanic(t, "target after bias", func() { h.SetTarget("depth", 4) })
+	h2 := NewHintSet(s, metrics.LUTs)
+	h2.SetTarget("depth", 4)
+	mustPanic(t, "bias after target", func() { h2.SetBias("depth", 0.8) })
+}
+
+func TestOrderingEnablesDirectionalHints(t *testing.T) {
+	s := hintSpace()
+	h := NewHintSet(s, metrics.FmaxMHz)
+	h.SetOrder("alloc", "c", "a", "b")
+	h.SetBias("alloc", -0.7) // now legal
+	h2 := NewHintSet(s, metrics.FmaxMHz)
+	h2.SetOrder("alloc", "c", "a", "b")
+	h2.SetTargetChoice("alloc", "a") // rank 1
+	if !h2.hints[s.IndexOf("alloc")].HasTarget {
+		t.Error("target choice not recorded")
+	}
+	if got := h2.hints[s.IndexOf("alloc")].Target; got != 1 {
+		t.Errorf("target rank = %v, want 1", got)
+	}
+}
+
+func TestLibraryMetricCreateOnDemand(t *testing.T) {
+	l := NewLibrary(hintSpace())
+	a := l.Metric(metrics.LUTs)
+	b := l.Metric(metrics.LUTs)
+	if a != b {
+		t.Error("Metric should return the same set per name")
+	}
+	l.Metric(metrics.FmaxMHz)
+	if got := len(l.Metrics()); got != 2 {
+		t.Errorf("Metrics count = %d, want 2", got)
+	}
+}
+
+func TestGuidanceOrientationMaximize(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	l.Metric(metrics.FmaxMHz).SetBias("depth", -0.8) // deeper buffers hurt Fmax
+	g, err := l.GuidanceForObjective(metrics.MaximizeMetric(metrics.FmaxMHz), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximizing Fmax with negative correlation: decreasing depth improves
+	// the objective, so the oriented bias must be negative.
+	if b := g.Bias(s.IndexOf("depth")); b >= 0 {
+		t.Errorf("oriented bias = %v, want negative", b)
+	}
+}
+
+func TestGuidanceOrientationMinimize(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	l.Metric(metrics.LUTs).SetBias("depth", 0.9) // deeper buffers cost LUTs
+	g, err := l.GuidanceForObjective(metrics.MinimizeMetric(metrics.LUTs), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimizing LUTs with positive correlation: decreasing depth improves.
+	if b := g.Bias(s.IndexOf("depth")); b >= 0 {
+		t.Errorf("oriented bias = %v, want negative", b)
+	}
+}
+
+func TestGuidanceCompositeWeights(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	l.Metric(metrics.ThroughputMSPS).SetBias("width", 0.8) // wider -> more throughput
+	l.Metric(metrics.LUTs).SetBias("width", 0.6)           // wider -> more LUTs
+	// Maximize throughput/LUTs: throughput enters positively, LUTs
+	// negatively. Width helps throughput (+0.8*0.5) and hurts via LUTs
+	// (-0.6*0.5): net positive but damped.
+	g, err := l.Guidance(metrics.Maximize, map[string]float64{
+		metrics.ThroughputMSPS: 1,
+		metrics.LUTs:           -1,
+	}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Bias(s.IndexOf("width"))
+	if b <= 0 || b >= 0.8 {
+		t.Errorf("composite bias = %v, want in (0, 0.8)", b)
+	}
+}
+
+func TestGuidanceConflictPrefersTarget(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	l.Metric(metrics.LUTs).SetBias("depth", 0.9)
+	l.Metric(metrics.FmaxMHz).SetTarget("depth", 8)
+	g, err := l.Guidance(metrics.Minimize, map[string]float64{
+		metrics.LUTs:    1,
+		metrics.FmaxMHz: -1,
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := s.IndexOf("depth")
+	if !g.hasTarget[i] {
+		t.Fatal("target lost in composite compile")
+	}
+	if g.Bias(i) != 0 {
+		t.Errorf("bias = %v, want 0 when a target is present", g.Bias(i))
+	}
+}
+
+func TestGuidanceNoHintsIsNeutral(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	g, err := l.GuidanceForObjective(metrics.MinimizeMetric(metrics.LUTs), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if g.Bias(i) != 0 || g.hasTarget[i] {
+			t.Errorf("param %d has directional guidance without hints", i)
+		}
+		if g.ImportanceAt(i, 0) != 1 {
+			t.Errorf("param %d importance = %v, want neutral 1", i, g.ImportanceAt(i, 0))
+		}
+	}
+}
+
+func TestGuidanceRejectsBadConfidence(t *testing.T) {
+	l := NewLibrary(hintSpace())
+	if _, err := l.Guidance(metrics.Minimize, nil, -0.1); err == nil {
+		t.Error("negative confidence accepted")
+	}
+	if _, err := l.Guidance(metrics.Minimize, nil, 1.1); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+}
+
+func TestImportanceDecay(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	l.Metric(metrics.LUTs).SetImportance("depth", 80, 0.2)
+	l.Metric(metrics.LUTs).SetImportance("width", 80, 0) // no decay
+	g, err := l.GuidanceForObjective(metrics.MinimizeMetric(metrics.LUTs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, wi := s.IndexOf("depth"), s.IndexOf("width")
+	if g.ImportanceAt(di, 0) != 80 {
+		t.Errorf("gen-0 importance = %v, want 80", g.ImportanceAt(di, 0))
+	}
+	if g.ImportanceAt(wi, 50) != 80 {
+		t.Errorf("undecayed importance at gen 50 = %v, want 80", g.ImportanceAt(wi, 50))
+	}
+	prev := 81.0
+	for gen := 0; gen <= 40; gen += 5 {
+		cur := g.ImportanceAt(di, gen)
+		if cur >= prev {
+			t.Fatalf("importance did not decay at gen %d (%v >= %v)", gen, cur, prev)
+		}
+		if cur < 1 {
+			t.Fatalf("importance decayed below neutral: %v", cur)
+		}
+		prev = cur
+	}
+	if g.ImportanceAt(di, 40) > 2 {
+		t.Errorf("importance at gen 40 = %v, want near 1", g.ImportanceAt(di, 40))
+	}
+}
+
+func TestWithConfidence(t *testing.T) {
+	s := hintSpace()
+	l := NewLibrary(s)
+	l.Metric(metrics.LUTs).SetBias("depth", 0.5)
+	g, _ := l.GuidanceForObjective(metrics.MinimizeMetric(metrics.LUTs), 0.9)
+	weak := g.WithConfidence(0.3)
+	if weak.Confidence() != 0.3 || g.Confidence() != 0.9 {
+		t.Error("WithConfidence should copy, not mutate")
+	}
+	if weak.Bias(s.IndexOf("depth")) != g.Bias(s.IndexOf("depth")) {
+		t.Error("WithConfidence should preserve compiled hints")
+	}
+	if c := g.WithConfidence(7).Confidence(); c != 1 {
+		t.Errorf("confidence should clamp to 1, got %v", c)
+	}
+}

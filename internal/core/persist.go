@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"nautilus/internal/param"
+)
+
+// The JSON schema for shipping a hint library alongside an IP generator,
+// as the paper prescribes ("these hints ... are packaged and provided along
+// with Nautilus as part of the IP"). Parameters with no hints are omitted.
+
+type libraryJSON struct {
+	Metrics map[string]map[string]hintJSON `json:"metrics"`
+}
+
+type hintJSON struct {
+	Importance float64  `json:"importance,omitempty"`
+	Decay      float64  `json:"decay,omitempty"`
+	Bias       float64  `json:"bias,omitempty"`
+	Target     *float64 `json:"target,omitempty"`
+	Step       int      `json:"step,omitempty"`
+	Order      []string `json:"order,omitempty"`
+}
+
+// SaveJSON writes the library's hints as JSON.
+func (l *Library) SaveJSON(w io.Writer) error {
+	out := libraryJSON{Metrics: map[string]map[string]hintJSON{}}
+	names := make([]string, 0, len(l.byMetric))
+	for name := range l.byMetric {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, metric := range names {
+		hs := l.byMetric[metric]
+		params := map[string]hintJSON{}
+		for i := range hs.hints {
+			h := hs.hints[i]
+			var order []string
+			if hs.orders[i] != nil {
+				p := l.space.Param(i)
+				order = make([]string, len(hs.orders[i]))
+				for rank, vi := range hs.orders[i] {
+					order[rank] = p.StringValue(vi)
+				}
+			}
+			if h.Importance == 0 && h.Bias == 0 && !h.HasTarget && h.Step == 0 && order == nil {
+				continue
+			}
+			hj := hintJSON{
+				Importance: h.Importance,
+				Decay:      h.ImportanceDecay,
+				Bias:       h.Bias,
+				Step:       h.Step,
+				Order:      order,
+			}
+			if h.HasTarget {
+				t := h.Target
+				hj.Target = &t
+			}
+			params[l.space.Param(i).Name()] = hj
+		}
+		if len(params) > 0 {
+			out.Metrics[metric] = params
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadLibrary reads a hint library previously written by SaveJSON, binding
+// it to the given design space. Hints referencing unknown parameters or
+// carrying out-of-range values are rejected with an error.
+func LoadLibrary(space *param.Space, r io.Reader) (lib *Library, err error) {
+	var in libraryJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode hint library: %w", err)
+	}
+	// The HintSet builder API panics on invalid author input; convert those
+	// panics into load errors for file input.
+	defer func() {
+		if p := recover(); p != nil {
+			lib = nil
+			err = fmt.Errorf("core: invalid hint library: %v", p)
+		}
+	}()
+	lib = NewLibrary(space)
+	metricNames := make([]string, 0, len(in.Metrics))
+	for name := range in.Metrics {
+		metricNames = append(metricNames, name)
+	}
+	sort.Strings(metricNames)
+	for _, metric := range metricNames {
+		hs := lib.Metric(metric)
+		paramNames := make([]string, 0, len(in.Metrics[metric]))
+		for name := range in.Metrics[metric] {
+			paramNames = append(paramNames, name)
+		}
+		sort.Strings(paramNames)
+		for _, pname := range paramNames {
+			if space.IndexOf(pname) < 0 {
+				return nil, fmt.Errorf("core: hint library references unknown parameter %q", pname)
+			}
+			hj := in.Metrics[metric][pname]
+			// Ordering first: directional hints may depend on it.
+			if hj.Order != nil {
+				hs.SetOrder(pname, hj.Order...)
+			}
+			if hj.Importance != 0 {
+				hs.SetImportance(pname, hj.Importance, hj.Decay)
+			}
+			if hj.Bias != 0 && hj.Target != nil {
+				return nil, fmt.Errorf("core: parameter %q has both bias and target for metric %q", pname, metric)
+			}
+			if hj.Bias != 0 {
+				hs.SetBias(pname, hj.Bias)
+			}
+			if hj.Target != nil {
+				hs.SetTarget(pname, *hj.Target)
+			}
+			if hj.Step != 0 {
+				hs.SetStep(pname, hj.Step)
+			}
+		}
+	}
+	return lib, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func persistSpace() *param.Space {
+	return param.MustSpace(
+		param.Int("depth", 1, 16, 1),
+		param.Levels("width", 8, 16, 32, 64),
+		param.Choice("alloc", "a", "b", "c"),
+		param.Flag("spec"),
+	)
+}
+
+func persistLibrary(s *param.Space) *Library {
+	lib := NewLibrary(s)
+	lib.Metric(metrics.LUTs).
+		SetImportance("depth", 80, 0.05).SetBias("depth", 0.9).
+		SetImportance("width", 60, 0).SetTarget("width", 16).
+		SetOrder("alloc", "c", "a", "b").SetBias("alloc", 0.4).
+		SetStep("depth", 2)
+	lib.Metric(metrics.FmaxMHz).
+		SetImportance("spec", 40, 0).SetTargetChoice("spec", "on")
+	return lib
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := persistSpace()
+	lib := persistLibrary(s)
+	var buf bytes.Buffer
+	if err := lib.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLibrary(s, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compiled guidance must be identical for both single-metric queries.
+	for _, obj := range []metrics.Objective{
+		metrics.MinimizeMetric(metrics.LUTs),
+		metrics.MaximizeMetric(metrics.FmaxMHz),
+	} {
+		g1, err := lib.GuidanceForObjective(obj, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := loaded.GuidanceForObjective(obj, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.Describe() != g2.Describe() {
+			t.Errorf("%v: guidance differs after round trip:\n%s\nvs\n%s", obj, g1.Describe(), g2.Describe())
+		}
+	}
+	// Second save must be byte-identical (deterministic serialization).
+	var buf2 bytes.Buffer
+	if err := loaded.SaveJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("serialization not stable across a round trip")
+	}
+}
+
+func TestSaveJSONShape(t *testing.T) {
+	s := persistSpace()
+	var buf bytes.Buffer
+	if err := persistLibrary(s).SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"luts"`, `"fmax_mhz"`, `"depth"`, `"order"`, `"target"`, `"bias": 0.9`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	// Unhinted parameters are omitted entirely.
+	if strings.Contains(out, `"spec"`) && !strings.Contains(out, `"fmax_mhz"`) {
+		t.Error("spec should only appear under fmax_mhz")
+	}
+}
+
+func TestLoadLibraryRejectsGarbage(t *testing.T) {
+	s := persistSpace()
+	cases := map[string]string{
+		"not json":          `{`,
+		"unknown field":     `{"metrics":{},"extra":1}`,
+		"unknown parameter": `{"metrics":{"luts":{"nope":{"bias":0.5}}}}`,
+		"bias out of range": `{"metrics":{"luts":{"depth":{"bias":2}}}}`,
+		"importance range":  `{"metrics":{"luts":{"depth":{"importance":500}}}}`,
+		"bias and target":   `{"metrics":{"luts":{"depth":{"bias":0.5,"target":4}}}}`,
+		"bias on unordered": `{"metrics":{"luts":{"alloc":{"bias":0.5}}}}`,
+		"bad order values":  `{"metrics":{"luts":{"alloc":{"order":["a","b","z"]}}}}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadLibrary(s, strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadLibraryOrderBeforeBias(t *testing.T) {
+	// A bias on an ordering-hinted categorical must load as long as the
+	// order is present in the same entry, regardless of JSON field order.
+	s := persistSpace()
+	payload := `{"metrics":{"luts":{"alloc":{"bias":-0.6,"order":["b","c","a"]}}}}`
+	lib, err := LoadLibrary(s, strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lib.GuidanceForObjective(metrics.MinimizeMetric(metrics.LUTs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := g.Bias(s.IndexOf("alloc")); b == 0 {
+		t.Error("bias lost on load")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"nautilus/internal/dataset"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// Run executes one Nautilus search: a GA over the space under cfg, guided
+// by g. A nil guidance (or zero confidence) runs the baseline GA. This is
+// the entry point an IP generator embeds.
+func Run(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg ga.Config, g *Guidance) (ga.Result, error) {
+	var strategy ga.Strategy
+	if g != nil {
+		strategy = g
+	}
+	engine, err := ga.New(space, obj, eval, cfg, strategy)
+	if err != nil {
+		return ga.Result{}, err
+	}
+	return engine.Run(), nil
+}
+
+// RunBaseline executes the unguided baseline GA - the paper's comparison
+// point.
+func RunBaseline(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg ga.Config) (ga.Result, error) {
+	return Run(space, obj, eval, cfg, nil)
+}

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// BenchmarkBuild measures full-space dataset construction on the toy space.
+func BenchmarkBuild(b *testing.B) {
+	s, eval := toySpace()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(s, eval); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures a warm cache lookup - the cost of re-visiting
+// an already-synthesized design.
+func BenchmarkCacheHit(b *testing.B) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	pt := param.Point{3, 4}
+	if _, err := c.Evaluate(pt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Evaluate(pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRank measures objective rank queries against a built dataset.
+func BenchmarkRank(b *testing.B) {
+	s, eval := toySpace()
+	d, err := Build(s, eval)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := metrics.MinimizeMetric("cost")
+	d.Rank(obj, 50) // warm the sorted cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Rank(obj, float64(i%99))
+	}
+}

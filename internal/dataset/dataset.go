@@ -1,0 +1,463 @@
+// Package dataset provides evaluation caching and pre-characterized design
+// space datasets.
+//
+// The Nautilus paper measures search cost in *distinct design points
+// evaluated*, because each distinct evaluation is a multi-minute-to-multi-
+// hour synthesis/simulation job while re-visiting an already-characterized
+// point is free. Cache wraps an evaluator with exactly that accounting.
+// Dataset holds a fully enumerated characterization (the paper's "offline"
+// datasets produced on a 200+ core cluster) and answers rank/percentile
+// queries such as "is this solution within the top 1%?".
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// Evaluator maps a design point to its characterization metrics. An error
+// marks the point infeasible (or malformed); infeasible evaluations still
+// count as spent synthesis jobs, as they would in a real flow.
+type Evaluator func(param.Point) (metrics.Metrics, error)
+
+// Cache memoizes an Evaluator and counts distinct evaluations. It is safe
+// for concurrent use.
+type Cache struct {
+	space *param.Space
+	eval  Evaluator
+
+	mu       sync.Mutex
+	results  map[string]cached
+	distinct int
+	total    int
+}
+
+type cached struct {
+	m   metrics.Metrics
+	err error
+}
+
+// NewCache wraps eval for the given space.
+func NewCache(space *param.Space, eval Evaluator) *Cache {
+	return &Cache{space: space, eval: eval, results: make(map[string]cached)}
+}
+
+// Evaluate returns the (possibly cached) characterization of pt.
+func (c *Cache) Evaluate(pt param.Point) (metrics.Metrics, error) {
+	key := c.space.Key(pt)
+	c.mu.Lock()
+	c.total++
+	if r, ok := c.results[key]; ok {
+		c.mu.Unlock()
+		return r.m, r.err
+	}
+	c.mu.Unlock()
+
+	// Evaluate outside the lock; duplicate concurrent evaluations of the
+	// same point are deterministic, so last-write-wins is harmless (the
+	// distinct counter is only bumped on first insertion).
+	m, err := c.eval(pt)
+	c.mu.Lock()
+	if _, ok := c.results[key]; !ok {
+		c.results[key] = cached{m: m, err: err}
+		c.distinct++
+	}
+	c.mu.Unlock()
+	return m, err
+}
+
+// DistinctEvaluations returns how many distinct design points have been
+// evaluated - the paper's search-cost metric.
+func (c *Cache) DistinctEvaluations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.distinct
+}
+
+// TotalQueries returns how many evaluations were requested, including cache
+// hits.
+func (c *Cache) TotalQueries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Reset clears the cache and counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results = make(map[string]cached)
+	c.distinct = 0
+	c.total = 0
+}
+
+// Dataset is a fully enumerated characterization of a design space:
+// feasible points with their metrics, plus the count of infeasible points.
+type Dataset struct {
+	space      *param.Space
+	byKey      map[string]metrics.Metrics
+	keys       []string // feasible keys in enumeration order
+	infeasible int
+
+	mu     sync.Mutex
+	sorted map[string][]float64 // objective name -> sorted values (lazy)
+}
+
+// Build enumerates the whole space through eval. Infeasible points are
+// counted but not stored. Intended for spaces up to a few hundred thousand
+// points.
+func Build(space *param.Space, eval Evaluator) (*Dataset, error) {
+	d := &Dataset{
+		space:  space,
+		byKey:  make(map[string]metrics.Metrics),
+		sorted: make(map[string][]float64),
+	}
+	var firstErr error
+	space.Enumerate(func(pt param.Point) bool {
+		m, err := eval(pt)
+		if err != nil {
+			d.infeasible++
+			return true
+		}
+		if m == nil {
+			firstErr = fmt.Errorf("dataset: evaluator returned nil metrics without error at %s", space.Describe(pt))
+			return false
+		}
+		key := space.Key(pt)
+		d.byKey[key] = m
+		d.keys = append(d.keys, key)
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(d.byKey) == 0 {
+		return nil, errors.New("dataset: no feasible points")
+	}
+	return d, nil
+}
+
+// Space returns the dataset's design space.
+func (d *Dataset) Space() *param.Space { return d.space }
+
+// Size returns the number of feasible characterized points.
+func (d *Dataset) Size() int { return len(d.byKey) }
+
+// Infeasible returns the number of infeasible points encountered.
+func (d *Dataset) Infeasible() int { return d.infeasible }
+
+// Lookup returns the stored metrics for pt.
+func (d *Dataset) Lookup(pt param.Point) (metrics.Metrics, bool) {
+	m, ok := d.byKey[d.space.Key(pt)]
+	return m, ok
+}
+
+// Evaluator returns an Evaluator backed by the dataset (missing points are
+// reported infeasible). This mirrors the paper's setup of running the GA
+// against pre-characterized datasets.
+func (d *Dataset) Evaluator() Evaluator {
+	return func(pt param.Point) (metrics.Metrics, error) {
+		if m, ok := d.Lookup(pt); ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("dataset: point %s infeasible or unknown", d.space.Key(pt))
+	}
+}
+
+// Each calls fn for every feasible point in enumeration order.
+func (d *Dataset) Each(fn func(pt param.Point, m metrics.Metrics) bool) {
+	for _, key := range d.keys {
+		pt, err := d.space.ParseKey(key)
+		if err != nil {
+			panic(err) // keys were produced by this space
+		}
+		if !fn(pt, d.byKey[key]) {
+			return
+		}
+	}
+}
+
+// values returns the dataset's objective values sorted from best to worst.
+func (d *Dataset) values(obj metrics.Objective) []float64 {
+	name := obj.String()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok := d.sorted[name]; ok {
+		return v
+	}
+	vals := make([]float64, 0, len(d.byKey))
+	for _, key := range d.keys {
+		if v, ok := obj.Value(d.byKey[key]); ok {
+			vals = append(vals, v)
+		}
+	}
+	sort.Float64s(vals)
+	if obj.Direction() == metrics.Maximize {
+		for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+	d.sorted[name] = vals
+	return vals
+}
+
+// Best returns the best feasible point and objective value in the dataset.
+func (d *Dataset) Best(obj metrics.Objective) (param.Point, float64) {
+	bestVal := obj.Worst()
+	var bestKey string
+	for _, key := range d.keys {
+		if v, ok := obj.Value(d.byKey[key]); ok && obj.Better(v, bestVal) {
+			bestVal, bestKey = v, key
+		}
+	}
+	if bestKey == "" {
+		return nil, bestVal
+	}
+	pt, _ := d.space.ParseKey(bestKey)
+	return pt, bestVal
+}
+
+// Rank returns how many feasible designs are strictly better than value
+// under obj (0 means value ties the dataset optimum or beats it).
+func (d *Dataset) Rank(obj metrics.Objective, value float64) int {
+	vals := d.values(obj) // best..worst
+	// Count prefix of vals strictly better than value.
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if obj.Better(vals[mid], value) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Score converts an objective value into the paper's "design solution
+// score (in %)": 100% means no feasible design is strictly better; a value
+// in the top 1% scores >= 99.
+func (d *Dataset) Score(obj metrics.Objective, value float64) float64 {
+	n := len(d.values(obj))
+	if n == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(d.Rank(obj, value))/float64(n))
+}
+
+// InTopPercent reports whether value is within the best pct% of feasible
+// designs (pct in (0,100]).
+func (d *Dataset) InTopPercent(obj metrics.Objective, value, pct float64) bool {
+	n := len(d.values(obj))
+	if n == 0 {
+		return false
+	}
+	limit := int(math.Ceil(float64(n) * pct / 100))
+	return d.Rank(obj, value) < limit
+}
+
+// Quantile returns the objective value at quantile q of the best-to-worst
+// ordering (q=0 is the optimum, q=1 the worst feasible design).
+func (d *Dataset) Quantile(obj metrics.Objective, q float64) float64 {
+	vals := d.values(obj)
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	return vals[int(q*float64(len(vals)-1))]
+}
+
+// CountWithin returns how many feasible designs are at least as good as
+// value under obj (including ties). Used for random-sampling expectations.
+func (d *Dataset) CountWithin(obj metrics.Objective, value float64) int {
+	vals := d.values(obj)
+	lo, hi := 0, len(vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		// Better-or-equal to value <=> not strictly worse.
+		if obj.Better(value, vals[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ExpectedRandomDraws returns the expected number of uniform random draws
+// (without replacement, over the full space including infeasible points)
+// needed to hit a design at least as good as value: (n+1)/(k+1).
+func (d *Dataset) ExpectedRandomDraws(obj metrics.Objective, value float64) float64 {
+	k := d.CountWithin(obj, value)
+	n := d.Size() + d.Infeasible()
+	return float64(n+1) / float64(k+1)
+}
+
+// ---- CSV persistence -------------------------------------------------------
+
+// WriteCSV writes the dataset as CSV: a header of parameter names and metric
+// names, then one row per feasible point (parameter string values followed
+// by metric values).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Collect the union of metric names, sorted, for stable columns.
+	nameSet := map[string]bool{}
+	for _, key := range d.keys {
+		for name := range d.byKey[key] {
+			nameSet[name] = true
+		}
+	}
+	metricNames := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		metricNames = append(metricNames, name)
+	}
+	sort.Strings(metricNames)
+
+	cols := append(append([]string{}, d.space.Names()...), metricNames...)
+	if _, err := fmt.Fprintln(bw, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, key := range d.keys {
+		pt, _ := d.space.ParseKey(key)
+		row := make([]string, 0, len(cols))
+		for i := 0; i < d.space.Len(); i++ {
+			row = append(row, d.space.Param(i).StringValue(pt[i]))
+		}
+		m := d.byKey[key]
+		for _, name := range metricNames {
+			if v, ok := m[name]; ok {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a dataset previously written by WriteCSV for the given
+// space.
+func ReadCSV(space *param.Space, r io.Reader) (*Dataset, error) {
+	d := &Dataset{
+		space:  space,
+		byKey:  make(map[string]metrics.Metrics),
+		sorted: make(map[string][]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, errors.New("dataset: empty CSV")
+	}
+	cols := strings.Split(sc.Text(), ",")
+	np := space.Len()
+	if len(cols) < np {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, space needs %d parameters", len(cols), np)
+	}
+	for i, name := range space.Names() {
+		if cols[i] != name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, want parameter %q", i, cols[i], name)
+		}
+	}
+	metricNames := cols[np:]
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != len(cols) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), len(cols))
+		}
+		pt := make(param.Point, np)
+		for i := 0; i < np; i++ {
+			idx := space.Param(i).IndexOf(fields[i])
+			if idx < 0 {
+				return nil, fmt.Errorf("dataset: line %d: unknown value %q for %s", line, fields[i], space.Param(i).Name())
+			}
+			pt[i] = idx
+		}
+		m := make(metrics.Metrics, len(metricNames))
+		for j, name := range metricNames {
+			f := fields[np+j]
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad %s value %q: %v", line, name, f, err)
+			}
+			m[name] = v
+		}
+		key := space.Key(pt)
+		if _, dup := d.byKey[key]; dup {
+			return nil, fmt.Errorf("dataset: line %d: duplicate point %s", line, key)
+		}
+		d.byKey[key] = m
+		d.keys = append(d.keys, key)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.byKey) == 0 {
+		return nil, errors.New("dataset: CSV contains no points")
+	}
+	d.infeasible = int(space.Cardinality()) - len(d.byKey)
+	return d, nil
+}
+
+// Sample characterizes n distinct uniformly drawn points of the space (the
+// practical alternative to Build when the space is too large to enumerate -
+// the situation the paper's IP users actually face). Infeasible draws count
+// toward the budget, like failed synthesis jobs. Fails if fewer than two
+// feasible points are found within the budget.
+func Sample(space *param.Space, eval Evaluator, n int, seed int64) (*Dataset, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dataset: sample size %d < 2", n)
+	}
+	if space.Cardinality() < uint64(n) {
+		return Build(space, eval)
+	}
+	d := &Dataset{
+		space:  space,
+		byKey:  make(map[string]metrics.Metrics),
+		sorted: make(map[string][]float64),
+	}
+	r := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, n)
+	for len(seen) < n {
+		pt := space.Random(r)
+		key := space.Key(pt)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		m, err := eval(pt)
+		if err != nil {
+			d.infeasible++
+			continue
+		}
+		d.byKey[key] = m
+		d.keys = append(d.keys, key)
+	}
+	if len(d.byKey) < 2 {
+		return nil, fmt.Errorf("dataset: only %d feasible points in a %d-point sample", len(d.byKey), n)
+	}
+	return d, nil
+}

@@ -1,0 +1,55 @@
+package dataset_test
+
+import (
+	"fmt"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// The caching evaluator implements the paper's cost metric: re-visiting an
+// already-characterized design costs nothing; only distinct designs count
+// as synthesis jobs.
+func ExampleCache() {
+	space := param.MustSpace(param.Int("x", 0, 9, 1))
+	calls := 0
+	cache := dataset.NewCache(space, func(pt param.Point) (metrics.Metrics, error) {
+		calls++
+		return metrics.Metrics{metrics.LUTs: float64(100 * (pt[0] + 1))}, nil
+	})
+	pt := param.Point{3}
+	for i := 0; i < 5; i++ {
+		cache.Evaluate(pt)
+	}
+	cache.Evaluate(param.Point{7})
+	fmt.Println("queries:", cache.TotalQueries())
+	fmt.Println("synthesis jobs:", cache.DistinctEvaluations())
+	fmt.Println("evaluator calls:", calls)
+	// Output:
+	// queries: 6
+	// synthesis jobs: 2
+	// evaluator calls: 2
+}
+
+// Datasets answer the paper's quality-of-results questions: ranks,
+// percentile scores, and random-sampling expectations.
+func ExampleDataset() {
+	space := param.MustSpace(param.Int("x", 0, 99, 1))
+	ds, err := dataset.Build(space, func(pt param.Point) (metrics.Metrics, error) {
+		return metrics.Metrics{metrics.LUTs: float64(500 + 10*pt[0])}, nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	obj := metrics.MinimizeMetric(metrics.LUTs)
+	_, best := ds.Best(obj)
+	fmt.Println("optimum:", best)
+	fmt.Println("score of 550 LUTs:", ds.Score(obj, 550), "%")
+	fmt.Println("550 in top 10%:", ds.InTopPercent(obj, 550, 10))
+	// Output:
+	// optimum: 500
+	// score of 550 LUTs: 95 %
+	// 550 in top 10%: true
+}

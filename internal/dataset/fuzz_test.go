@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// FuzzReadCSV checks that arbitrary CSV input never panics the reader and
+// that accepted datasets are internally consistent.
+func FuzzReadCSV(f *testing.F) {
+	space := param.MustSpace(param.Int("a", 0, 3, 1), param.Flag("b"))
+	f.Add([]byte("a,b,luts\n0,off,100\n1,on,200\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,b\n"))
+	f.Add([]byte("x,y,z\n1,2,3\n"))
+	f.Add([]byte("a,b,luts\n0,off,100\n0,off,200\n"))
+	f.Add([]byte("a,b,luts\n9,off,100\n"))
+	f.Add([]byte("a,b,luts\n0,off,not_a_number\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadCSV(space, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ds.Size() < 1 {
+			t.Fatal("accepted dataset with no points")
+		}
+		// Every stored point must be addressable and valid.
+		n := 0
+		ds.Each(func(pt param.Point, m metrics.Metrics) bool {
+			if err := space.Validate(pt); err != nil {
+				t.Fatalf("stored invalid point: %v", err)
+			}
+			n++
+			return true
+		})
+		if n != ds.Size() {
+			t.Fatalf("Each visited %d points, Size says %d", n, ds.Size())
+		}
+	})
+}

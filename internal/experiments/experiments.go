@@ -1,0 +1,178 @@
+// Package experiments reproduces every figure of the Nautilus paper's
+// evaluation (Figures 1-7) plus the headline speedup numbers of Section
+// 4.2, against this repository's analytical synthesis substrate.
+//
+// Each experiment returns printable Tables and, when an output directory is
+// configured, writes the underlying series as CSV files so the figures can
+// be re-plotted. Absolute values differ from the paper (different "fab");
+// the reproduced quantity is the shape: which search strategy wins, by
+// what factor, and where convergence happens. EXPERIMENTS.md records
+// paper-vs-measured for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nautilus/internal/core"
+	"nautilus/internal/dataset"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/synth"
+)
+
+// Config scales the experiments. The zero value reproduces the paper's
+// setup; tests and benchmarks shrink Runs/Generations for speed.
+type Config struct {
+	// Runs is the number of GA runs averaged per search variant
+	// (default: the per-figure paper value - 40, or 20 for Figure 3).
+	Runs int
+	// Generations overrides the GA generation count (default: per-figure
+	// paper value - 80, or 20 for Figure 5).
+	Generations int
+	// OutDir, when non-empty, receives CSV files per figure.
+	OutDir string
+}
+
+func (c Config) runs(paperDefault int) int {
+	if c.Runs > 0 {
+		return c.Runs
+	}
+	return paperDefault
+}
+
+func (c Config) generations(paperDefault int) int {
+	if c.Generations > 0 {
+		return c.Generations
+	}
+	return paperDefault
+}
+
+// Confidence levels for the paper's guidance variants: the strongly and
+// weakly guided configurations "differ only in the confidence hint".
+const (
+	WeakConfidence   = 0.4
+	StrongConfidence = 0.9
+)
+
+// Table is one printable experiment result.
+type Table struct {
+	// Name is the experiment identifier, e.g. "fig4".
+	Name string
+	// Title describes the table.
+	Title string
+	// Header holds column names; Rows the cell values.
+	Header []string
+	Rows   [][]string
+	// Notes carry paper-reference annotations printed under the table.
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeCSV writes the table's header+rows as OutDir/<name>.csv.
+func (t *Table) writeCSV(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(f, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// seedFor derives a deterministic seed per experiment, variant, and run.
+func seedFor(experiment, variant string, run int) int64 {
+	return int64(synth.Hash64(experiment, variant, fmt.Sprint(run)) & 0x7fffffff)
+}
+
+// runGA performs `runs` independent GA searches and collects the results.
+func runGA(space *param.Space, obj metrics.Objective, eval dataset.Evaluator,
+	g *core.Guidance, experiment, variant string, runs, generations int) ([]ga.Result, error) {
+	out := make([]ga.Result, runs)
+	for i := 0; i < runs; i++ {
+		cfg := ga.Config{Seed: seedFor(experiment, variant, i), Generations: generations}
+		res, err := core.Run(space, obj, eval, cfg, g)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s run %d: %w", experiment, variant, i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// f renders a float compactly for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func fi(v int) string     { return fmt.Sprintf("%d", v) }
+
+// ratio formats a/b, guarding division by zero.
+func ratio(a, b float64) string {
+	if b == 0 || a != a || b != b { // NaN-safe
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}
+
+// All runs every experiment in figure order.
+func All(cfg Config) ([]Table, error) {
+	var tables []Table
+	for _, fn := range []func(Config) ([]Table, error){
+		Fig1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7, Headline, Ablations,
+		ExtensionBaselines, ExtensionPareto, ExtensionSimVsAnalytical, ExtensionThirdIP,
+	} {
+		ts, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, ts...)
+	}
+	return tables, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps experiment smoke tests quick; the full paper-scale runs
+// happen in the benchmark harness and cmd/experiments.
+func fastCfg() Config {
+	return Config{Runs: 4, Generations: 12}
+}
+
+func checkTables(t *testing.T, tables []Table, err error, wantNames ...string) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Table{}
+	for i := range tables {
+		byName[tables[i].Name] = &tables[i]
+	}
+	for _, name := range wantNames {
+		tab, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing table %q", name)
+		}
+		if len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Fatalf("table %q is empty", name)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("table %q row width %d != header %d", name, len(row), len(tab.Header))
+			}
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	tables, err := Fig1(fastCfg())
+	checkTables(t, tables, err, "fig1")
+	if len(tables[0].Rows) != 2 {
+		t.Errorf("fig1 should have 2 metric rows, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tables, err := Fig2(fastCfg())
+	checkTables(t, tables, err, "fig2")
+	if len(tables[0].Rows) != 8 {
+		t.Errorf("fig2 should have 8 topology rows, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig3(t *testing.T) {
+	tables, err := Fig3(fastCfg())
+	checkTables(t, tables, err, "fig3", "fig3_curve")
+	// The curve covers generations 0..N.
+	curve := tables[1]
+	if curve.Rows[0][0] != "0" {
+		t.Errorf("fig3 curve should start at generation 0, got %s", curve.Rows[0][0])
+	}
+}
+
+func TestFig4(t *testing.T) {
+	tables, err := Fig4(fastCfg())
+	checkTables(t, tables, err, "fig4", "fig4_curve")
+	if len(tables[0].Rows) != 3 {
+		t.Errorf("fig4 should compare 3 variants, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig5(t *testing.T) {
+	tables, err := Fig5(fastCfg())
+	checkTables(t, tables, err, "fig5", "fig5_curve")
+}
+
+func TestFig6(t *testing.T) {
+	tables, err := Fig6(fastCfg())
+	checkTables(t, tables, err, "fig6", "fig6_curve")
+	if len(tables[0].Rows) != 4 {
+		t.Errorf("fig6 should have 4 rows (3 GA variants + random), got %d", len(tables[0].Rows))
+	}
+}
+
+func TestFig7(t *testing.T) {
+	tables, err := Fig7(fastCfg())
+	checkTables(t, tables, err, "fig7", "fig7_curve")
+}
+
+func TestHeadline(t *testing.T) {
+	tables, err := Headline(fastCfg())
+	checkTables(t, tables, err, "headline")
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("headline should have 5 query rows, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := Config{Runs: 3, Generations: 10}
+	tables, err := Ablations(cfg)
+	checkTables(t, tables, err,
+		"ablation_confidence", "ablation_hint_classes", "ablation_decay", "ablation_wrong_hints")
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := Table{
+		Name:   "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a note", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastCfg()
+	cfg.OutDir = dir
+	if _, err := Fig1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.csv", "fig1_scatter.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(bytes.Split(data, []byte("\n"))) < 3 {
+			t.Errorf("%s has too few lines", name)
+		}
+	}
+}
+
+func TestSeedForDeterministic(t *testing.T) {
+	if seedFor("a", "b", 1) != seedFor("a", "b", 1) {
+		t.Error("seedFor not deterministic")
+	}
+	if seedFor("a", "b", 1) == seedFor("a", "b", 2) {
+		t.Error("seedFor should vary with run index")
+	}
+	if seedFor("a", "b", 1) == seedFor("a", "c", 1) {
+		t.Error("seedFor should vary with variant")
+	}
+}
+
+func TestRatioFormatting(t *testing.T) {
+	if got := ratio(10, 5); got != "2.0x" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(1, 0); got != "n/a" {
+		t.Errorf("ratio(div0) = %q", got)
+	}
+}
+
+func TestExtensionBaselines(t *testing.T) {
+	tables, err := ExtensionBaselines(Config{Runs: 3, Generations: 15})
+	checkTables(t, tables, err, "ext_baselines")
+	if len(tables[0].Rows) != 5 {
+		t.Errorf("expected 5 methods, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestExtensionPareto(t *testing.T) {
+	tables, err := ExtensionPareto(Config{Runs: 1, Generations: 15})
+	checkTables(t, tables, err, "ext_pareto")
+}
+
+func TestExtensionSimVsAnalytical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	tables, err := ExtensionSimVsAnalytical(Config{})
+	checkTables(t, tables, err, "ext_sim_vs_analytical")
+	if len(tables[0].Rows) != 7 {
+		t.Errorf("expected 7 topology rows, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestExtensionThirdIP(t *testing.T) {
+	tables, err := ExtensionThirdIP(Config{Runs: 3, Generations: 12})
+	checkTables(t, tables, err, "ext_thirdip")
+	if len(tables[0].Rows) != 3 {
+		t.Errorf("expected 3 variants, got %d", len(tables[0].Rows))
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tables := []Table{{
+		Name:   "demo",
+		Title:  "a demo | table",
+		Header: []string{"col_a", "col_b"},
+		Rows:   [][]string{{"1", "x|y"}, {"2", "z"}},
+		Notes:  []string{"a note"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, tables, time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Nautilus experiment report",
+		"2026-07-05",
+		"## demo",
+		"| col_a | col_b |",
+		"| --- | --- |",
+		"x\\|y", // pipes escaped inside cells
+		"> a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic for a fixed timestamp.
+	var buf2 bytes.Buffer
+	WriteMarkdown(&buf2, tables, time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC))
+	if buf.String() != buf2.String() {
+		t.Error("markdown output not deterministic")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nautilus/internal/fft"
+	"nautilus/internal/metrics"
+	"nautilus/internal/stats"
+)
+
+// Headline reproduces the paper's Section 4.2 summary: the factor by which
+// the baseline GA's synthesis-job count exceeds Nautilus's for the same
+// quality of results, across all four search queries.
+func Headline(cfg Config) ([]Table, error) {
+	t := Table{
+		Name:  "headline",
+		Title: "baseline-vs-Nautilus synthesis-job ratios (paper Section 4.2)",
+		Header: []string{"query", "quality target", "baseline evals (95% CI)",
+			"nautilus evals (95% CI)", "ratio", "paper ratio"},
+	}
+
+	// NoC: maximize frequency (Figure 4 query, strong guidance).
+	{
+		ds, err := routerDataset()
+		if err != nil {
+			return nil, err
+		}
+		lib, err := routerHintLibrary()
+		if err != nil {
+			return nil, err
+		}
+		obj := metrics.MaximizeMetric(metrics.FmaxMHz)
+		strong, err := lib.GuidanceForObjective(obj, StrongConfidence)
+		if err != nil {
+			return nil, err
+		}
+		weak := strong.WithConfidence(WeakConfidence)
+		runs, gens := cfg.runs(40), cfg.generations(80)
+		base, err := runGA(ds.Space(), obj, ds.Evaluator(), nil, "headline_noc", "baseline", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runGA(ds.Space(), obj, ds.Evaluator(), strong, "headline_noc", "strong", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		wk, err := runGA(ds.Space(), obj, ds.Evaluator(), weak, "headline_noc", "weak", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		_, best := ds.Best(obj)
+		rb, cb := stats.ReachCI(base, obj, best*0.99, 1)
+		rs, cs := stats.ReachCI(st, obj, best*0.99, 2)
+		rw, cw := stats.ReachCI(wk, obj, best*0.99, 3)
+		t.Rows = append(t.Rows,
+			[]string{"NoC max frequency (strong)", "within 1% of best",
+				cb.String(), cs.String(), ratio(rb.MeanEvals, rs.MeanEvals), "2.8x"},
+			[]string{"NoC max frequency (weak)", "within 1% of best",
+				cb.String(), cw.String(), ratio(rb.MeanEvals, rw.MeanEvals), "1.8x"},
+		)
+	}
+
+	// FFT: minimize LUTs and maximize throughput/LUT (Figures 6-7 queries).
+	{
+		ds, err := fftDataset()
+		if err != nil {
+			return nil, err
+		}
+		lib := fft.ExpertHints()
+		runs, gens := cfg.runs(40), cfg.generations(80)
+
+		objL := metrics.MinimizeMetric(metrics.LUTs)
+		strongL, err := lib.GuidanceForObjective(objL, StrongConfidence)
+		if err != nil {
+			return nil, err
+		}
+		baseL, err := runGA(ds.Space(), objL, ds.Evaluator(), nil, "headline_fft_luts", "baseline", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		stL, err := runGA(ds.Space(), objL, ds.Evaluator(), strongL, "headline_fft_luts", "strong", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		_, bestL := ds.Best(objL)
+		rbOpt, cbOpt := stats.ReachCI(baseL, objL, bestL*1.005, 4)
+		rsOpt, csOpt := stats.ReachCI(stL, objL, bestL*1.005, 5)
+		rbRel, cbRel := stats.ReachCI(baseL, objL, bestL*2, 6)
+		rsRel, csRel := stats.ReachCI(stL, objL, bestL*2, 7)
+		t.Rows = append(t.Rows,
+			[]string{"FFT min LUTs (strong)", "optimum",
+				cbOpt.String(), csOpt.String(), ratio(rbOpt.MeanEvals, rsOpt.MeanEvals), "4.6x"},
+			[]string{"FFT min LUTs (strong)", "2x minimum",
+				cbRel.String(), csRel.String(), ratio(rbRel.MeanEvals, rsRel.MeanEvals), "3.3x"},
+		)
+
+		objT := metrics.ThroughputPerLUT()
+		strongT, err := lib.Guidance(metrics.Maximize, map[string]float64{"throughput_per_lut": 1}, StrongConfidence)
+		if err != nil {
+			return nil, err
+		}
+		baseT, err := runGA(ds.Space(), objT, ds.Evaluator(), nil, "headline_fft_tpl", "baseline", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		stT, err := runGA(ds.Space(), objT, ds.Evaluator(), strongT, "headline_fft_tpl", "strong", runs, gens)
+		if err != nil {
+			return nil, err
+		}
+		_, bestT := ds.Best(objT)
+		rbT, cbT := stats.ReachCI(baseT, objT, bestT*0.95, 8)
+		rsT, csT := stats.ReachCI(stT, objT, bestT*0.95, 9)
+		t.Rows = append(t.Rows,
+			[]string{"FFT max throughput/LUT (strong)", "95% of best",
+				cbT.String(), csT.String(), ratio(rbT.MeanEvals, rsT.MeanEvals), ">8x"},
+		)
+	}
+
+	t.Notes = append(t.Notes,
+		"paper headline: Nautilus reaches the same quality with up to an order of magnitude fewer evaluations",
+		fmt.Sprintf("runs per variant: %d; generations: %d", cfg.runs(40), cfg.generations(80)))
+	if err := t.writeCSV(cfg.OutDir); err != nil {
+		return nil, err
+	}
+	return []Table{t}, nil
+}

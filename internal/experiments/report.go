@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteMarkdown renders a set of experiment tables as a self-contained
+// markdown report (the machine-written companion to EXPERIMENTS.md).
+// generatedAt stamps the header; pass a fixed value for reproducible
+// output.
+func WriteMarkdown(w io.Writer, tables []Table, generatedAt time.Time) error {
+	if _, err := fmt.Fprintf(w, "# Nautilus experiment report\n\nGenerated %s.\n\n",
+		generatedAt.Format("2006-01-02 15:04:05 MST")); err != nil {
+		return err
+	}
+	for i := range tables {
+		t := &tables[i]
+		if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.Name, t.Title); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(t.Header), " | ")); err != nil {
+			return err
+		}
+		seps := make([]string, len(t.Header))
+		for j := range seps {
+			seps[j] = "---"
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escapeCells(row), " | ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, n := range t.Notes {
+			if _, err := fmt.Fprintf(w, "> %s\n", n); err != nil {
+				return err
+			}
+		}
+		if len(t.Notes) > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// escapeCells protects markdown table syntax inside cell values.
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}

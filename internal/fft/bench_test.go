@@ -1,0 +1,28 @@
+package fft
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nautilus/internal/param"
+)
+
+// BenchmarkCharacterize measures one synthetic FFT synthesis job.
+func BenchmarkCharacterize(b *testing.B) {
+	s := Space()
+	r := rand.New(rand.NewSource(1))
+	pts := make([]param.Point, 0, 64)
+	for len(pts) < 64 {
+		pt := s.Random(r)
+		if _, err := Evaluate(s, pt); err == nil {
+			pts = append(pts, pt)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(s, pts[i%len(pts)]); err != nil && !errors.Is(err, ErrInfeasible) {
+			b.Fatal(err)
+		}
+	}
+}

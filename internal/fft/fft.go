@@ -1,0 +1,397 @@
+// Package fft implements a Spiral-like hardware FFT IP generator: a
+// parameterized design space of fixed-point streaming/iterative FFT
+// datapaths characterized for FPGA cost, clock rate, throughput, and
+// numerical quality.
+//
+// Following the Nautilus paper's methodology, the design space holds the
+// transform functionally constant (all points compute the same N-point FFT
+// and are interchangeable from the IP user's perspective) while varying six
+// implementation parameters: butterfly radix, streaming width, fixed-point
+// word width, datapath architecture, memory technology, and rounding mode.
+// The default 1024-point space has 10,752 candidate points, a fraction of
+// which are structurally infeasible - reproducing the sparse,
+// constraint-laden spaces the paper calls out. (The paper's dataset held
+// "approximately 12,000 design instances (varying 6 parameters)"
+// characterized with Xilinx XST; here characterization is the analytical
+// model in this package with deterministic CAD noise.)
+package fft
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/synth"
+)
+
+// FFT parameter names.
+const (
+	ParamRadix       = "radix"        // butterfly radix
+	ParamStreamWidth = "stream_width" // samples accepted per cycle
+	ParamDataWidth   = "data_width"   // fixed-point word width per component
+	ParamArch        = "arch"         // datapath architecture
+	ParamMemory      = "memory"       // data/twiddle storage technology
+	ParamRounding    = "rounding"     // post-butterfly rounding mode
+)
+
+// Datapath architectures, ordered from lowest to highest throughput (and,
+// broadly, cost): a single reused stage, a half-rate folded pipeline, a
+// fully streaming pipeline, and a double-pumped parallel pipeline.
+const (
+	ArchIterative = "iterative"
+	ArchFolded    = "folded"
+	ArchStreaming = "streaming"
+	ArchParallel  = "parallel"
+)
+
+// Memory technologies for data and twiddle storage.
+const (
+	MemLUTRAM = "lutram"
+	MemBRAM   = "bram"
+)
+
+// Rounding modes, ordered from cheapest/least accurate to most
+// expensive/most accurate.
+const (
+	RoundTruncate   = "truncate"
+	RoundNearest    = "round"
+	RoundConvergent = "convergent"
+	RoundBlockFloat = "block_float"
+)
+
+// ErrInfeasible marks design points that violate the generator's structural
+// constraints; the paper's hint machinery must tolerate such sparse spaces.
+var ErrInfeasible = errors.New("fft: infeasible configuration")
+
+// DefaultN is the transform size of the standard evaluation space.
+const DefaultN = 1024
+
+// Generator is an FFT IP generator for one transform size. It plays the
+// role of the Spiral generator in the paper: given implementation
+// parameters it "generates" (here: characterizes) a hardware design.
+type Generator struct {
+	// N is the transform length (complex samples); must be a power of two
+	// between 8 and 1<<20.
+	N int
+}
+
+// NewGenerator returns a Generator for an N-point transform.
+func NewGenerator(n int) (*Generator, error) {
+	if n < 8 || n > 1<<20 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: transform size %d must be a power of two in [8, 2^20]", n)
+	}
+	return &Generator{N: n}, nil
+}
+
+// Space returns the generator's design space: 6 parameters,
+// 4*7*12*4*2*4 = 10,752 points.
+func (g *Generator) Space() *param.Space {
+	return param.MustSpace(
+		param.Levels(ParamRadix, 2, 4, 8, 16),
+		param.Levels(ParamStreamWidth, 1, 2, 4, 8, 16, 32, 64),
+		param.Int(ParamDataWidth, 8, 30, 2),
+		param.OrderedChoice(ParamArch, ArchIterative, ArchFolded, ArchStreaming, ArchParallel),
+		param.Choice(ParamMemory, MemLUTRAM, MemBRAM),
+		param.OrderedChoice(ParamRounding, RoundTruncate, RoundNearest, RoundConvergent, RoundBlockFloat),
+	)
+}
+
+// Space returns the standard 1024-point FFT design space used by the
+// paper-reproduction experiments.
+func Space() *param.Space {
+	g, _ := NewGenerator(DefaultN)
+	return g.Space()
+}
+
+// Design is a decoded FFT design point.
+type Design struct {
+	N           int
+	Radix       int
+	StreamWidth int
+	DataWidth   int
+	Arch        string
+	Memory      string
+	Rounding    string
+}
+
+// Decode extracts a Design from a point of the generator's Space.
+func (g *Generator) Decode(s *param.Space, pt param.Point) Design {
+	return Design{
+		N:           g.N,
+		Radix:       s.Int(pt, ParamRadix),
+		StreamWidth: s.Int(pt, ParamStreamWidth),
+		DataWidth:   s.Int(pt, ParamDataWidth),
+		Arch:        s.String(pt, ParamArch),
+		Memory:      s.String(pt, ParamMemory),
+		Rounding:    s.String(pt, ParamRounding),
+	}
+}
+
+// Decode extracts a Design (of the standard 1024-point generator) from a
+// point of Space().
+func Decode(s *param.Space, pt param.Point) Design {
+	g, _ := NewGenerator(DefaultN)
+	return g.Decode(s, pt)
+}
+
+// String renders the design compactly.
+func (d Design) String() string {
+	return fmt.Sprintf("fft{N=%d r=%d w=%d dw=%d arch=%s mem=%s rnd=%s}",
+		d.N, d.Radix, d.StreamWidth, d.DataWidth, d.Arch, d.Memory, d.Rounding)
+}
+
+// Feasible reports whether the design satisfies the generator's structural
+// constraints: the streaming width must both sustain the radix datapath
+// (4w >= r: narrower streams would starve a radix-r butterfly) and fit the
+// transform (w <= N/2).
+func (d Design) Feasible() error {
+	if 4*d.StreamWidth < d.Radix {
+		return fmt.Errorf("%w: stream width %d cannot feed radix-%d butterflies", ErrInfeasible, d.StreamWidth, d.Radix)
+	}
+	if d.StreamWidth > d.N/2 {
+		return fmt.Errorf("%w: stream width %d exceeds N/2=%d", ErrInfeasible, d.StreamWidth, d.N/2)
+	}
+	return nil
+}
+
+// Stages returns the number of butterfly stages: floor(log_r N) radix-r
+// stages plus, when the radix does not evenly divide the transform, one
+// mixed-radix remainder stage.
+func (d Design) Stages() int {
+	lgN := int(math.Round(math.Log2(float64(d.N))))
+	lgR := int(math.Round(math.Log2(float64(d.Radix))))
+	s := lgN / lgR
+	if lgN%lgR != 0 {
+		s++ // remainder stage of radix 2^(lgN mod lgR)
+	}
+	return s
+}
+
+// noiseFrac is the deterministic CAD-noise amplitude on FFT synthesis
+// results.
+const noiseFrac = 0.03
+
+// complexMultLUTs estimates a dw x dw complex multiplier (3-multiplier
+// decomposition with generator-emitted constant strength reduction).
+func complexMultLUTs(dw int) float64 {
+	return 3*synth.MultiplierLUTs(dw)*0.45 + 5*synth.AdderLUTs(dw)
+}
+
+// complexAddLUTs estimates a complex adder.
+func complexAddLUTs(dw int) float64 {
+	return 2 * synth.AdderLUTs(dw)
+}
+
+// butterflyLUTs estimates one radix-r butterfly datapath: the r-point DFT
+// adder network plus its twiddle multipliers.
+func butterflyLUTs(r, dw int) float64 {
+	fr := float64(r)
+	adds := fr * math.Log2(fr) * complexAddLUTs(dw)
+	mults := (fr - 1) * complexMultLUTs(dw)
+	return adds + mults
+}
+
+// physicalStages returns the number of physically instantiated butterfly
+// stages and their lane multiplier under the design's architecture.
+func (d Design) physicalStages() float64 {
+	switch d.Arch {
+	case ArchIterative:
+		return 1 // single stage, reused Stages() times
+	case ArchFolded:
+		return float64(d.Stages()) * 0.55 // stages share half-rate hardware
+	case ArchStreaming:
+		return float64(d.Stages())
+	case ArchParallel:
+		return float64(d.Stages()) * 1.7 // double-pumped lanes
+	}
+	return float64(d.Stages())
+}
+
+// roundingLUTsPerStage is the extra datapath cost of the rounding mode per
+// physical stage.
+func (d Design) roundingLUTsPerStage() float64 {
+	dw := float64(d.DataWidth)
+	switch d.Rounding {
+	case RoundTruncate:
+		return 0
+	case RoundNearest:
+		return dw * 0.5
+	case RoundConvergent:
+		return dw * 1.1
+	case RoundBlockFloat:
+		return dw*2.0 + 25 // shared exponent tracking + normalizers
+	}
+	return 0
+}
+
+// LUTs estimates the design's FPGA LUT usage (before noise). The design
+// must be feasible.
+func (d Design) LUTs() float64 {
+	// Butterfly instances per stage: enough to consume StreamWidth samples
+	// per cycle (each radix-r butterfly consumes r samples per invocation;
+	// narrower streams keep one butterfly busy via time-multiplexing).
+	perStage := math.Max(1, float64(d.StreamWidth)/float64(d.Radix))
+	phys := d.physicalStages()
+	datapath := phys * perStage * (butterflyLUTs(d.Radix, d.DataWidth) + d.roundingLUTsPerStage())
+
+	// Inter-stage permutation (stride) networks: switching plus reorder
+	// buffering sized by N/w.
+	reorderDepth := d.N/maxInt(1, d.StreamWidth)/4 + 2
+	permPerStage := synth.MuxLUTs(d.StreamWidth*2, 2*d.DataWidth)
+	if d.Memory == MemLUTRAM {
+		permPerStage += synth.FIFOLUTs(reorderDepth, 2*d.DataWidth) * 0.35
+	} else {
+		permPerStage += 18 // BRAM addressing/control
+	}
+	perm := permPerStage * math.Max(1, phys)
+
+	// Working storage: iterative designs ping-pong the full transform.
+	var mem float64
+	if d.Arch == ArchIterative && d.Memory == MemLUTRAM {
+		bits := d.N * 2 * d.DataWidth * 2 // ping-pong
+		mem = float64(bits) / synth.LUTRAMBits * 1.1
+	}
+
+	// Twiddle factors: one table per multiplier-bearing stage group.
+	var twiddle float64
+	if d.Memory == MemLUTRAM {
+		entries := d.N / 4 // quarter-wave symmetry
+		twiddle = synth.ROMLUTs(entries, 2*d.DataWidth) * math.Min(math.Max(1, phys), 3)
+	} else {
+		twiddle = 12 * math.Max(1, phys)
+	}
+
+	control := 40 + 10*float64(d.Stages()) + 4*float64(d.StreamWidth)
+	if d.Arch == ArchIterative {
+		control += 35 // pass sequencing, feedback muxing
+	}
+	return datapath + perm + mem + twiddle + control
+}
+
+// BRAMs estimates block-RAM usage.
+func (d Design) BRAMs() int {
+	if d.Memory != MemBRAM {
+		return 0
+	}
+	total := 0
+	// Twiddles.
+	twBits := d.N / 4 * 2 * d.DataWidth
+	total += maxInt(1, synth.BRAMsFor(twBits, 2*d.DataWidth))
+	// Reorder buffers per physical stage.
+	reorderBits := (d.N/maxInt(1, d.StreamWidth)/4 + 2) * 2 * d.DataWidth
+	total += int(math.Max(1, d.physicalStages())) * maxInt(1, synth.BRAMsFor(reorderBits, 2*d.DataWidth))
+	// Iterative working set.
+	if d.Arch == ArchIterative {
+		total += maxInt(1, synth.BRAMsFor(d.N*2*d.DataWidth*2, 2*d.DataWidth*d.StreamWidth))
+	}
+	return total
+}
+
+// FmaxMHz estimates the maximum clock frequency (before noise).
+func (d Design) FmaxMHz() float64 {
+	dev := synth.Virtex6LX760
+	// Pipeline stage critical path: multiplier partial-product tree, then
+	// the butterfly adder tree, then permutation muxing.
+	mult := 1.2 + 0.45*math.Log2(float64(d.DataWidth))
+	addTree := 0.8 * math.Log2(float64(d.Radix)*2)
+	permMux := 0.4 * math.Log2(float64(d.StreamWidth)+1)
+	depth := mult + addTree + permMux
+	switch d.Arch {
+	case ArchIterative:
+		depth += 0.8 // feedback path muxing
+	case ArchFolded:
+		depth += 0.5 // stage-sharing muxes
+	case ArchParallel:
+		depth += 0.5 // lane steering
+	}
+	if d.Rounding == RoundBlockFloat {
+		depth += 0.6 // exponent compare in the loop
+	}
+	congestion := dev.Congestion(d.LUTs(), d.StreamWidth*2*d.DataWidth/8)
+	return dev.Fmax(depth, congestion)
+}
+
+// ThroughputMSPS estimates sustained throughput in million samples per
+// second.
+func (d Design) ThroughputMSPS() float64 {
+	f := d.FmaxMHz()
+	w := float64(d.StreamWidth)
+	switch d.Arch {
+	case ArchIterative:
+		return w * f / float64(d.Stages())
+	case ArchFolded:
+		return w * f / 2
+	case ArchStreaming:
+		return w * f
+	case ArchParallel:
+		return 2 * w * f
+	}
+	return 0
+}
+
+// SNRdB estimates output signal-to-noise ratio of the fixed-point datapath.
+// The law is calibrated against the bit-accurate functional model in
+// internal/fxpfft (see that package's tests): ~6 dB per word bit, ~3 dB
+// lost per scale-by-half butterfly level (noise accumulates relative to the
+// shrinking signal), a small recovery for larger radices (fewer rounding
+// boundaries), and a bias-removal bonus for the better rounding modes.
+func (d Design) SNRdB() float64 {
+	base := 6.02*float64(d.DataWidth) - 15
+	growth := 3.0 * math.Log2(float64(d.N))
+	radixBonus := 0.9 * math.Log2(float64(d.Radix))
+	var bonus float64
+	switch d.Rounding {
+	case RoundNearest:
+		bonus = 0.2
+	case RoundConvergent:
+		bonus = 2.6
+	case RoundBlockFloat:
+		bonus = 3.4
+	}
+	return base - growth + radixBonus + bonus
+}
+
+// Characterize returns the synthesis metrics for the design, with
+// deterministic CAD noise; it is the stand-in for one XST synthesis plus
+// simulation job. Infeasible designs return ErrInfeasible.
+func (d Design) Characterize() (metrics.Metrics, error) {
+	if err := d.Feasible(); err != nil {
+		return nil, err
+	}
+	key := d.String()
+	luts := math.Round(d.LUTs() * synth.Noise(key+"/luts", noiseFrac))
+	fmax := d.FmaxMHz() * synth.Noise(key+"/fmax", noiseFrac)
+	tput := d.ThroughputMSPS() * synth.Noise(key+"/tput", noiseFrac)
+	return metrics.Metrics{
+		metrics.LUTs:           luts,
+		metrics.BRAMs:          float64(d.BRAMs()),
+		metrics.FmaxMHz:        fmax,
+		metrics.ThroughputMSPS: tput,
+		metrics.SNRdB:          d.SNRdB(),
+	}, nil
+}
+
+// Evaluate characterizes point pt of the generator's space.
+func (g *Generator) Evaluate(s *param.Space, pt param.Point) (metrics.Metrics, error) {
+	if err := s.Validate(pt); err != nil {
+		return nil, err
+	}
+	return g.Decode(s, pt).Characterize()
+}
+
+// Evaluate characterizes point pt of the standard 1024-point Space(); the
+// evaluator function handed to the search engines. Infeasible points return
+// ErrInfeasible (search engines treat them as worst-fitness).
+func Evaluate(s *param.Space, pt param.Point) (metrics.Metrics, error) {
+	g, _ := NewGenerator(DefaultN)
+	return g.Evaluate(s, pt)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,330 @@
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func baseDesign() Design {
+	return Design{
+		N: 1024, Radix: 4, StreamWidth: 4, DataWidth: 16,
+		Arch: ArchStreaming, Memory: MemBRAM, Rounding: RoundTruncate,
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	for _, n := range []int{0, 7, 12, 1 << 21} {
+		if _, err := NewGenerator(n); err == nil {
+			t.Errorf("NewGenerator(%d) should fail", n)
+		}
+	}
+	g, err := NewGenerator(1024)
+	if err != nil || g.N != 1024 {
+		t.Fatalf("NewGenerator(1024) = %v, %v", g, err)
+	}
+}
+
+func TestSpaceCardinality(t *testing.T) {
+	s := Space()
+	// 4*7*12*4*2*4 = 10,752 - the paper's "approximately 12,000".
+	if got := s.Cardinality(); got != 10752 {
+		t.Fatalf("Cardinality = %d, want 10752", got)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("FFT space has %d params, want 6 (paper: varying 6 parameters)", s.Len())
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	s := Space()
+	pt := make(param.Point, s.Len())
+	pt = s.Set(pt, ParamRadix, "8")
+	pt = s.Set(pt, ParamArch, ArchParallel)
+	pt = s.Set(pt, ParamStreamWidth, "4")
+	d := Decode(s, pt)
+	if d.Radix != 8 || d.Arch != ArchParallel || d.StreamWidth != 4 || d.N != DefaultN {
+		t.Fatalf("decoded %+v", d)
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	d := baseDesign()
+	if err := d.Feasible(); err != nil {
+		t.Fatalf("base design should be feasible: %v", err)
+	}
+	d.Radix, d.StreamWidth = 16, 1 // 4*1 < 16
+	if err := d.Feasible(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("starved radix-16 should be infeasible, got %v", err)
+	}
+	d = baseDesign()
+	d.N, d.StreamWidth = 16, 64
+	if err := d.Feasible(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("width > N/2 should be infeasible, got %v", err)
+	}
+}
+
+func TestStagesMixedRadix(t *testing.T) {
+	cases := []struct {
+		n, r, want int
+	}{
+		{1024, 2, 10},
+		{1024, 4, 5},
+		{1024, 8, 4},  // 3 radix-8 stages + 1 remainder radix-2
+		{1024, 16, 3}, // 2 radix-16 stages + 1 remainder radix-4
+		{256, 16, 2},
+		{256, 4, 4},
+	}
+	for _, c := range cases {
+		d := Design{N: c.n, Radix: c.r}
+		if got := d.Stages(); got != c.want {
+			t.Errorf("Stages(N=%d, r=%d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestLUTsGrowWithDataWidth(t *testing.T) {
+	d := baseDesign()
+	prev := 0.0
+	for dw := 8; dw <= 30; dw += 2 {
+		d.DataWidth = dw
+		l := d.LUTs()
+		if l <= prev {
+			t.Fatalf("LUTs not monotone in data width at dw=%d", dw)
+		}
+		prev = l
+	}
+}
+
+func TestArchAreaOrdering(t *testing.T) {
+	d := baseDesign()
+	d.Arch = ArchIterative
+	iter := d.LUTs()
+	d.Arch = ArchFolded
+	folded := d.LUTs()
+	d.Arch = ArchStreaming
+	stream := d.LUTs()
+	d.Arch = ArchParallel
+	parallel := d.LUTs()
+	if !(iter < folded && folded < stream && stream < parallel) {
+		t.Errorf("arch area ordering violated: iter=%v folded=%v stream=%v parallel=%v",
+			iter, folded, stream, parallel)
+	}
+}
+
+func TestArchThroughputOrdering(t *testing.T) {
+	d := baseDesign()
+	var prev float64
+	for _, arch := range []string{ArchIterative, ArchFolded, ArchStreaming, ArchParallel} {
+		d.Arch = arch
+		tp := d.ThroughputMSPS()
+		if tp <= prev {
+			t.Fatalf("throughput not increasing at arch=%s (%v <= %v)", arch, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestStreamWidthScalesThroughput(t *testing.T) {
+	d := baseDesign()
+	d.StreamWidth = 4
+	lo := d.ThroughputMSPS()
+	d.StreamWidth = 16
+	if hi := d.ThroughputMSPS(); hi <= lo {
+		t.Errorf("wider stream should raise throughput: %v <= %v", hi, lo)
+	}
+}
+
+func TestBRAMUsage(t *testing.T) {
+	d := baseDesign()
+	d.Memory = MemLUTRAM
+	if d.BRAMs() != 0 {
+		t.Error("LUTRAM design should use no BRAMs")
+	}
+	d.Memory = MemBRAM
+	if d.BRAMs() <= 0 {
+		t.Error("BRAM design should use BRAMs")
+	}
+	lutramLUTs := func() float64 { d.Memory = MemLUTRAM; return d.LUTs() }()
+	bramLUTs := func() float64 { d.Memory = MemBRAM; return d.LUTs() }()
+	if bramLUTs >= lutramLUTs {
+		t.Errorf("BRAM storage should save LUTs: %v >= %v", bramLUTs, lutramLUTs)
+	}
+}
+
+func TestSNRModel(t *testing.T) {
+	d := baseDesign()
+	d.DataWidth = 8
+	lo := d.SNRdB()
+	d.DataWidth = 24
+	hi := d.SNRdB()
+	if hi <= lo {
+		t.Error("wider words should improve SNR")
+	}
+	d.DataWidth = 16
+	d.Rounding = RoundTruncate
+	trunc := d.SNRdB()
+	d.Rounding = RoundBlockFloat
+	if bf := d.SNRdB(); bf <= trunc {
+		t.Error("block floating point should improve SNR")
+	}
+	// Bigger transforms accumulate more rounding noise.
+	d.Rounding = RoundTruncate
+	d.N = 64
+	small := d.SNRdB()
+	d.N = 65536
+	if big := d.SNRdB(); big >= small {
+		t.Error("larger transforms should lose SNR")
+	}
+}
+
+func TestRoundingCostsArea(t *testing.T) {
+	d := baseDesign()
+	d.Rounding = RoundTruncate
+	trunc := d.LUTs()
+	d.Rounding = RoundBlockFloat
+	if bf := d.LUTs(); bf <= trunc {
+		t.Error("block floating point should cost LUTs")
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	s := Space()
+	r := rand.New(rand.NewSource(3))
+	seen := 0
+	for seen < 30 {
+		pt := s.Random(r)
+		a, err := Evaluate(s, pt)
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Evaluate(s, pt)
+		if a.String() != b.String() {
+			t.Fatalf("non-deterministic characterization for %s", s.Describe(pt))
+		}
+		seen++
+	}
+}
+
+func TestEvaluateRejectsMalformedPoint(t *testing.T) {
+	s := Space()
+	if _, err := Evaluate(s, param.Point{1}); err == nil {
+		t.Error("expected error for malformed point")
+	}
+}
+
+func TestSpaceFeasibleFraction(t *testing.T) {
+	s := Space()
+	feasible, infeasible := 0, 0
+	s.Enumerate(func(pt param.Point) bool {
+		if _, err := Evaluate(s, pt); errors.Is(err, ErrInfeasible) {
+			infeasible++
+		} else if err == nil {
+			feasible++
+		} else {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return true
+	})
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("space should be sparse: feasible=%d infeasible=%d", feasible, infeasible)
+	}
+	frac := float64(infeasible) / float64(feasible+infeasible)
+	if frac < 0.02 || frac > 0.5 {
+		t.Errorf("infeasible fraction %.2f outside [0.02, 0.5]", frac)
+	}
+}
+
+func TestGeneratorOtherSizes(t *testing.T) {
+	for _, n := range []int{64, 4096, 65536} {
+		g, err := NewGenerator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Space()
+		pt := make(param.Point, s.Len())
+		pt = s.Set(pt, ParamStreamWidth, "2")
+		m, err := g.Evaluate(s, pt)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if l, ok := m.Get(metrics.LUTs); !ok || l <= 0 {
+			t.Errorf("N=%d: bad LUTs %v", n, l)
+		}
+	}
+}
+
+// Property: every feasible point characterizes to positive finite metrics
+// with sane frequency.
+func TestQuickFeasibleMetricsSane(t *testing.T) {
+	s := Space()
+	card := s.Cardinality()
+	f := func(n uint64) bool {
+		m, err := Evaluate(s, s.PointAt(n%card))
+		if errors.Is(err, ErrInfeasible) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		l, okL := m.Get(metrics.LUTs)
+		fx, okF := m.Get(metrics.FmaxMHz)
+		tp, okT := m.Get(metrics.ThroughputMSPS)
+		return okL && okF && okT && l > 0 && fx > 30 && fx < 500 && tp > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: feasibility is stable (same point always yields the same
+// feasibility verdict) and matches the structural predicate.
+func TestQuickFeasibilityConsistent(t *testing.T) {
+	s := Space()
+	card := s.Cardinality()
+	f := func(n uint64) bool {
+		pt := s.PointAt(n % card)
+		d := Decode(s, pt)
+		_, err := Evaluate(s, pt)
+		wantInfeasible := 4*d.StreamWidth < d.Radix || d.StreamWidth > d.N/2
+		return errors.Is(err, ErrInfeasible) == wantInfeasible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SNR is independent of architecture and memory (purely numeric
+// properties), so interchangeable implementations agree numerically.
+func TestQuickSNRImplementationInvariant(t *testing.T) {
+	f := func(dwRaw, nRaw uint8) bool {
+		d := baseDesign()
+		d.DataWidth = 8 + int(dwRaw%12)*2
+		d.N = 1 << (4 + nRaw%10)
+		base := d.SNRdB()
+		for _, arch := range []string{ArchIterative, ArchFolded, ArchParallel} {
+			d.Arch = arch
+			if math.Abs(d.SNRdB()-base) > 1e-12 {
+				return false
+			}
+		}
+		for _, mem := range []string{MemLUTRAM, MemBRAM} {
+			d.Memory = mem
+			if math.Abs(d.SNRdB()-base) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package fft
+
+import (
+	"nautilus/internal/core"
+	"nautilus/internal/metrics"
+)
+
+// ExpertHints returns the IP author's hint library for the FFT generator.
+//
+// In the paper, the FFT hints were supplied by a member of the Spiral
+// development team ("expert-guided"); here the authors of this analytical
+// generator encode the same kind of first-hand knowledge of how each
+// parameter drives each metric. Hints ship with the generator, as the paper
+// prescribes.
+func ExpertHints() *core.Library {
+	lib := core.NewLibrary(Space())
+
+	// LUT area: word width dominates (multiplier cost is quadratic in it),
+	// then the number of parallel lanes and physically instantiated stages.
+	luts := lib.Metric(metrics.LUTs)
+	luts.SetImportance(ParamDataWidth, 90, 0).SetBias(ParamDataWidth, 0.9)
+	luts.SetImportance(ParamStreamWidth, 80, 0).SetBias(ParamStreamWidth, 0.8)
+	luts.SetImportance(ParamArch, 70, 0).SetBias(ParamArch, 0.7)
+	luts.SetImportance(ParamRadix, 40, 0.05).SetBias(ParamRadix, 0.5)
+	// LUTRAM storage burns LUTs; BRAM designs are leaner in LUT terms.
+	luts.SetOrder(ParamMemory, MemBRAM, MemLUTRAM)
+	luts.SetImportance(ParamMemory, 50, 0).SetBias(ParamMemory, 0.9)
+	luts.SetImportance(ParamRounding, 15, 0.1).SetBias(ParamRounding, 0.3)
+
+	// Throughput: streaming width and architecture set the samples/cycle;
+	// everything else only moves the clock a little.
+	tput := lib.Metric(metrics.ThroughputMSPS)
+	tput.SetImportance(ParamStreamWidth, 95, 0).SetBias(ParamStreamWidth, 0.95)
+	tput.SetImportance(ParamArch, 85, 0).SetBias(ParamArch, 0.9)
+	tput.SetImportance(ParamDataWidth, 30, 0).SetBias(ParamDataWidth, -0.4)
+	tput.SetImportance(ParamRadix, 20, 0.1).SetBias(ParamRadix, -0.2)
+	tput.SetImportance(ParamRounding, 10, 0.1).SetBias(ParamRounding, -0.2)
+
+	// Clock frequency: multiplier depth (word width) and butterfly fan-in
+	// (radix) dominate; the streaming pipeline is the friendliest
+	// architecture for timing.
+	fmax := lib.Metric(metrics.FmaxMHz)
+	fmax.SetImportance(ParamDataWidth, 60, 0).SetBias(ParamDataWidth, -0.7)
+	fmax.SetImportance(ParamRadix, 50, 0).SetBias(ParamRadix, -0.6)
+	fmax.SetImportance(ParamStreamWidth, 35, 0).SetBias(ParamStreamWidth, -0.4)
+	fmax.SetImportance(ParamArch, 30, 0).SetTargetChoice(ParamArch, ArchStreaming)
+
+	// Numerical quality: word width first, rounding mode second.
+	snr := lib.Metric(metrics.SNRdB)
+	snr.SetImportance(ParamDataWidth, 95, 0).SetBias(ParamDataWidth, 0.95)
+	snr.SetImportance(ParamRounding, 40, 0).SetBias(ParamRounding, 0.6)
+
+	// Efficiency (throughput per LUT): a composite "metric of interest" the
+	// generator's users ask for, so the author hints it directly. Peak
+	// efficiency is known to sit at a specific interior sweet spot - a
+	// moderate streaming width over radix-4 butterflies at the narrowest
+	// word width, double-pumped, with all storage in BRAM - which marginal
+	// per-metric trends miss; target hints encode it.
+	eff := lib.Metric("throughput_per_lut")
+	eff.SetImportance(ParamDataWidth, 90, 0.03).SetTarget(ParamDataWidth, 8)
+	eff.SetImportance(ParamStreamWidth, 85, 0.03).SetTarget(ParamStreamWidth, 4)
+	eff.SetImportance(ParamRadix, 70, 0.03).SetTarget(ParamRadix, 4)
+	eff.SetImportance(ParamArch, 70, 0.03).SetTargetChoice(ParamArch, ArchParallel)
+	eff.SetImportance(ParamMemory, 60, 0.03).SetTargetChoice(ParamMemory, MemBRAM)
+	eff.SetImportance(ParamRounding, 20, 0.1).SetBias(ParamRounding, -0.3)
+
+	return lib
+}
+
+// BiasOnlyHints returns a hint library carrying exactly n bias hints for
+// minimizing LUTs (n in 1..2), used by the paper's Figure 3 study of how
+// result quality scales with the number of hints supplied.
+func BiasOnlyHints(n int) *core.Library {
+	lib := core.NewLibrary(Space())
+	luts := lib.Metric(metrics.LUTs)
+	if n >= 1 {
+		luts.SetBias(ParamDataWidth, 0.9)
+	}
+	if n >= 2 {
+		luts.SetBias(ParamStreamWidth, 0.8)
+	}
+	return lib
+}

@@ -1,0 +1,54 @@
+package fft
+
+import (
+	"math"
+	"testing"
+
+	"nautilus/internal/fxpfft"
+)
+
+// TestSNRModelMatchesFunctionalDatapath cross-validates the generator's
+// analytical SNR model against the bit-accurate fixed-point FFT in
+// internal/fxpfft: for every radix and rounding mode the generator offers,
+// the predicted SNR must track the measured SNR of the corresponding
+// quantized datapath within a few dB, and the model's preference ordering
+// between any two configurations must not invert badly.
+func TestSNRModelMatchesFunctionalDatapath(t *testing.T) {
+	type point struct {
+		d        Design
+		measured float64
+	}
+	var pts []point
+	for _, radix := range []int{2, 4, 16} {
+		for _, dw := range []int{8, 12, 16, 20} {
+			for _, rounding := range []string{RoundTruncate, RoundNearest, RoundConvergent, RoundBlockFloat} {
+				d := Design{
+					N: 256, Radix: radix, StreamWidth: 4, DataWidth: dw,
+					Arch: ArchStreaming, Memory: MemBRAM, Rounding: rounding,
+				}
+				measured, err := fxpfft.MeasureSNR(fxpfft.Config{
+					N: d.N, DataWidth: dw, Radix: radix, Rounding: rounding,
+				}, 2, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := math.Abs(d.SNRdB() - measured); diff > 6 {
+					t.Errorf("%s: model %.1f dB vs measured %.1f dB (diff %.1f)",
+						d, d.SNRdB(), measured, diff)
+				}
+				pts = append(pts, point{d, measured})
+			}
+		}
+	}
+	// Ordering check: when the model says A beats B by more than 5 dB, the
+	// datapath must agree on the direction.
+	for i := range pts {
+		for j := range pts {
+			mi, mj := pts[i].d.SNRdB(), pts[j].d.SNRdB()
+			if mi > mj+5 && pts[i].measured < pts[j].measured-1 {
+				t.Errorf("model prefers %s (%.1f vs %.1f dB) but datapath disagrees (%.1f vs %.1f dB)",
+					pts[i].d, mi, mj, pts[i].measured, pts[j].measured)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+
+	"nautilus/internal/rtl"
+)
+
+// Verilog emits synthesizable RTL for the FFT design point: the pipeline
+// of butterfly stages (physically instantiated per the architecture),
+// inter-stage permutation buffers, and twiddle storage that the cost
+// models in this package price. Infeasible configurations return an error,
+// like any generator invocation on them would.
+func (d Design) Verilog() (*rtl.Design, error) {
+	if err := d.Feasible(); err != nil {
+		return nil, err
+	}
+	out := &rtl.Design{Top: "fft_top"}
+	dw := d.DataWidth
+	lanes := d.StreamWidth
+
+	phys := int(math.Max(1, math.Round(d.physicalStages())))
+	if d.Arch == ArchIterative {
+		phys = 1
+	}
+
+	top := rtl.NewModule("fft_top").SetComment(fmt.Sprintf(
+		"%d-point FFT: radix-%d, %d samples/cycle, %d-bit, arch=%s mem=%s rounding=%s",
+		d.N, d.Radix, d.StreamWidth, d.DataWidth, d.Arch, d.Memory, d.Rounding))
+	top.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	top.AddPort(rtl.Input, "in_valid", 1).AddPort(rtl.Output, "out_valid", 1)
+	for l := 0; l < lanes; l++ {
+		top.AddPort(rtl.Input, fmt.Sprintf("in_re_%d", l), dw)
+		top.AddPort(rtl.Input, fmt.Sprintf("in_im_%d", l), dw)
+		top.AddPort(rtl.Output, fmt.Sprintf("out_re_%d", l), dw)
+		top.AddPort(rtl.Output, fmt.Sprintf("out_im_%d", l), dw)
+	}
+
+	// Stage chain wiring.
+	for s := 0; s <= phys; s++ {
+		for l := 0; l < lanes; l++ {
+			top.AddWire(fmt.Sprintf("st%d_re_%d", s, l), dw)
+			top.AddWire(fmt.Sprintf("st%d_im_%d", s, l), dw)
+		}
+		top.AddWire(fmt.Sprintf("st%d_valid", s), 1)
+	}
+	for l := 0; l < lanes; l++ {
+		top.Assign(fmt.Sprintf("st0_re_%d", l), fmt.Sprintf("in_re_%d", l))
+		top.Assign(fmt.Sprintf("st0_im_%d", l), fmt.Sprintf("in_im_%d", l))
+		top.Assign(fmt.Sprintf("out_re_%d", l), fmt.Sprintf("st%d_re_%d", phys, l))
+		top.Assign(fmt.Sprintf("out_im_%d", l), fmt.Sprintf("st%d_im_%d", phys, l))
+	}
+	top.Assign("st0_valid", "in_valid")
+	top.Assign("out_valid", fmt.Sprintf("st%d_valid", phys))
+
+	for s := 0; s < phys; s++ {
+		conns := map[string]string{
+			"clk": "clk", "rst": "rst",
+			"valid_in":  fmt.Sprintf("st%d_valid", s),
+			"valid_out": fmt.Sprintf("st%d_valid", s+1),
+		}
+		for l := 0; l < lanes; l++ {
+			conns[fmt.Sprintf("in_re_%d", l)] = fmt.Sprintf("st%d_re_%d", s, l)
+			conns[fmt.Sprintf("in_im_%d", l)] = fmt.Sprintf("st%d_im_%d", s, l)
+			conns[fmt.Sprintf("out_re_%d", l)] = fmt.Sprintf("st%d_re_%d", s+1, l)
+			conns[fmt.Sprintf("out_im_%d", l)] = fmt.Sprintf("st%d_im_%d", s+1, l)
+		}
+		top.Instantiate("fft_stage", fmt.Sprintf("stage_%d", s),
+			map[string]string{"STAGE": fmt.Sprint(s)}, conns)
+	}
+	if d.Arch == ArchIterative {
+		top.Raw("// iterative architecture: single stage reused " +
+			fmt.Sprint(d.Stages()) + " times via feedback")
+		top.Instantiate("iter_controller", "ctl",
+			map[string]string{"PASSES": fmt.Sprint(d.Stages())},
+			map[string]string{"clk": "clk", "rst": "rst"})
+	}
+	out.Modules = append(out.Modules, top)
+
+	// Stage module: butterflies + permutation + twiddles.
+	perStage := int(math.Max(1, float64(lanes)/float64(d.Radix)))
+	stage := rtl.NewModule("fft_stage").SetComment(fmt.Sprintf(
+		"one radix-%d stage: %d butterflies, %s-backed reorder buffer", d.Radix, perStage, d.Memory))
+	stage.AddParam("STAGE", "0")
+	stage.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	stage.AddPort(rtl.Input, "valid_in", 1).AddPort(rtl.Output, "valid_out", 1)
+	for l := 0; l < lanes; l++ {
+		stage.AddPort(rtl.Input, fmt.Sprintf("in_re_%d", l), dw)
+		stage.AddPort(rtl.Input, fmt.Sprintf("in_im_%d", l), dw)
+		stage.AddPort(rtl.Output, fmt.Sprintf("out_re_%d", l), dw)
+		stage.AddPort(rtl.Output, fmt.Sprintf("out_im_%d", l), dw)
+	}
+	stage.AddReg("valid_r", 1)
+	stage.Always("posedge clk", "if (rst) valid_r <= 0; else valid_r <= valid_in;")
+	stage.Assign("valid_out", "valid_r")
+	for b := 0; b < perStage; b++ {
+		conns := map[string]string{"clk": "clk"}
+		for i := 0; i < d.Radix && i < lanes; i++ {
+			lane := (b*d.Radix + i) % lanes
+			conns[fmt.Sprintf("x_re_%d", i)] = fmt.Sprintf("in_re_%d", lane)
+			conns[fmt.Sprintf("x_im_%d", i)] = fmt.Sprintf("in_im_%d", lane)
+			conns[fmt.Sprintf("y_re_%d", i)] = fmt.Sprintf("out_re_%d", lane)
+			conns[fmt.Sprintf("y_im_%d", i)] = fmt.Sprintf("out_im_%d", lane)
+		}
+		conns["tw_re"] = "tw_re"
+		conns["tw_im"] = "tw_im"
+		stage.Instantiate("butterfly", fmt.Sprintf("bf_%d", b), nil, conns)
+	}
+	stage.AddWire("tw_re", dw).AddWire("tw_im", dw)
+	stage.Instantiate("twiddle_rom", "twiddles",
+		map[string]string{"ENTRIES": fmt.Sprint(d.N / 4)},
+		map[string]string{"clk": "clk", "re": "tw_re", "im": "tw_im"})
+	stage.Instantiate("reorder_buffer", "perm", nil,
+		map[string]string{"clk": "clk", "rst": "rst"})
+	out.Modules = append(out.Modules, stage)
+
+	// Butterfly datapath.
+	ports := d.Radix
+	if ports > lanes {
+		ports = lanes
+	}
+	bf := rtl.NewModule("butterfly").SetComment(fmt.Sprintf(
+		"radix-%d butterfly datapath with %s rounding", d.Radix, d.Rounding))
+	bf.AddPort(rtl.Input, "clk", 1)
+	for i := 0; i < ports; i++ {
+		bf.AddPort(rtl.Input, fmt.Sprintf("x_re_%d", i), dw)
+		bf.AddPort(rtl.Input, fmt.Sprintf("x_im_%d", i), dw)
+		bf.AddPort(rtl.Output, fmt.Sprintf("y_re_%d", i), dw)
+		bf.AddPort(rtl.Output, fmt.Sprintf("y_im_%d", i), dw)
+	}
+	bf.AddPort(rtl.Input, "tw_re", dw).AddPort(rtl.Input, "tw_im", dw)
+	bf.AddReg("prod_re", 2*dw).AddReg("prod_im", 2*dw)
+	bf.Always("posedge clk",
+		fmt.Sprintf("prod_re <= $signed(x_re_%d) * $signed(tw_re) - $signed(x_im_%d) * $signed(tw_im);", ports-1, ports-1),
+		fmt.Sprintf("prod_im <= $signed(x_re_%d) * $signed(tw_im) + $signed(x_im_%d) * $signed(tw_re);", ports-1, ports-1))
+	round := roundExpr(d.Rounding, dw)
+	for i := 0; i < ports; i++ {
+		if i == 0 {
+			bf.Assign(fmt.Sprintf("y_re_%d", i), fmt.Sprintf("x_re_0 + %s", round("prod_re")))
+			bf.Assign(fmt.Sprintf("y_im_%d", i), fmt.Sprintf("x_im_0 + %s", round("prod_im")))
+		} else {
+			bf.Assign(fmt.Sprintf("y_re_%d", i), fmt.Sprintf("x_re_0 - %s", round("prod_re")))
+			bf.Assign(fmt.Sprintf("y_im_%d", i), fmt.Sprintf("x_im_0 - %s", round("prod_im")))
+		}
+	}
+	out.Modules = append(out.Modules, bf)
+
+	// Twiddle storage.
+	tw := rtl.NewModule("twiddle_rom").SetComment(d.Memory + "-backed quarter-wave twiddle table")
+	tw.AddParam("ENTRIES", fmt.Sprint(d.N/4))
+	tw.AddPort(rtl.Input, "clk", 1)
+	tw.AddPort(rtl.Output, "re", dw).AddPort(rtl.Output, "im", dw)
+	tw.AddMemory("rom", 2*dw, maxInt(2, d.N/4))
+	tw.AddReg("addr", bitsFor(maxInt(2, d.N/4)))
+	tw.AddReg("word", 2*dw)
+	tw.Always("posedge clk", "addr <= addr + 1;", "word <= rom[addr];")
+	tw.Assign("re", fmt.Sprintf("word[%d:%d]", 2*dw-1, dw))
+	tw.Assign("im", fmt.Sprintf("word[%d:0]", dw-1))
+	out.Modules = append(out.Modules, tw)
+
+	// Reorder (stride permutation) buffer.
+	depth := maxInt(2, d.N/maxInt(1, d.StreamWidth)/4)
+	rb := rtl.NewModule("reorder_buffer").SetComment(fmt.Sprintf(
+		"stride permutation buffer, depth %d, %s-backed", depth, d.Memory))
+	rb.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	rb.AddMemory("buf0", 2*dw, depth)
+	rb.AddReg("wptr", bitsFor(depth)).AddReg("rptr", bitsFor(depth))
+	rb.Always("posedge clk",
+		"if (rst) begin wptr <= 0; rptr <= 0; end",
+		"else begin wptr <= wptr + 1; rptr <= rptr + 1; end")
+	out.Modules = append(out.Modules, rb)
+
+	if d.Arch == ArchIterative {
+		ctl := rtl.NewModule("iter_controller").SetComment("pass sequencing for the iterative architecture")
+		ctl.AddParam("PASSES", fmt.Sprint(d.Stages()))
+		ctl.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+		ctl.AddReg("pass", bitsFor(d.Stages()))
+		ctl.Always("posedge clk",
+			"if (rst) pass <= 0;",
+			"else if (pass == PASSES-1) pass <= 0;",
+			"else pass <= pass + 1;")
+		out.Modules = append(out.Modules, ctl)
+	}
+
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bitsFor returns the number of bits needed to count to n.
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n + 1))))
+}
+
+// roundExpr renders the rounding of a double-width product back to dw bits
+// under the configured mode.
+func roundExpr(mode string, dw int) func(string) string {
+	sh := dw - 1
+	switch mode {
+	case RoundNearest, RoundBlockFloat:
+		return func(v string) string {
+			return fmt.Sprintf("((%s + (1 <<< %d)) >>> %d)", v, sh-1, sh)
+		}
+	case RoundConvergent:
+		return func(v string) string {
+			return fmt.Sprintf("((%s + (1 <<< %d) + %s[%d]) >>> %d)", v, sh-1, v, sh, sh)
+		}
+	default: // truncate
+		return func(v string) string {
+			return fmt.Sprintf("(%s >>> %d)", v, sh)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package fft
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTVerilogValid(t *testing.T) {
+	d := baseDesign()
+	design, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := design.Check(); err != nil {
+		t.Fatalf("emitted design fails structural check: %v", err)
+	}
+	v := design.Verilog()
+	for _, want := range []string{
+		"module fft_top", "module fft_stage", "module butterfly",
+		"module twiddle_rom", "module reorder_buffer",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q", want)
+		}
+	}
+}
+
+func TestFFTVerilogInfeasibleRejected(t *testing.T) {
+	d := baseDesign()
+	d.Radix, d.StreamWidth = 16, 1
+	if _, err := d.Verilog(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible design emitted RTL: %v", err)
+	}
+}
+
+func TestFFTVerilogStageCountTracksArch(t *testing.T) {
+	d := baseDesign() // N=1024, radix 4 -> 5 stages
+	count := func(arch string) int {
+		d.Arch = arch
+		design, err := d.Verilog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, inst := range design.Modules[0].Instances() {
+			if inst.Module == "fft_stage" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(ArchIterative); got != 1 {
+		t.Errorf("iterative arch instantiates %d stages, want 1", got)
+	}
+	if got := count(ArchStreaming); got != 5 {
+		t.Errorf("streaming arch instantiates %d stages, want 5", got)
+	}
+	if folded, streaming := count(ArchFolded), count(ArchStreaming); folded >= streaming {
+		t.Errorf("folded arch should instantiate fewer stages (%d vs %d)", folded, streaming)
+	}
+	if parallel, streaming := count(ArchParallel), count(ArchStreaming); parallel <= streaming {
+		t.Errorf("parallel arch should instantiate more stage hardware (%d vs %d)", parallel, streaming)
+	}
+}
+
+func TestFFTVerilogIterativeController(t *testing.T) {
+	d := baseDesign()
+	d.Arch = ArchIterative
+	design, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(design.Verilog(), "iter_controller") {
+		t.Error("iterative architecture missing pass controller")
+	}
+	d.Arch = ArchStreaming
+	design2, _ := d.Verilog()
+	if strings.Contains(design2.Verilog(), "iter_controller") {
+		t.Error("streaming architecture should have no pass controller")
+	}
+}
+
+func TestFFTVerilogLanePorts(t *testing.T) {
+	d := baseDesign()
+	d.StreamWidth = 8
+	design, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := design.Verilog()
+	if !strings.Contains(v, "in_re_7") || strings.Contains(v, "in_re_8") {
+		t.Error("top should expose exactly StreamWidth input lanes")
+	}
+}
+
+func TestFFTVerilogRoundingExpr(t *testing.T) {
+	d := baseDesign()
+	d.Rounding = RoundTruncate
+	vt, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Rounding = RoundConvergent
+	vc, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Verilog() == vc.Verilog() {
+		t.Error("rounding mode should change the emitted datapath")
+	}
+}
+
+func TestFFTVerilogDeterministic(t *testing.T) {
+	d := baseDesign()
+	a, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Verilog()
+	if a.Verilog() != b.Verilog() {
+		t.Error("emission not deterministic")
+	}
+}
+
+// Property: every feasible point emits a structurally valid design, and
+// every infeasible point is rejected.
+func TestQuickFFTVerilogMatchesFeasibility(t *testing.T) {
+	s := Space()
+	r := rand.New(rand.NewSource(9))
+	f := func(_ uint8) bool {
+		pt := s.Random(r)
+		d := Decode(s, pt)
+		design, err := d.Verilog()
+		if d.Feasible() != nil {
+			return err != nil
+		}
+		return err == nil && design.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

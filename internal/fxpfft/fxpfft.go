@@ -1,0 +1,302 @@
+// Package fxpfft is a bit-accurate fixed-point FFT functional model. The
+// hardware generator in internal/fft predicts numerical quality (SNR) from
+// an analytical model; this package *measures* it by actually executing the
+// quantized datapath - radix-2^k butterfly stages with configurable word
+// width and rounding mode - against a double-precision reference transform.
+// It is the simulation half of the paper's characterization flow for the
+// FFT IP (the paper's dataset includes "metrics specific to the IP domain
+// (e.g., SNR values for the FFT IP)").
+package fxpfft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Rounding modes, matching the hardware generator's vocabulary.
+const (
+	RoundTruncate   = "truncate"
+	RoundNearest    = "round"
+	RoundConvergent = "convergent"
+	RoundBlockFloat = "block_float"
+)
+
+// Config describes one fixed-point FFT datapath.
+type Config struct {
+	// N is the transform length (power of two, 4..65536).
+	N int
+	// DataWidth is the two's-complement word width per real/imaginary
+	// component, 4..30 bits.
+	DataWidth int
+	// Radix is the butterfly radix (2, 4, 8, or 16): the datapath rounds
+	// and rescales once per radix-R stage rather than per radix-2 level,
+	// which is why larger radices lose less precision.
+	Radix int
+	// Rounding selects the post-stage rounding mode.
+	Rounding string
+}
+
+func (c Config) validate() error {
+	if c.N < 4 || c.N > 1<<16 || c.N&(c.N-1) != 0 {
+		return fmt.Errorf("fxpfft: N=%d must be a power of two in [4, 65536]", c.N)
+	}
+	if c.DataWidth < 4 || c.DataWidth > 30 {
+		return fmt.Errorf("fxpfft: data width %d outside [4,30]", c.DataWidth)
+	}
+	switch c.Radix {
+	case 2, 4, 8, 16:
+	default:
+		return fmt.Errorf("fxpfft: radix %d not in {2,4,8,16}", c.Radix)
+	}
+	switch c.Rounding {
+	case RoundTruncate, RoundNearest, RoundConvergent, RoundBlockFloat:
+	default:
+		return fmt.Errorf("fxpfft: unknown rounding mode %q", c.Rounding)
+	}
+	return nil
+}
+
+// fxp is a fixed-point complex sample. Components are integers in
+// Q1.(dw-1) format (one sign bit, dw-1 fraction bits).
+type fxp struct {
+	re, im int64
+}
+
+// Transform computes the N-point FFT of input (complex samples with
+// |re|,|im| <= 1) through the quantized datapath and returns the result
+// rescaled to reference magnitude (i.e. comparable to a float FFT of the
+// same input divided by N... the model applies 1/2 scaling per radix-2
+// level, so the output equals FFT(x)/N up to quantization error).
+func Transform(cfg Config, input []complex128) ([]complex128, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(input) != cfg.N {
+		return nil, fmt.Errorf("fxpfft: input length %d != N=%d", len(input), cfg.N)
+	}
+	dw := cfg.DataWidth
+	one := float64(int64(1) << uint(dw-1))
+	maxV := int64(1)<<uint(dw-1) - 1
+	minV := -(int64(1) << uint(dw-1))
+
+	quant := func(v float64) int64 {
+		x := int64(math.Round(v * one))
+		if x > maxV {
+			x = maxV
+		}
+		if x < minV {
+			x = minV
+		}
+		return x
+	}
+
+	// Quantize input and apply bit-reversal permutation (DIT).
+	levels := bits.TrailingZeros(uint(cfg.N))
+	data := make([]fxp, cfg.N)
+	for i, v := range input {
+		j := reverseBits(i, levels)
+		data[j] = fxp{re: quant(real(v)), im: quant(imag(v))}
+	}
+
+	// Twiddle table quantized to the same width.
+	tw := make([]fxp, cfg.N/2)
+	for k := range tw {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(cfg.N)))
+		tw[k] = fxp{re: quant(real(w)), im: quant(imag(w))}
+	}
+
+	levelsPerStage := bits.TrailingZeros(uint(cfg.Radix))
+	exponent := 0 // block-float: deferred scalings
+
+	for level := 0; level < levels; level++ {
+		span := 1 << uint(level)
+		// Radix-2 DIT level with full-precision products.
+		for start := 0; start < cfg.N; start += span * 2 {
+			for k := 0; k < span; k++ {
+				i, j := start+k, start+k+span
+				w := tw[k*(cfg.N/(2*span))]
+				// t = data[j] * w at double precision (Q2.(2dw-2)).
+				tr := data[j].re*w.re - data[j].im*w.im
+				ti := data[j].re*w.im + data[j].im*w.re
+				// Back to Q1.(dw-1): shift by dw-1 with nearest rounding
+				// (multiplier outputs are always rounded in hardware).
+				tr = shiftRound(tr, uint(dw-1))
+				ti = shiftRound(ti, uint(dw-1))
+				ar, ai := data[i].re, data[i].im
+				data[i] = fxp{re: ar + tr, im: ai + ti}
+				data[j] = fxp{re: ar - tr, im: ai - ti}
+			}
+		}
+		// Stage boundary: rescale by 1/2 per level inside the stage, with
+		// the configured rounding mode. Block floating point skips the
+		// shift while headroom remains, tracking a shared exponent.
+		if (level+1)%levelsPerStage == 0 || level == levels-1 {
+			shifts := levelsPerStage
+			if rem := (level + 1) % levelsPerStage; rem != 0 {
+				shifts = rem // final partial (mixed-radix) stage
+			}
+			for s := 0; s < shifts; s++ {
+				if cfg.Rounding == RoundBlockFloat && headroom(data, dw) >= 2 {
+					exponent++ // keep the bit, remember the scale
+					continue
+				}
+				for i := range data {
+					data[i].re = scaleHalf(data[i].re, cfg.Rounding)
+					data[i].im = scaleHalf(data[i].im, cfg.Rounding)
+				}
+			}
+			// Saturate to the word width (overflow clamps, as in hardware).
+			for i := range data {
+				data[i].re = clampI(data[i].re, minV, maxV)
+				data[i].im = clampI(data[i].im, minV, maxV)
+			}
+		}
+	}
+
+	out := make([]complex128, cfg.N)
+	scale := 1.0 / one / math.Pow(2, float64(exponent))
+	for i, v := range data {
+		out[i] = complex(float64(v.re)*scale, float64(v.im)*scale)
+	}
+	return out, nil
+}
+
+// headroom returns how many unused magnitude bits the block has within a
+// dw-bit word: (dw-1) minus the bit length of the largest component
+// magnitude. Block floating point skips a rescale while headroom remains,
+// trading word-width slack for a shared exponent.
+func headroom(data []fxp, dw int) int {
+	var maxAbs int64
+	for _, v := range data {
+		if a := absI(v.re); a > maxAbs {
+			maxAbs = a
+		}
+		if a := absI(v.im); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return dw - 1
+	}
+	return (dw - 1) - bits.Len64(uint64(maxAbs))
+}
+
+// scaleHalf divides by two under the given rounding mode.
+func scaleHalf(v int64, mode string) int64 {
+	switch mode {
+	case RoundTruncate:
+		return v >> 1
+	case RoundNearest:
+		return (v + 1) >> 1
+	case RoundConvergent:
+		q := v >> 1
+		if v&1 != 0 && q&1 != 0 { // exactly .5 and quotient odd: round to even
+			q++
+		}
+		return q
+	case RoundBlockFloat:
+		return (v + 1) >> 1 // when forced to shift, round to nearest
+	}
+	return v >> 1
+}
+
+// shiftRound performs a nearest-rounding arithmetic right shift.
+func shiftRound(v int64, sh uint) int64 {
+	return (v + 1<<(sh-1)) >> sh
+}
+
+func reverseBits(x, n int) int {
+	out := 0
+	for i := 0; i < n; i++ {
+		out = out<<1 | (x & 1)
+		x >>= 1
+	}
+	return out
+}
+
+func absI(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clampI(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ReferenceFFT computes the exact double-precision FFT scaled by 1/N (so
+// its output is directly comparable to Transform's).
+func ReferenceFFT(input []complex128) []complex128 {
+	out := refRecurse(input)
+	scale := complex(1/float64(len(input)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// refRecurse is the unscaled recursive FFT used by ReferenceFFT.
+func refRecurse(input []complex128) []complex128 {
+	n := len(input)
+	if n == 1 {
+		return []complex128{input[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i], odd[i] = input[2*i], input[2*i+1]
+	}
+	fe, fo := refRecurse(even), refRecurse(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		out[k] = fe[k] + w*fo[k]
+		out[k+n/2] = fe[k] - w*fo[k]
+	}
+	return out
+}
+
+// MeasureSNR runs `trials` random-input transforms through the quantized
+// datapath and returns the measured signal-to-noise ratio in dB against the
+// double-precision reference.
+func MeasureSNR(cfg Config, trials int, seed int64) (float64, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	var sigPow, errPow float64
+	for tr := 0; tr < trials; tr++ {
+		in := make([]complex128, cfg.N)
+		for i := range in {
+			// Amplitude headroom of 0.5 avoids input-stage saturation.
+			in[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+		}
+		ref := ReferenceFFT(in)
+		got, err := Transform(cfg, in)
+		if err != nil {
+			return 0, err
+		}
+		for i := range ref {
+			d := got[i] - ref[i]
+			sigPow += real(ref[i])*real(ref[i]) + imag(ref[i])*imag(ref[i])
+			errPow += real(d)*real(d) + imag(d)*imag(d)
+		}
+	}
+	if errPow == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sigPow/errPow), nil
+}

@@ -1,0 +1,301 @@
+package fxpfft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func cfg(n, dw, radix int, rounding string) Config {
+	return Config{N: n, DataWidth: dw, Radix: radix, Rounding: rounding}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		cfg(3, 16, 2, RoundNearest),     // not power of two
+		cfg(2, 16, 2, RoundNearest),     // too small
+		cfg(1<<17, 16, 2, RoundNearest), // too big
+		cfg(64, 2, 2, RoundNearest),     // width too small
+		cfg(64, 40, 2, RoundNearest),    // width too big
+		cfg(64, 16, 3, RoundNearest),    // bad radix
+		cfg(64, 16, 2, "stochastic"),    // bad rounding
+	}
+	for i, c := range bad {
+		if _, err := Transform(c, make([]complex128, c.N)); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	if _, err := Transform(cfg(64, 16, 2, RoundNearest), make([]complex128, 32)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestReferenceFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is flat: all bins = 1/N.
+	n := 64
+	in := make([]complex128, n)
+	in[0] = 1
+	out := ReferenceFFT(in)
+	for k, v := range out {
+		if cmplx.Abs(v-complex(1.0/float64(n), 0)) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1/N", k, v)
+		}
+	}
+}
+
+func TestReferenceFFTSine(t *testing.T) {
+	// A pure complex exponential at bin 5 lands entirely in bin 5.
+	n := 128
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = cmplx.Exp(complex(0, 2*math.Pi*5*float64(i)/float64(n)))
+	}
+	out := ReferenceFFT(in)
+	if cmplx.Abs(out[5]-1) > 1e-10 {
+		t.Errorf("bin 5 = %v, want 1", out[5])
+	}
+	for k, v := range out {
+		if k != 5 && cmplx.Abs(v) > 1e-10 {
+			t.Errorf("leakage at bin %d: %v", k, v)
+		}
+	}
+}
+
+func TestReferenceParseval(t *testing.T) {
+	// Energy conservation: sum |x|^2 = N * sum |X|^2 (with our 1/N scale).
+	n := 256
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i)*0.37), math.Cos(float64(i)*1.13)/2)
+	}
+	out := ReferenceFFT(in)
+	var et, ef float64
+	for i := 0; i < n; i++ {
+		et += real(in[i])*real(in[i]) + imag(in[i])*imag(in[i])
+		ef += real(out[i])*real(out[i]) + imag(out[i])*imag(out[i])
+	}
+	if math.Abs(et-ef*float64(n))/et > 1e-10 {
+		t.Errorf("Parseval violated: time %v vs freq*N %v", et, ef*float64(n))
+	}
+}
+
+func TestTransformMatchesReferenceAtHighPrecision(t *testing.T) {
+	// A 24-bit datapath should match the float reference to ~1e-4.
+	n := 256
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i)*0.7)/2, math.Cos(float64(i)*0.3)/2)
+	}
+	ref := ReferenceFFT(in)
+	got, err := Transform(cfg(n, 24, 2, RoundNearest), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := range ref {
+		if e := cmplx.Abs(got[i] - ref[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-4 {
+		t.Errorf("24-bit transform deviates by %v from reference", maxErr)
+	}
+}
+
+func TestTransformImpulseAllRadices(t *testing.T) {
+	n := 256
+	in := make([]complex128, n)
+	in[0] = complex(0.5, 0)
+	for _, radix := range []int{2, 4, 8, 16} {
+		got, err := Transform(cfg(n, 18, radix, RoundNearest), in)
+		if err != nil {
+			t.Fatalf("radix %d: %v", radix, err)
+		}
+		want := 0.5 / float64(n)
+		for k, v := range got {
+			if math.Abs(real(v)-want) > 1e-3 || math.Abs(imag(v)) > 1e-3 {
+				t.Fatalf("radix %d: bin %d = %v, want %v", radix, k, v, want)
+			}
+		}
+	}
+}
+
+func TestMeasuredSNRScalesWithWidth(t *testing.T) {
+	// The headline hardware truth: ~6 dB per bit.
+	prev := -math.MaxFloat64
+	for _, dw := range []int{8, 12, 16, 20} {
+		snr, err := MeasureSNR(cfg(256, dw, 2, RoundNearest), 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snr <= prev {
+			t.Fatalf("SNR not increasing with width: dw=%d gives %v after %v", dw, snr, prev)
+		}
+		gain := snr - prev
+		if prev != -math.MaxFloat64 && (gain < 12 || gain > 36) {
+			t.Errorf("SNR gain for +4 bits = %v dB, want ~24", gain)
+		}
+		prev = snr
+	}
+}
+
+func TestMeasuredSNRDegradesWithSize(t *testing.T) {
+	small, err := MeasureSNR(cfg(64, 12, 2, RoundNearest), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureSNR(cfg(4096, 12, 2, RoundNearest), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big >= small {
+		t.Errorf("SNR should degrade with transform size: N=64 %v vs N=4096 %v", small, big)
+	}
+}
+
+func TestRoundingModeOrdering(t *testing.T) {
+	// Truncation biases every stage and must measure worst; block floating
+	// point preserves magnitude bits and must measure best.
+	measure := func(mode string) float64 {
+		snr, err := MeasureSNR(cfg(1024, 10, 2, mode), 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snr
+	}
+	trunc := measure(RoundTruncate)
+	nearest := measure(RoundNearest)
+	bf := measure(RoundBlockFloat)
+	if nearest <= trunc {
+		t.Errorf("round-to-nearest (%v dB) should beat truncation (%v dB)", nearest, trunc)
+	}
+	if bf <= nearest {
+		t.Errorf("block floating point (%v dB) should beat round-to-nearest (%v dB)", bf, nearest)
+	}
+}
+
+func TestLargerRadixLosesLessPrecision(t *testing.T) {
+	// Fewer rounding boundaries per transform: radix-16 should beat radix-2
+	// at the same narrow width.
+	r2, err := MeasureSNR(cfg(4096, 8, 2, RoundTruncate), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := MeasureSNR(cfg(4096, 8, 16, RoundTruncate), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16 <= r2 {
+		t.Errorf("radix-16 SNR %v should exceed radix-2 %v at 8 bits", r16, r2)
+	}
+}
+
+func TestMeasuredSNRValidatesAnalyticalModel(t *testing.T) {
+	// The hardware generator's calibrated SNR law (6.02*dw - 15 -
+	// 3*log2(N) + 0.9*log2(radix) + rounding bonus; see internal/fft)
+	// should track the measured datapath within a few dB over the
+	// generator's parameter range.
+	for _, dw := range []int{10, 14, 18} {
+		for _, n := range []int{256, 1024} {
+			predicted := 6.02*float64(dw) - 15 - 3*math.Log2(float64(n)) + 0.9*math.Log2(4) + 0.2
+			measured, err := MeasureSNR(cfg(n, dw, 4, RoundNearest), 2, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(predicted - measured); diff > 6 {
+				t.Errorf("dw=%d N=%d: model %v dB vs measured %v dB (diff %v)",
+					dw, n, predicted, measured, diff)
+			}
+		}
+	}
+}
+
+func TestMeasureSNRDeterministic(t *testing.T) {
+	a, err := MeasureSNR(cfg(128, 12, 2, RoundNearest), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MeasureSNR(cfg(128, 12, 2, RoundNearest), 2, 9)
+	if a != b {
+		t.Error("MeasureSNR not deterministic per seed")
+	}
+}
+
+func TestScaleHalfModes(t *testing.T) {
+	cases := []struct {
+		v    int64
+		mode string
+		want int64
+	}{
+		{5, RoundTruncate, 2},
+		{-5, RoundTruncate, -3}, // arithmetic shift floors
+		{5, RoundNearest, 3},
+		{-5, RoundNearest, -2},
+		{6, RoundConvergent, 3},
+		{5, RoundConvergent, 2}, // 2.5 -> 2 (even)
+		{7, RoundConvergent, 4}, // 3.5 -> 4 (even)
+		{9, RoundConvergent, 4}, // 4.5 -> 4 (even)
+	}
+	for _, c := range cases {
+		if got := scaleHalf(c.v, c.mode); got != c.want {
+			t.Errorf("scaleHalf(%d, %s) = %d, want %d", c.v, c.mode, got, c.want)
+		}
+	}
+}
+
+// Property: the quantized transform's output never exceeds the
+// representable range after rescaling (saturation works).
+func TestQuickTransformBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		in := make([]complex128, 64)
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64(int32(r>>33)) / (1 << 31)
+		}
+		for i := range in {
+			in[i] = complex(next()/2, next()/2)
+		}
+		out, err := Transform(cfg(64, 12, 2, RoundNearest), in)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if math.Abs(real(v)) > 1.1 || math.Abs(imag(v)) > 1.1 {
+				return false
+			}
+			if math.IsNaN(real(v)) || math.IsNaN(imag(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity within quantization error - transforming a scaled
+// impulse scales the flat spectrum.
+func TestQuickImpulseLinearity(t *testing.T) {
+	f := func(ampRaw uint8) bool {
+		amp := 0.1 + float64(ampRaw%80)/100
+		in := make([]complex128, 128)
+		in[0] = complex(amp, 0)
+		out, err := Transform(cfg(128, 20, 2, RoundNearest), in)
+		if err != nil {
+			return false
+		}
+		want := amp / 128
+		for _, v := range out {
+			if math.Abs(real(v)-want) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package ga
+
+import (
+	"testing"
+
+	"nautilus/internal/metrics"
+)
+
+// BenchmarkRun measures one full baseline GA search over the quadratic toy
+// space (80 generations, population 10) - the engine overhead excluding
+// real synthesis cost.
+func BenchmarkRun(b *testing.B) {
+	s, eval := quadSpace()
+	for i := 0; i < b.N; i++ {
+		e, err := New(s, metrics.MinimizeMetric("cost"), eval, Config{Seed: int64(i)}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkRunParallel measures the same search with 8-way parallel fitness
+// evaluation (the paper notes population size caps this parallelism).
+func BenchmarkRunParallel(b *testing.B) {
+	s, eval := quadSpace()
+	for i := 0; i < b.N; i++ {
+		e, err := New(s, metrics.MinimizeMetric("cost"), eval, Config{Seed: int64(i), Parallelism: 8}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+	}
+}

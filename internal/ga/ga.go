@@ -1,0 +1,510 @@
+// Package ga implements the baseline genetic algorithm used for IP
+// parameter optimization - the role PyEvolve plays in the Nautilus paper.
+//
+// A genome is a param.Point (one value index per IP parameter). Each
+// generation, the engine evaluates the population's fitness through a
+// caching evaluator (so search cost is counted in *distinct* design points,
+// the paper's metric), then forms the next generation from elites plus
+// children bred by selection (rank-roulette by default, tournament as an
+// option), crossover (single-point by default), and per-gene mutation.
+//
+// The mutation operator is split into two pluggable decisions - which genes
+// mutate, and what value a mutated gene receives. The baseline implements
+// both uniformly at random; package core (Nautilus) supplies hint-guided
+// implementations of the same interface, exactly mirroring how the paper
+// layers author guidance onto an unmodified GA skeleton.
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// Selection schemes. The default, rank-based roulette, matches the
+// PyEvolve-style engine the paper built on; tournament selection is offered
+// as a stronger-pressure alternative for ablations.
+const (
+	SelectRankRoulette = "rank_roulette"
+	SelectTournament   = "tournament"
+)
+
+// Crossover operators. Single-point is the PyEvolve-style default; uniform
+// and two-point are offered for ablations.
+const (
+	CrossoverSinglePoint = "single_point"
+	CrossoverTwoPoint    = "two_point"
+	CrossoverUniform     = "uniform"
+)
+
+// Config holds the GA's run settings. The zero value is completed by
+// defaults matching the paper's setup: population 10, per-gene mutation
+// rate 0.1, 80 generations, rank-roulette selection with single-point
+// crossover (the PyEvolve-style engine both the paper's baseline and
+// Nautilus are built on).
+type Config struct {
+	// PopulationSize is the number of genomes per generation (default 10).
+	PopulationSize int
+	// Generations is how many generations to run (default 80).
+	Generations int
+	// MutationRate is the per-gene mutation probability (default 0.1).
+	MutationRate float64
+	// CrossoverRate is the probability a child is bred from two parents
+	// rather than cloned from one (default 0.9).
+	CrossoverRate float64
+	// Selection picks the parent-selection scheme (default
+	// SelectRankRoulette).
+	Selection string
+	// Crossover picks the crossover operator (default CrossoverSinglePoint).
+	Crossover string
+	// TournamentSize is the selection tournament size, used only with
+	// SelectTournament (default 2).
+	TournamentSize int
+	// Elitism is how many best genomes survive unchanged (default 1).
+	Elitism int
+	// Seed seeds the run's random stream; runs are fully deterministic in
+	// (Seed, Config, Strategy, evaluator).
+	Seed int64
+	// Parallelism is the number of concurrent fitness evaluations
+	// (default 1). The paper notes population size caps this parallelism.
+	Parallelism int
+	// ConvergenceWindow, when positive, stops the run early once the best
+	// value has not improved AND the population has stayed fully
+	// homogeneous for this many consecutive generations - the point at
+	// which further generations only revisit cached designs. 0 disables
+	// early stopping (the paper's fixed-generation methodology).
+	ConvergenceWindow int
+}
+
+// withDefaults returns cfg with zero fields replaced by paper defaults.
+func (c Config) withDefaults() Config {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 10
+	}
+	if c.Generations == 0 {
+		c.Generations = 80
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.1
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = 0.9
+	}
+	if c.Selection == "" {
+		c.Selection = SelectRankRoulette
+	}
+	if c.Crossover == "" {
+		c.Crossover = CrossoverSinglePoint
+	}
+	if c.TournamentSize == 0 {
+		c.TournamentSize = 2
+	}
+	if c.Elitism == 0 {
+		c.Elitism = 1
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c Config) validate() error {
+	if c.PopulationSize < 2 {
+		return fmt.Errorf("ga: population size %d < 2", c.PopulationSize)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("ga: generations %d < 1", c.Generations)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("ga: mutation rate %v outside [0,1]", c.MutationRate)
+	}
+	if c.CrossoverRate < 0 || c.CrossoverRate > 1 {
+		return fmt.Errorf("ga: crossover rate %v outside [0,1]", c.CrossoverRate)
+	}
+	if c.TournamentSize < 1 || c.TournamentSize > c.PopulationSize {
+		return fmt.Errorf("ga: tournament size %d outside [1, population]", c.TournamentSize)
+	}
+	switch c.Selection {
+	case SelectRankRoulette, SelectTournament:
+	default:
+		return fmt.Errorf("ga: unknown selection scheme %q", c.Selection)
+	}
+	switch c.Crossover {
+	case CrossoverSinglePoint, CrossoverTwoPoint, CrossoverUniform:
+	default:
+		return fmt.Errorf("ga: unknown crossover operator %q", c.Crossover)
+	}
+	if c.Elitism < 0 || c.Elitism >= c.PopulationSize {
+		return fmt.Errorf("ga: elitism %d outside [0, population)", c.Elitism)
+	}
+	if c.Parallelism < 1 {
+		return fmt.Errorf("ga: parallelism %d < 1", c.Parallelism)
+	}
+	return nil
+}
+
+// Strategy decides which genes mutate and what values they receive - the
+// two operator decisions Nautilus hints act on. Implementations may be
+// stateful per run but must be deterministic given the rand stream.
+type Strategy interface {
+	// MutationGenes returns the gene indices to mutate for one genome this
+	// generation. rate is the configured per-gene mutation rate.
+	MutationGenes(r *rand.Rand, gen int, genome param.Point, rate float64) []int
+	// MutateValue returns the new value index for gene g of the genome
+	// (current is the present index).
+	MutateValue(r *rand.Rand, gen int, g, current int) int
+}
+
+// Baseline is the unguided Strategy: every gene is equally likely to
+// mutate, and a mutated gene takes a uniformly random different value.
+type Baseline struct {
+	Space *param.Space
+}
+
+// MutationGenes flips an independent coin per gene at the configured rate.
+func (b Baseline) MutationGenes(r *rand.Rand, gen int, genome param.Point, rate float64) []int {
+	var genes []int
+	for g := range genome {
+		if r.Float64() < rate {
+			genes = append(genes, g)
+		}
+	}
+	return genes
+}
+
+// MutateValue draws a uniform different value for the gene.
+func (b Baseline) MutateValue(r *rand.Rand, gen int, g, current int) int {
+	card := b.Space.Param(g).Card()
+	if card <= 1 {
+		return current
+	}
+	v := r.Intn(card - 1)
+	if v >= current {
+		v++
+	}
+	return v
+}
+
+// GenPoint is one sample of a search trajectory: the cumulative number of
+// distinct designs evaluated after a generation, the best objective value
+// found so far, and the population's genomic diversity.
+type GenPoint struct {
+	Generation    int
+	DistinctEvals int
+	BestValue     float64 // objective value; Worst() if nothing feasible yet
+	// UniqueGenomes counts distinct genomes in the population this
+	// generation - the diversity signal that collapses as the GA
+	// converges and starts revisiting cached designs.
+	UniqueGenomes int
+}
+
+// Result summarizes one GA run.
+type Result struct {
+	// BestPoint is the best design found (nil if nothing feasible).
+	BestPoint param.Point
+	// BestValue is its objective value.
+	BestValue float64
+	// Trajectory has one entry per generation (including generation 0, the
+	// initial population).
+	Trajectory []GenPoint
+	// DistinctEvals is the total number of distinct designs evaluated -
+	// the paper's cost metric.
+	DistinctEvals int
+	// Converged reports whether the run stopped early via
+	// Config.ConvergenceWindow.
+	Converged bool
+}
+
+// EvalsToReach returns the number of distinct evaluations after which the
+// trajectory first reaches a value at least as good as target under obj,
+// or -1 if it never does.
+func (res Result) EvalsToReach(obj metrics.Objective, target float64) int {
+	for _, gp := range res.Trajectory {
+		if gp.BestValue == obj.Worst() {
+			continue
+		}
+		if !obj.Better(target, gp.BestValue) { // BestValue >= target
+			return gp.DistinctEvals
+		}
+	}
+	return -1
+}
+
+// Engine runs genetic searches over a design space.
+type Engine struct {
+	space    *param.Space
+	obj      metrics.Objective
+	cache    *dataset.Cache
+	cfg      Config
+	strategy Strategy
+}
+
+// New builds an Engine. eval is the raw (uncached) evaluator; the engine
+// wraps it in a distinct-evaluation-counting cache per run. strategy nil
+// selects the unguided Baseline.
+func New(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg Config, strategy Strategy) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if space == nil || eval == nil {
+		return nil, fmt.Errorf("ga: nil space or evaluator")
+	}
+	if strategy == nil {
+		strategy = Baseline{Space: space}
+	}
+	return &Engine{
+		space:    space,
+		obj:      obj,
+		cache:    dataset.NewCache(space, eval),
+		cfg:      cfg,
+		strategy: strategy,
+	}, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+type individual struct {
+	genome  param.Point
+	fitness float64
+	value   float64
+	ok      bool
+}
+
+// Run executes one full GA search and returns its result. The engine's
+// evaluation cache persists across Run calls only if reset is false;
+// the paper's experiments use fresh caches per run.
+func (e *Engine) Run() Result {
+	e.cache.Reset()
+	r := rand.New(rand.NewSource(e.cfg.Seed))
+
+	pop := make([]individual, e.cfg.PopulationSize)
+	for i := range pop {
+		pop[i].genome = e.space.Random(r)
+	}
+
+	best := individual{fitness: math.Inf(-1), value: e.obj.Worst()}
+	var trajectory []GenPoint
+	converged := false
+	stale := 0
+	prevBest := math.Inf(-1)
+
+	for gen := 0; gen <= e.cfg.Generations; gen++ {
+		e.evaluate(pop)
+		for _, ind := range pop {
+			if ind.fitness > best.fitness {
+				best = ind
+				best.genome = ind.genome.Clone()
+			}
+		}
+		unique := uniqueGenomes(e.space, pop)
+		trajectory = append(trajectory, GenPoint{
+			Generation:    gen,
+			DistinctEvals: e.cache.DistinctEvaluations(),
+			BestValue:     best.value,
+			UniqueGenomes: unique,
+		})
+		if e.cfg.ConvergenceWindow > 0 {
+			if best.fitness == prevBest && unique == 1 {
+				stale++
+			} else {
+				stale = 0
+			}
+			prevBest = best.fitness
+			if stale >= e.cfg.ConvergenceWindow {
+				converged = true
+				break
+			}
+		}
+		if gen == e.cfg.Generations {
+			break
+		}
+		pop = e.nextGeneration(r, gen, pop)
+	}
+
+	res := Result{
+		BestValue:     best.value,
+		Trajectory:    trajectory,
+		DistinctEvals: e.cache.DistinctEvaluations(),
+		Converged:     converged,
+	}
+	if best.ok {
+		res.BestPoint = best.genome
+	} else {
+		res.BestValue = e.obj.Worst()
+	}
+	return res
+}
+
+// uniqueGenomes counts distinct genomes in the population.
+func uniqueGenomes(space *param.Space, pop []individual) int {
+	seen := make(map[string]bool, len(pop))
+	for _, ind := range pop {
+		seen[space.Key(ind.genome)] = true
+	}
+	return len(seen)
+}
+
+// evaluate fills in fitness for the population, in parallel if configured.
+func (e *Engine) evaluate(pop []individual) {
+	eval := func(ind *individual) {
+		m, err := e.cache.Evaluate(ind.genome)
+		if err != nil {
+			ind.fitness = math.Inf(-1)
+			ind.value = e.obj.Worst()
+			ind.ok = false
+			return
+		}
+		ind.fitness = e.obj.Fitness(m)
+		ind.value, ind.ok = e.obj.Value(m)
+		if !ind.ok {
+			ind.fitness = math.Inf(-1)
+			ind.value = e.obj.Worst()
+		}
+	}
+	if e.cfg.Parallelism <= 1 {
+		for i := range pop {
+			eval(&pop[i])
+		}
+		return
+	}
+	sem := make(chan struct{}, e.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i := range pop {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ind *individual) {
+			defer wg.Done()
+			eval(ind)
+			<-sem
+		}(&pop[i])
+	}
+	wg.Wait()
+}
+
+// nextGeneration breeds the following population: elites first, then
+// children from tournament-selected parents via crossover and mutation.
+func (e *Engine) nextGeneration(r *rand.Rand, gen int, pop []individual) []individual {
+	next := make([]individual, 0, len(pop))
+
+	// Elites: the top-Elitism genomes by fitness.
+	order := make([]int, len(pop))
+	for i := range order {
+		order[i] = i
+	}
+	// Partial selection sort is plenty for tiny populations.
+	for k := 0; k < e.cfg.Elitism; k++ {
+		maxI := k
+		for j := k + 1; j < len(order); j++ {
+			if pop[order[j]].fitness > pop[order[maxI]].fitness {
+				maxI = j
+			}
+		}
+		order[k], order[maxI] = order[maxI], order[k]
+		next = append(next, individual{genome: pop[order[k]].genome.Clone()})
+	}
+
+	sel := e.newSelector(pop)
+	for len(next) < len(pop) {
+		child := e.breed(r, gen, pop, sel)
+		next = append(next, individual{genome: child})
+	}
+	return next
+}
+
+// selector draws parents from the evaluated population.
+type selector func(r *rand.Rand) individual
+
+// newSelector builds the configured selection scheme over the population.
+func (e *Engine) newSelector(pop []individual) selector {
+	switch e.cfg.Selection {
+	case SelectTournament:
+		return func(r *rand.Rand) individual {
+			best := pop[r.Intn(len(pop))]
+			for i := 1; i < e.cfg.TournamentSize; i++ {
+				c := pop[r.Intn(len(pop))]
+				if c.fitness > best.fitness {
+					best = c
+				}
+			}
+			return best
+		}
+	default: // SelectRankRoulette
+		// Rank individuals by fitness ascending; selection probability is
+		// proportional to 1-based rank (linear ranking, scale-free - the
+		// PyEvolve-style scheme, robust to fitness magnitude).
+		order := make([]int, len(pop))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return pop[order[a]].fitness < pop[order[b]].fitness
+		})
+		total := len(pop) * (len(pop) + 1) / 2
+		return func(r *rand.Rand) individual {
+			x := r.Intn(total)
+			for rank := len(pop); rank >= 1; rank-- {
+				x -= rank
+				if x < 0 {
+					return pop[order[rank-1]]
+				}
+			}
+			return pop[order[len(pop)-1]]
+		}
+	}
+}
+
+// breed produces one child genome.
+func (e *Engine) breed(r *rand.Rand, gen int, pop []individual, sel selector) param.Point {
+	p1 := sel(r)
+	var child param.Point
+	if r.Float64() < e.cfg.CrossoverRate {
+		p2 := sel(r)
+		child = e.crossover(r, p1.genome, p2.genome)
+	} else {
+		child = p1.genome.Clone()
+	}
+	for _, g := range e.strategy.MutationGenes(r, gen, child, e.cfg.MutationRate) {
+		if g < 0 || g >= len(child) {
+			continue // defensive: ignore out-of-range picks from strategies
+		}
+		nv := e.strategy.MutateValue(r, gen, g, child[g])
+		if nv >= 0 && nv < e.space.Param(g).Card() {
+			child[g] = nv
+		}
+	}
+	return child
+}
+
+// crossover applies the configured crossover operator.
+func (e *Engine) crossover(r *rand.Rand, a, b param.Point) param.Point {
+	child := a.Clone()
+	switch e.cfg.Crossover {
+	case CrossoverUniform:
+		for g := range child {
+			if r.Intn(2) == 1 {
+				child[g] = b[g]
+			}
+		}
+	case CrossoverTwoPoint:
+		if len(child) >= 2 {
+			i, j := r.Intn(len(child)), r.Intn(len(child))
+			if i > j {
+				i, j = j, i
+			}
+			copy(child[i:j+1], b[i:j+1])
+		}
+	default: // CrossoverSinglePoint
+		cut := r.Intn(len(child))
+		copy(child[cut:], b[cut:])
+	}
+	return child
+}

@@ -1,0 +1,288 @@
+// Package gemm implements a systolic matrix-multiply accelerator IP
+// generator - a third, independently-built generator demonstrating that
+// the Nautilus machinery is IP-agnostic infrastructure (the paper:
+// "the goal of Nautilus is to provide infrastructural support for
+// different classes of hints; the exact instances are specific to the
+// given IP generator").
+//
+// The generator exposes an 8-parameter space of processing-element arrays
+// with configurable dataflow, numeric precision, buffering, and clocking
+// strategy, characterized against the same Virtex-6 synthesis substrate as
+// the NoC and FFT generators.
+package gemm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nautilus/internal/core"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/synth"
+)
+
+// Parameter names.
+const (
+	ParamRows      = "rows"       // PE array rows
+	ParamCols      = "cols"       // PE array columns
+	ParamDataWidth = "data_width" // operand width in bits
+	ParamAccWidth  = "acc_extra"  // extra accumulator guard bits
+	ParamDataflow  = "dataflow"   // which operand stays resident in the PEs
+	ParamBufferKB  = "buffer_kb"  // on-chip operand buffer per matrix edge
+	ParamDoubleBuf = "double_buf" // overlap loads with compute
+	ParamPEPipe    = "pe_pipe"    // pipeline stages inside each PE MAC
+)
+
+// Dataflows, ordered by control cost (weight-stationary simplest).
+const (
+	FlowWS = "ws" // weight stationary
+	FlowOS = "os" // output stationary
+	FlowRS = "rs" // row stationary
+)
+
+// MaxPEs bounds the array size the device budget admits (the largest
+// row/column combinations exceed it, so the space has infeasible regions
+// like the other generators').
+const MaxPEs = 512
+
+// ErrInfeasible marks configurations exceeding the device budget.
+var ErrInfeasible = errors.New("gemm: infeasible configuration")
+
+// Metric names specific to this IP.
+const (
+	// MetricGMACS is sustained compute throughput in giga-MACs/second.
+	MetricGMACS = "gmacs"
+	// MetricUtilization is the fraction of peak MAC throughput sustained.
+	MetricUtilization = "utilization"
+	// MetricEfficiency is the composite GMACs-per-LUT metric name used for
+	// hint compilation of efficiency queries.
+	MetricEfficiency = "gmacs_per_lut"
+)
+
+// Space returns the generator's design space: 8 parameters,
+// 6*6*4*3*3*4*2*3 = 31,104 points.
+func Space() *param.Space {
+	return param.MustSpace(
+		param.Levels(ParamRows, 2, 4, 8, 12, 16, 32),
+		param.Levels(ParamCols, 2, 4, 8, 12, 16, 32),
+		param.Levels(ParamDataWidth, 8, 16, 24, 32),
+		param.Levels(ParamAccWidth, 0, 8, 16),
+		param.Choice(ParamDataflow, FlowWS, FlowOS, FlowRS),
+		param.Pow2(ParamBufferKB, 1, 4), // 2..16 KB
+		param.Flag(ParamDoubleBuf),
+		param.Int(ParamPEPipe, 1, 3, 1),
+	)
+}
+
+// Design is a decoded accelerator configuration.
+type Design struct {
+	Rows, Cols int
+	DataWidth  int
+	AccExtra   int
+	Dataflow   string
+	BufferKB   int
+	DoubleBuf  bool
+	PEPipe     int
+}
+
+// Decode extracts a Design from a point of Space.
+func Decode(s *param.Space, pt param.Point) Design {
+	return Design{
+		Rows:      s.Int(pt, ParamRows),
+		Cols:      s.Int(pt, ParamCols),
+		DataWidth: s.Int(pt, ParamDataWidth),
+		AccExtra:  s.Int(pt, ParamAccWidth),
+		Dataflow:  s.String(pt, ParamDataflow),
+		BufferKB:  s.Int(pt, ParamBufferKB),
+		DoubleBuf: s.Bool(pt, ParamDoubleBuf),
+		PEPipe:    s.Int(pt, ParamPEPipe),
+	}
+}
+
+// String renders the configuration compactly.
+func (d Design) String() string {
+	return fmt.Sprintf("gemm{%dx%d dw=%d acc=+%d flow=%s buf=%dKB dbuf=%t pipe=%d}",
+		d.Rows, d.Cols, d.DataWidth, d.AccExtra, d.Dataflow, d.BufferKB, d.DoubleBuf, d.PEPipe)
+}
+
+// Feasible reports whether the array fits the device budget.
+func (d Design) Feasible() error {
+	if d.Rows*d.Cols > MaxPEs {
+		return fmt.Errorf("%w: %dx%d PEs exceed budget %d", ErrInfeasible, d.Rows, d.Cols, MaxPEs)
+	}
+	return nil
+}
+
+const noiseFrac = 0.03
+
+// accWidth is the full accumulator width.
+func (d Design) accWidth() int { return 2*d.DataWidth + d.AccExtra }
+
+// LUTs estimates FPGA LUT usage (before noise).
+func (d Design) LUTs() float64 {
+	pes := float64(d.Rows * d.Cols)
+	mac := synth.MultiplierLUTs(d.DataWidth)*0.5 + synth.AdderLUTs(d.accWidth())
+	peRegs := synth.RegisterLUTs(d.DataWidth*2+d.accWidth()) * float64(d.PEPipe)
+	var peCtl float64
+	switch d.Dataflow {
+	case FlowWS:
+		peCtl = 4
+	case FlowOS:
+		peCtl = 9 // output draining muxes
+	case FlowRS:
+		peCtl = 14 // row rotation and operand steering
+	}
+	datapath := pes * (mac + peRegs + peCtl)
+
+	bufBits := float64(d.BufferKB) * 1024 * 8
+	copies := 2.0 // A and B edges
+	if d.DoubleBuf {
+		copies *= 2
+	}
+	// Edge buffers live in LUTRAM below 4KB, BRAM above (address logic only).
+	var buffers float64
+	if d.BufferKB <= 4 {
+		buffers = copies * bufBits / synth.LUTRAMBits * 1.1
+	} else {
+		buffers = copies * 60
+	}
+
+	edgeFeeds := float64(d.Rows+d.Cols) * synth.RegisterLUTs(d.DataWidth)
+	control := 150 + 6*float64(d.Rows+d.Cols)
+	if d.Dataflow == FlowRS {
+		control += 120
+	}
+	return datapath + buffers + edgeFeeds + control
+}
+
+// BRAMs estimates block-RAM usage (large edge buffers only).
+func (d Design) BRAMs() int {
+	if d.BufferKB <= 4 {
+		return 0
+	}
+	copies := 2
+	if d.DoubleBuf {
+		copies = 4
+	}
+	return copies * synth.BRAMsFor(d.BufferKB*1024*8, d.DataWidth*8)
+}
+
+// FmaxMHz estimates the maximum clock frequency (before noise).
+func (d Design) FmaxMHz() float64 {
+	dev := synth.Virtex6LX760
+	// MAC critical path split across PE pipeline stages.
+	macDepth := 1.0 + 0.5*math.Log2(float64(d.DataWidth)) + 0.3*math.Log2(float64(d.accWidth()))
+	perStage := macDepth/float64(d.PEPipe)*(1+0.1*float64(d.PEPipe-1)) + 0.8
+	// Long edge broadcast nets slow big arrays.
+	fanout := 0.05 * math.Log2(float64(d.Rows*d.Cols))
+	congestion := dev.Congestion(d.LUTs(), d.DataWidth) + fanout
+	return dev.Fmax(perStage, congestion)
+}
+
+// Utilization estimates the fraction of peak MAC throughput the array
+// sustains: memory stalls unless double-buffered, and dataflow/buffer
+// sizing determine how often operand reloads idle the array.
+func (d Design) Utilization() float64 {
+	util := 0.55
+	if d.DoubleBuf {
+		util = 0.92
+	}
+	// Bigger buffers amortize reload overhead, with diminishing returns;
+	// the knee scales with array size (bigger arrays eat operands faster).
+	need := float64(d.Rows*d.Cols) * float64(d.DataWidth) / 8 / 1024 // KB per wavefront
+	ratio := float64(d.BufferKB) / math.Max(0.25, need)
+	util *= clamp(0.55+0.2*math.Log2(1+ratio), 0.5, 1.0)
+	switch d.Dataflow {
+	case FlowOS:
+		util *= 0.97 // drain bubbles
+	case FlowRS:
+		util *= 1.02 // better reuse
+	}
+	return clamp(util, 0.05, 1.0)
+}
+
+// Characterize returns the synthesis metrics for the design, with
+// deterministic CAD noise and cross-parameter interaction terms.
+func (d Design) Characterize() (metrics.Metrics, error) {
+	if err := d.Feasible(); err != nil {
+		return nil, err
+	}
+	key := d.String()
+	epi := synth.Noise(fmt.Sprintf("g1/%d/%s", d.DataWidth, d.Dataflow), 0.08) *
+		synth.Noise(fmt.Sprintf("g2/%d/%d", d.Rows, d.Cols), 0.08)
+	luts := math.Round(d.LUTs() * epi * synth.Noise(key+"/luts", noiseFrac))
+	fmax := d.FmaxMHz() * epi * synth.Noise(key+"/fmax", noiseFrac)
+	util := d.Utilization()
+	gmacs := float64(d.Rows*d.Cols) * fmax * util / 1000
+	return metrics.Metrics{
+		metrics.LUTs:      luts,
+		metrics.BRAMs:     float64(d.BRAMs()),
+		metrics.FmaxMHz:   fmax,
+		MetricGMACS:       gmacs,
+		MetricUtilization: util,
+	}, nil
+}
+
+// Evaluate characterizes point pt of Space(); the evaluator handed to the
+// search engines.
+func Evaluate(s *param.Space, pt param.Point) (metrics.Metrics, error) {
+	if err := s.Validate(pt); err != nil {
+		return nil, err
+	}
+	return Decode(s, pt).Characterize()
+}
+
+// ExpertHints returns the IP author's hint library for the accelerator.
+func ExpertHints() *core.Library {
+	lib := core.NewLibrary(Space())
+
+	perf := lib.Metric(MetricGMACS)
+	perf.SetImportance(ParamRows, 90, 0.04).SetBias(ParamRows, 0.9)
+	perf.SetImportance(ParamCols, 90, 0.04).SetBias(ParamCols, 0.9)
+	perf.SetImportance(ParamDoubleBuf, 70, 0).SetTargetChoice(ParamDoubleBuf, "on")
+	perf.SetImportance(ParamPEPipe, 50, 0.05).SetBias(ParamPEPipe, 0.7)
+	perf.SetImportance(ParamDataWidth, 40, 0).SetBias(ParamDataWidth, -0.5)
+	perf.SetImportance(ParamBufferKB, 35, 0.05).SetBias(ParamBufferKB, 0.5)
+
+	area := lib.Metric(metrics.LUTs)
+	area.SetImportance(ParamRows, 85, 0).SetBias(ParamRows, 0.9)
+	area.SetImportance(ParamCols, 85, 0).SetBias(ParamCols, 0.9)
+	area.SetImportance(ParamDataWidth, 75, 0).SetBias(ParamDataWidth, 0.85)
+	area.SetImportance(ParamAccWidth, 35, 0.05).SetBias(ParamAccWidth, 0.4)
+	area.SetOrder(ParamDataflow, FlowWS, FlowOS, FlowRS)
+	area.SetImportance(ParamDataflow, 25, 0.05).SetBias(ParamDataflow, 0.3)
+
+	fmax := lib.Metric(metrics.FmaxMHz)
+	fmax.SetImportance(ParamPEPipe, 80, 0).SetBias(ParamPEPipe, 0.8)
+	fmax.SetImportance(ParamDataWidth, 60, 0).SetBias(ParamDataWidth, -0.7)
+	fmax.SetImportance(ParamAccWidth, 40, 0.05).SetBias(ParamAccWidth, -0.4)
+	fmax.SetImportance(ParamRows, 30, 0.05).SetBias(ParamRows, -0.3)
+	fmax.SetImportance(ParamCols, 30, 0.05).SetBias(ParamCols, -0.3)
+
+	// Compute efficiency (GMACs per LUT): a composite metric users ask
+	// for, hinted directly because per-metric trends cancel on it (bigger
+	// arrays raise both throughput and area). The author knows efficiency
+	// peaks at mid-size arrays with narrow operands, double-buffered and
+	// deeply pipelined.
+	eff := lib.Metric(MetricEfficiency)
+	eff.SetImportance(ParamRows, 85, 0.03).SetTarget(ParamRows, 16)
+	eff.SetImportance(ParamCols, 85, 0.03).SetTarget(ParamCols, 16)
+	eff.SetImportance(ParamDataWidth, 80, 0.03).SetTarget(ParamDataWidth, 8)
+	eff.SetImportance(ParamDoubleBuf, 70, 0).SetTargetChoice(ParamDoubleBuf, "on")
+	eff.SetImportance(ParamPEPipe, 50, 0.05).SetBias(ParamPEPipe, 0.7)
+	eff.SetImportance(ParamAccWidth, 40, 0.05).SetBias(ParamAccWidth, -0.5)
+	eff.SetImportance(ParamBufferKB, 45, 0.05).SetBias(ParamBufferKB, 0.6)
+
+	return lib
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,169 @@
+package gemm
+
+import (
+	"fmt"
+	"math"
+
+	"nautilus/internal/rtl"
+)
+
+// Verilog emits synthesizable RTL for the accelerator configuration: the
+// systolic PE array (one instance per processing element), edge operand
+// feeders, the buffer subsystem, and the dataflow controller.
+func (d Design) Verilog() (*rtl.Design, error) {
+	if err := d.Feasible(); err != nil {
+		return nil, err
+	}
+	out := &rtl.Design{Top: "gemm_top"}
+	dw := d.DataWidth
+	aw := d.accWidth()
+
+	top := rtl.NewModule("gemm_top").SetComment(fmt.Sprintf(
+		"systolic GEMM array: %dx%d PEs, %d-bit operands, %d-bit accumulators\n"+
+			"dataflow=%s buffers=%dKB double_buffered=%t pe_pipeline=%d",
+		d.Rows, d.Cols, dw, aw, d.Dataflow, d.BufferKB, d.DoubleBuf, d.PEPipe))
+	top.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	top.AddPort(rtl.Input, "start", 1).AddPort(rtl.Output, "done", 1)
+	for r := 0; r < d.Rows; r++ {
+		top.AddPort(rtl.Input, fmt.Sprintf("a_in_%d", r), dw)
+	}
+	for c := 0; c < d.Cols; c++ {
+		top.AddPort(rtl.Input, fmt.Sprintf("b_in_%d", c), dw)
+		top.AddPort(rtl.Output, fmt.Sprintf("acc_out_%d", c), aw)
+	}
+
+	// Inter-PE wiring: a flows east, b flows south, accumulators flow
+	// south (output-stationary drains at the bottom edge).
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c <= d.Cols; c++ {
+			top.AddWire(fmt.Sprintf("a_%d_%d", r, c), dw)
+		}
+	}
+	for r := 0; r <= d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			top.AddWire(fmt.Sprintf("b_%d_%d", r, c), dw)
+			top.AddWire(fmt.Sprintf("s_%d_%d", r, c), aw)
+		}
+	}
+	for r := 0; r < d.Rows; r++ {
+		top.Assign(fmt.Sprintf("a_%d_0", r), fmt.Sprintf("a_in_%d", r))
+	}
+	for c := 0; c < d.Cols; c++ {
+		top.Assign(fmt.Sprintf("b_0_%d", c), fmt.Sprintf("b_in_%d", c))
+		top.Assign(fmt.Sprintf("s_0_%d", c), "0")
+		top.Assign(fmt.Sprintf("acc_out_%d", c), fmt.Sprintf("s_%d_%d", d.Rows, c))
+	}
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			top.Instantiate("pe", fmt.Sprintf("pe_%d_%d", r, c), nil, map[string]string{
+				"clk":     "clk",
+				"rst":     "rst",
+				"a_in":    fmt.Sprintf("a_%d_%d", r, c),
+				"a_out":   fmt.Sprintf("a_%d_%d", r, c+1),
+				"b_in":    fmt.Sprintf("b_%d_%d", r, c),
+				"b_out":   fmt.Sprintf("b_%d_%d", r+1, c),
+				"sum_in":  fmt.Sprintf("s_%d_%d", r, c),
+				"sum_out": fmt.Sprintf("s_%d_%d", r+1, c),
+			})
+		}
+	}
+
+	// Buffer subsystem and controller.
+	nBufs := 2
+	if d.DoubleBuf {
+		nBufs = 4
+	}
+	for i := 0; i < nBufs; i++ {
+		top.Instantiate("edge_buffer", fmt.Sprintf("buf_%d", i),
+			map[string]string{"KBYTES": fmt.Sprint(d.BufferKB)},
+			map[string]string{"clk": "clk", "rst": "rst"})
+	}
+	top.Instantiate("flow_controller", "ctl",
+		map[string]string{"ROWS": fmt.Sprint(d.Rows), "COLS": fmt.Sprint(d.Cols)},
+		map[string]string{"clk": "clk", "rst": "rst", "start": "start", "done": "done"})
+	out.Modules = append(out.Modules, top)
+
+	// Processing element.
+	pe := rtl.NewModule("pe").SetComment(fmt.Sprintf(
+		"MAC processing element, %d pipeline stage(s), %s dataflow", d.PEPipe, d.Dataflow))
+	pe.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	pe.AddPort(rtl.Input, "a_in", dw).AddPort(rtl.Output, "a_out", dw)
+	pe.AddPort(rtl.Input, "b_in", dw).AddPort(rtl.Output, "b_out", dw)
+	pe.AddPort(rtl.Input, "sum_in", aw).AddPort(rtl.Output, "sum_out", aw)
+	pe.AddReg("a_r", dw).AddReg("b_r", dw).AddReg("acc", aw)
+	for s := 1; s < d.PEPipe; s++ {
+		pe.AddReg(fmt.Sprintf("prod_p%d", s), aw)
+	}
+	body := []string{
+		"a_r <= a_in;",
+		"b_r <= b_in;",
+	}
+	switch d.PEPipe {
+	case 1:
+		body = append(body, "acc <= sum_in + $signed(a_in) * $signed(b_in);")
+	default:
+		body = append(body, "prod_p1 <= $signed(a_in) * $signed(b_in);")
+		for s := 2; s < d.PEPipe; s++ {
+			body = append(body, fmt.Sprintf("prod_p%d <= prod_p%d;", s, s-1))
+		}
+		body = append(body, fmt.Sprintf("acc <= sum_in + prod_p%d;", d.PEPipe-1))
+	}
+	pe.Always("posedge clk", body...)
+	pe.Assign("a_out", "a_r")
+	pe.Assign("b_out", "b_r")
+	pe.Assign("sum_out", "acc")
+	out.Modules = append(out.Modules, pe)
+
+	// Edge buffer (technology per size).
+	buf := rtl.NewModule("edge_buffer").SetComment(bufComment(d))
+	buf.AddParam("KBYTES", fmt.Sprint(d.BufferKB))
+	buf.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	depth := d.BufferKB * 1024 * 8 / dw
+	buf.AddMemory("mem", dw, minInt(depth, 4096))
+	buf.AddReg("wr_ptr", bitsFor(minInt(depth, 4096))).AddReg("rd_ptr", bitsFor(minInt(depth, 4096)))
+	buf.Always("posedge clk",
+		"if (rst) begin wr_ptr <= 0; rd_ptr <= 0; end",
+		"else begin wr_ptr <= wr_ptr + 1; rd_ptr <= rd_ptr + 1; end")
+	out.Modules = append(out.Modules, buf)
+
+	// Dataflow controller.
+	ctl := rtl.NewModule("flow_controller").SetComment(d.Dataflow + " dataflow sequencing")
+	ctl.AddParam("ROWS", fmt.Sprint(d.Rows)).AddParam("COLS", fmt.Sprint(d.Cols))
+	ctl.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	ctl.AddPort(rtl.Input, "start", 1).AddPort(rtl.Output, "done", 1)
+	ctl.AddReg("cycle", 16).AddReg("done_r", 1)
+	ctl.Always("posedge clk",
+		"if (rst || start) begin cycle <= 0; done_r <= 0; end",
+		"else begin",
+		"  cycle <= cycle + 1;",
+		"  if (cycle == ROWS + COLS + 2) done_r <= 1;",
+		"end")
+	ctl.Assign("done", "done_r")
+	out.Modules = append(out.Modules, ctl)
+
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func bufComment(d Design) string {
+	if d.BufferKB <= 4 {
+		return "LUTRAM edge operand buffer"
+	}
+	return "BRAM edge operand buffer"
+}
+
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n + 1))))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

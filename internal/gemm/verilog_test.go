@@ -1,0 +1,109 @@
+package gemm
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVerilogValid(t *testing.T) {
+	d := baseDesign()
+	design, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := design.Check(); err != nil {
+		t.Fatalf("structural check failed: %v", err)
+	}
+	v := design.Verilog()
+	for _, want := range []string{"module gemm_top", "module pe", "module edge_buffer", "module flow_controller"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestVerilogPECount(t *testing.T) {
+	d := baseDesign()
+	d.Rows, d.Cols = 4, 8
+	design, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pes := 0
+	for _, inst := range design.Modules[0].Instances() {
+		if inst.Module == "pe" {
+			pes++
+		}
+	}
+	if pes != 32 {
+		t.Errorf("instantiated %d PEs, want 32", pes)
+	}
+}
+
+func TestVerilogDoubleBuffering(t *testing.T) {
+	d := baseDesign()
+	count := func(db bool) int {
+		d.DoubleBuf = db
+		design, err := d.Verilog()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, inst := range design.Modules[0].Instances() {
+			if inst.Module == "edge_buffer" {
+				n++
+			}
+		}
+		return n
+	}
+	if single, double := count(false), count(true); double != 2*single {
+		t.Errorf("double buffering: %d vs %d buffer instances, want 2x", double, single)
+	}
+}
+
+func TestVerilogPipelineDepth(t *testing.T) {
+	d := baseDesign()
+	d.PEPipe = 3
+	design, err := d.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := design.Verilog()
+	if !strings.Contains(v, "prod_p2") {
+		t.Error("3-stage PE should have two product pipeline ranks")
+	}
+	d.PEPipe = 1
+	d1, _ := d.Verilog()
+	if strings.Contains(d1.Verilog(), "prod_p1") {
+		t.Error("1-stage PE should have no product pipeline")
+	}
+}
+
+func TestVerilogInfeasibleRejected(t *testing.T) {
+	d := baseDesign()
+	d.Rows, d.Cols = 32, 32
+	if _, err := d.Verilog(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible design emitted RTL: %v", err)
+	}
+}
+
+// Property: every feasible point emits a valid design.
+func TestQuickVerilogValid(t *testing.T) {
+	s := Space()
+	r := rand.New(rand.NewSource(8))
+	f := func(_ uint8) bool {
+		pt := s.Random(r)
+		d := Decode(s, pt)
+		design, err := d.Verilog()
+		if d.Feasible() != nil {
+			return err != nil
+		}
+		return err == nil && design.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package hintcal estimates Nautilus hints empirically, implementing the
+// paper's non-expert path: "an IP user could try sweeping each IP parameter
+// independently and then observe how the various metrics of interest
+// respond to estimate approximate hint values" (Section 3). The paper's NoC
+// hints were produced exactly this way, from roughly 80 synthesized designs
+// (less than 0.3% of the design space).
+//
+// For each parameter, the calibrator sweeps the parameter's values around a
+// few random base configurations, evaluates each variant, and derives:
+//
+//   - bias: the average rank correlation between the parameter's axis and
+//     the metric across sweeps;
+//   - importance: the parameter's relative share of observed metric
+//     variation, scaled to the hint range 1..100;
+//   - ordering: for unordered categorical parameters, the value order
+//     induced by mean metric response (installed as an ordering hint so a
+//     bias can then apply).
+package hintcal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nautilus/internal/core"
+	"nautilus/internal/dataset"
+	"nautilus/internal/param"
+)
+
+// Options configures hint estimation.
+type Options struct {
+	// Budget is the approximate number of distinct design evaluations to
+	// spend across all parameters (default 80, matching the paper's NoC
+	// calibration).
+	Budget int
+	// Seed drives base-point selection.
+	Seed int64
+	// MinBias suppresses correlations weaker than this magnitude (noise);
+	// default 0.15.
+	MinBias float64
+	// Decay is the importance-decay rate attached to every estimated
+	// importance hint (default 0.04). Estimated importances are noisy, so
+	// letting them relax toward neutral keeps late-stage fine-tuning able
+	// to touch the parameters the sample undervalued.
+	Decay float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 80
+	}
+	if o.MinBias == 0 {
+		o.MinBias = 0.15
+	}
+	if o.Decay == 0 {
+		o.Decay = 0.04
+	}
+	return o
+}
+
+// Estimate sweeps the space through eval and returns a hint library for the
+// named metrics, along with the number of distinct evaluations spent.
+func Estimate(space *param.Space, eval dataset.Evaluator, metricNames []string, opts Options) (*core.Library, int, error) {
+	opts = opts.withDefaults()
+	if len(metricNames) == 0 {
+		return nil, 0, fmt.Errorf("hintcal: no metrics requested")
+	}
+	cache := dataset.NewCache(space, eval)
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	// Cost of sweeping every parameter once around one base point.
+	sweepCost := 0
+	for i := 0; i < space.Len(); i++ {
+		sweepCost += space.Param(i).Card()
+	}
+	bases := opts.Budget / sweepCost
+	if bases < 1 {
+		bases = 1
+	}
+
+	// observation[m][p] accumulates sweep statistics for metric m,
+	// parameter p.
+	type obs struct {
+		corrs []float64 // rank correlation per sweep
+		spans []float64 // relative metric span per sweep
+		sums  []float64 // per-value metric sums (for ordering induction)
+		cnts  []int
+	}
+	observations := make(map[string][]*obs, len(metricNames))
+	for _, m := range metricNames {
+		po := make([]*obs, space.Len())
+		for i := range po {
+			po[i] = &obs{
+				sums: make([]float64, space.Param(i).Card()),
+				cnts: make([]int, space.Param(i).Card()),
+			}
+		}
+		observations[m] = po
+	}
+
+	for b := 0; b < bases; b++ {
+		base := space.Random(r)
+		for pi := 0; pi < space.Len(); pi++ {
+			p := space.Param(pi)
+			// Sweep parameter pi across all its values.
+			axis := make([]float64, 0, p.Card())
+			valsByMetric := make(map[string][]float64, len(metricNames))
+			for vi := 0; vi < p.Card(); vi++ {
+				pt := base.Clone()
+				pt[pi] = vi
+				m, err := cache.Evaluate(pt)
+				if err != nil {
+					continue // infeasible variant: skip
+				}
+				ok := true
+				row := make(map[string]float64, len(metricNames))
+				for _, name := range metricNames {
+					v, has := m.Get(name)
+					if !has {
+						ok = false
+						break
+					}
+					row[name] = v
+				}
+				if !ok {
+					continue
+				}
+				axis = append(axis, float64(vi))
+				for name, v := range row {
+					valsByMetric[name] = append(valsByMetric[name], v)
+					observations[name][pi].sums[vi] += v
+					observations[name][pi].cnts[vi]++
+				}
+			}
+			if len(axis) < 2 {
+				continue // too few feasible variants to learn from
+			}
+			for _, name := range metricNames {
+				vals := valsByMetric[name]
+				o := observations[name][pi]
+				c := rankCorrelation(axis, vals)
+				if len(axis) == 2 {
+					c *= 0.6 // two-point evidence is weak; discount it
+				}
+				o.corrs = append(o.corrs, c)
+				o.spans = append(o.spans, relativeSpan(vals))
+			}
+		}
+	}
+
+	lib := core.NewLibrary(space)
+	for _, name := range metricNames {
+		hs := lib.Metric(name)
+		po := observations[name]
+
+		// Importance: normalize mean spans across parameters to 1..100.
+		maxSpan := 0.0
+		meanSpans := make([]float64, space.Len())
+		for pi, o := range po {
+			if len(o.spans) == 0 {
+				continue
+			}
+			meanSpans[pi] = mean(o.spans)
+			if meanSpans[pi] > maxSpan {
+				maxSpan = meanSpans[pi]
+			}
+		}
+		for pi := 0; pi < space.Len(); pi++ {
+			p := space.Param(pi)
+			o := po[pi]
+			if len(o.corrs) == 0 {
+				continue
+			}
+			if maxSpan > 0 {
+				imp := 1 + 99*meanSpans[pi]/maxSpan
+				hs.SetImportance(p.Name(), imp, opts.Decay)
+			}
+			// Discount the mean correlation by its disagreement across
+			// sweeps: a slope that flips sign between base points is noise,
+			// not a trend worth a directional hint.
+			corr := mean(o.corrs) * consistency(o.corrs)
+			if p.IsOrdered() {
+				if math.Abs(corr) >= opts.MinBias {
+					hs.SetBias(p.Name(), clamp(corr, -1, 1))
+				}
+				continue
+			}
+			// Unordered categorical: induce an ordering by mean metric
+			// response, then declare a positive bias along it (by
+			// construction the metric rises along the induced order).
+			order := inducedOrder(p, o.sums, o.cnts)
+			if order == nil {
+				continue
+			}
+			hs.SetOrder(p.Name(), order...)
+			// Strength: consistency of the induced ordering, measured by
+			// the relative span across category means.
+			strength := clamp(relativeSpanOfMeans(o.sums, o.cnts)*2, 0, 1)
+			if strength >= opts.MinBias {
+				hs.SetBias(p.Name(), strength)
+			}
+		}
+	}
+	return lib, cache.DistinctEvaluations(), nil
+}
+
+// rankCorrelation computes the Spearman rank correlation of ys against xs.
+// Two-point sweeps (binary parameters) yield the sign of the difference.
+func rankCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	rx, ry := ranks(xs), ranks(ys)
+	return pearson(rx, ry)
+}
+
+// ranks returns fractional ranks (ties averaged).
+func ranks(xs []float64) []float64 {
+	type kv struct {
+		v float64
+		i int
+	}
+	s := make([]kv, len(xs))
+	for i, v := range xs {
+		s[i] = kv{v, i}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j-1) / 2
+		for k := i; k < j; k++ {
+			out[s[k].i] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := mean(xs), mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// relativeSpan is (max-min)/|mean|, a scale-free measure of how much the
+// metric moved across the sweep.
+func relativeSpan(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	m := math.Abs(mean(vals))
+	if m == 0 {
+		return 0
+	}
+	return (hi - lo) / m
+}
+
+// inducedOrder sorts a categorical parameter's values by mean metric
+// response (ascending). Returns nil when fewer than two categories were
+// observed.
+func inducedOrder(p *param.Param, sums []float64, cnts []int) []string {
+	type kv struct {
+		mean float64
+		vi   int
+	}
+	var cats []kv
+	for vi := range sums {
+		if cnts[vi] > 0 {
+			cats = append(cats, kv{sums[vi] / float64(cnts[vi]), vi})
+		}
+	}
+	if len(cats) != p.Card() {
+		return nil // need full coverage to declare a total order
+	}
+	sort.Slice(cats, func(a, b int) bool { return cats[a].mean < cats[b].mean })
+	out := make([]string, len(cats))
+	for i, c := range cats {
+		out[i] = p.StringValue(c.vi)
+	}
+	return out
+}
+
+// consistency maps the spread of per-sweep correlations to a [0,1]
+// discount: identical sweeps keep full weight, sign-flipping sweeps are
+// suppressed.
+func consistency(corrs []float64) float64 {
+	if len(corrs) < 2 {
+		return 1
+	}
+	m := mean(corrs)
+	var v float64
+	for _, c := range corrs {
+		d := c - m
+		v += d * d
+	}
+	sd := math.Sqrt(v / float64(len(corrs)-1))
+	return clamp(1-sd, 0, 1)
+}
+
+// relativeSpanOfMeans is the relative span across category means.
+func relativeSpanOfMeans(sums []float64, cnts []int) float64 {
+	var means []float64
+	for vi := range sums {
+		if cnts[vi] > 0 {
+			means = append(means, sums[vi]/float64(cnts[vi]))
+		}
+	}
+	return relativeSpan(means)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Constraint bounds one metric of a design. Min/Max of NaN (or zero value
+// via the helpers) leave that side unbounded.
+type Constraint struct {
+	Metric string
+	Min    float64
+	Max    float64
+}
+
+// AtMost constrains a metric from above (e.g. LUT budget).
+func AtMost(metric string, max float64) Constraint {
+	return Constraint{Metric: metric, Min: math.Inf(-1), Max: max}
+}
+
+// AtLeast constrains a metric from below (e.g. minimum SNR).
+func AtLeast(metric string, min float64) Constraint {
+	return Constraint{Metric: metric, Min: min, Max: math.Inf(1)}
+}
+
+// Between bounds a metric on both sides.
+func Between(metric string, min, max float64) Constraint {
+	return Constraint{Metric: metric, Min: min, Max: max}
+}
+
+// Satisfied reports whether the bag meets the constraint. A missing metric
+// fails the constraint.
+func (c Constraint) Satisfied(m Metrics) bool {
+	v, ok := m.Get(c.Metric)
+	if !ok {
+		return false
+	}
+	if !math.IsNaN(c.Min) && !math.IsInf(c.Min, -1) && v < c.Min {
+		return false
+	}
+	if !math.IsNaN(c.Max) && !math.IsInf(c.Max, 1) && v > c.Max {
+		return false
+	}
+	return true
+}
+
+// String renders e.g. "luts <= 2000" or "40 <= snr_db".
+func (c Constraint) String() string {
+	var parts []string
+	if !math.IsNaN(c.Min) && !math.IsInf(c.Min, -1) {
+		parts = append(parts, fmt.Sprintf("%g <= %s", c.Min, c.Metric))
+	}
+	if !math.IsNaN(c.Max) && !math.IsInf(c.Max, 1) {
+		parts = append(parts, fmt.Sprintf("%s <= %g", c.Metric, c.Max))
+	}
+	if len(parts) == 0 {
+		return c.Metric + " unconstrained"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Constrained returns an objective that behaves like o inside the feasible
+// region and reports designs violating any constraint as valueless (so the
+// search engines give them worst fitness). This implements the paper's
+// observation that the fitness function "can be adapted to constrain the
+// algorithm to only explore specific portions of the solution space".
+func (o Objective) Constrained(cs ...Constraint) Objective {
+	base := o
+	name := o.name
+	if len(cs) > 0 {
+		descs := make([]string, len(cs))
+		for i, c := range cs {
+			descs[i] = c.String()
+		}
+		name = fmt.Sprintf("%s s.t. %s", o.name, strings.Join(descs, " and "))
+	}
+	return Objective{
+		name:      name,
+		direction: o.direction,
+		derive: func(m Metrics) (float64, bool) {
+			for _, c := range cs {
+				if !c.Satisfied(m) {
+					return 0, false
+				}
+			}
+			return base.Value(m)
+		},
+	}
+}

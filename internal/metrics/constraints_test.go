@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstraintSatisfied(t *testing.T) {
+	m := Metrics{LUTs: 1500, SNRdB: 42}
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{AtMost(LUTs, 2000), true},
+		{AtMost(LUTs, 1000), false},
+		{AtMost(LUTs, 1500), true}, // boundary inclusive
+		{AtLeast(SNRdB, 40), true},
+		{AtLeast(SNRdB, 50), false},
+		{Between(LUTs, 1000, 2000), true},
+		{Between(LUTs, 1600, 2000), false},
+		{AtMost("missing", 10), false},
+	}
+	for _, c := range cases {
+		if got := c.c.Satisfied(m); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.c, m, got, c.want)
+		}
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	if s := AtMost(LUTs, 2000).String(); !strings.Contains(s, "luts <= 2000") {
+		t.Errorf("String = %q", s)
+	}
+	if s := AtLeast(SNRdB, 40).String(); !strings.Contains(s, "40 <= snr_db") {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Constraint{Metric: "x", Min: math.NaN(), Max: math.NaN()}).String(); !strings.Contains(s, "unconstrained") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestConstrainedObjective(t *testing.T) {
+	obj := MaximizeMetric(ThroughputMSPS).Constrained(AtMost(LUTs, 2000), AtLeast(SNRdB, 40))
+	good := Metrics{ThroughputMSPS: 800, LUTs: 1500, SNRdB: 45}
+	badArea := Metrics{ThroughputMSPS: 900, LUTs: 3000, SNRdB: 45}
+	badSNR := Metrics{ThroughputMSPS: 900, LUTs: 1500, SNRdB: 30}
+
+	if v, ok := obj.Value(good); !ok || v != 800 {
+		t.Errorf("feasible value = %v,%v", v, ok)
+	}
+	if _, ok := obj.Value(badArea); ok {
+		t.Error("area violation accepted")
+	}
+	if _, ok := obj.Value(badSNR); ok {
+		t.Error("SNR violation accepted")
+	}
+	if f := obj.Fitness(badArea); !math.IsInf(f, -1) {
+		t.Errorf("violating fitness = %v, want -Inf", f)
+	}
+	if !strings.Contains(obj.Name(), "s.t.") {
+		t.Errorf("constrained name = %q", obj.Name())
+	}
+}
+
+func TestConstrainedZeroConstraintsIsTransparent(t *testing.T) {
+	obj := MinimizeMetric(LUTs).Constrained()
+	m := Metrics{LUTs: 42}
+	if v, ok := obj.Value(m); !ok || v != 42 {
+		t.Errorf("Value = %v,%v", v, ok)
+	}
+	if obj.Name() != LUTs {
+		t.Errorf("name = %q, want unchanged", obj.Name())
+	}
+}
+
+// Property: a constrained objective never reports a value on bags that
+// violate the constraint, and always matches the base objective on bags
+// that satisfy it.
+func TestQuickConstrainedConsistent(t *testing.T) {
+	base := MinimizeMetric(LUTs)
+	obj := base.Constrained(AtMost(LUTs, 1000))
+	f := func(raw uint16) bool {
+		m := Metrics{LUTs: float64(raw)}
+		v, ok := obj.Value(m)
+		if float64(raw) > 1000 {
+			return !ok
+		}
+		bv, bok := base.Value(m)
+		return ok == bok && v == bv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"nautilus/internal/metrics"
+)
+
+// Objectives turn characterization metrics into the scalar the search
+// engines optimize, including composite and constrained forms.
+func ExampleObjective() {
+	m := metrics.Metrics{
+		metrics.LUTs:           1200,
+		metrics.FmaxMHz:        200,
+		metrics.ThroughputMSPS: 600,
+	}
+
+	adp := metrics.AreaDelayProduct() // clock period (ns) x LUTs
+	v, _ := adp.Value(m)
+	fmt.Println("area-delay:", v)
+
+	eff := metrics.ThroughputPerLUT()
+	v, _ = eff.Value(m)
+	fmt.Println("MSPS/LUT:", v)
+
+	budgeted := metrics.MaximizeMetric(metrics.ThroughputMSPS).
+		Constrained(metrics.AtMost(metrics.LUTs, 1000))
+	_, feasible := budgeted.Value(m)
+	fmt.Println("within 1000-LUT budget:", feasible)
+	// Output:
+	// area-delay: 6000
+	// MSPS/LUT: 0.5
+	// within 1000-LUT budget: false
+}

@@ -1,0 +1,218 @@
+// Package metrics defines the measured quantities that characterize a
+// hardware design point (area, frequency, power, throughput, ...) and the
+// optimization objectives built on top of them.
+//
+// An IP generator's characterization step produces a Metrics bag per design
+// point; a Query (objective) converts a bag into a scalar fitness that the
+// search engines maximize. Composite metrics such as throughput-per-LUT or
+// area-delay product are expressed as derived objectives.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Metrics is a named bag of measured values for one design point.
+type Metrics map[string]float64
+
+// Standard metric names shared by the IP generators in this repository.
+const (
+	LUTs           = "luts"            // FPGA lookup tables
+	BRAMs          = "brams"           // FPGA block RAMs
+	FmaxMHz        = "fmax_mhz"        // maximum clock frequency, MHz
+	PeriodNS       = "period_ns"       // minimum clock period, ns (derived from FmaxMHz)
+	ThroughputMSPS = "throughput_msps" // million samples per second (FFT)
+	SNRdB          = "snr_db"          // signal-to-noise ratio, dB (FFT)
+	AreaMM2        = "area_mm2"        // ASIC silicon area, mm^2
+	PowerMW        = "power_mw"        // ASIC power, mW
+	BisectionGbps  = "bisection_gbps"  // peak network bisection bandwidth, Gbps
+)
+
+// Clone returns an independent copy of the bag.
+func (m Metrics) Clone() Metrics {
+	out := make(Metrics, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the named metric. PeriodNS is synthesized from FmaxMHz when not
+// stored explicitly. ok is false when the metric is absent or not finite.
+func (m Metrics) Get(name string) (v float64, ok bool) {
+	if v, ok = m[name]; ok {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return v, true
+	}
+	if name == PeriodNS {
+		if f, ok := m.Get(FmaxMHz); ok && f > 0 {
+			return 1000 / f, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the bag deterministically (sorted by name).
+func (m Metrics) String() string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.4g", k, m[k])
+	}
+	return b.String()
+}
+
+// Direction states whether an objective is minimized or maximized.
+type Direction int
+
+// Objective directions.
+const (
+	Minimize Direction = iota
+	Maximize
+)
+
+// String returns "min" or "max".
+func (d Direction) String() string {
+	if d == Maximize {
+		return "max"
+	}
+	return "min"
+}
+
+// Objective is a scalar optimization goal over a Metrics bag: either a plain
+// named metric or a derived (composite) quantity, together with a direction.
+type Objective struct {
+	name      string
+	direction Direction
+	derive    func(Metrics) (float64, bool) // nil for plain metrics
+}
+
+// MinimizeMetric returns an objective minimizing the named metric.
+func MinimizeMetric(name string) Objective {
+	return Objective{name: name, direction: Minimize}
+}
+
+// MaximizeMetric returns an objective maximizing the named metric.
+func MaximizeMetric(name string) Objective {
+	return Objective{name: name, direction: Maximize}
+}
+
+// MinimizeDerived returns an objective minimizing a derived quantity.
+func MinimizeDerived(name string, f func(Metrics) (float64, bool)) Objective {
+	return Objective{name: name, direction: Minimize, derive: f}
+}
+
+// MaximizeDerived returns an objective maximizing a derived quantity.
+func MaximizeDerived(name string, f func(Metrics) (float64, bool)) Objective {
+	return Objective{name: name, direction: Maximize, derive: f}
+}
+
+// Ratio returns the derived quantity num/den, usable with
+// Minimize/MaximizeDerived. ok is false if either operand is missing or the
+// denominator is zero.
+func Ratio(num, den string) func(Metrics) (float64, bool) {
+	return func(m Metrics) (float64, bool) {
+		n, okN := m.Get(num)
+		d, okD := m.Get(den)
+		if !okN || !okD || d == 0 {
+			return 0, false
+		}
+		return n / d, true
+	}
+}
+
+// Product returns the derived quantity formed by multiplying the named
+// metrics, e.g. Product(PeriodNS, LUTs) is the paper's area-delay product.
+func Product(names ...string) func(Metrics) (float64, bool) {
+	return func(m Metrics) (float64, bool) {
+		p := 1.0
+		for _, n := range names {
+			v, ok := m.Get(n)
+			if !ok {
+				return 0, false
+			}
+			p *= v
+		}
+		return p, true
+	}
+}
+
+// AreaDelayProduct is the paper's Figure 5 composite metric:
+// clock period (ns) x LUTs.
+func AreaDelayProduct() Objective {
+	return MinimizeDerived("area_delay", Product(PeriodNS, LUTs))
+}
+
+// ThroughputPerLUT is the paper's Figure 7 composite metric: MSPS / LUTs.
+func ThroughputPerLUT() Objective {
+	return MaximizeDerived("throughput_per_lut", Ratio(ThroughputMSPS, LUTs))
+}
+
+// Name returns the objective's metric (or derived-quantity) name.
+func (o Objective) Name() string { return o.name }
+
+// Direction returns the optimization direction.
+func (o Objective) Direction() Direction { return o.direction }
+
+// String renders e.g. "min luts" or "max throughput_per_lut".
+func (o Objective) String() string {
+	return o.direction.String() + " " + o.name
+}
+
+// Value extracts the raw objective value from the bag. ok is false when the
+// underlying metrics are missing, non-finite, or the derivation fails.
+func (o Objective) Value(m Metrics) (float64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	if o.derive != nil {
+		v, ok := o.derive(m)
+		if !ok || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return v, true
+	}
+	return m.Get(o.name)
+}
+
+// Fitness converts the bag into a scalar to MAXIMIZE: the objective value
+// itself when maximizing, its negation when minimizing. Missing or infeasible
+// bags yield -Inf so they always rank last.
+func (o Objective) Fitness(m Metrics) float64 {
+	v, ok := o.Value(m)
+	if !ok {
+		return math.Inf(-1)
+	}
+	if o.direction == Minimize {
+		return -v
+	}
+	return v
+}
+
+// Better reports whether objective value a is strictly preferable to b.
+func (o Objective) Better(a, b float64) bool {
+	if o.direction == Minimize {
+		return a < b
+	}
+	return a > b
+}
+
+// Worst returns the sentinel objective value that any feasible value beats.
+func (o Objective) Worst() float64 {
+	if o.direction == Minimize {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}

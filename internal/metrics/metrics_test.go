@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sample() Metrics {
+	return Metrics{
+		LUTs:           1200,
+		FmaxMHz:        200,
+		ThroughputMSPS: 600,
+	}
+}
+
+func TestGetPlain(t *testing.T) {
+	m := sample()
+	v, ok := m.Get(LUTs)
+	if !ok || v != 1200 {
+		t.Fatalf("Get(LUTs) = %v,%v", v, ok)
+	}
+	if _, ok := m.Get("nonexistent"); ok {
+		t.Error("Get(nonexistent) reported ok")
+	}
+}
+
+func TestGetDerivedPeriod(t *testing.T) {
+	m := sample()
+	v, ok := m.Get(PeriodNS)
+	if !ok || math.Abs(v-5.0) > 1e-12 {
+		t.Fatalf("Get(PeriodNS) = %v,%v, want 5ns", v, ok)
+	}
+	// Explicit period wins over derivation.
+	m[PeriodNS] = 7
+	if v, _ := m.Get(PeriodNS); v != 7 {
+		t.Errorf("explicit PeriodNS = %v, want 7", v)
+	}
+}
+
+func TestGetRejectsNonFinite(t *testing.T) {
+	m := Metrics{LUTs: math.NaN(), FmaxMHz: math.Inf(1)}
+	if _, ok := m.Get(LUTs); ok {
+		t.Error("NaN metric reported ok")
+	}
+	if _, ok := m.Get(FmaxMHz); ok {
+		t.Error("Inf metric reported ok")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := sample()
+	c := m.Clone()
+	c[LUTs] = 1
+	if m[LUTs] != 1200 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	m := sample()
+	if m.String() != m.String() {
+		t.Error("String not deterministic")
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestObjectiveValuePlain(t *testing.T) {
+	o := MinimizeMetric(LUTs)
+	v, ok := o.Value(sample())
+	if !ok || v != 1200 {
+		t.Fatalf("Value = %v,%v", v, ok)
+	}
+	if o.String() != "min luts" {
+		t.Errorf("String = %q", o.String())
+	}
+}
+
+func TestObjectiveValueNilBag(t *testing.T) {
+	o := MinimizeMetric(LUTs)
+	if _, ok := o.Value(nil); ok {
+		t.Error("Value(nil) reported ok")
+	}
+	if f := o.Fitness(nil); !math.IsInf(f, -1) {
+		t.Errorf("Fitness(nil) = %v, want -Inf", f)
+	}
+}
+
+func TestFitnessDirection(t *testing.T) {
+	m := sample()
+	if f := MinimizeMetric(LUTs).Fitness(m); f != -1200 {
+		t.Errorf("minimize fitness = %v, want -1200", f)
+	}
+	if f := MaximizeMetric(FmaxMHz).Fitness(m); f != 200 {
+		t.Errorf("maximize fitness = %v, want 200", f)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	o := ThroughputPerLUT()
+	v, ok := o.Value(sample())
+	if !ok || math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("throughput/LUT = %v,%v, want 0.5", v, ok)
+	}
+	// zero denominator
+	if _, ok := o.Value(Metrics{ThroughputMSPS: 5, LUTs: 0}); ok {
+		t.Error("ratio with zero denominator reported ok")
+	}
+	// missing numerator
+	if _, ok := o.Value(Metrics{LUTs: 5}); ok {
+		t.Error("ratio with missing numerator reported ok")
+	}
+}
+
+func TestAreaDelayProduct(t *testing.T) {
+	o := AreaDelayProduct()
+	v, ok := o.Value(sample()) // 5ns * 1200 LUTs
+	if !ok || math.Abs(v-6000) > 1e-9 {
+		t.Fatalf("area-delay = %v,%v, want 6000", v, ok)
+	}
+	if o.Direction() != Minimize {
+		t.Error("area-delay should minimize")
+	}
+}
+
+func TestProductMissingOperand(t *testing.T) {
+	f := Product(LUTs, "missing")
+	if _, ok := f(sample()); ok {
+		t.Error("product with missing operand reported ok")
+	}
+}
+
+func TestBetterAndWorst(t *testing.T) {
+	min := MinimizeMetric(LUTs)
+	max := MaximizeMetric(FmaxMHz)
+	if !min.Better(1, 2) || min.Better(2, 1) || min.Better(1, 1) {
+		t.Error("Minimize.Better wrong")
+	}
+	if !max.Better(2, 1) || max.Better(1, 2) || max.Better(1, 1) {
+		t.Error("Maximize.Better wrong")
+	}
+	if !math.IsInf(min.Worst(), 1) || !math.IsInf(max.Worst(), -1) {
+		t.Error("Worst sentinels wrong")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Minimize.String() != "min" || Maximize.String() != "max" {
+		t.Error("Direction.String wrong")
+	}
+}
+
+// Property: any feasible value beats Worst, and Better is a strict order
+// (irreflexive, asymmetric) on distinct finite values.
+func TestQuickBetterStrictOrder(t *testing.T) {
+	for _, o := range []Objective{MinimizeMetric(LUTs), MaximizeMetric(LUTs)} {
+		f := func(a, b float64) bool {
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+				return true
+			}
+			if !o.Better(a, o.Worst()) {
+				return false
+			}
+			if o.Better(a, a) {
+				return false
+			}
+			if a != b && o.Better(a, b) == o.Better(b, a) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", o, err)
+		}
+	}
+}
+
+// Property: Fitness ordering always agrees with Better on the raw values.
+func TestQuickFitnessAgreesWithBetter(t *testing.T) {
+	for _, o := range []Objective{MinimizeMetric(LUTs), MaximizeMetric(LUTs)} {
+		f := func(a, b float64) bool {
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+				return true
+			}
+			ma, mb := Metrics{LUTs: a}, Metrics{LUTs: b}
+			return o.Better(a, b) == (o.Fitness(ma) > o.Fitness(mb))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", o, err)
+		}
+	}
+}

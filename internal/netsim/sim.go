@@ -1,0 +1,467 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RouterConfig carries the microarchitectural parameters the simulator
+// honors (the structural subset of the noc package's router space).
+type RouterConfig struct {
+	// VCs is the number of virtual channels per input port (must be at
+	// least the topology's VCClasses).
+	VCs int
+	// BufDepth is the flit buffer depth per VC.
+	BufDepth int
+	// PipelineLatency is the cycles a flit takes through one router+link
+	// hop (at least 1).
+	PipelineLatency int
+}
+
+// Traffic patterns.
+const (
+	TrafficUniform       = "uniform"
+	TrafficBitComplement = "bit_complement"
+	TrafficHotspot       = "hotspot"
+	// TrafficTranspose swaps the high and low halves of the endpoint index
+	// (matrix-transpose communication; adversarial for dimension-ordered
+	// routing).
+	TrafficTranspose = "transpose"
+	// TrafficNeighbor sends to the next endpoint (best case for rings).
+	TrafficNeighbor = "neighbor"
+	// TrafficShuffle rotates the endpoint index left by one bit (the
+	// perfect-shuffle permutation of sorting networks).
+	TrafficShuffle = "shuffle"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Topology *Topology
+	Router   RouterConfig
+	// Traffic is the synthetic pattern (default uniform random).
+	Traffic string
+	// InjectionRate is offered load in flits per endpoint per cycle.
+	InjectionRate float64
+	// PacketFlits is the packet length (default 4).
+	PacketFlits int
+	// WarmupCycles, MeasureCycles, DrainCycles control the measurement
+	// methodology (defaults 1000/2000/2000).
+	WarmupCycles, MeasureCycles, DrainCycles int
+	Seed                                     int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Traffic == "" {
+		c.Traffic = TrafficUniform
+	}
+	if c.PacketFlits == 0 {
+		c.PacketFlits = 4
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 1000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 2000
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 2000
+	}
+	if c.Router.PipelineLatency == 0 {
+		c.Router.PipelineLatency = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Topology == nil {
+		return fmt.Errorf("netsim: nil topology")
+	}
+	if c.Router.VCs < c.Topology.VCClasses {
+		return fmt.Errorf("netsim: %s needs >= %d VCs for deadlock freedom, have %d",
+			c.Topology.Kind, c.Topology.VCClasses, c.Router.VCs)
+	}
+	if c.Router.VCs < 1 || c.Router.VCs > 64 {
+		return fmt.Errorf("netsim: VC count %d out of range", c.Router.VCs)
+	}
+	if c.Router.BufDepth < 1 {
+		return fmt.Errorf("netsim: buffer depth %d < 1", c.Router.BufDepth)
+	}
+	if c.InjectionRate <= 0 || c.InjectionRate > 1 {
+		return fmt.Errorf("netsim: injection rate %v outside (0,1]", c.InjectionRate)
+	}
+	if c.PacketFlits < 1 {
+		return fmt.Errorf("netsim: packet length %d < 1", c.PacketFlits)
+	}
+	switch c.Traffic {
+	case TrafficUniform, TrafficBitComplement, TrafficHotspot,
+		TrafficTranspose, TrafficNeighbor, TrafficShuffle:
+	default:
+		return fmt.Errorf("netsim: unknown traffic pattern %q", c.Traffic)
+	}
+	return nil
+}
+
+// Result reports a simulation's measured performance.
+type Result struct {
+	// AvgLatency is the mean packet latency in cycles (generation to tail
+	// ejection) over packets generated in the measurement window.
+	AvgLatency float64
+	// Throughput is accepted traffic in flits per endpoint per cycle over
+	// the measurement window.
+	Throughput float64
+	// PacketsMeasured counts latency samples; Delivered/Injected count all
+	// packets over the whole run.
+	PacketsMeasured, Delivered, Injected int
+}
+
+// flit is one flow-control unit in flight.
+type flit struct {
+	packet   int
+	dst      int
+	head     bool
+	tail     bool
+	class    int // current VC class (dateline updates it)
+	born     int // generation cycle
+	measured bool
+}
+
+// vcState is the per-input-VC bookkeeping of a wormhole router.
+type vcState struct {
+	q       []flit
+	owner   int  // packet currently allocated to this VC (-1 = free)
+	routed  bool // head routing + VC allocation done for current packet
+	outPort int
+	outVC   int
+	eject   bool
+}
+
+type inFlight struct {
+	f      flit
+	arrive int
+	router int
+	port   int
+	vc     int
+}
+
+// Run executes one simulation and returns measured performance.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	t := cfg.Topology
+	V := cfg.Router.VCs
+	P := t.Ports()
+	classSize := V / t.VCClasses
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// State: input VC queues per (router, port, vc).
+	idx := func(router, port, vc int) int { return (router*P+port)*V + vc }
+	vcs := make([]vcState, t.Routers*P*V)
+	for i := range vcs {
+		vcs[i].owner = -1
+	}
+	// Credits for each (router, netPort, vc): free downstream buffer slots.
+	credits := make([]int, t.Routers*t.NetPorts*V)
+	for i := range credits {
+		credits[i] = cfg.Router.BufDepth
+	}
+	cidx := func(router, netPort, vc int) int { return (router*t.NetPorts+netPort)*V + vc }
+
+	// Link pipelines: flits in flight, delivered at their arrival cycle.
+	var wire []inFlight
+
+	// Output arbiter round-robin pointers per (router, output).
+	rrPtr := make([]int, t.Routers*(t.NetPorts+t.Conc))
+
+	// Source queues: packets waiting to enter the network.
+	srcQ := make([][]flit, t.Endpoints)
+
+	totalCycles := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+	measStart, measEnd := cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles
+
+	res := Result{}
+	var latencySum int64
+	flitsDeliveredInWindow := 0
+	nextPacket := 0
+	pktRate := cfg.InjectionRate / float64(cfg.PacketFlits)
+
+	lgN := bitsLen(t.Endpoints - 1)
+	dest := func(src int) int {
+		switch cfg.Traffic {
+		case TrafficBitComplement:
+			return (^src) & (t.Endpoints - 1)
+		case TrafficTranspose:
+			half := lgN / 2
+			lo := src & (1<<half - 1)
+			hi := src >> half
+			d := lo<<(lgN-half) | hi
+			if d != src {
+				return d
+			}
+		case TrafficNeighbor:
+			return (src + 1) % t.Endpoints
+		case TrafficShuffle:
+			d := (src<<1 | src>>(lgN-1)) & (t.Endpoints - 1)
+			if d != src {
+				return d
+			}
+		case TrafficHotspot:
+			if r.Float64() < 0.1 && src != 0 {
+				return 0
+			}
+		}
+		for {
+			d := r.Intn(t.Endpoints)
+			if d != src {
+				return d
+			}
+		}
+	}
+
+	for cycle := 0; cycle < totalCycles; cycle++ {
+		// 1. Deliver in-flight flits whose time has come.
+		keep := wire[:0]
+		for _, w := range wire {
+			if w.arrive > cycle {
+				keep = append(keep, w)
+				continue
+			}
+			s := &vcs[idx(w.router, w.port, w.vc)]
+			s.q = append(s.q, w.f)
+		}
+		wire = keep
+
+		// 2. Per router: ejection, then switch allocation per output port.
+		// The router model has full input speedup (any number of VCs of an
+		// input port may traverse per cycle) - the standard simplification
+		// of fast NoC simulators; allocator cost differences are captured
+		// by the synthesis models instead.
+		nCand := P * V
+		for rt := 0; rt < t.Routers; rt++ {
+			// Ejection: each local output port drains one flit per cycle.
+			for lp := 0; lp < t.Conc; lp++ {
+				won := -1
+				base := rrPtr[rt*(t.NetPorts+t.Conc)+t.NetPorts+lp]
+				for k := 0; k < nCand; k++ {
+					cand := (base + k) % nCand
+					inP, inV := cand/V, cand%V
+					s := &vcs[idx(rt, inP, inV)]
+					if len(s.q) == 0 {
+						continue
+					}
+					if !ensureRouted(t, rt, s, &vcs, idx, credits, cidx, V, classSize) {
+						continue
+					}
+					if !s.eject {
+						continue
+					}
+					// Destination endpoint must map to this local port.
+					_, localPort := t.endpointRouter(s.q[0].dst)
+					if localPort != lp {
+						continue
+					}
+					won = cand
+					break
+				}
+				if won < 0 {
+					continue
+				}
+				rrPtr[rt*(t.NetPorts+t.Conc)+t.NetPorts+lp] = (won + 1) % nCand
+				inP, inV := won/V, won%V
+				s := &vcs[idx(rt, inP, inV)]
+				f := s.q[0]
+				s.q = s.q[1:]
+				creditUpstream(t, rt, inP, inV, credits, cidx)
+				if f.tail {
+					s.owner = -1
+					s.routed = false
+					res.Delivered++
+					if f.measured {
+						latencySum += int64(cycle - f.born)
+						res.PacketsMeasured++
+					}
+				}
+				if cycle >= measStart && cycle < measEnd {
+					flitsDeliveredInWindow++
+				}
+			}
+
+			// Network outputs: one flit per output port per cycle.
+			for outP := 0; outP < t.NetPorts; outP++ {
+				if t.neighbor[rt][outP].router < 0 {
+					continue // unconnected (mesh edge)
+				}
+				won := -1
+				base := rrPtr[rt*(t.NetPorts+t.Conc)+outP]
+				for k := 0; k < nCand; k++ {
+					cand := (base + k) % nCand
+					inP, inV := cand/V, cand%V
+					s := &vcs[idx(rt, inP, inV)]
+					if len(s.q) == 0 {
+						continue
+					}
+					if !ensureRouted(t, rt, s, &vcs, idx, credits, cidx, V, classSize) {
+						continue
+					}
+					if s.eject || s.outPort != outP {
+						continue
+					}
+					if credits[cidx(rt, outP, s.outVC)] <= 0 {
+						continue
+					}
+					won = cand
+					break
+				}
+				if won < 0 {
+					continue
+				}
+				rrPtr[rt*(t.NetPorts+t.Conc)+outP] = (won + 1) % nCand
+				inP, inV := won/V, won%V
+				s := &vcs[idx(rt, inP, inV)]
+				f := s.q[0]
+				s.q = s.q[1:]
+				creditUpstream(t, rt, inP, inV, credits, cidx)
+				credits[cidx(rt, outP, s.outVC)]--
+				nb := t.neighbor[rt][outP]
+				wire = append(wire, inFlight{
+					f:      f,
+					arrive: cycle + cfg.Router.PipelineLatency,
+					router: nb.router,
+					port:   t.Conc + nb.port,
+					vc:     s.outVC,
+				})
+				if f.tail {
+					s.owner = -1
+					s.routed = false
+				}
+			}
+		}
+
+		// 3. Injection: generate packets; move source-queue flits into the
+		// local input port when space allows.
+		if cycle < measEnd { // stop offering load during drain
+			for ep := 0; ep < t.Endpoints; ep++ {
+				if r.Float64() < pktRate {
+					d := dest(ep)
+					measured := cycle >= measStart && cycle < measEnd
+					for i := 0; i < cfg.PacketFlits; i++ {
+						srcQ[ep] = append(srcQ[ep], flit{
+							packet:   nextPacket,
+							dst:      d,
+							head:     i == 0,
+							tail:     i == cfg.PacketFlits-1,
+							born:     cycle,
+							measured: measured,
+						})
+					}
+					nextPacket++
+					res.Injected++
+				}
+			}
+		}
+		for ep := 0; ep < t.Endpoints; ep++ {
+			if len(srcQ[ep]) == 0 {
+				continue
+			}
+			rt, lp := t.endpointRouter(ep)
+			// The local input port uses VC (lp % classSize) of class 0; the
+			// buffer bound applies like any other input.
+			s := &vcs[idx(rt, lp, lp%classSize)]
+			for len(srcQ[ep]) > 0 && len(s.q) < cfg.Router.BufDepth {
+				f := srcQ[ep][0]
+				if f.head && s.owner >= 0 && s.owner != f.packet {
+					break // previous packet still draining through this VC
+				}
+				if f.head {
+					s.owner = f.packet
+				}
+				s.q = append(s.q, f)
+				srcQ[ep] = srcQ[ep][1:]
+			}
+		}
+	}
+
+	if res.PacketsMeasured > 0 {
+		res.AvgLatency = float64(latencySum) / float64(res.PacketsMeasured)
+	}
+	res.Throughput = float64(flitsDeliveredInWindow) / float64(t.Endpoints) / float64(cfg.MeasureCycles)
+	return res, nil
+}
+
+// ensureRouted performs route computation and VC allocation for the packet
+// at the head of s, returning whether the head flit is ready to compete for
+// the switch.
+func ensureRouted(t *Topology, rt int, s *vcState, vcs *[]vcState,
+	idx func(int, int, int) int, credits []int, cidx func(int, int, int) int,
+	V, classSize int) bool {
+	if s.routed {
+		return true
+	}
+	f := s.q[0]
+	if !f.head {
+		// Body flit of a packet whose state was cleared - cannot happen in
+		// a correct wormhole flow; treat as not ready.
+		return false
+	}
+	dec := t.route(rt, f.dst, f.class)
+	if dec.ejection {
+		s.eject = true
+		s.routed = true
+		return true
+	}
+	class := f.class
+	if dec.vcClass >= 0 {
+		class = dec.vcClass
+	}
+	// VC allocation: find a free downstream input VC in the class range.
+	nb := t.neighbor[rt][dec.outPort]
+	lo := class * classSize
+	hi := lo + classSize
+	if hi > V {
+		hi = V
+	}
+	for vc := lo; vc < hi; vc++ {
+		down := &(*vcs)[idx(nb.router, t.Conc+nb.port, vc)]
+		if down.owner == -1 && credits[cidx(rt, dec.outPort, vc)] > 0 {
+			down.owner = f.packet
+			s.eject = false
+			s.routed = true
+			s.outPort = dec.outPort
+			s.outVC = vc
+			// Propagate the (possibly updated) class to the packet's flits.
+			for i := range s.q {
+				if s.q[i].packet == f.packet {
+					s.q[i].class = class
+				}
+			}
+			return true
+		}
+	}
+	return false // no VC available this cycle
+}
+
+// creditUpstream returns one buffer credit to the sender feeding (rt, inP,
+// inV). Local injection ports have no upstream credits.
+func creditUpstream(t *Topology, rt, inP, inV int, credits []int, cidx func(int, int, int) int) {
+	if inP < t.Conc {
+		return // local port: source queue, no credit loop
+	}
+	netP := inP - t.Conc
+	up := t.neighbor[rt][netP]
+	if up.router < 0 {
+		return
+	}
+	credits[cidx(up.router, up.port, inV)]++
+}
+
+// bitsLen returns the number of bits needed to represent v.
+func bitsLen(v int) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LoadPoint is one sample of a latency-throughput curve.
+type LoadPoint struct {
+	Offered    float64 // offered load, flits/endpoint/cycle
+	Throughput float64 // accepted load
+	AvgLatency float64 // cycles
+}
+
+// Sweep measures the latency-throughput curve at the given offered loads.
+// Loads are simulated in ascending order; results are returned in that
+// order.
+func Sweep(base Config, loads []float64) ([]LoadPoint, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("netsim: no loads to sweep")
+	}
+	sorted := append([]float64(nil), loads...)
+	sort.Float64s(sorted)
+	out := make([]LoadPoint, 0, len(sorted))
+	for _, load := range sorted {
+		cfg := base
+		cfg.InjectionRate = load
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LoadPoint{Offered: load, Throughput: res.Throughput, AvgLatency: res.AvgLatency})
+	}
+	return out, nil
+}
+
+// SaturationThroughput estimates the network's saturation point: the
+// highest accepted throughput at which average latency stays below
+// latencyFactor times the zero-load latency (the standard NoC saturation
+// criterion). It probes by doubling then refines by bisection, using
+// `probes` total simulations (default 8 when <= 0).
+func SaturationThroughput(base Config, latencyFactor float64, probes int) (float64, error) {
+	if latencyFactor <= 1 {
+		latencyFactor = 3
+	}
+	if probes <= 0 {
+		probes = 8
+	}
+	// Zero-load reference at a very light load.
+	ref := base
+	ref.InjectionRate = 0.02
+	refRes, err := Run(ref)
+	if err != nil {
+		return 0, err
+	}
+	if refRes.PacketsMeasured == 0 {
+		return 0, fmt.Errorf("netsim: no traffic at reference load")
+	}
+	limit := refRes.AvgLatency * latencyFactor
+
+	lo, hi := 0.02, 1.0
+	bestAccepted := refRes.Throughput
+	for i := 0; i < probes; i++ {
+		mid := (lo + hi) / 2
+		cfg := base
+		cfg.InjectionRate = mid
+		res, err := Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if res.PacketsMeasured > 0 && res.AvgLatency <= limit {
+			lo = mid
+			if res.Throughput > bestAccepted {
+				bestAccepted = res.Throughput
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return bestAccepted, nil
+}

@@ -1,0 +1,65 @@
+package netsim
+
+import "testing"
+
+func TestSweepShape(t *testing.T) {
+	topo, _ := Build(TopoMesh, 16)
+	base := simConfig(topo, 0.1, 31)
+	base.WarmupCycles, base.MeasureCycles, base.DrainCycles = 200, 400, 400
+	curve, err := Sweep(base, []float64{0.4, 0.05, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// Returned in ascending offered-load order.
+	if curve[0].Offered != 0.05 || curve[2].Offered != 0.4 {
+		t.Errorf("curve not sorted: %+v", curve)
+	}
+	// Latency is non-decreasing with load.
+	if curve[2].AvgLatency < curve[0].AvgLatency {
+		t.Errorf("latency decreased with load: %+v", curve)
+	}
+	// Below saturation, accepted tracks offered.
+	if curve[0].Throughput < 0.03 || curve[0].Throughput > 0.08 {
+		t.Errorf("low-load accepted %.3f at offered 0.05", curve[0].Throughput)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	topo, _ := Build(TopoMesh, 16)
+	if _, err := Sweep(simConfig(topo, 0.1, 1), nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	mesh, _ := Build(TopoMesh, 16)
+	ring, _ := Build(TopoRing, 16)
+	mk := func(topo *Topology) Config {
+		cfg := simConfig(topo, 0.1, 41)
+		cfg.WarmupCycles, cfg.MeasureCycles, cfg.DrainCycles = 200, 400, 400
+		return cfg
+	}
+	meshSat, err := SaturationThroughput(mk(mesh), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringSat, err := SaturationThroughput(mk(ring), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meshSat <= 0 || meshSat > 1 || ringSat <= 0 || ringSat > 1 {
+		t.Fatalf("saturation out of range: mesh %.3f ring %.3f", meshSat, ringSat)
+	}
+	// A 4x4 mesh has twice the ring's bisection: it must saturate higher.
+	if meshSat <= ringSat {
+		t.Errorf("mesh saturation %.3f <= ring %.3f", meshSat, ringSat)
+	}
+	// Known bound: uniform traffic on a 4x4 mesh saturates well below 1.0
+	// and above the ring's ~0.25.
+	if meshSat < 0.2 || meshSat > 0.95 {
+		t.Errorf("mesh saturation %.3f outside plausible band", meshSat)
+	}
+}

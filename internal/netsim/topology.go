@@ -1,0 +1,357 @@
+// Package netsim is a cycle-based network-on-chip simulator used to
+// characterize NoC design points by measured performance (packet latency
+// and accepted throughput) rather than analytical bounds. It models
+// credit-based wormhole routers with virtual channels, deterministic
+// deadlock-free routing per topology, and synthetic traffic patterns -
+// the "simulation tools" half of the paper's characterization flow (the
+// CAD half lives in internal/synth).
+package netsim
+
+import (
+	"fmt"
+)
+
+// Topology kinds supported by the simulator (the bidirectional families of
+// the paper's Figure 2; the unidirectional butterfly is not simulated).
+const (
+	TopoRing           = "ring"
+	TopoDoubleRing     = "double_ring"
+	TopoConcRing       = "conc_ring"
+	TopoConcDoubleRing = "conc_double_ring"
+	TopoMesh           = "mesh"
+	TopoTorus          = "torus"
+	TopoFatTree        = "fat_tree"
+)
+
+// SimTopologies lists the simulatable topology kinds.
+var SimTopologies = []string{
+	TopoRing, TopoDoubleRing, TopoConcRing, TopoConcDoubleRing,
+	TopoMesh, TopoTorus, TopoFatTree,
+}
+
+// port addresses a router input/output: local ejection/injection ports come
+// first (one per attached endpoint), then network ports.
+type port struct {
+	router int
+	port   int
+}
+
+// hopDecision is a routing step: the output port to take and, when the hop
+// crosses a dateline, a forced switch to the next VC class.
+type hopDecision struct {
+	outPort  int
+	vcClass  int // VC class to use from here on (-1 = keep current)
+	ejection bool
+}
+
+// Topology is an instantiated network graph with deterministic,
+// deadlock-free routing.
+type Topology struct {
+	Kind      string
+	Endpoints int
+	Routers   int
+	// Conc is the number of endpoints per router.
+	Conc int
+	// NetPorts is the number of network (non-local) ports per router.
+	NetPorts int
+	// VCClasses is the number of VC classes the routing function needs
+	// (2 for dateline-protected rings/tori, 1 otherwise). The simulated
+	// router must have at least this many VCs.
+	VCClasses int
+
+	// neighbor[r][p] is the (router, port) reached by leaving router r via
+	// network port p (p counts from 0 over network ports only).
+	neighbor [][]port
+	// route decides the next hop at router r for a packet to endpoint dst
+	// currently in VC class cls.
+	route func(r, dst, cls int) hopDecision
+
+	// extra per-kind state
+	side   int   // mesh/torus side
+	levels int   // fat tree levels
+	parent []int // fat-tree helper
+}
+
+// endpointRouter returns the router an endpoint attaches to and its local
+// port index.
+func (t *Topology) endpointRouter(ep int) (router, localPort int) {
+	return ep / t.Conc, ep % t.Conc
+}
+
+// EndpointRouter returns the router an endpoint attaches to and its local
+// port index (for netlist generation and analysis).
+func (t *Topology) EndpointRouter(ep int) (router, localPort int) {
+	return t.endpointRouter(ep)
+}
+
+// NeighborOf returns the (router, networkPort) reached by leaving router r
+// via network port p, or connected=false for a dangling port (mesh edges).
+func (t *Topology) NeighborOf(r, p int) (router, netPort int, connected bool) {
+	nb := t.neighbor[r][p]
+	if nb.router < 0 {
+		return 0, 0, false
+	}
+	return nb.router, nb.port, true
+}
+
+// Ports returns the router radix (local + network ports).
+func (t *Topology) Ports() int { return t.Conc + t.NetPorts }
+
+// Build constructs a topology of the given kind for n endpoints. n must be
+// a positive power of two >= 16 (and a perfect square for mesh/torus).
+func Build(kind string, n int) (*Topology, error) {
+	if n < 16 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("netsim: endpoint count %d must be a power of two >= 16", n)
+	}
+	switch kind {
+	case TopoRing:
+		return buildRing(n, 1, 1), nil
+	case TopoDoubleRing:
+		return buildRing(n, 1, 2), nil
+	case TopoConcRing:
+		return buildRing(n, 4, 1), nil
+	case TopoConcDoubleRing:
+		return buildRing(n, 4, 2), nil
+	case TopoMesh:
+		return buildGrid(n, false)
+	case TopoTorus:
+		return buildGrid(n, true)
+	case TopoFatTree:
+		return buildFatTree(n)
+	}
+	return nil, fmt.Errorf("netsim: unknown or unsimulatable topology %q", kind)
+}
+
+// buildRing constructs a (possibly concentrated, possibly doubled)
+// bidirectional ring. Network ports per lane: 0=counter-clockwise (toward
+// lower indices), 1=clockwise. Dateline: packets crossing the wrap edge
+// switch to VC class 1, so rings need 2 VC classes.
+func buildRing(n, conc, lanes int) *Topology {
+	r := n / conc
+	t := &Topology{
+		Kind:      kindOfRing(conc, lanes),
+		Endpoints: n,
+		Routers:   r,
+		Conc:      conc,
+		NetPorts:  2 * lanes,
+		VCClasses: 2,
+	}
+	t.neighbor = make([][]port, r)
+	for i := 0; i < r; i++ {
+		t.neighbor[i] = make([]port, t.NetPorts)
+		for lane := 0; lane < lanes; lane++ {
+			ccw, cw := 2*lane, 2*lane+1
+			t.neighbor[i][ccw] = port{router: (i - 1 + r) % r, port: cw}
+			t.neighbor[i][cw] = port{router: (i + 1) % r, port: ccw}
+		}
+	}
+	t.route = func(rt, dst, cls int) hopDecision {
+		dr, _ := t.endpointRouter(dst)
+		if dr == rt {
+			return hopDecision{ejection: true}
+		}
+		// Shortest direction; ties go clockwise. Lane chosen by
+		// destination parity to spread load across doubled rings.
+		fwd := (dr - rt + r) % r
+		lane := 0
+		if lanes > 1 {
+			lane = dst % lanes
+		}
+		var out int
+		var crossesWrap bool
+		if fwd <= r-fwd {
+			out = 2*lane + 1 // clockwise
+			crossesWrap = rt+1 == r
+		} else {
+			out = 2 * lane // counter-clockwise
+			crossesWrap = rt == 0
+		}
+		vc := -1
+		if crossesWrap {
+			vc = 1 // dateline: switch class to break the cycle
+		}
+		return hopDecision{outPort: out, vcClass: vc}
+	}
+	return t
+}
+
+func kindOfRing(conc, lanes int) string {
+	switch {
+	case conc > 1 && lanes > 1:
+		return TopoConcDoubleRing
+	case conc > 1:
+		return TopoConcRing
+	case lanes > 1:
+		return TopoDoubleRing
+	}
+	return TopoRing
+}
+
+// Grid port layout: 0=west, 1=east, 2=south, 3=north (after local ports).
+const (
+	gridW = 0
+	gridE = 1
+	gridS = 2
+	gridN = 3
+)
+
+// buildGrid constructs an XY-routed mesh or torus. XY dimension-ordered
+// routing is deadlock-free on the mesh; the torus additionally needs a
+// dateline class per dimension crossing, so it requires 2 VC classes.
+func buildGrid(n int, wrap bool) (*Topology, error) {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return nil, fmt.Errorf("netsim: mesh/torus needs a square endpoint count, got %d", n)
+	}
+	kind := TopoMesh
+	classes := 1
+	if wrap {
+		kind = TopoTorus
+		classes = 2
+	}
+	t := &Topology{
+		Kind:      kind,
+		Endpoints: n,
+		Routers:   n,
+		Conc:      1,
+		NetPorts:  4,
+		VCClasses: classes,
+		side:      side,
+	}
+	idx := func(x, y int) int { return y*side + x }
+	t.neighbor = make([][]port, n)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			nb := make([]port, 4)
+			none := port{router: -1}
+			nb[gridW], nb[gridE], nb[gridS], nb[gridN] = none, none, none, none
+			if x > 0 || wrap {
+				nb[gridW] = port{router: idx((x-1+side)%side, y), port: gridE}
+			}
+			if x < side-1 || wrap {
+				nb[gridE] = port{router: idx((x+1)%side, y), port: gridW}
+			}
+			if y > 0 || wrap {
+				nb[gridS] = port{router: idx(x, (y-1+side)%side), port: gridN}
+			}
+			if y < side-1 || wrap {
+				nb[gridN] = port{router: idx(x, (y+1)%side), port: gridS}
+			}
+			t.neighbor[idx(x, y)] = nb
+		}
+	}
+	t.route = func(rt, dst, cls int) hopDecision {
+		dr, _ := t.endpointRouter(dst)
+		if dr == rt {
+			return hopDecision{ejection: true}
+		}
+		x, y := rt%side, rt/side
+		dx, dy := dr%side, dr/side
+		// X first, then Y (dimension order).
+		if x != dx {
+			out, crosses := gridStep(x, dx, side, wrap, gridW, gridE)
+			vc := -1
+			if crosses {
+				vc = 1
+			}
+			return hopDecision{outPort: out, vcClass: vc}
+		}
+		out, crosses := gridStep(y, dy, side, wrap, gridS, gridN)
+		vc := -1
+		if crosses {
+			vc = 1
+		}
+		return hopDecision{outPort: out, vcClass: vc}
+	}
+	return t, nil
+}
+
+// gridStep picks the direction along one dimension and reports whether the
+// hop crosses the wrap edge (torus dateline).
+func gridStep(cur, dst, side int, wrap bool, negPort, posPort int) (out int, crossesWrap bool) {
+	if !wrap {
+		if dst > cur {
+			return posPort, false
+		}
+		return negPort, false
+	}
+	fwd := (dst - cur + side) % side
+	if fwd <= side-fwd {
+		return posPort, cur == side-1
+	}
+	return negPort, cur == 0
+}
+
+// buildFatTree constructs a 4-ary n-tree (the fat-tree variant used by
+// CONNECT-style generators): levels = log4(n) switch levels of n/4 switches
+// each, level-0 switches hosting 4 endpoints. Switch positions are labeled
+// in base 4; a level-l switch and a level-(l+1) switch are connected iff
+// their labels agree everywhere except digit l, the child using up port
+// (parent's digit l) and the parent using down port (child's digit l).
+// Up*/down routing on such trees is deadlock-free with one VC class.
+func buildFatTree(n int) (*Topology, error) {
+	levels := 0
+	for m := n; m > 1; m /= 4 {
+		if m%4 != 0 {
+			return nil, fmt.Errorf("netsim: fat tree needs a power-of-4 endpoint count, got %d", n)
+		}
+		levels++
+	}
+	perLevel := n / 4
+	routers := levels * perLevel
+	t := &Topology{
+		Kind:      TopoFatTree,
+		Endpoints: n,
+		Routers:   routers,
+		Conc:      4, // level-0 switches host 4 endpoints each
+		NetPorts:  8, // ports 0-3 down, 4-7 up
+		VCClasses: 1,
+		levels:    levels,
+	}
+	id := func(level, pos int) int { return level*perLevel + pos }
+	digit := func(x, i int) int { return (x >> uint(2*i)) & 3 }
+	setDigit := func(x, i, d int) int { return x&^(3<<uint(2*i)) | d<<uint(2*i) }
+
+	t.neighbor = make([][]port, routers)
+	for i := range t.neighbor {
+		nb := make([]port, t.NetPorts)
+		for p := range nb {
+			nb[p] = port{router: -1}
+		}
+		t.neighbor[i] = nb
+	}
+	for l := 0; l < levels-1; l++ {
+		for ppos := 0; ppos < perLevel; ppos++ { // level l+1 parent
+			u := digit(ppos, l) // child's up-port index
+			for d := 0; d < 4; d++ {
+				child := setDigit(ppos, l, d) // level l child
+				t.neighbor[id(l+1, ppos)][d] = port{router: id(l, child), port: 4 + u}
+				t.neighbor[id(l, child)][4+u] = port{router: id(l+1, ppos), port: d}
+			}
+		}
+	}
+	pow4 := func(e int) int { return 1 << uint(2*e) }
+	t.route = func(rt, dst, cls int) hopDecision {
+		level := rt / perLevel
+		pos := rt % perLevel
+		dleaf := dst / 4 // destination level-0 switch
+		contained := dleaf/pow4(level) == pos/pow4(level)
+		switch {
+		case contained && level == 0:
+			return hopDecision{ejection: true}
+		case contained:
+			// Descend toward the child matching dst's next digit.
+			return hopDecision{outPort: digit(dleaf, level-1)}
+		default:
+			// Ascend: any up port reaches a valid ancestor (the descent
+			// phase fixes the position digits), so spread flows across the
+			// redundant roots by a hash of position and destination to
+			// avoid in-tree hotspots.
+			return hopDecision{outPort: 4 + (pos*7+dleaf*13+dst)&3}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,41 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"nautilus/internal/param"
+)
+
+// BenchmarkRouterCharacterize measures one synthetic "synthesis job" - the
+// per-design cost the search engines pay.
+func BenchmarkRouterCharacterize(b *testing.B) {
+	s := RouterSpace()
+	r := rand.New(rand.NewSource(1))
+	pts := make([]param.Point, 64)
+	for i := range pts {
+		pts[i] = s.Random(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RouterEvaluate(s, pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkCharacterize measures one network-level evaluation.
+func BenchmarkNetworkCharacterize(b *testing.B) {
+	s := NetworkSpace()
+	r := rand.New(rand.NewSource(2))
+	pts := make([]param.Point, 64)
+	for i := range pts {
+		pts[i] = s.Random(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NetworkEvaluate(s, pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

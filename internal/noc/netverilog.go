@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"fmt"
+
+	"nautilus/internal/netsim"
+	"nautilus/internal/rtl"
+)
+
+// Verilog emits synthesizable RTL for the complete network: one vc_router
+// instance per node, inter-router flit/valid/credit links wired per the
+// topology, and the endpoint interfaces exported at the top. Supported for
+// the bidirectional families whose switch radix matches the router
+// generator's model (rings, mesh, torus); the multistage families return
+// an error.
+func (n Network) Verilog() (*rtl.Design, error) {
+	switch n.Topology {
+	case TopoRing, TopoDoubleRing, TopoConcRing, TopoConcDoubleRing, TopoMesh, TopoTorus:
+	default:
+		return nil, fmt.Errorf("noc: network RTL emission not supported for topology %q", n.Topology)
+	}
+	topo, err := netsim.Build(n.Topology, n.Endpoints)
+	if err != nil {
+		return nil, err
+	}
+	router := n.router(topo.Ports())
+	routerDesign, err := router.Verilog()
+	if err != nil {
+		return nil, err
+	}
+
+	flitW := n.FlitWidth + 8
+	top := rtl.NewModule("noc_top").SetComment(fmt.Sprintf(
+		"%d-endpoint %s NoC: %d routers of radix %d (%d local + %d network ports)",
+		n.Endpoints, n.Topology, topo.Routers, topo.Ports(), topo.Conc, topo.NetPorts))
+	top.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	for ep := 0; ep < n.Endpoints; ep++ {
+		top.AddPort(rtl.Input, fmt.Sprintf("ep_in_flit_%d", ep), flitW)
+		top.AddPort(rtl.Input, fmt.Sprintf("ep_in_valid_%d", ep), 1)
+		top.AddPort(rtl.Output, fmt.Sprintf("ep_in_credit_%d", ep), n.VCs)
+		top.AddPort(rtl.Output, fmt.Sprintf("ep_out_flit_%d", ep), flitW)
+		top.AddPort(rtl.Output, fmt.Sprintf("ep_out_valid_%d", ep), 1)
+		top.AddPort(rtl.Input, fmt.Sprintf("ep_out_credit_%d", ep), n.VCs)
+	}
+
+	// Link wires: one bundle per (router, network output port).
+	for r := 0; r < topo.Routers; r++ {
+		for p := 0; p < topo.NetPorts; p++ {
+			if _, _, ok := topo.NeighborOf(r, p); !ok {
+				continue
+			}
+			top.AddWire(fmt.Sprintf("lnk_flit_%d_%d", r, p), flitW)
+			top.AddWire(fmt.Sprintf("lnk_valid_%d_%d", r, p), 1)
+			top.AddWire(fmt.Sprintf("lnk_credit_%d_%d", r, p), n.VCs)
+		}
+	}
+	// Dangling mesh-edge inputs tie off to constants.
+	tieFlit, tieValid, tieCredit := false, false, false
+
+	for r := 0; r < topo.Routers; r++ {
+		conns := map[string]string{"clk": "clk", "rst": "rst"}
+		for lp := 0; lp < topo.Conc; lp++ {
+			ep := r*topo.Conc + lp
+			conns[fmt.Sprintf("in_flit_%d", lp)] = fmt.Sprintf("ep_in_flit_%d", ep)
+			conns[fmt.Sprintf("in_valid_%d", lp)] = fmt.Sprintf("ep_in_valid_%d", ep)
+			conns[fmt.Sprintf("in_credit_%d", lp)] = fmt.Sprintf("ep_in_credit_%d", ep)
+			conns[fmt.Sprintf("out_flit_%d", lp)] = fmt.Sprintf("ep_out_flit_%d", ep)
+			conns[fmt.Sprintf("out_valid_%d", lp)] = fmt.Sprintf("ep_out_valid_%d", ep)
+			conns[fmt.Sprintf("out_credit_%d", lp)] = fmt.Sprintf("ep_out_credit_%d", ep)
+		}
+		for p := 0; p < topo.NetPorts; p++ {
+			portIdx := topo.Conc + p
+			nbR, nbP, ok := topo.NeighborOf(r, p)
+			if !ok {
+				// Edge of a mesh: drive inputs with zeros, leave outputs
+				// unconnected.
+				conns[fmt.Sprintf("in_flit_%d", portIdx)] = "tie_zero_flit"
+				conns[fmt.Sprintf("in_valid_%d", portIdx)] = "tie_zero_valid"
+				conns[fmt.Sprintf("out_credit_%d", portIdx)] = "tie_zero_credit"
+				tieFlit, tieValid, tieCredit = true, true, true
+				continue
+			}
+			// This router's output p drives its own link bundle; its input
+			// p listens to the neighbor's bundle for the reverse port.
+			conns[fmt.Sprintf("out_flit_%d", portIdx)] = fmt.Sprintf("lnk_flit_%d_%d", r, p)
+			conns[fmt.Sprintf("out_valid_%d", portIdx)] = fmt.Sprintf("lnk_valid_%d_%d", r, p)
+			conns[fmt.Sprintf("in_flit_%d", portIdx)] = fmt.Sprintf("lnk_flit_%d_%d", nbR, nbP)
+			conns[fmt.Sprintf("in_valid_%d", portIdx)] = fmt.Sprintf("lnk_valid_%d_%d", nbR, nbP)
+			// Credits flow against the data: this input port returns
+			// credits on the neighbor's bundle; this output port receives
+			// credits on its own.
+			conns[fmt.Sprintf("in_credit_%d", portIdx)] = fmt.Sprintf("lnk_credit_%d_%d", nbR, nbP)
+			conns[fmt.Sprintf("out_credit_%d", portIdx)] = fmt.Sprintf("lnk_credit_%d_%d", r, p)
+		}
+		top.Instantiate("vc_router", fmt.Sprintf("router_%d", r), nil, conns)
+	}
+	if tieFlit {
+		top.AddWire("tie_zero_flit", flitW)
+		top.Assign("tie_zero_flit", "0")
+	}
+	if tieValid {
+		top.AddWire("tie_zero_valid", 1)
+		top.Assign("tie_zero_valid", "0")
+	}
+	if tieCredit {
+		top.AddWire("tie_zero_credit", n.VCs)
+		top.Assign("tie_zero_credit", "0")
+	}
+
+	out := &rtl.Design{Top: "noc_top"}
+	out.Modules = append(out.Modules, top)
+	out.Modules = append(out.Modules, routerDesign.Modules...)
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

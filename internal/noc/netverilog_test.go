@@ -1,0 +1,86 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func testNetwork(topo string) Network {
+	return Network{
+		Topology: topo, Endpoints: 64, VCs: 2, BufDepth: 4,
+		FlitWidth: 32, Alloc: AllocSepIF,
+	}
+}
+
+func TestNetworkVerilogMesh(t *testing.T) {
+	d, err := testNetwork(TopoMesh).Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatalf("structural check: %v", err)
+	}
+	routers := 0
+	for _, inst := range d.Modules[0].Instances() {
+		if inst.Module == "vc_router" {
+			routers++
+		}
+	}
+	if routers != 64 {
+		t.Errorf("mesh instantiates %d routers, want 64", routers)
+	}
+	v := d.Verilog()
+	if !strings.Contains(v, "ep_in_flit_63") {
+		t.Error("missing endpoint 63 interface")
+	}
+	// Mesh edges need tie-offs.
+	if !strings.Contains(v, "tie_zero_flit") {
+		t.Error("mesh edge tie-offs missing")
+	}
+}
+
+func TestNetworkVerilogTorusNoTieOffs(t *testing.T) {
+	d, err := testNetwork(TopoTorus).Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(d.Verilog(), "tie_zero_flit") {
+		t.Error("torus has no dangling ports; tie-offs should be absent")
+	}
+}
+
+func TestNetworkVerilogConcentratedRing(t *testing.T) {
+	d, err := testNetwork(TopoConcRing).Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := 0
+	for _, inst := range d.Modules[0].Instances() {
+		if inst.Module == "vc_router" {
+			routers++
+		}
+	}
+	if routers != 16 {
+		t.Errorf("concentrated ring instantiates %d routers, want 16", routers)
+	}
+}
+
+func TestNetworkVerilogUnsupportedTopologies(t *testing.T) {
+	for _, topo := range []string{TopoFatTree, TopoButterfly} {
+		if _, err := testNetwork(topo).Verilog(); err == nil {
+			t.Errorf("%s should be unsupported for network RTL", topo)
+		}
+	}
+}
+
+func TestNetworkVerilogAllBidirectionalFamilies(t *testing.T) {
+	for _, topo := range []string{TopoRing, TopoDoubleRing, TopoConcRing, TopoConcDoubleRing, TopoMesh, TopoTorus} {
+		d, err := testNetwork(topo).Verilog()
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if err := d.Check(); err != nil {
+			t.Fatalf("%s: structural check: %v", topo, err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/synth"
+)
+
+// Topology family names, matching the legend of the paper's Figure 2.
+const (
+	TopoRing           = "ring"
+	TopoDoubleRing     = "double_ring"
+	TopoConcRing       = "conc_ring"
+	TopoConcDoubleRing = "conc_double_ring"
+	TopoMesh           = "mesh"
+	TopoTorus          = "torus"
+	TopoFatTree        = "fat_tree"
+	TopoButterfly      = "butterfly"
+)
+
+// Topologies lists the families in the paper's Figure 2 legend order.
+var Topologies = []string{
+	TopoConcRing, TopoConcDoubleRing, TopoRing, TopoDoubleRing,
+	TopoMesh, TopoTorus, TopoFatTree, TopoButterfly,
+}
+
+// Network parameter names (the network space shares the router's VC, buffer
+// depth, flit width, and allocator parameters).
+const (
+	ParamTopology = "topology"
+)
+
+// topoShape describes a topology instantiated for a given endpoint count.
+type topoShape struct {
+	Routers int // router instances
+	Ports   int // radix of each router
+	// BisectionChannels is the number of unidirectional channels crossing
+	// the network's minimum bisection cut.
+	BisectionChannels int
+	// Links is the total number of unidirectional inter-router channels
+	// (for wiring area/power).
+	Links int
+	// AvgLinkMM approximates the average physical link length in mm on a
+	// 65nm floorplan (drives link power).
+	AvgLinkMM float64
+}
+
+// shapeFor returns the topology shape for n endpoints. n must be a positive
+// power of two >= 16 for all families to be constructible.
+func shapeFor(topology string, n int) (topoShape, error) {
+	if n < 16 || n&(n-1) != 0 {
+		return topoShape{}, fmt.Errorf("noc: endpoint count %d must be a power of two >= 16", n)
+	}
+	side := int(math.Round(math.Sqrt(float64(n)))) // mesh/torus side
+	const conc = 4                                 // concentration factor for concentrated families
+	switch topology {
+	case TopoRing:
+		// n routers with local port, left and right neighbors.
+		return topoShape{Routers: n, Ports: 3, BisectionChannels: 4, Links: 2 * n, AvgLinkMM: 1.0}, nil
+	case TopoDoubleRing:
+		// Two rings in opposite rotation senses; radix 5.
+		return topoShape{Routers: n, Ports: 5, BisectionChannels: 8, Links: 4 * n, AvgLinkMM: 1.0}, nil
+	case TopoConcRing:
+		r := n / conc
+		return topoShape{Routers: r, Ports: 2 + conc, BisectionChannels: 4, Links: 2 * r, AvgLinkMM: 1.8}, nil
+	case TopoConcDoubleRing:
+		r := n / conc
+		return topoShape{Routers: r, Ports: 4 + conc, BisectionChannels: 8, Links: 4 * r, AvgLinkMM: 1.8}, nil
+	case TopoMesh:
+		if side*side != n {
+			return topoShape{}, fmt.Errorf("noc: mesh needs a square endpoint count, got %d", n)
+		}
+		return topoShape{
+			Routers: n, Ports: 5,
+			BisectionChannels: 2 * side,
+			Links:             4 * side * (side - 1),
+			AvgLinkMM:         1.0,
+		}, nil
+	case TopoTorus:
+		if side*side != n {
+			return topoShape{}, fmt.Errorf("noc: torus needs a square endpoint count, got %d", n)
+		}
+		return topoShape{
+			Routers: n, Ports: 5,
+			BisectionChannels: 4 * side,
+			Links:             4 * n,
+			AvgLinkMM:         1.4, // folded torus wrap links are longer
+		}, nil
+	case TopoFatTree:
+		// 4-ary fat tree: levels = log4(n), n/4 switches per level,
+		// full bisection bandwidth.
+		levels := int(math.Round(math.Log2(float64(n)) / 2))
+		return topoShape{
+			Routers: levels * n / 4, Ports: 8,
+			BisectionChannels: 2 * n,
+			Links:             levels * n * 2,
+			AvgLinkMM:         2.2,
+		}, nil
+	case TopoButterfly:
+		// 4-ary butterfly (unidirectional multistage network).
+		levels := int(math.Round(math.Log2(float64(n)) / 2))
+		return topoShape{
+			Routers: levels * n / 4, Ports: 8,
+			BisectionChannels: n,
+			Links:             levels * n,
+			AvgLinkMM:         2.0,
+		}, nil
+	}
+	return topoShape{}, fmt.Errorf("noc: unknown topology %q", topology)
+}
+
+// NetworkSpace returns the design space for complete 64-endpoint NoC
+// configurations: a topology family crossed with the router parameters the
+// CONNECT generator exposes at the network level.
+func NetworkSpace() *param.Space {
+	return param.MustSpace(
+		param.Choice(ParamTopology, Topologies...),
+		param.Levels(ParamVCs, 1, 2, 4),
+		param.Levels(ParamBufDepth, 4, 8),
+		param.Levels(ParamFlitWidth, 32, 64, 128, 256),
+		param.Choice(ParamAlloc, AllocSepIF, AllocSepOF, AllocWavefront),
+	)
+}
+
+// Network is a decoded network design point.
+type Network struct {
+	Topology  string
+	Endpoints int
+	VCs       int
+	BufDepth  int
+	FlitWidth int
+	Alloc     string
+}
+
+// DecodeNetwork extracts a 64-endpoint Network from a point of
+// NetworkSpace.
+func DecodeNetwork(s *param.Space, pt param.Point) Network {
+	return Network{
+		Topology:  s.String(pt, ParamTopology),
+		Endpoints: 64,
+		VCs:       s.Int(pt, ParamVCs),
+		BufDepth:  s.Int(pt, ParamBufDepth),
+		FlitWidth: s.Int(pt, ParamFlitWidth),
+		Alloc:     s.String(pt, ParamAlloc),
+	}
+}
+
+// router materializes the per-node router configuration used by the
+// network (CONNECT pipelines lightly and uses table routing for generality).
+func (n Network) router(ports int) Router {
+	return Router{
+		VCs:       n.VCs,
+		BufDepth:  n.BufDepth,
+		FlitWidth: n.FlitWidth,
+		Ports:     ports,
+		Alloc:     n.Alloc,
+		Pipeline:  2,
+		SpecSA:    false,
+		Routing:   RoutingTable,
+		AtomicVC:  true,
+	}
+}
+
+// Characterize evaluates the full network on the 65nm ASIC model, producing
+// silicon area (mm^2), power (mW), bisection bandwidth (Gbps), and the
+// network clock (MHz, set by the slowest router).
+func (n Network) Characterize() (metrics.Metrics, error) {
+	shape, err := shapeFor(n.Topology, n.Endpoints)
+	if err != nil {
+		return nil, err
+	}
+	node := synth.ASIC65nm
+	r := n.router(shape.Ports)
+
+	// ASIC logic is denser and faster than FPGA; reuse the structural LUT
+	// estimate as a gate-equivalent proxy and scale frequency up ~3x
+	// (typical FPGA->standard-cell gap at 65nm).
+	routerKGE := synth.KGEFromLUTs(r.LUTs())
+	freqMHz := r.FmaxMHz() * 3.0
+
+	// Buffers dominate SRAM: account them again as SRAM macro cost.
+	bufferKb := float64(shape.Ports*n.VCs*n.BufDepth*n.FlitWidth) / 1024
+	routerKGE += bufferKb * node.SRAMKGEPerKb
+
+	// Link wiring: repeaters/registers per mm per bit.
+	linkKGE := float64(shape.Links) * float64(n.FlitWidth) * shape.AvgLinkMM * 0.012
+
+	totalKGE := routerKGE*float64(shape.Routers) + linkKGE
+	key := fmt.Sprintf("net/%s/%d/%s", n.Topology, n.Endpoints, r.String())
+	areaMM2 := node.AreaMM2(totalKGE) * synth.Noise(key+"/area", noiseFrac)
+
+	// Activity: multistage/indirect networks keep more of the fabric busy.
+	activity := 0.25
+	if n.Topology == TopoFatTree || n.Topology == TopoButterfly {
+		activity = 0.35
+	}
+	powerMW := node.PowerMW(totalKGE, freqMHz, activity) * synth.Noise(key+"/power", noiseFrac)
+
+	bisectionGbps := float64(shape.BisectionChannels) * float64(n.FlitWidth) * freqMHz / 1000
+
+	return metrics.Metrics{
+		metrics.AreaMM2:       areaMM2,
+		metrics.PowerMW:       powerMW,
+		metrics.BisectionGbps: bisectionGbps,
+		metrics.FmaxMHz:       freqMHz,
+	}, nil
+}
+
+// NetworkEvaluate characterizes the network design space point pt.
+func NetworkEvaluate(s *param.Space, pt param.Point) (metrics.Metrics, error) {
+	if err := s.Validate(pt); err != nil {
+		return nil, err
+	}
+	return DecodeNetwork(s, pt).Characterize()
+}

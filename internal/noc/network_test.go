@@ -1,0 +1,173 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func TestShapeForAllTopologies(t *testing.T) {
+	for _, topo := range Topologies {
+		shape, err := shapeFor(topo, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if shape.Routers <= 0 || shape.Ports < 3 || shape.BisectionChannels <= 0 || shape.Links <= 0 {
+			t.Errorf("%s: degenerate shape %+v", topo, shape)
+		}
+		if shape.Ports > 8 {
+			t.Errorf("%s: radix %d exceeds router model range", topo, shape.Ports)
+		}
+	}
+}
+
+func TestShapeForRejectsBadEndpointCounts(t *testing.T) {
+	for _, n := range []int{0, 8, 63, 100} {
+		if _, err := shapeFor(TopoRing, n); err == nil {
+			t.Errorf("shapeFor(ring, %d) should fail", n)
+		}
+	}
+	if _, err := shapeFor("hypercube", 64); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}
+
+func TestConcentrationReducesRouters(t *testing.T) {
+	ring, _ := shapeFor(TopoRing, 64)
+	conc, _ := shapeFor(TopoConcRing, 64)
+	if conc.Routers >= ring.Routers {
+		t.Errorf("concentrated ring has %d routers, plain ring %d", conc.Routers, ring.Routers)
+	}
+}
+
+func TestTorusDoublesMeshBisection(t *testing.T) {
+	mesh, _ := shapeFor(TopoMesh, 64)
+	torus, _ := shapeFor(TopoTorus, 64)
+	if torus.BisectionChannels != 2*mesh.BisectionChannels {
+		t.Errorf("torus bisection %d, want 2x mesh %d", torus.BisectionChannels, mesh.BisectionChannels)
+	}
+}
+
+func TestNetworkSpace(t *testing.T) {
+	s := NetworkSpace()
+	// 8 * 3 * 2 * 4 * 3 = 576
+	if got := s.Cardinality(); got != 576 {
+		t.Fatalf("Cardinality = %d, want 576", got)
+	}
+}
+
+func TestNetworkCharacterizeAllPoints(t *testing.T) {
+	s := NetworkSpace()
+	count := 0
+	s.Enumerate(func(pt param.Point) bool {
+		m, err := NetworkEvaluate(s, pt)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Describe(pt), err)
+		}
+		for _, name := range []string{metrics.AreaMM2, metrics.PowerMW, metrics.BisectionGbps} {
+			if v, ok := m.Get(name); !ok || v <= 0 {
+				t.Fatalf("%s: %s = %v,%v", s.Describe(pt), name, v, ok)
+			}
+		}
+		count++
+		return true
+	})
+	if uint64(count) != s.Cardinality() {
+		t.Fatalf("characterized %d points, want %d", count, s.Cardinality())
+	}
+}
+
+func TestNetworkLandscapeSpread(t *testing.T) {
+	// Figure 2's point: functionally interchangeable 64-endpoint NoCs span
+	// 2-3 orders of magnitude in performance, area, and power.
+	s := NetworkSpace()
+	minB, maxB := math.Inf(1), math.Inf(-1)
+	minA, maxA := math.Inf(1), math.Inf(-1)
+	minP, maxP := math.Inf(1), math.Inf(-1)
+	s.Enumerate(func(pt param.Point) bool {
+		m, err := NetworkEvaluate(s, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := m.Get(metrics.BisectionGbps)
+		a, _ := m.Get(metrics.AreaMM2)
+		p, _ := m.Get(metrics.PowerMW)
+		minB, maxB = math.Min(minB, b), math.Max(maxB, b)
+		minA, maxA = math.Min(minA, a), math.Max(maxA, a)
+		minP, maxP = math.Min(minP, p), math.Max(maxP, p)
+		return true
+	})
+	if maxB/minB < 100 {
+		t.Errorf("bandwidth spread %.1fx, want >= 100x", maxB/minB)
+	}
+	if maxA/minA < 30 {
+		t.Errorf("area spread %.1fx, want >= 30x", maxA/minA)
+	}
+	if maxP/minP < 30 {
+		t.Errorf("power spread %.1fx, want >= 30x", maxP/minP)
+	}
+}
+
+func TestFatTreeOutperformsRing(t *testing.T) {
+	s := NetworkSpace()
+	pt := make(param.Point, s.Len())
+	pt = s.Set(pt, ParamFlitWidth, "64")
+	ringPt := s.Set(pt, ParamTopology, TopoRing)
+	treePt := s.Set(pt, ParamTopology, TopoFatTree)
+	ring, err := NetworkEvaluate(s, ringPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NetworkEvaluate(s, treePt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree[metrics.BisectionGbps] <= ring[metrics.BisectionGbps] {
+		t.Error("fat tree should out-bandwidth a ring")
+	}
+	if tree[metrics.AreaMM2] <= ring[metrics.AreaMM2] {
+		t.Error("fat tree should cost more area than a ring")
+	}
+}
+
+func TestNetworkDeterministic(t *testing.T) {
+	s := NetworkSpace()
+	pt := make(param.Point, s.Len())
+	a, _ := NetworkEvaluate(s, pt)
+	b, _ := NetworkEvaluate(s, pt)
+	if a.String() != b.String() {
+		t.Error("network characterization not deterministic")
+	}
+}
+
+// Property: wider flits always increase both bandwidth and area for any
+// topology/config.
+func TestQuickWidthScalesBandwidthAndArea(t *testing.T) {
+	s := NetworkSpace()
+	card := s.Cardinality()
+	wi := s.IndexOf(ParamFlitWidth)
+	f := func(n uint64) bool {
+		pt := s.PointAt(n % card)
+		prevB, prevA := -1.0, -1.0
+		for w := 0; w < s.Param(wi).Card(); w++ {
+			pt[wi] = w
+			m, err := NetworkEvaluate(s, pt)
+			if err != nil {
+				return false
+			}
+			b, _ := m.Get(metrics.BisectionGbps)
+			a, _ := m.Get(metrics.AreaMM2)
+			if b <= prevB || a <= prevA {
+				return false
+			}
+			prevB, prevA = b, a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

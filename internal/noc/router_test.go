@@ -1,0 +1,209 @@
+package noc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func baseRouter() Router {
+	return Router{
+		VCs: 2, BufDepth: 4, FlitWidth: 64, Ports: 5,
+		Alloc: AllocSepIF, Pipeline: 2, SpecSA: false,
+		Routing: RoutingDOR, AtomicVC: true,
+	}
+}
+
+func TestRouterSpaceCardinality(t *testing.T) {
+	s := RouterSpace()
+	// 6*4*4*3*3*4*2*2*2 = 27,648 - the paper's "approximately 30,000".
+	if got := s.Cardinality(); got != 27648 {
+		t.Fatalf("Cardinality = %d, want 27648", got)
+	}
+	if s.Len() != 9 {
+		t.Fatalf("router space has %d params, want 9 (paper: varying 9 parameters)", s.Len())
+	}
+}
+
+func TestDecodeRouterRoundTrip(t *testing.T) {
+	s := RouterSpace()
+	pt := make(param.Point, s.Len())
+	pt = s.Set(pt, ParamVCs, "4")
+	pt = s.Set(pt, ParamAlloc, AllocWavefront)
+	pt = s.Set(pt, ParamSpecSA, "on")
+	r := DecodeRouter(s, pt)
+	if r.VCs != 4 || r.Alloc != AllocWavefront || !r.SpecSA {
+		t.Fatalf("decoded %+v", r)
+	}
+	if r.BufDepth != 2 || r.FlitWidth != 32 || r.Ports != 3 {
+		t.Fatalf("default decode wrong: %+v", r)
+	}
+}
+
+func TestLUTsGrowWithBuffers(t *testing.T) {
+	r := baseRouter()
+	small := r.LUTs()
+	r.BufDepth = 16
+	if r.LUTs() <= small {
+		t.Error("deeper buffers should cost more LUTs")
+	}
+	r = baseRouter()
+	r.VCs = 8
+	if r.LUTs() <= small {
+		t.Error("more VCs should cost more LUTs")
+	}
+	r = baseRouter()
+	r.FlitWidth = 256
+	if r.LUTs() <= small {
+		t.Error("wider flits should cost more LUTs")
+	}
+	r = baseRouter()
+	r.Ports = 8
+	if r.LUTs() <= small {
+		t.Error("higher radix should cost more LUTs")
+	}
+}
+
+func TestWavefrontAllocIsLargest(t *testing.T) {
+	r := baseRouter()
+	r.VCs, r.Ports = 8, 8
+	r.Alloc = AllocSepIF
+	sep := r.LUTs()
+	r.Alloc = AllocWavefront
+	if wf := r.LUTs(); wf <= sep {
+		t.Errorf("wavefront (%v) should exceed separable (%v) at high radix", wf, sep)
+	}
+}
+
+func TestPipeliningRaisesFmax(t *testing.T) {
+	r := baseRouter()
+	r.Pipeline = 1
+	f1 := r.FmaxMHz()
+	r.Pipeline = 4
+	f4 := r.FmaxMHz()
+	if f4 <= f1 {
+		t.Errorf("4-stage Fmax %v should exceed 1-stage %v", f4, f1)
+	}
+	// ...but costs LUTs.
+	r.Pipeline = 1
+	l1 := r.LUTs()
+	r.Pipeline = 4
+	if r.LUTs() <= l1 {
+		t.Error("pipelining should add register LUTs")
+	}
+}
+
+func TestMoreVCsLowerFmax(t *testing.T) {
+	r := baseRouter()
+	r.VCs = 1
+	f1 := r.FmaxMHz()
+	r.VCs = 8
+	if f8 := r.FmaxMHz(); f8 >= f1 {
+		t.Errorf("8-VC Fmax %v should be below 1-VC %v (deeper allocators)", f8, f1)
+	}
+}
+
+func TestSpeculationShortensAllocPath(t *testing.T) {
+	// With deep allocators, overlapping VA and SA should reduce depth.
+	r := baseRouter()
+	r.VCs, r.Ports, r.Pipeline = 8, 8, 1
+	r.SpecSA = false
+	plain := r.FmaxMHz()
+	r.SpecSA = true
+	if spec := r.FmaxMHz(); spec <= plain {
+		t.Errorf("speculative SA Fmax %v should exceed non-speculative %v at 1 stage", spec, plain)
+	}
+}
+
+func TestCharacterizeDeterministic(t *testing.T) {
+	s := RouterSpace()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		pt := s.Random(r)
+		a, err := RouterEvaluate(s, pt)
+		if err != nil {
+			t.Fatalf("evaluate: %v", err)
+		}
+		b, _ := RouterEvaluate(s, pt)
+		if a[metrics.LUTs] != b[metrics.LUTs] || a[metrics.FmaxMHz] != b[metrics.FmaxMHz] {
+			t.Fatalf("non-deterministic characterization for %s", s.Describe(pt))
+		}
+	}
+}
+
+func TestRouterEvaluateRejectsInvalid(t *testing.T) {
+	s := RouterSpace()
+	if _, err := RouterEvaluate(s, param.Point{0, 0}); err == nil {
+		t.Error("expected error for malformed point")
+	}
+}
+
+func TestCharacterizeRanges(t *testing.T) {
+	// The design space should span the paper's qualitative ranges: LUTs from
+	// a few hundred to >15k, Fmax from <90 MHz to >200 MHz (Figure 1 shape).
+	s := RouterSpace()
+	minL, maxL := math.Inf(1), math.Inf(-1)
+	minF, maxF := math.Inf(1), math.Inf(-1)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		m, err := RouterEvaluate(s, s.Random(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, f := m[metrics.LUTs], m[metrics.FmaxMHz]
+		minL, maxL = math.Min(minL, l), math.Max(maxL, l)
+		minF, maxF = math.Min(minF, f), math.Max(maxF, f)
+	}
+	if minL > 1500 || maxL < 15000 {
+		t.Errorf("LUT range [%v, %v] too narrow", minL, maxL)
+	}
+	if minF > 90 || maxF < 200 {
+		t.Errorf("Fmax range [%v, %v] too narrow", minF, maxF)
+	}
+}
+
+// Property: every point in the space characterizes to positive finite
+// metrics.
+func TestQuickCharacterizeAlwaysFeasible(t *testing.T) {
+	s := RouterSpace()
+	card := s.Cardinality()
+	f := func(n uint64) bool {
+		m, err := RouterEvaluate(s, s.PointAt(n%card))
+		if err != nil {
+			return false
+		}
+		l, okL := m.Get(metrics.LUTs)
+		fx, okF := m.Get(metrics.FmaxMHz)
+		return okL && okF && l > 0 && fx > 0 && fx < 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LUT count is monotone in buffer depth with all else fixed.
+func TestQuickLUTsMonotoneInDepth(t *testing.T) {
+	s := RouterSpace()
+	card := s.Cardinality()
+	di := s.IndexOf(ParamBufDepth)
+	f := func(n uint64) bool {
+		pt := s.PointAt(n % card)
+		prev := -1.0
+		for d := 0; d < s.Param(di).Card(); d++ {
+			pt[di] = d
+			l := DecodeRouter(s, pt).LUTs()
+			if l <= prev {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

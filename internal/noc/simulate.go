@@ -1,0 +1,73 @@
+package noc
+
+import (
+	"fmt"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/netsim"
+)
+
+// Simulation-derived metric names. These come from cycle-based simulation
+// (the other half of the paper's characterization flow, next to CAD runs)
+// and can enter queries like any synthesized metric.
+const (
+	// MetricSatThroughput is saturation throughput in flits/endpoint/cycle.
+	MetricSatThroughput = "sat_throughput"
+	// MetricZeroLoadLatency is the low-load average packet latency in
+	// cycles.
+	MetricZeroLoadLatency = "zero_load_latency"
+)
+
+// simTopology maps the network generator's topology names onto the
+// simulator's (the unidirectional butterfly cannot be simulated by the
+// bidirectional wormhole model).
+func simTopology(topology string) (string, error) {
+	switch topology {
+	case TopoRing, TopoDoubleRing, TopoConcRing, TopoConcDoubleRing, TopoMesh, TopoTorus, TopoFatTree:
+		return topology, nil
+	}
+	return "", fmt.Errorf("noc: topology %q is not simulatable", topology)
+}
+
+// SimulatePerformance runs cycle-based traffic simulation for the network
+// configuration and returns measured performance metrics. Networks whose
+// router configuration cannot satisfy the topology's deadlock-freedom
+// requirements (e.g. a 1-VC torus) return an error, exactly like an
+// infeasible synthesis job.
+func (n Network) SimulatePerformance(seed int64) (metrics.Metrics, error) {
+	kind, err := simTopology(n.Topology)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := netsim.Build(kind, n.Endpoints)
+	if err != nil {
+		return nil, err
+	}
+	base := netsim.Config{
+		Topology: topo,
+		Router: netsim.RouterConfig{
+			VCs:             n.VCs,
+			BufDepth:        n.BufDepth,
+			PipelineLatency: 2,
+		},
+		PacketFlits:   4,
+		WarmupCycles:  300,
+		MeasureCycles: 600,
+		DrainCycles:   600,
+		Seed:          seed,
+	}
+	ref := base
+	ref.InjectionRate = 0.02
+	refRes, err := netsim.Run(ref)
+	if err != nil {
+		return nil, err
+	}
+	sat, err := netsim.SaturationThroughput(base, 3, 6)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.Metrics{
+		MetricSatThroughput:   sat,
+		MetricZeroLoadLatency: refRes.AvgLatency,
+	}, nil
+}

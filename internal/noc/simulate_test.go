@@ -1,0 +1,74 @@
+package noc
+
+import (
+	"testing"
+
+	"nautilus/internal/param"
+)
+
+func TestSimulatePerformanceMesh(t *testing.T) {
+	n := Network{Topology: TopoMesh, Endpoints: 64, VCs: 2, BufDepth: 4, FlitWidth: 64, Alloc: AllocSepIF}
+	m, err := n.SimulatePerformance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, ok := m.Get(MetricSatThroughput)
+	if !ok || sat <= 0 || sat > 1 {
+		t.Errorf("saturation throughput = %v,%v", sat, ok)
+	}
+	lat, ok := m.Get(MetricZeroLoadLatency)
+	if !ok || lat < 5 || lat > 100 {
+		t.Errorf("zero-load latency = %v,%v", lat, ok)
+	}
+}
+
+func TestSimulatePerformanceTorusNeedsVCs(t *testing.T) {
+	n := Network{Topology: TopoTorus, Endpoints: 64, VCs: 1, BufDepth: 4, FlitWidth: 64, Alloc: AllocSepIF}
+	if _, err := n.SimulatePerformance(1); err == nil {
+		t.Error("1-VC torus should be unsimulatable (deadlock)")
+	}
+}
+
+func TestSimulatePerformanceButterflyUnsupported(t *testing.T) {
+	n := Network{Topology: TopoButterfly, Endpoints: 64, VCs: 2, BufDepth: 4, FlitWidth: 64, Alloc: AllocSepIF}
+	if _, err := n.SimulatePerformance(1); err == nil {
+		t.Error("butterfly should report unsimulatable")
+	}
+}
+
+func TestSimulatedOrderingMatchesAnalytical(t *testing.T) {
+	// The simulator and the analytical bisection-bandwidth model must agree
+	// on topology ordering: a fat tree out-saturates a ring.
+	if testing.Short() {
+		t.Skip("simulation sweep is slow")
+	}
+	mk := func(topo string) float64 {
+		n := Network{Topology: topo, Endpoints: 64, VCs: 2, BufDepth: 4, FlitWidth: 64, Alloc: AllocSepIF}
+		m, err := n.SimulatePerformance(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m[MetricSatThroughput]
+	}
+	ring, tree := mk(TopoRing), mk(TopoFatTree)
+	if tree <= ring {
+		t.Errorf("fat tree saturation %.3f <= ring %.3f", tree, ring)
+	}
+}
+
+func TestSimulationMetricsUsableInSpace(t *testing.T) {
+	// Simulation metrics must be addressable from network-space points like
+	// any synthesized metric.
+	s := NetworkSpace()
+	pt := make(param.Point, s.Len())
+	pt = s.Set(pt, ParamTopology, TopoMesh)
+	pt = s.Set(pt, ParamVCs, "2")
+	n := DecodeNetwork(s, pt)
+	m, err := n.SimulatePerformance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(MetricSatThroughput); !ok {
+		t.Error("missing sat_throughput")
+	}
+}

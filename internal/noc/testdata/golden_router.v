@@ -1,0 +1,383 @@
+// Virtual-channel router: 5 ports, 2 VCs x 4 flits, 64-bit flits
+// alloc=sep_if pipeline=2 spec_sa=false routing=dor atomic_vc=true
+module vc_router (
+  clk,
+  rst,
+  in_flit_0,
+  in_valid_0,
+  in_credit_0,
+  out_flit_0,
+  out_valid_0,
+  out_credit_0,
+  in_flit_1,
+  in_valid_1,
+  in_credit_1,
+  out_flit_1,
+  out_valid_1,
+  out_credit_1,
+  in_flit_2,
+  in_valid_2,
+  in_credit_2,
+  out_flit_2,
+  out_valid_2,
+  out_credit_2,
+  in_flit_3,
+  in_valid_3,
+  in_credit_3,
+  out_flit_3,
+  out_valid_3,
+  out_credit_3,
+  in_flit_4,
+  in_valid_4,
+  in_credit_4,
+  out_flit_4,
+  out_valid_4,
+  out_credit_4
+);
+  input clk;
+  input rst;
+  input [71:0] in_flit_0;
+  input in_valid_0;
+  output [1:0] in_credit_0;
+  output [71:0] out_flit_0;
+  output out_valid_0;
+  input [1:0] out_credit_0;
+  input [71:0] in_flit_1;
+  input in_valid_1;
+  output [1:0] in_credit_1;
+  output [71:0] out_flit_1;
+  output out_valid_1;
+  input [1:0] out_credit_1;
+  input [71:0] in_flit_2;
+  input in_valid_2;
+  output [1:0] in_credit_2;
+  output [71:0] out_flit_2;
+  output out_valid_2;
+  input [1:0] out_credit_2;
+  input [71:0] in_flit_3;
+  input in_valid_3;
+  output [1:0] in_credit_3;
+  output [71:0] out_flit_3;
+  output out_valid_3;
+  input [1:0] out_credit_3;
+  input [71:0] in_flit_4;
+  input in_valid_4;
+  output [1:0] in_credit_4;
+  output [71:0] out_flit_4;
+  output out_valid_4;
+  input [1:0] out_credit_4;
+  wire [71:0] iu_flit_0;
+  wire [1:0] iu_valid_0;
+  wire [2:0] iu_route_0;
+  wire [71:0] iu_flit_1;
+  wire [1:0] iu_valid_1;
+  wire [2:0] iu_route_1;
+  wire [71:0] iu_flit_2;
+  wire [1:0] iu_valid_2;
+  wire [2:0] iu_route_2;
+  wire [71:0] iu_flit_3;
+  wire [1:0] iu_valid_3;
+  wire [2:0] iu_route_3;
+  wire [71:0] iu_flit_4;
+  wire [1:0] iu_valid_4;
+  wire [2:0] iu_route_4;
+  wire [9:0] va_grant;
+  wire [24:0] sa_grant;
+  wire [71:0] xb_out_0;
+  wire [71:0] xb_out_1;
+  wire [71:0] xb_out_2;
+  wire [71:0] xb_out_3;
+  wire [71:0] xb_out_4;
+  reg [71:0] out_pipe_0_0;
+  reg [71:0] out_pipe_1_0;
+  reg [71:0] out_pipe_2_0;
+  reg [71:0] out_pipe_3_0;
+  reg [71:0] out_pipe_4_0;
+  assign out_flit_0 = out_pipe_0_0;
+  assign out_valid_0 = |sa_grant[0*5 +: 5];
+  assign out_flit_1 = out_pipe_1_0;
+  assign out_valid_1 = |sa_grant[1*5 +: 5];
+  assign out_flit_2 = out_pipe_2_0;
+  assign out_valid_2 = |sa_grant[2*5 +: 5];
+  assign out_flit_3 = out_pipe_3_0;
+  assign out_valid_3 = |sa_grant[3*5 +: 5];
+  assign out_flit_4 = out_pipe_4_0;
+  assign out_valid_4 = |sa_grant[4*5 +: 5];
+  always @(posedge clk) begin
+    out_pipe_0_0 <= xb_out_0;
+  end
+  always @(posedge clk) begin
+    out_pipe_1_0 <= xb_out_1;
+  end
+  always @(posedge clk) begin
+    out_pipe_2_0 <= xb_out_2;
+  end
+  always @(posedge clk) begin
+    out_pipe_3_0 <= xb_out_3;
+  end
+  always @(posedge clk) begin
+    out_pipe_4_0 <= xb_out_4;
+  end
+  input_unit #(.DEPTH(4), .VCS(2), .WIDTH(72)) iu_0 (
+    .clk(clk),
+    .credit(in_credit_0),
+    .flit_in(in_flit_0),
+    .flit_out(iu_flit_0),
+    .rst(rst),
+    .valid_in(in_valid_0),
+    .valid_out(iu_valid_0)
+  );
+  route_compute #(.PORTS(5)) rc_0 (
+    .clk(clk),
+    .dest(in_flit_0[7:0]),
+    .out_port(iu_route_0)
+  );
+  input_unit #(.DEPTH(4), .VCS(2), .WIDTH(72)) iu_1 (
+    .clk(clk),
+    .credit(in_credit_1),
+    .flit_in(in_flit_1),
+    .flit_out(iu_flit_1),
+    .rst(rst),
+    .valid_in(in_valid_1),
+    .valid_out(iu_valid_1)
+  );
+  route_compute #(.PORTS(5)) rc_1 (
+    .clk(clk),
+    .dest(in_flit_1[7:0]),
+    .out_port(iu_route_1)
+  );
+  input_unit #(.DEPTH(4), .VCS(2), .WIDTH(72)) iu_2 (
+    .clk(clk),
+    .credit(in_credit_2),
+    .flit_in(in_flit_2),
+    .flit_out(iu_flit_2),
+    .rst(rst),
+    .valid_in(in_valid_2),
+    .valid_out(iu_valid_2)
+  );
+  route_compute #(.PORTS(5)) rc_2 (
+    .clk(clk),
+    .dest(in_flit_2[7:0]),
+    .out_port(iu_route_2)
+  );
+  input_unit #(.DEPTH(4), .VCS(2), .WIDTH(72)) iu_3 (
+    .clk(clk),
+    .credit(in_credit_3),
+    .flit_in(in_flit_3),
+    .flit_out(iu_flit_3),
+    .rst(rst),
+    .valid_in(in_valid_3),
+    .valid_out(iu_valid_3)
+  );
+  route_compute #(.PORTS(5)) rc_3 (
+    .clk(clk),
+    .dest(in_flit_3[7:0]),
+    .out_port(iu_route_3)
+  );
+  input_unit #(.DEPTH(4), .VCS(2), .WIDTH(72)) iu_4 (
+    .clk(clk),
+    .credit(in_credit_4),
+    .flit_in(in_flit_4),
+    .flit_out(iu_flit_4),
+    .rst(rst),
+    .valid_in(in_valid_4),
+    .valid_out(iu_valid_4)
+  );
+  route_compute #(.PORTS(5)) rc_4 (
+    .clk(clk),
+    .dest(in_flit_4[7:0]),
+    .out_port(iu_route_4)
+  );
+  vc_alloc_sep_if #(.PORTS(5), .VCS(2)) va (
+    .clk(clk),
+    .grant(va_grant),
+    .rst(rst)
+  );
+  sw_alloc_sep_if #(.PORTS(5), .VCS(2)) sa (
+    .clk(clk),
+    .grant(sa_grant),
+    .rst(rst)
+  );
+  crossbar #(.PORTS(5), .WIDTH(72)) xb (
+    .in_0(iu_flit_0),
+    .in_1(iu_flit_1),
+    .in_2(iu_flit_2),
+    .in_3(iu_flit_3),
+    .in_4(iu_flit_4),
+    .out_0(xb_out_0),
+    .out_1(xb_out_1),
+    .out_2(xb_out_2),
+    .out_3(xb_out_3),
+    .out_4(xb_out_4),
+    .sel(sa_grant)
+  );
+endmodule
+
+// per-port input unit: per-VC flit FIFOs plus VC state
+module input_unit (
+  clk,
+  rst,
+  flit_in,
+  valid_in,
+  credit,
+  flit_out,
+  valid_out
+);
+  parameter VCS = 2;
+  parameter DEPTH = 4;
+  parameter WIDTH = 72;
+  input clk;
+  input rst;
+  input [71:0] flit_in;
+  input valid_in;
+  output [1:0] credit;
+  output [71:0] flit_out;
+  output [1:0] valid_out;
+  wire [1:0] vc_sel;
+  assign vc_sel = flit_in[71:70];
+  flit_fifo #(.DEPTH(4), .WIDTH(72)) fifo_0 (
+    .clk(clk),
+    .empty(credit[0]),
+    .rd_data(flit_out),
+    .rd_en(valid_out[0]),
+    .rst(rst),
+    .wr_data(flit_in),
+    .wr_en(valid_in & (vc_sel == 0))
+  );
+  flit_fifo #(.DEPTH(4), .WIDTH(72)) fifo_1 (
+    .clk(clk),
+    .empty(credit[1]),
+    .rd_data(flit_out),
+    .rd_en(valid_out[1]),
+    .rst(rst),
+    .wr_data(flit_in),
+    .wr_en(valid_in & (vc_sel == 1))
+  );
+endmodule
+
+// LUTRAM flit FIFO
+module flit_fifo (
+  clk,
+  rst,
+  wr_data,
+  wr_en,
+  rd_data,
+  rd_en,
+  empty
+);
+  parameter DEPTH = 4;
+  parameter WIDTH = 72;
+  input clk;
+  input rst;
+  input [71:0] wr_data;
+  input wr_en;
+  output [71:0] rd_data;
+  input rd_en;
+  output empty;
+  reg [71:0] mem [0:3];
+  reg [2:0] wr_ptr;
+  reg [2:0] rd_ptr;
+  reg [3:0] count;
+  assign empty = count == 0;
+  assign rd_data = mem[rd_ptr];
+  always @(posedge clk) begin
+    if (rst) begin wr_ptr <= 0; rd_ptr <= 0; count <= 0; end
+    else begin
+      if (wr_en) begin mem[wr_ptr] <= wr_data; wr_ptr <= wr_ptr + 1; end
+      if (rd_en && count != 0) rd_ptr <= rd_ptr + 1;
+      count <= count + (wr_en ? 1 : 0) - ((rd_en && count != 0) ? 1 : 0);
+    end
+  end
+endmodule
+
+// dimension-ordered route computation (pure logic)
+module route_compute (
+  clk,
+  dest,
+  out_port
+);
+  parameter PORTS = 5;
+  input clk;
+  input [7:0] dest;
+  output [2:0] out_port;
+  reg [2:0] out_port_r;
+  assign out_port = out_port_r;
+  always @(posedge clk) begin
+    out_port_r <= dest[1:0] % PORTS;
+  end
+endmodule
+
+// VC allocator (sep_if)
+module vc_alloc_sep_if (
+  clk,
+  rst,
+  grant
+);
+  parameter PORTS = 5;
+  parameter VCS = 2;
+  input clk;
+  input rst;
+  output [9:0] grant;
+  reg [9:0] rr_state;
+  reg [9:0] grant_r;
+  assign grant = grant_r;
+  always @(posedge clk) begin
+    if (rst) begin rr_state <= 1; grant_r <= 0; end
+    else begin rr_state <= {rr_state[0 +: 9], rr_state[9]}; grant_r <= rr_state; end
+  end
+endmodule
+
+// switch allocator (sep_if)
+module sw_alloc_sep_if (
+  clk,
+  rst,
+  grant
+);
+  parameter PORTS = 5;
+  parameter VCS = 2;
+  input clk;
+  input rst;
+  output [24:0] grant;
+  reg [24:0] rr_state;
+  reg [24:0] grant_r;
+  assign grant = grant_r;
+  always @(posedge clk) begin
+    if (rst) begin rr_state <= 1; grant_r <= 0; end
+    else begin rr_state <= {rr_state[0 +: 24], rr_state[24]}; grant_r <= rr_state; end
+  end
+endmodule
+
+// output-multiplexer crossbar
+module crossbar (
+  sel,
+  in_0,
+  out_0,
+  in_1,
+  out_1,
+  in_2,
+  out_2,
+  in_3,
+  out_3,
+  in_4,
+  out_4
+);
+  parameter PORTS = 5;
+  parameter WIDTH = 72;
+  input [24:0] sel;
+  input [71:0] in_0;
+  output [71:0] out_0;
+  input [71:0] in_1;
+  output [71:0] out_1;
+  input [71:0] in_2;
+  output [71:0] out_2;
+  input [71:0] in_3;
+  output [71:0] out_3;
+  input [71:0] in_4;
+  output [71:0] out_4;
+  assign out_0 = sel[4] ? in_4 : (sel[3] ? in_3 : (sel[2] ? in_2 : (sel[1] ? in_1 : (in_0))));
+  assign out_1 = sel[9] ? in_4 : (sel[8] ? in_3 : (sel[7] ? in_2 : (sel[6] ? in_1 : (in_0))));
+  assign out_2 = sel[14] ? in_4 : (sel[13] ? in_3 : (sel[12] ? in_2 : (sel[11] ? in_1 : (in_0))));
+  assign out_3 = sel[19] ? in_4 : (sel[18] ? in_3 : (sel[17] ? in_2 : (sel[16] ? in_1 : (in_0))));
+  assign out_4 = sel[24] ? in_4 : (sel[23] ? in_3 : (sel[22] ? in_2 : (sel[21] ? in_1 : (in_0))));
+endmodule
+

@@ -1,0 +1,252 @@
+package noc
+
+import (
+	"fmt"
+
+	"nautilus/internal/rtl"
+)
+
+// Verilog emits synthesizable RTL for the router configuration - the
+// artifact a real IP generator hands to the synthesis flow (the analytical
+// models in this package estimate what the tools would report for it). The
+// module hierarchy mirrors the microarchitecture the cost models price:
+// per-port input units with per-VC flit FIFOs, route computation, VC and
+// switch allocators of the configured flavor, and the output crossbar.
+func (r Router) Verilog() (*rtl.Design, error) {
+	d := &rtl.Design{Top: "vc_router"}
+
+	flitW := r.FlitWidth + 8 // payload + head/tail/VC sideband
+	vcBits := bitsFor(r.VCs)
+	portBits := bitsFor(r.Ports)
+
+	top := rtl.NewModule("vc_router").SetComment(fmt.Sprintf(
+		"Virtual-channel router: %d ports, %d VCs x %d flits, %d-bit flits\n"+
+			"alloc=%s pipeline=%d spec_sa=%t routing=%s atomic_vc=%t",
+		r.Ports, r.VCs, r.BufDepth, r.FlitWidth,
+		r.Alloc, r.Pipeline, r.SpecSA, r.Routing, r.AtomicVC))
+	top.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	for p := 0; p < r.Ports; p++ {
+		top.AddPort(rtl.Input, fmt.Sprintf("in_flit_%d", p), flitW)
+		top.AddPort(rtl.Input, fmt.Sprintf("in_valid_%d", p), 1)
+		top.AddPort(rtl.Output, fmt.Sprintf("in_credit_%d", p), r.VCs)
+		top.AddPort(rtl.Output, fmt.Sprintf("out_flit_%d", p), flitW)
+		top.AddPort(rtl.Output, fmt.Sprintf("out_valid_%d", p), 1)
+		top.AddPort(rtl.Input, fmt.Sprintf("out_credit_%d", p), r.VCs)
+	}
+
+	// Input units: one per port, each holding the per-VC FIFOs and state.
+	for p := 0; p < r.Ports; p++ {
+		top.AddWire(fmt.Sprintf("iu_flit_%d", p), flitW)
+		top.AddWire(fmt.Sprintf("iu_valid_%d", p), r.VCs)
+		top.AddWire(fmt.Sprintf("iu_route_%d", p), portBits)
+		top.Instantiate("input_unit", fmt.Sprintf("iu_%d", p),
+			map[string]string{
+				"VCS":   fmt.Sprint(r.VCs),
+				"DEPTH": fmt.Sprint(r.BufDepth),
+				"WIDTH": fmt.Sprint(flitW),
+			},
+			map[string]string{
+				"clk":       "clk",
+				"rst":       "rst",
+				"flit_in":   fmt.Sprintf("in_flit_%d", p),
+				"valid_in":  fmt.Sprintf("in_valid_%d", p),
+				"credit":    fmt.Sprintf("in_credit_%d", p),
+				"flit_out":  fmt.Sprintf("iu_flit_%d", p),
+				"valid_out": fmt.Sprintf("iu_valid_%d", p),
+			})
+		top.Instantiate("route_compute", fmt.Sprintf("rc_%d", p),
+			map[string]string{"PORTS": fmt.Sprint(r.Ports)},
+			map[string]string{
+				"clk":      "clk",
+				"dest":     fmt.Sprintf("in_flit_%d[7:0]", p),
+				"out_port": fmt.Sprintf("iu_route_%d", p),
+			})
+	}
+
+	// Allocators.
+	vaModule := "vc_alloc_" + r.Alloc
+	saModule := "sw_alloc_" + r.Alloc
+	top.AddWire("va_grant", r.Ports*r.VCs)
+	top.AddWire("sa_grant", r.Ports*r.Ports)
+	top.Instantiate(vaModule, "va",
+		map[string]string{"PORTS": fmt.Sprint(r.Ports), "VCS": fmt.Sprint(r.VCs)},
+		map[string]string{"clk": "clk", "rst": "rst", "grant": "va_grant"})
+	top.Instantiate(saModule, "sa",
+		map[string]string{"PORTS": fmt.Sprint(r.Ports), "VCS": fmt.Sprint(r.VCs)},
+		map[string]string{"clk": "clk", "rst": "rst", "grant": "sa_grant"})
+	if r.SpecSA {
+		top.Instantiate("spec_grant_merge", "spec",
+			map[string]string{"PORTS": fmt.Sprint(r.Ports)},
+			map[string]string{"clk": "clk", "rst": "rst"})
+	}
+
+	// Crossbar and output pipeline registers.
+	for p := 0; p < r.Ports; p++ {
+		top.AddWire(fmt.Sprintf("xb_out_%d", p), flitW)
+	}
+	xbConns := map[string]string{"sel": "sa_grant"}
+	for p := 0; p < r.Ports; p++ {
+		xbConns[fmt.Sprintf("in_%d", p)] = fmt.Sprintf("iu_flit_%d", p)
+		xbConns[fmt.Sprintf("out_%d", p)] = fmt.Sprintf("xb_out_%d", p)
+	}
+	top.Instantiate("crossbar", "xb",
+		map[string]string{"PORTS": fmt.Sprint(r.Ports), "WIDTH": fmt.Sprint(flitW)},
+		xbConns)
+	for p := 0; p < r.Ports; p++ {
+		for s := 0; s < r.Pipeline-1; s++ {
+			top.AddReg(fmt.Sprintf("out_pipe_%d_%d", p, s), flitW)
+		}
+		switch r.Pipeline {
+		case 1:
+			top.Assign(fmt.Sprintf("out_flit_%d", p), fmt.Sprintf("xb_out_%d", p))
+		default:
+			body := []string{fmt.Sprintf("out_pipe_%d_0 <= xb_out_%d;", p, p)}
+			for s := 1; s < r.Pipeline-1; s++ {
+				body = append(body, fmt.Sprintf("out_pipe_%d_%d <= out_pipe_%d_%d;", p, s, p, s-1))
+			}
+			top.Always("posedge clk", body...)
+			top.Assign(fmt.Sprintf("out_flit_%d", p), fmt.Sprintf("out_pipe_%d_%d", p, r.Pipeline-2))
+		}
+		top.Assign(fmt.Sprintf("out_valid_%d", p), fmt.Sprintf("|sa_grant[%d*%d +: %d]", p, r.Ports, r.Ports))
+	}
+	d.Modules = append(d.Modules, top)
+
+	// --- Submodules -------------------------------------------------------
+
+	iu := rtl.NewModule("input_unit").SetComment("per-port input unit: per-VC flit FIFOs plus VC state")
+	iu.AddParam("VCS", fmt.Sprint(r.VCs)).
+		AddParam("DEPTH", fmt.Sprint(r.BufDepth)).
+		AddParam("WIDTH", fmt.Sprint(flitW))
+	iu.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	iu.AddPort(rtl.Input, "flit_in", flitW).AddPort(rtl.Input, "valid_in", 1)
+	iu.AddPort(rtl.Output, "credit", r.VCs)
+	iu.AddPort(rtl.Output, "flit_out", flitW).AddPort(rtl.Output, "valid_out", r.VCs)
+	iu.AddWire("vc_sel", vcBits)
+	iu.Assign("vc_sel", fmt.Sprintf("flit_in[%d:%d]", flitW-1, flitW-vcBits))
+	for v := 0; v < r.VCs; v++ {
+		iu.Instantiate("flit_fifo", fmt.Sprintf("fifo_%d", v),
+			map[string]string{"DEPTH": fmt.Sprint(r.BufDepth), "WIDTH": fmt.Sprint(flitW)},
+			map[string]string{
+				"clk": "clk", "rst": "rst",
+				"wr_data": "flit_in",
+				"wr_en":   fmt.Sprintf("valid_in & (vc_sel == %d)", v),
+				"rd_data": "flit_out",
+				"rd_en":   fmt.Sprintf("valid_out[%d]", v),
+				"empty":   fmt.Sprintf("credit[%d]", v),
+			})
+	}
+	if !r.AtomicVC {
+		iu.AddReg("pkt_inflight", r.VCs)
+		iu.Always("posedge clk",
+			"if (rst) pkt_inflight <= 0;",
+			"else pkt_inflight <= pkt_inflight | (valid_in << vc_sel);")
+	}
+	d.Modules = append(d.Modules, iu)
+
+	fifo := rtl.NewModule("flit_fifo").SetComment("LUTRAM flit FIFO")
+	fifo.AddParam("DEPTH", fmt.Sprint(r.BufDepth)).AddParam("WIDTH", fmt.Sprint(flitW))
+	fifo.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	fifo.AddPort(rtl.Input, "wr_data", flitW).AddPort(rtl.Input, "wr_en", 1)
+	fifo.AddPort(rtl.Output, "rd_data", flitW).AddPort(rtl.Input, "rd_en", 1)
+	fifo.AddPort(rtl.Output, "empty", 1)
+	fifo.AddMemory("mem", flitW, r.BufDepth)
+	ptrBits := bitsFor(r.BufDepth)
+	fifo.AddReg("wr_ptr", ptrBits).AddReg("rd_ptr", ptrBits).AddReg("count", ptrBits+1)
+	fifo.Assign("empty", "count == 0")
+	fifo.Assign("rd_data", "mem[rd_ptr]")
+	fifo.Always("posedge clk",
+		"if (rst) begin wr_ptr <= 0; rd_ptr <= 0; count <= 0; end",
+		"else begin",
+		"  if (wr_en) begin mem[wr_ptr] <= wr_data; wr_ptr <= wr_ptr + 1; end",
+		"  if (rd_en && count != 0) rd_ptr <= rd_ptr + 1;",
+		"  count <= count + (wr_en ? 1 : 0) - ((rd_en && count != 0) ? 1 : 0);",
+		"end")
+	d.Modules = append(d.Modules, fifo)
+
+	rc := rtl.NewModule("route_compute")
+	rc.AddParam("PORTS", fmt.Sprint(r.Ports))
+	rc.AddPort(rtl.Input, "clk", 1)
+	rc.AddPort(rtl.Input, "dest", 8)
+	rc.AddPort(rtl.Output, "out_port", portBits)
+	switch r.Routing {
+	case RoutingDOR:
+		rc.SetComment("dimension-ordered route computation (pure logic)")
+		rc.AddReg("out_port_r", portBits)
+		rc.Always("posedge clk",
+			"out_port_r <= dest[1:0] % PORTS;")
+		rc.Assign("out_port", "out_port_r")
+	case RoutingTable:
+		rc.SetComment("table-driven route computation (distributed ROM)")
+		rc.AddMemory("table_rom", portBits, 64)
+		rc.AddReg("out_port_r", portBits)
+		rc.Always("posedge clk", "out_port_r <= table_rom[dest[5:0]];")
+		rc.Assign("out_port", "out_port_r")
+	}
+	d.Modules = append(d.Modules, rc)
+
+	d.Modules = append(d.Modules, allocatorModule(vaModule, "VC allocator", r))
+	d.Modules = append(d.Modules, allocatorModule(saModule, "switch allocator", r))
+	if r.SpecSA {
+		spec := rtl.NewModule("spec_grant_merge").SetComment(
+			"speculative switch allocation: merge speculative and non-speculative grants")
+		spec.AddParam("PORTS", fmt.Sprint(r.Ports))
+		spec.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+		spec.AddReg("spec_mask", r.Ports)
+		spec.Always("posedge clk",
+			"if (rst) spec_mask <= 0;",
+			"else spec_mask <= ~spec_mask;")
+		d.Modules = append(d.Modules, spec)
+	}
+
+	xb := rtl.NewModule("crossbar").SetComment("output-multiplexer crossbar")
+	xb.AddParam("PORTS", fmt.Sprint(r.Ports)).AddParam("WIDTH", fmt.Sprint(flitW))
+	xb.AddPort(rtl.Input, "sel", r.Ports*r.Ports)
+	for p := 0; p < r.Ports; p++ {
+		xb.AddPort(rtl.Input, fmt.Sprintf("in_%d", p), flitW)
+		xb.AddPort(rtl.Output, fmt.Sprintf("out_%d", p), flitW)
+	}
+	for p := 0; p < r.Ports; p++ {
+		expr := fmt.Sprintf("in_%d", 0)
+		for s := 1; s < r.Ports; s++ {
+			expr = fmt.Sprintf("sel[%d] ? in_%d : (%s)", p*r.Ports+s, s, expr)
+		}
+		xb.Assign(fmt.Sprintf("out_%d", p), expr)
+	}
+	d.Modules = append(d.Modules, xb)
+
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// allocatorModule emits an allocator skeleton whose structure matches the
+// configured flavor (separable allocators instantiate per-port round-robin
+// arbiters; the wavefront allocator holds the full request matrix).
+func allocatorModule(name, comment string, r Router) *rtl.Module {
+	m := rtl.NewModule(name).SetComment(comment + " (" + r.Alloc + ")")
+	m.AddParam("PORTS", fmt.Sprint(r.Ports)).AddParam("VCS", fmt.Sprint(r.VCs))
+	m.AddPort(rtl.Input, "clk", 1).AddPort(rtl.Input, "rst", 1)
+	width := r.Ports * r.VCs
+	if name[:2] == "sw" {
+		width = r.Ports * r.Ports
+	}
+	m.AddPort(rtl.Output, "grant", width)
+	switch r.Alloc {
+	case AllocWavefront:
+		m.AddReg("req_matrix", width)
+		m.AddReg("priority_diag", bitsFor(r.Ports))
+		m.Always("posedge clk",
+			"if (rst) begin req_matrix <= 0; priority_diag <= 0; end",
+			"else priority_diag <= priority_diag + 1;")
+		m.Assign("grant", "req_matrix")
+	default: // separable input- or output-first: rotating arbiters
+		m.AddReg("rr_state", width)
+		m.AddReg("grant_r", width)
+		m.Always("posedge clk",
+			"if (rst) begin rr_state <= 1; grant_r <= 0; end",
+			"else begin rr_state <= {rr_state[0 +: "+fmt.Sprint(width-1)+"], rr_state["+fmt.Sprint(width-1)+"]}; grant_r <= rr_state; end")
+		m.Assign("grant", "grant_r")
+	}
+	return m
+}

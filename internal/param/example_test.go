@@ -1,0 +1,42 @@
+package param_test
+
+import (
+	"fmt"
+
+	"nautilus/internal/param"
+)
+
+// Defining an IP generator's design space and addressing its points.
+func Example() {
+	space := param.MustSpace(
+		param.Levels("vcs", 1, 2, 4, 8),
+		param.Pow2("width", 5, 8), // 32..256
+		param.Choice("alloc", "sep_if", "wavefront"),
+		param.Flag("speculative"),
+	)
+	fmt.Println("points:", space.Cardinality())
+
+	pt := make(param.Point, space.Len())
+	pt = space.Set(pt, "vcs", "4")
+	pt = space.Set(pt, "alloc", "wavefront")
+	fmt.Println(space.Describe(pt))
+	fmt.Println("vcs:", space.Int(pt, "vcs"), "spec:", space.Bool(pt, "speculative"))
+	// Output:
+	// points: 64
+	// vcs=4 width=32 alloc=wavefront speculative=off
+	// vcs: 4 spec: false
+}
+
+// Enumerating a space visits every point exactly once.
+func ExampleSpace_Enumerate() {
+	space := param.MustSpace(param.Int("a", 0, 1, 1), param.Flag("b"))
+	space.Enumerate(func(pt param.Point) bool {
+		fmt.Println(space.Describe(pt))
+		return true
+	})
+	// Output:
+	// a=0 b=off
+	// a=0 b=on
+	// a=1 b=off
+	// a=1 b=on
+}

@@ -1,0 +1,34 @@
+package param
+
+import "testing"
+
+// FuzzParseKey checks that arbitrary key strings never panic the parser and
+// that accepted keys round-trip exactly.
+func FuzzParseKey(f *testing.F) {
+	s := MustSpace(
+		Int("a", 0, 7, 1),
+		Choice("b", "x", "y", "z"),
+		Flag("c"),
+	)
+	f.Add("0,0,0")
+	f.Add("7,2,1")
+	f.Add("")
+	f.Add("1,2")
+	f.Add("-1,0,0")
+	f.Add("a,b,c")
+	f.Add("1,1,1,1,1,1,1,1")
+	f.Add("999999999999999999999,0,0")
+	f.Fuzz(func(t *testing.T, key string) {
+		pt, err := s.ParseKey(key)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := s.Validate(pt); verr != nil {
+			t.Fatalf("ParseKey(%q) accepted invalid point: %v", key, verr)
+		}
+		if got := s.Key(pt); got != key {
+			// Keys are canonical, so acceptance implies exact round-trip.
+			t.Fatalf("round trip %q -> %q", key, got)
+		}
+	})
+}

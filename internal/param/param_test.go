@@ -1,0 +1,482 @@
+package param
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	return MustSpace(
+		Int("depth", 1, 8, 1),
+		Pow2("width", 3, 6),
+		Choice("alloc", "sep_if", "sep_of", "wavefront"),
+		OrderedChoice("pipeline", "short", "medium", "long"),
+		Flag("spec"),
+		Levels("vcs", 1, 2, 4, 8),
+	)
+}
+
+func TestIntParam(t *testing.T) {
+	p := Int("d", 2, 10, 2)
+	if got := p.Card(); got != 5 {
+		t.Fatalf("Card = %d, want 5", got)
+	}
+	want := []int{2, 4, 6, 8, 10}
+	for i, w := range want {
+		if got := p.IntValue(i); got != w {
+			t.Errorf("IntValue(%d) = %d, want %d", i, got, w)
+		}
+		if n, ok := p.Numeric(i); !ok || n != float64(w) {
+			t.Errorf("Numeric(%d) = %v,%v, want %d,true", i, n, ok, w)
+		}
+	}
+	if !p.IsOrdered() {
+		t.Error("int param should be ordered")
+	}
+}
+
+func TestIntParamUnreachableMax(t *testing.T) {
+	p := Int("d", 1, 10, 4) // 1, 5, 9
+	if got := p.Card(); got != 3 {
+		t.Fatalf("Card = %d, want 3", got)
+	}
+	if got := p.IntValue(2); got != 9 {
+		t.Errorf("last value = %d, want 9", got)
+	}
+}
+
+func TestPow2Param(t *testing.T) {
+	p := Pow2("w", 3, 6)
+	want := []int{8, 16, 32, 64}
+	if p.Card() != len(want) {
+		t.Fatalf("Card = %d, want %d", p.Card(), len(want))
+	}
+	for i, w := range want {
+		if got := p.IntValue(i); got != w {
+			t.Errorf("IntValue(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLevelsParam(t *testing.T) {
+	p := Levels("vcs", 1, 2, 4, 8)
+	if p.Card() != 4 {
+		t.Fatalf("Card = %d, want 4", p.Card())
+	}
+	if p.IndexOfInt(4) != 2 {
+		t.Errorf("IndexOfInt(4) = %d, want 2", p.IndexOfInt(4))
+	}
+	if p.IndexOfInt(3) != -1 {
+		t.Errorf("IndexOfInt(3) = %d, want -1", p.IndexOfInt(3))
+	}
+}
+
+func TestLevelsPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unsorted levels")
+		}
+	}()
+	Levels("bad", 4, 2, 1)
+}
+
+func TestChoiceParam(t *testing.T) {
+	p := Choice("alloc", "a", "b", "c")
+	if p.IsOrdered() {
+		t.Error("Choice should be unordered")
+	}
+	if _, ok := p.Numeric(1); ok {
+		t.Error("unordered choice should have no numeric axis")
+	}
+	if got := p.StringValue(2); got != "c" {
+		t.Errorf("StringValue(2) = %q, want c", got)
+	}
+	if got := p.IndexOf("b"); got != 1 {
+		t.Errorf("IndexOf(b) = %d, want 1", got)
+	}
+	if got := p.IndexOf("zzz"); got != -1 {
+		t.Errorf("IndexOf(zzz) = %d, want -1", got)
+	}
+}
+
+func TestOrderedChoice(t *testing.T) {
+	p := OrderedChoice("pipe", "short", "long")
+	if !p.IsOrdered() {
+		t.Error("OrderedChoice should be ordered")
+	}
+	if n, ok := p.Numeric(1); !ok || n != 1 {
+		t.Errorf("Numeric(1) = %v,%v, want 1,true", n, ok)
+	}
+}
+
+func TestOrderedReordering(t *testing.T) {
+	p := Choice("alloc", "a", "b", "c").Ordered("c", "a", "b")
+	if !p.IsOrdered() {
+		t.Error("Ordered() result should be ordered")
+	}
+	if got := p.StringValue(0); got != "c" {
+		t.Errorf("first value = %q, want c", got)
+	}
+	if p.Kind() != KindOrderedChoice {
+		t.Errorf("kind = %v, want ordered-choice", p.Kind())
+	}
+}
+
+func TestOrderedPanicsOnBadPermutation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-permutation ordering")
+		}
+	}()
+	Choice("alloc", "a", "b").Ordered("a", "z")
+}
+
+func TestFlagParam(t *testing.T) {
+	p := Flag("spec")
+	if p.Card() != 2 {
+		t.Fatalf("Card = %d, want 2", p.Card())
+	}
+	if got := p.StringValue(1); got != "on" {
+		t.Errorf("StringValue(1) = %q, want on", got)
+	}
+	if got := p.IntValue(0); got != 0 {
+		t.Errorf("IntValue(0) = %d, want 0", got)
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	p := Levels("vcs", 1, 2, 4, 8)
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {1.4, 0}, {1.6, 1}, {3.5, 2}, {100, 3}, {5.9, 2}, {6.1, 3}}
+	for _, c := range cases {
+		if got := p.NearestIndex(c.v); got != c.want {
+			t.Errorf("NearestIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSpaceCardinality(t *testing.T) {
+	s := testSpace(t)
+	// 8 * 4 * 3 * 3 * 2 * 4 = 2304
+	if got := s.Cardinality(); got != 2304 {
+		t.Fatalf("Cardinality = %d, want 2304", got)
+	}
+}
+
+func TestCardinalityOverflowSaturates(t *testing.T) {
+	params := make([]*Param, 8)
+	for i := range params {
+		params[i] = Int(string(rune('a'+i)), 0, 1<<16, 1)
+	}
+	s := MustSpace(params...)
+	if got := s.Cardinality(); got != math.MaxUint64 {
+		t.Fatalf("Cardinality = %d, want saturation at MaxUint64", got)
+	}
+}
+
+func TestSpaceDuplicateName(t *testing.T) {
+	if _, err := NewSpace(Flag("x"), Flag("x")); err == nil {
+		t.Error("expected error on duplicate names")
+	}
+}
+
+func TestSpaceEmpty(t *testing.T) {
+	if _, err := NewSpace(); err == nil {
+		t.Error("expected error on empty space")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testSpace(t)
+	good := Point{0, 0, 0, 0, 0, 0}
+	if err := s.Validate(good); err != nil {
+		t.Errorf("Validate(origin) = %v", err)
+	}
+	if err := s.Validate(Point{0, 0, 0}); err == nil {
+		t.Error("expected error on short point")
+	}
+	if err := s.Validate(Point{0, 0, 99, 0, 0, 0}); err == nil {
+		t.Error("expected error on out-of-range gene")
+	}
+	if err := s.Validate(Point{-1, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("expected error on negative gene")
+	}
+}
+
+func TestRandomPointsAreValid(t *testing.T) {
+	s := testSpace(t)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if err := s.Validate(s.Random(r)); err != nil {
+			t.Fatalf("random point invalid: %v", err)
+		}
+	}
+}
+
+func TestPointAtFlatIndexRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	for n := uint64(0); n < s.Cardinality(); n += 7 {
+		pt := s.PointAt(n)
+		if got := s.FlatIndex(pt); got != n {
+			t.Fatalf("FlatIndex(PointAt(%d)) = %d", n, got)
+		}
+	}
+}
+
+func TestEnumerateVisitsAllPointsOnce(t *testing.T) {
+	s := testSpace(t)
+	seen := make(map[string]bool)
+	count := 0
+	s.Enumerate(func(pt Point) bool {
+		k := s.Key(pt)
+		if seen[k] {
+			t.Fatalf("point %s visited twice", k)
+		}
+		seen[k] = true
+		count++
+		return true
+	})
+	if uint64(count) != s.Cardinality() {
+		t.Fatalf("Enumerate visited %d points, want %d", count, s.Cardinality())
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := testSpace(t)
+	count := 0
+	s.Enumerate(func(pt Point) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("Enumerate visited %d, want 10 after early stop", count)
+	}
+}
+
+func TestKeyParseKeyRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		pt := s.Random(r)
+		back, err := s.ParseKey(s.Key(pt))
+		if err != nil {
+			t.Fatalf("ParseKey: %v", err)
+		}
+		if !pt.Equal(back) {
+			t.Fatalf("round trip mismatch: %v vs %v", pt, back)
+		}
+	}
+}
+
+func TestParseKeyRejectsBadInput(t *testing.T) {
+	s := testSpace(t)
+	for _, bad := range []string{"", "1,2", "0,0,0,0,0,99", "a,b,c,d,e,f"} {
+		if _, err := s.ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := testSpace(t)
+	pt := Point{3, 1, 2, 0, 1, 2} // depth=4 width=16 alloc=wavefront pipeline=short spec=on vcs=4
+	if got := s.Int(pt, "depth"); got != 4 {
+		t.Errorf("Int(depth) = %d, want 4", got)
+	}
+	if got := s.Int(pt, "width"); got != 16 {
+		t.Errorf("Int(width) = %d, want 16", got)
+	}
+	if got := s.String(pt, "alloc"); got != "wavefront" {
+		t.Errorf("String(alloc) = %q, want wavefront", got)
+	}
+	if !s.Bool(pt, "spec") {
+		t.Error("Bool(spec) = false, want true")
+	}
+	if got := s.Int(pt, "vcs"); got != 4 {
+		t.Errorf("Int(vcs) = %d, want 4", got)
+	}
+}
+
+func TestSetByName(t *testing.T) {
+	s := testSpace(t)
+	pt := make(Point, s.Len())
+	pt2 := s.Set(pt, "alloc", "sep_of")
+	if got := s.String(pt2, "alloc"); got != "sep_of" {
+		t.Errorf("after Set, alloc = %q", got)
+	}
+	if s.String(pt, "alloc") != "sep_if" {
+		t.Error("Set mutated the original point")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := testSpace(t)
+	pt := make(Point, s.Len())
+	want := "depth=1 width=8 alloc=sep_if pipeline=short spec=off vcs=1"
+	if got := s.Describe(pt); got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	pt := Point{1, 2, 3}
+	cl := pt.Clone()
+	cl[0] = 99
+	if pt[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+// Property: PointAt and FlatIndex are mutual inverses for arbitrary flat
+// indices within range.
+func TestQuickFlatIndexRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	card := s.Cardinality()
+	f := func(n uint64) bool {
+		n %= card
+		return s.FlatIndex(s.PointAt(n)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is injective over random point pairs.
+func TestQuickKeyInjective(t *testing.T) {
+	s := testSpace(t)
+	f := func(a, b uint64) bool {
+		pa, pb := s.PointAt(a%s.Cardinality()), s.PointAt(b%s.Cardinality())
+		if pa.Equal(pb) {
+			return s.Key(pa) == s.Key(pb)
+		}
+		return s.Key(pa) != s.Key(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NearestIndex always returns the closest numeric level.
+func TestQuickNearestIndexIsClosest(t *testing.T) {
+	p := Levels("x", 1, 2, 4, 8, 16, 32)
+	f := func(raw float64) bool {
+		v := math.Mod(math.Abs(raw), 40)
+		idx := p.NearestIndex(v)
+		n, _ := p.Numeric(idx)
+		best := math.Abs(n - v)
+		for i := 0; i < p.Card(); i++ {
+			m, _ := p.Numeric(i)
+			if math.Abs(m-v) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty int name", func() { Int("", 0, 1, 1) }},
+		{"zero step", func() { Int("x", 0, 1, 0) }},
+		{"max < min", func() { Int("x", 5, 1, 1) }},
+		{"empty levels", func() { Levels("x") }},
+		{"empty levels name", func() { Levels("", 1) }},
+		{"duplicate levels", func() { Levels("x", 1, 1) }},
+		{"bad pow2 range", func() { Pow2("x", 5, 3) }},
+		{"huge pow2", func() { Pow2("x", 0, 40) }},
+		{"empty choice name", func() { Choice("", "a", "b") }},
+		{"single choice", func() { Choice("x", "a") }},
+		{"duplicate choice", func() { Choice("x", "a", "a") }},
+		{"ordered on ordered", func() { OrderedChoice("x", "a", "b").Ordered("b", "a") }},
+		{"ordering wrong length", func() { Choice("x", "a", "b").Ordered("a") }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	s := testSpace(t)
+	pt := make(Point, s.Len())
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"unknown param Int", func() { s.Int(pt, "nope") }},
+		{"Bool on non-flag", func() { s.Bool(pt, "depth") }},
+		{"Set unknown value", func() { s.Set(pt, "alloc", "zzz") }},
+		{"IntValue on choice", func() { s.ByName("alloc").IntValue(0) }},
+		{"Numeric out of range", func() { s.ByName("depth").Numeric(99) }},
+		{"StringValue out of range", func() { s.ByName("depth").StringValue(-1) }},
+		{"NearestIndex unordered", func() { s.ByName("alloc").NearestIndex(1) }},
+		{"PointAt out of range", func() { s.PointAt(s.Cardinality()) }},
+		{"Key invalid point", func() { s.Key(Point{1}) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestDescribeInvalidPoint(t *testing.T) {
+	s := testSpace(t)
+	if got := s.Describe(Point{1}); !strings.Contains(got, "invalid") {
+		t.Errorf("Describe(short point) = %q, want invalid marker", got)
+	}
+}
+
+func TestIndexOfStringForms(t *testing.T) {
+	p := Levels("x", 1, 2, 4)
+	if got := p.IndexOf("2"); got != 1 {
+		t.Errorf("IndexOf(2) = %d, want 1", got)
+	}
+	if got := p.IndexOf("3"); got != -1 {
+		t.Errorf("IndexOf(3) = %d, want -1", got)
+	}
+	f := Flag("y")
+	if got := f.IndexOfInt(1); got != 1 {
+		t.Errorf("flag IndexOfInt(1) = %d", got)
+	}
+	if got := f.IndexOfInt(5); got != -1 {
+		t.Errorf("flag IndexOfInt(5) = %d", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindInt: "int", KindPow2: "pow2", KindChoice: "choice",
+		KindOrderedChoice: "ordered-choice", KindFlag: "flag",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,179 @@
+// Package pareto provides multi-objective utilities over characterized
+// design spaces: dominance tests, Pareto-front extraction, and 2-D
+// hypervolume. The paper's related-work section contrasts Nautilus with
+// active-learning approaches that model the entire Pareto-optimal set;
+// these utilities let users of this library inspect that set directly when
+// the design space is small enough to have been characterized, and measure
+// how close a single-query search landed to the front.
+package pareto
+
+import (
+	"fmt"
+	"sort"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// Dominates reports whether metric bag a Pareto-dominates b under the
+// given objectives: at least as good on every objective, strictly better
+// on one. Bags missing any objective's value never dominate and are always
+// dominated.
+func Dominates(objs []metrics.Objective, a, b metrics.Metrics) bool {
+	aOK, bOK := true, true
+	for _, o := range objs {
+		if _, ok := o.Value(a); !ok {
+			aOK = false
+		}
+		if _, ok := o.Value(b); !ok {
+			bOK = false
+		}
+	}
+	if !aOK {
+		return false // an incomplete bag never dominates
+	}
+	if !bOK {
+		return true // ...and is dominated by any complete one
+	}
+	strictly := false
+	for _, o := range objs {
+		av, _ := o.Value(a)
+		bv, _ := o.Value(b)
+		if o.Better(bv, av) {
+			return false
+		}
+		if o.Better(av, bv) {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// FrontPoint is one member of an extracted Pareto front.
+type FrontPoint struct {
+	Point  param.Point
+	Values []float64 // objective values, in objective order
+}
+
+// Front extracts the Pareto-optimal set of the dataset under the given
+// objectives (two or more). The result is sorted by the first objective,
+// best first.
+func Front(ds *dataset.Dataset, objs []metrics.Objective) ([]FrontPoint, error) {
+	if len(objs) < 2 {
+		return nil, fmt.Errorf("pareto: need at least two objectives, got %d", len(objs))
+	}
+	type cand struct {
+		pt   param.Point
+		m    metrics.Metrics
+		vals []float64
+	}
+	var cands []cand
+	ds.Each(func(pt param.Point, m metrics.Metrics) bool {
+		vals := make([]float64, len(objs))
+		for i, o := range objs {
+			v, ok := o.Value(m)
+			if !ok {
+				return true // skip points missing an objective
+			}
+			vals[i] = v
+		}
+		cands = append(cands, cand{pt: pt.Clone(), m: m, vals: vals})
+		return true
+	})
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("pareto: no points carry all objectives")
+	}
+
+	// Sort by first objective (best first) so dominance scans are cheap:
+	// a point can only be dominated by points that precede it or tie it on
+	// the first objective.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return objs[0].Better(cands[i].vals[0], cands[j].vals[0])
+	})
+	var front []FrontPoint
+	var frontBags []metrics.Metrics
+	for _, c := range cands {
+		dominated := false
+		for _, fb := range frontBags {
+			if Dominates(objs, fb, c.m) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		front = append(front, FrontPoint{Point: c.pt, Values: c.vals})
+		frontBags = append(frontBags, c.m)
+	}
+	return front, nil
+}
+
+// DistanceToFront returns the smallest relative gap between the given
+// objective values and any front point: 0 means the values sit on the
+// front. The gap between value v and front value f on objective i is
+// |v-f| / max(|f|, 1e-12), and a candidate's gap is its worst objective
+// gap; the distance is the minimum over front points.
+func DistanceToFront(front []FrontPoint, vals []float64) float64 {
+	best := -1.0
+	for _, fp := range front {
+		worst := 0.0
+		for i, fv := range fp.Values {
+			den := fv
+			if den < 0 {
+				den = -den
+			}
+			if den < 1e-12 {
+				den = 1e-12
+			}
+			gap := (vals[i] - fv) / den
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > worst {
+				worst = gap
+			}
+		}
+		if best < 0 || worst < best {
+			best = worst
+		}
+	}
+	return best
+}
+
+// Hypervolume2D computes the area dominated by a two-objective front
+// relative to a reference point (a standard quality indicator for
+// bi-objective optimizers). Both objectives are normalized internally to
+// maximize-form; ref must be dominated by every front point.
+func Hypervolume2D(objs [2]metrics.Objective, front []FrontPoint, ref [2]float64) (float64, error) {
+	if len(front) == 0 {
+		return 0, fmt.Errorf("pareto: empty front")
+	}
+	// Convert to maximize-form coordinates relative to ref.
+	type xy struct{ x, y float64 }
+	pts := make([]xy, 0, len(front))
+	conv := func(o metrics.Objective, v, r float64) float64 {
+		if o.Direction() == metrics.Minimize {
+			return r - v
+		}
+		return v - r
+	}
+	for _, fp := range front {
+		p := xy{conv(objs[0], fp.Values[0], ref[0]), conv(objs[1], fp.Values[1], ref[1])}
+		if p.x < 0 || p.y < 0 {
+			return 0, fmt.Errorf("pareto: reference point does not bound front point %v", fp.Values)
+		}
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x > pts[j].x })
+	area := 0.0
+	prevY := 0.0
+	for _, p := range pts {
+		if p.y > prevY {
+			area += p.x * (p.y - prevY)
+			prevY = p.y
+		}
+	}
+	return area, nil
+}

@@ -1,0 +1,219 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// tradeoffSpace: cost rises with x, quality rises with x too (a pure
+// trade-off: the whole diagonal is Pareto-optimal), plus a "waste" axis w
+// that only adds cost - so only w=0 points are on the front.
+func tradeoffSpace(t *testing.T) (*param.Space, *dataset.Dataset) {
+	t.Helper()
+	s := param.MustSpace(
+		param.Int("x", 0, 9, 1),
+		param.Int("w", 0, 3, 1),
+	)
+	ds, err := dataset.Build(s, func(pt param.Point) (metrics.Metrics, error) {
+		x, w := float64(pt[0]), float64(pt[1])
+		return metrics.Metrics{
+			"cost":    10 + 5*x + 7*w,
+			"quality": 1 + x,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func objs() []metrics.Objective {
+	return []metrics.Objective{
+		metrics.MinimizeMetric("cost"),
+		metrics.MaximizeMetric("quality"),
+	}
+}
+
+func TestDominates(t *testing.T) {
+	o := objs()
+	a := metrics.Metrics{"cost": 10, "quality": 5}
+	b := metrics.Metrics{"cost": 20, "quality": 5}
+	c := metrics.Metrics{"cost": 10, "quality": 9}
+	if !Dominates(o, a, b) {
+		t.Error("a should dominate b (cheaper, same quality)")
+	}
+	if Dominates(o, b, a) {
+		t.Error("b should not dominate a")
+	}
+	if !Dominates(o, c, a) {
+		t.Error("c should dominate a (same cost, better quality)")
+	}
+	if Dominates(o, a, a) {
+		t.Error("a point must not dominate itself")
+	}
+	// Incomparable pair.
+	d := metrics.Metrics{"cost": 5, "quality": 1}
+	if Dominates(o, a, d) || Dominates(o, d, a) {
+		t.Error("trade-off pair should be incomparable")
+	}
+	// Missing metrics lose.
+	missing := metrics.Metrics{"cost": 1}
+	if Dominates(o, missing, a) {
+		t.Error("incomplete bag should not dominate")
+	}
+	if !Dominates(o, a, missing) {
+		t.Error("complete bag should dominate incomplete one")
+	}
+}
+
+func TestFrontExtraction(t *testing.T) {
+	s, ds := tradeoffSpace(t)
+	front, err := Front(ds, objs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the w=0 diagonal: 10 points.
+	if len(front) != 10 {
+		t.Fatalf("front has %d points, want 10", len(front))
+	}
+	for _, fp := range front {
+		if s.Int(fp.Point, "w") != 0 {
+			t.Errorf("front contains wasteful point %s", s.Describe(fp.Point))
+		}
+	}
+	// Sorted by first objective (min cost) best-first.
+	for i := 1; i < len(front); i++ {
+		if front[i].Values[0] < front[i-1].Values[0] {
+			t.Fatal("front not sorted by cost")
+		}
+	}
+}
+
+func TestFrontMutualNonDomination(t *testing.T) {
+	_, ds := tradeoffSpace(t)
+	o := objs()
+	front, err := Front(ds, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range front {
+		for j := range front {
+			if i == j {
+				continue
+			}
+			a := metrics.Metrics{"cost": front[i].Values[0], "quality": front[i].Values[1]}
+			b := metrics.Metrics{"cost": front[j].Values[0], "quality": front[j].Values[1]}
+			if Dominates(o, a, b) {
+				t.Fatalf("front points %d and %d not mutually non-dominated", i, j)
+			}
+		}
+	}
+}
+
+func TestFrontRejectsSingleObjective(t *testing.T) {
+	_, ds := tradeoffSpace(t)
+	if _, err := Front(ds, objs()[:1]); err == nil {
+		t.Error("single-objective front accepted")
+	}
+}
+
+func TestDistanceToFront(t *testing.T) {
+	_, ds := tradeoffSpace(t)
+	front, err := Front(ds, objs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point on the front has distance 0.
+	if d := DistanceToFront(front, front[3].Values); d != 0 {
+		t.Errorf("on-front distance = %v, want 0", d)
+	}
+	// The wasteful variant of x=3 (w=1: cost 32 vs 25) is off the front.
+	if d := DistanceToFront(front, []float64{32, 4}); d <= 0 {
+		t.Errorf("off-front distance = %v, want > 0", d)
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	o := [2]metrics.Objective{metrics.MinimizeMetric("cost"), metrics.MaximizeMetric("quality")}
+	front := []FrontPoint{
+		{Values: []float64{10, 1}},
+		{Values: []float64{20, 4}},
+		{Values: []float64{40, 5}},
+	}
+	// Reference: cost 50, quality 0. Maximize-form coords: x=50-cost,
+	// y=quality: (40,1), (30,4), (10,5).
+	// Area = 40*1 + 30*(4-1) + 10*(5-4) = 140.
+	hv, err := Hypervolume2D(o, front, [2]float64{50, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hv-140) > 1e-9 {
+		t.Errorf("hypervolume = %v, want 140", hv)
+	}
+	// Bad reference point.
+	if _, err := Hypervolume2D(o, front, [2]float64{30, 0}); err == nil {
+		t.Error("unbounding reference accepted")
+	}
+	if _, err := Hypervolume2D(o, nil, [2]float64{50, 0}); err == nil {
+		t.Error("empty front accepted")
+	}
+}
+
+// Property: no dataset point dominates any front point.
+func TestQuickFrontOptimal(t *testing.T) {
+	s, ds := tradeoffSpace(t)
+	o := objs()
+	front, err := Front(ds, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := s.Cardinality()
+	f := func(n uint64) bool {
+		pt := s.PointAt(n % card)
+		m, _ := ds.Lookup(pt)
+		for _, fp := range front {
+			fm := metrics.Metrics{"cost": fp.Values[0], "quality": fp.Values[1]}
+			if Dominates(o, m, fm) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hypervolume grows (weakly) as front points are added.
+func TestQuickHypervolumeMonotone(t *testing.T) {
+	o := [2]metrics.Objective{metrics.MinimizeMetric("cost"), metrics.MaximizeMetric("quality")}
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var front []FrontPoint
+		prev := -1.0
+		for i, r := range raw {
+			front = append(front, FrontPoint{
+				Values: []float64{float64(r), float64(i)},
+			})
+			hv, err := Hypervolume2D(o, front, [2]float64{300, -1})
+			if err != nil {
+				return false
+			}
+			if hv < prev-1e-9 {
+				return false
+			}
+			prev = hv
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,378 @@
+// Package rtl is a small synthesizable-Verilog builder used by the IP
+// generators to emit actual RTL for a chosen design point - the artifact a
+// real IP generator hands to the synthesis flow. Modules are assembled
+// programmatically (ports, nets, assigns, always blocks, instances) and
+// rendered as Verilog-2001; a structural checker validates the result
+// (legal identifiers, unique names, balanced hierarchy, connections that
+// reference declared nets and ports).
+package rtl
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// PortDir is a module port direction.
+type PortDir int
+
+// Port directions.
+const (
+	Input PortDir = iota
+	Output
+)
+
+func (d PortDir) String() string {
+	if d == Output {
+		return "output"
+	}
+	return "input"
+}
+
+// Port is a module port.
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Width int // bits; 1 renders without a range
+}
+
+// Net is an internal wire, register, or memory.
+type Net struct {
+	Name  string
+	Width int
+	Depth int // >0 declares a memory array
+	Reg   bool
+}
+
+// Instance is a submodule instantiation.
+type Instance struct {
+	Module string
+	Name   string
+	Params map[string]string // parameter overrides
+	Conns  map[string]string // port -> expression
+}
+
+// AlwaysBlock is a procedural block.
+type AlwaysBlock struct {
+	Trigger string // e.g. "posedge clk"
+	Body    []string
+}
+
+// Module is one Verilog module under construction.
+type Module struct {
+	Name     string
+	Comment  string
+	params   []struct{ name, value string }
+	ports    []Port
+	nets     []Net
+	assigns  []struct{ lhs, rhs string }
+	always   []AlwaysBlock
+	insts    []Instance
+	rawBody  []string
+	declared map[string]bool
+}
+
+// NewModule starts a module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, declared: map[string]bool{}}
+}
+
+// SetComment attaches a header comment.
+func (m *Module) SetComment(c string) *Module {
+	m.Comment = c
+	return m
+}
+
+// AddParam declares a Verilog parameter.
+func (m *Module) AddParam(name, value string) *Module {
+	m.params = append(m.params, struct{ name, value string }{name, value})
+	m.declared[name] = true
+	return m
+}
+
+// AddPort declares a port.
+func (m *Module) AddPort(dir PortDir, name string, width int) *Module {
+	m.ports = append(m.ports, Port{Name: name, Dir: dir, Width: width})
+	m.declared[name] = true
+	return m
+}
+
+// AddWire declares an internal wire.
+func (m *Module) AddWire(name string, width int) *Module {
+	m.nets = append(m.nets, Net{Name: name, Width: width})
+	m.declared[name] = true
+	return m
+}
+
+// AddReg declares a register.
+func (m *Module) AddReg(name string, width int) *Module {
+	m.nets = append(m.nets, Net{Name: name, Width: width, Reg: true})
+	m.declared[name] = true
+	return m
+}
+
+// AddMemory declares a register array (maps to LUTRAM/BRAM).
+func (m *Module) AddMemory(name string, width, depth int) *Module {
+	m.nets = append(m.nets, Net{Name: name, Width: width, Depth: depth, Reg: true})
+	m.declared[name] = true
+	return m
+}
+
+// Assign adds a continuous assignment.
+func (m *Module) Assign(lhs, rhs string) *Module {
+	m.assigns = append(m.assigns, struct{ lhs, rhs string }{lhs, rhs})
+	return m
+}
+
+// Always adds a procedural block.
+func (m *Module) Always(trigger string, body ...string) *Module {
+	m.always = append(m.always, AlwaysBlock{Trigger: trigger, Body: body})
+	return m
+}
+
+// Raw appends verbatim body lines (for generate loops and comments).
+func (m *Module) Raw(lines ...string) *Module {
+	m.rawBody = append(m.rawBody, lines...)
+	return m
+}
+
+// Instantiate adds a submodule instance.
+func (m *Module) Instantiate(module, name string, params, conns map[string]string) *Module {
+	m.insts = append(m.insts, Instance{Module: module, Name: name, Params: params, Conns: conns})
+	return m
+}
+
+// Instances returns the instantiations added so far.
+func (m *Module) Instances() []Instance { return m.insts }
+
+func widthDecl(width int) string {
+	if width <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", width-1)
+}
+
+// Verilog renders the module.
+func (m *Module) Verilog() string {
+	var b strings.Builder
+	if m.Comment != "" {
+		for _, line := range strings.Split(m.Comment, "\n") {
+			fmt.Fprintf(&b, "// %s\n", line)
+		}
+	}
+	names := make([]string, len(m.ports))
+	for i, p := range m.ports {
+		names[i] = p.Name
+	}
+	fmt.Fprintf(&b, "module %s (\n  %s\n);\n", m.Name, strings.Join(names, ",\n  "))
+	for _, p := range m.params {
+		fmt.Fprintf(&b, "  parameter %s = %s;\n", p.name, p.value)
+	}
+	for _, p := range m.ports {
+		fmt.Fprintf(&b, "  %s %s%s;\n", p.Dir, widthDecl(p.Width), p.Name)
+	}
+	for _, n := range m.nets {
+		kind := "wire"
+		if n.Reg {
+			kind = "reg"
+		}
+		if n.Depth > 0 {
+			fmt.Fprintf(&b, "  %s %s%s [0:%d];\n", kind, widthDecl(n.Width), n.Name, n.Depth-1)
+		} else {
+			fmt.Fprintf(&b, "  %s %s%s;\n", kind, widthDecl(n.Width), n.Name)
+		}
+	}
+	for _, a := range m.assigns {
+		fmt.Fprintf(&b, "  assign %s = %s;\n", a.lhs, a.rhs)
+	}
+	for _, blk := range m.always {
+		fmt.Fprintf(&b, "  always @(%s) begin\n", blk.Trigger)
+		for _, line := range blk.Body {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+		fmt.Fprintf(&b, "  end\n")
+	}
+	for _, line := range m.rawBody {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	for _, inst := range m.insts {
+		if len(inst.Params) > 0 {
+			keys := sortedKeys(inst.Params)
+			over := make([]string, len(keys))
+			for i, k := range keys {
+				over[i] = fmt.Sprintf(".%s(%s)", k, inst.Params[k])
+			}
+			fmt.Fprintf(&b, "  %s #(%s) %s (\n", inst.Module, strings.Join(over, ", "), inst.Name)
+		} else {
+			fmt.Fprintf(&b, "  %s %s (\n", inst.Module, inst.Name)
+		}
+		keys := sortedKeys(inst.Conns)
+		conns := make([]string, len(keys))
+		for i, k := range keys {
+			conns[i] = fmt.Sprintf("    .%s(%s)", k, inst.Conns[k])
+		}
+		fmt.Fprintf(&b, "%s\n  );\n", strings.Join(conns, ",\n"))
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Design is a set of modules with a designated top.
+type Design struct {
+	Top     string
+	Modules []*Module
+}
+
+// Verilog renders the whole design, top module first, the rest in
+// declaration order.
+func (d *Design) Verilog() string {
+	var b strings.Builder
+	for _, m := range d.orderedModules() {
+		b.WriteString(m.Verilog())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (d *Design) orderedModules() []*Module {
+	out := make([]*Module, 0, len(d.Modules))
+	for _, m := range d.Modules {
+		if m.Name == d.Top {
+			out = append(out, m)
+		}
+	}
+	for _, m := range d.Modules {
+		if m.Name != d.Top {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
+
+// Check validates the design's structure:
+//
+//   - the top module exists and module names are unique and legal;
+//   - port/net/instance names are legal identifiers;
+//   - every instantiated module is defined in the design;
+//   - instance connections name real ports of the instantiated module;
+//   - no module instantiates itself (directly).
+func (d *Design) Check() error {
+	if len(d.Modules) == 0 {
+		return fmt.Errorf("rtl: empty design")
+	}
+	byName := map[string]*Module{}
+	for _, m := range d.Modules {
+		if !identRe.MatchString(m.Name) {
+			return fmt.Errorf("rtl: illegal module name %q", m.Name)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return fmt.Errorf("rtl: duplicate module %q", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	if _, ok := byName[d.Top]; !ok {
+		return fmt.Errorf("rtl: top module %q not defined", d.Top)
+	}
+	for _, m := range d.Modules {
+		seen := map[string]bool{}
+		for _, p := range m.ports {
+			if !identRe.MatchString(p.Name) {
+				return fmt.Errorf("rtl: %s: illegal port name %q", m.Name, p.Name)
+			}
+			if seen[p.Name] {
+				return fmt.Errorf("rtl: %s: duplicate port %q", m.Name, p.Name)
+			}
+			seen[p.Name] = true
+		}
+		for _, n := range m.nets {
+			if !identRe.MatchString(n.Name) {
+				return fmt.Errorf("rtl: %s: illegal net name %q", m.Name, n.Name)
+			}
+			if seen[n.Name] {
+				return fmt.Errorf("rtl: %s: duplicate net %q", m.Name, n.Name)
+			}
+			seen[n.Name] = true
+			if n.Width < 1 || n.Width > 4096 {
+				return fmt.Errorf("rtl: %s: net %q width %d out of range", m.Name, n.Name, n.Width)
+			}
+		}
+		instNames := map[string]bool{}
+		for _, inst := range m.insts {
+			if !identRe.MatchString(inst.Name) {
+				return fmt.Errorf("rtl: %s: illegal instance name %q", m.Name, inst.Name)
+			}
+			if instNames[inst.Name] {
+				return fmt.Errorf("rtl: %s: duplicate instance %q", m.Name, inst.Name)
+			}
+			instNames[inst.Name] = true
+			if inst.Module == m.Name {
+				return fmt.Errorf("rtl: %s instantiates itself", m.Name)
+			}
+			sub, ok := byName[inst.Module]
+			if !ok {
+				return fmt.Errorf("rtl: %s instantiates undefined module %q", m.Name, inst.Module)
+			}
+			subPorts := map[string]bool{}
+			for _, p := range sub.ports {
+				subPorts[p.Name] = true
+			}
+			for portName := range inst.Conns {
+				if !subPorts[portName] {
+					return fmt.Errorf("rtl: %s/%s: connection to nonexistent port %s.%s",
+						m.Name, inst.Name, inst.Module, portName)
+				}
+			}
+			subParams := map[string]bool{}
+			for _, p := range sub.params {
+				subParams[p.name] = true
+			}
+			for paramName := range inst.Params {
+				if !subParams[paramName] {
+					return fmt.Errorf("rtl: %s/%s: override of nonexistent parameter %s.%s",
+						m.Name, inst.Name, inst.Module, paramName)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a design's structure (useful for tests and reports).
+type Stats struct {
+	Modules   int
+	Instances int
+	Ports     int
+	Regs      int
+	Memories  int
+	AlwaysBlk int
+}
+
+// Summarize computes design statistics.
+func (d *Design) Summarize() Stats {
+	s := Stats{Modules: len(d.Modules)}
+	for _, m := range d.Modules {
+		s.Instances += len(m.insts)
+		s.Ports += len(m.ports)
+		s.AlwaysBlk += len(m.always)
+		for _, n := range m.nets {
+			if n.Depth > 0 {
+				s.Memories++
+			} else if n.Reg {
+				s.Regs++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func simpleDesign() *Design {
+	leaf := NewModule("leaf")
+	leaf.AddParam("WIDTH", "8")
+	leaf.AddPort(Input, "clk", 1).AddPort(Input, "d", 8).AddPort(Output, "q", 8)
+	leaf.AddReg("q_r", 8)
+	leaf.Always("posedge clk", "q_r <= d;")
+	leaf.Assign("q", "q_r")
+
+	top := NewModule("top").SetComment("demo top")
+	top.AddPort(Input, "clk", 1).AddPort(Input, "din", 8).AddPort(Output, "dout", 8)
+	top.AddWire("mid", 8)
+	top.Instantiate("leaf", "u0", map[string]string{"WIDTH": "8"},
+		map[string]string{"clk": "clk", "d": "din", "q": "mid"})
+	top.Instantiate("leaf", "u1", nil,
+		map[string]string{"clk": "clk", "d": "mid", "q": "dout"})
+	return &Design{Top: "top", Modules: []*Module{top, leaf}}
+}
+
+func TestVerilogRendering(t *testing.T) {
+	d := simpleDesign()
+	v := d.Verilog()
+	for _, want := range []string{
+		"module top (", "module leaf (", "endmodule",
+		"parameter WIDTH = 8;",
+		"input clk;", "input [7:0] d;", "output [7:0] q;",
+		"reg [7:0] q_r;",
+		"always @(posedge clk) begin",
+		"assign q = q_r;",
+		"leaf #(.WIDTH(8)) u0 (",
+		".d(din)",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("rendered Verilog missing %q", want)
+		}
+	}
+	if strings.Count(v, "module ") != strings.Count(v, "endmodule")+0 {
+		// "module " also matches "endmodule " prefix? No: "endmodule" has no
+		// trailing space in our output; count separately.
+		t.Log(v)
+	}
+	if got, want := strings.Count(v, "endmodule"), 2; got != want {
+		t.Errorf("endmodule count = %d, want %d", got, want)
+	}
+}
+
+func TestTopRendersFirst(t *testing.T) {
+	d := simpleDesign()
+	v := d.Verilog()
+	if strings.Index(v, "module top") > strings.Index(v, "module leaf") {
+		t.Error("top module should render first")
+	}
+}
+
+func TestCheckAcceptsValid(t *testing.T) {
+	if err := simpleDesign().Check(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsInvalid(t *testing.T) {
+	mk := simpleDesign
+
+	cases := []struct {
+		name   string
+		mutate func(*Design)
+	}{
+		{"empty design", func(d *Design) { d.Modules = nil }},
+		{"missing top", func(d *Design) { d.Top = "nope" }},
+		{"duplicate module", func(d *Design) { d.Modules = append(d.Modules, NewModule("leaf")) }},
+		{"illegal module name", func(d *Design) { d.Modules[1].Name = "2bad" }},
+		{"illegal port name", func(d *Design) {
+			d.Modules[0].AddPort(Input, "bad name", 1)
+		}},
+		{"duplicate port", func(d *Design) {
+			d.Modules[0].AddPort(Input, "clk", 1)
+		}},
+		{"duplicate net", func(d *Design) {
+			d.Modules[0].AddWire("mid", 4)
+		}},
+		{"undefined submodule", func(d *Design) {
+			d.Modules[0].Instantiate("ghost", "g0", nil, nil)
+		}},
+		{"bad connection port", func(d *Design) {
+			d.Modules[0].Instantiate("leaf", "u2", nil, map[string]string{"nonport": "clk"})
+		}},
+		{"bad parameter override", func(d *Design) {
+			d.Modules[0].Instantiate("leaf", "u3", map[string]string{"GHOST": "1"}, nil)
+		}},
+		{"self instantiation", func(d *Design) {
+			d.Modules[1].Instantiate("leaf", "rec", nil, nil)
+		}},
+		{"duplicate instance", func(d *Design) {
+			d.Modules[0].Instantiate("leaf", "u0", nil, nil)
+		}},
+		{"zero-width net", func(d *Design) {
+			d.Modules[0].AddWire("w0", 0)
+		}},
+	}
+	for _, c := range cases {
+		d := mk()
+		c.mutate(d)
+		if err := d.Check(); err == nil {
+			t.Errorf("%s: Check accepted invalid design", c.name)
+		}
+	}
+}
+
+func TestMemoryRendering(t *testing.T) {
+	m := NewModule("memmod")
+	m.AddPort(Input, "clk", 1)
+	m.AddMemory("ram", 32, 64)
+	v := m.Verilog()
+	if !strings.Contains(v, "reg [31:0] ram [0:63];") {
+		t.Errorf("memory declaration missing:\n%s", v)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := simpleDesign()
+	s := d.Summarize()
+	if s.Modules != 2 || s.Instances != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Regs != 1 || s.AlwaysBlk != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Ports != 6 {
+		t.Errorf("Ports = %d, want 6", s.Ports)
+	}
+}
+
+func TestDeterministicRendering(t *testing.T) {
+	a := simpleDesign().Verilog()
+	b := simpleDesign().Verilog()
+	if a != b {
+		t.Error("rendering not deterministic")
+	}
+}

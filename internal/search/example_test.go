@@ -1,0 +1,49 @@
+package search_test
+
+import (
+	"fmt"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/search"
+)
+
+func exampleSpace() (*param.Space, func(param.Point) (metrics.Metrics, error)) {
+	s := param.MustSpace(param.Int("x", 0, 31, 1), param.Int("y", 0, 31, 1))
+	eval := func(pt param.Point) (metrics.Metrics, error) {
+		dx, dy := float64(pt[0]-20), float64(pt[1]-11)
+		return metrics.Metrics{"cost": dx*dx + dy*dy}, nil
+	}
+	return s, eval
+}
+
+// Exhaustive search is the ground truth every cheaper method is judged
+// against - at the cost of the full design space in synthesis jobs.
+func ExampleExhaustive() {
+	s, eval := exampleSpace()
+	res, err := search.Exhaustive(s, metrics.MinimizeMetric("cost"), eval)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("optimum:", res.BestValue, "at", s.Describe(res.BestPoint))
+	fmt.Println("cost:", res.DistinctEvals, "evaluations")
+	// Output:
+	// optimum: 0 at x=20 y=11
+	// cost: 1024 evaluations
+}
+
+// Hill climbing solves convex spaces with a fraction of the evaluations.
+func ExampleHillClimb() {
+	s, eval := exampleSpace()
+	res, err := search.HillClimb(s, metrics.MinimizeMetric("cost"), eval, 400, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("found:", res.BestValue)
+	fmt.Println("within budget:", res.DistinctEvals <= 400)
+	// Output:
+	// found: 0
+	// within budget: true
+}

@@ -1,0 +1,194 @@
+// Package search provides the non-GA search baselines the paper compares
+// against: uniform random sampling, exhaustive enumeration, and greedy
+// hill climbing. All report cost in distinct design evaluations, like the
+// GA engines, so results are directly comparable.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// Random draws budget design points uniformly at random (without
+// replacement bookkeeping via the evaluation cache: re-drawn points cost
+// nothing, matching the paper's cost model) and returns the best found.
+// The trajectory has one entry per batch of 10 draws plus the final state.
+func Random(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, budget int, seed int64) (ga.Result, error) {
+	if budget < 1 {
+		return ga.Result{}, fmt.Errorf("search: budget %d < 1", budget)
+	}
+	cache := dataset.NewCache(space, eval)
+	r := rand.New(rand.NewSource(seed))
+
+	best := obj.Worst()
+	var bestPt param.Point
+	var trajectory []ga.GenPoint
+	record := func(i int) {
+		trajectory = append(trajectory, ga.GenPoint{
+			Generation:    i,
+			DistinctEvals: cache.DistinctEvaluations(),
+			BestValue:     best,
+		})
+	}
+	for i := 1; cache.DistinctEvaluations() < budget; i++ {
+		pt := space.Random(r)
+		m, err := cache.Evaluate(pt)
+		if err == nil {
+			if v, ok := obj.Value(m); ok && obj.Better(v, best) {
+				best = v
+				bestPt = pt.Clone()
+			}
+		}
+		if cache.DistinctEvaluations()%10 == 0 {
+			record(i)
+		}
+	}
+	record(budget)
+	return ga.Result{
+		BestPoint:     bestPt,
+		BestValue:     best,
+		Trajectory:    trajectory,
+		DistinctEvals: cache.DistinctEvaluations(),
+	}, nil
+}
+
+// RandomUntil draws random points until one at least as good as target is
+// found (or maxDraws distinct evaluations are spent), returning the number
+// of distinct evaluations used and whether the target was reached. This
+// measures the paper's "random sampling would take N synthesis runs" claim
+// empirically.
+func RandomUntil(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, target float64, maxDraws int, seed int64) (int, bool) {
+	cache := dataset.NewCache(space, eval)
+	r := rand.New(rand.NewSource(seed))
+	for cache.DistinctEvaluations() < maxDraws {
+		m, err := cache.Evaluate(space.Random(r))
+		if err != nil {
+			continue
+		}
+		if v, ok := obj.Value(m); ok && !obj.Better(target, v) {
+			return cache.DistinctEvaluations(), true
+		}
+	}
+	return cache.DistinctEvaluations(), false
+}
+
+// Exhaustive evaluates every point of the space and returns the optimum.
+// Its cost is the full cardinality - the brute-force bound the paper's
+// Figure 1/2 motivation argues is untenable when evaluations take hours.
+func Exhaustive(space *param.Space, obj metrics.Objective, eval dataset.Evaluator) (ga.Result, error) {
+	best := obj.Worst()
+	var bestPt param.Point
+	evals := 0
+	space.Enumerate(func(pt param.Point) bool {
+		evals++
+		m, err := eval(pt)
+		if err != nil {
+			return true
+		}
+		if v, ok := obj.Value(m); ok && obj.Better(v, best) {
+			best = v
+			bestPt = pt.Clone()
+		}
+		return true
+	})
+	if bestPt == nil {
+		return ga.Result{}, fmt.Errorf("search: no feasible point in space")
+	}
+	return ga.Result{
+		BestPoint:     bestPt,
+		BestValue:     best,
+		DistinctEvals: evals,
+		Trajectory: []ga.GenPoint{{
+			Generation: 0, DistinctEvals: evals, BestValue: best,
+		}},
+	}, nil
+}
+
+// HillClimb runs steepest-ascent hill climbing with random restarts: from a
+// random point, repeatedly move to the best neighbor (one gene changed by
+// one index step) until no neighbor improves, restarting until the
+// evaluation budget is exhausted. A classic greedy baseline that gets stuck
+// where GAs do not.
+func HillClimb(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, budget int, seed int64) (ga.Result, error) {
+	if budget < 1 {
+		return ga.Result{}, fmt.Errorf("search: budget %d < 1", budget)
+	}
+	cache := dataset.NewCache(space, eval)
+	r := rand.New(rand.NewSource(seed))
+
+	best := obj.Worst()
+	var bestPt param.Point
+	var trajectory []ga.GenPoint
+
+	value := func(pt param.Point) (float64, bool) {
+		m, err := cache.Evaluate(pt)
+		if err != nil {
+			return obj.Worst(), false
+		}
+		return obj.Value(m)
+	}
+
+	restart := 0
+	for cache.DistinctEvaluations() < budget {
+		cur := space.Random(r)
+		curVal, ok := value(cur)
+		if ok && obj.Better(curVal, best) {
+			best, bestPt = curVal, cur.Clone()
+		}
+		improved := true
+		for improved && cache.DistinctEvaluations() < budget {
+			improved = false
+			bestNb := cur
+			bestNbVal := curVal
+			nbOK := ok
+			for g := 0; g < space.Len(); g++ {
+				for _, d := range []int{-1, 1} {
+					if cache.DistinctEvaluations() >= budget {
+						break
+					}
+					nv := cur[g] + d
+					if nv < 0 || nv >= space.Param(g).Card() {
+						continue
+					}
+					nb := cur.Clone()
+					nb[g] = nv
+					v, vok := value(nb)
+					if !vok {
+						continue
+					}
+					if !nbOK || obj.Better(v, bestNbVal) {
+						bestNb, bestNbVal, nbOK = nb, v, true
+						improved = true
+					}
+				}
+			}
+			if improved {
+				cur, curVal, ok = bestNb, bestNbVal, nbOK
+				if ok && obj.Better(curVal, best) {
+					best, bestPt = curVal, cur.Clone()
+				}
+			}
+		}
+		restart++
+		trajectory = append(trajectory, ga.GenPoint{
+			Generation:    restart,
+			DistinctEvals: cache.DistinctEvaluations(),
+			BestValue:     best,
+		})
+	}
+	if math.IsInf(best, 0) {
+		bestPt = nil
+	}
+	return ga.Result{
+		BestPoint:     bestPt,
+		BestValue:     best,
+		Trajectory:    trajectory,
+		DistinctEvals: cache.DistinctEvaluations(),
+	}, nil
+}

@@ -1,0 +1,182 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func costSpace() (*param.Space, func(param.Point) (metrics.Metrics, error)) {
+	s := param.MustSpace(
+		param.Int("x", 0, 19, 1),
+		param.Int("y", 0, 19, 1),
+	)
+	eval := func(pt param.Point) (metrics.Metrics, error) {
+		x, y := float64(pt[0]-13), float64(pt[1]-6)
+		return metrics.Metrics{"cost": x*x + y*y}, nil
+	}
+	return s, eval
+}
+
+func TestRandomFindsReasonableSolutions(t *testing.T) {
+	s, eval := costSpace()
+	obj := metrics.MinimizeMetric("cost")
+	res, err := Random(s, obj, eval, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPoint == nil {
+		t.Fatal("no point found")
+	}
+	if res.DistinctEvals != 200 {
+		t.Errorf("distinct evals %d, want exactly the budget 200", res.DistinctEvals)
+	}
+	if res.BestValue > 20 {
+		t.Errorf("best cost %v after 200/400 points, want small", res.BestValue)
+	}
+	if len(res.Trajectory) == 0 {
+		t.Error("no trajectory recorded")
+	}
+}
+
+func TestRandomRejectsBadBudget(t *testing.T) {
+	s, eval := costSpace()
+	if _, err := Random(s, metrics.MinimizeMetric("cost"), eval, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	s, eval := costSpace()
+	obj := metrics.MinimizeMetric("cost")
+	a, _ := Random(s, obj, eval, 50, 7)
+	b, _ := Random(s, obj, eval, 50, 7)
+	if a.BestValue != b.BestValue {
+		t.Error("random search not deterministic per seed")
+	}
+}
+
+func TestRandomUntil(t *testing.T) {
+	s, eval := costSpace()
+	obj := metrics.MinimizeMetric("cost")
+	evals, ok := RandomUntil(s, obj, eval, 0, 400, 3)
+	if !ok {
+		t.Fatalf("optimum not found in full budget (spent %d)", evals)
+	}
+	if evals < 1 || evals > 400 {
+		t.Errorf("evals = %d out of range", evals)
+	}
+	// Unreachable target.
+	evals, ok = RandomUntil(s, obj, eval, -1, 100, 3)
+	if ok {
+		t.Error("impossible target reported reached")
+	}
+	if evals != 100 {
+		t.Errorf("spent %d, want full 100 budget", evals)
+	}
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	s, eval := costSpace()
+	obj := metrics.MinimizeMetric("cost")
+	res, err := Exhaustive(s, obj, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue != 0 {
+		t.Errorf("best = %v, want exact optimum 0", res.BestValue)
+	}
+	if res.DistinctEvals != 400 {
+		t.Errorf("evals = %d, want full cardinality 400", res.DistinctEvals)
+	}
+	if s.Int(res.BestPoint, "x") != 13 || s.Int(res.BestPoint, "y") != 6 {
+		t.Errorf("optimum at %s", s.Describe(res.BestPoint))
+	}
+}
+
+func TestExhaustiveAllInfeasible(t *testing.T) {
+	s, _ := costSpace()
+	bad := func(param.Point) (metrics.Metrics, error) { return nil, errors.New("no") }
+	if _, err := Exhaustive(s, metrics.MinimizeMetric("cost"), bad); err == nil {
+		t.Error("expected error when nothing is feasible")
+	}
+}
+
+func TestHillClimbOnConvexSpace(t *testing.T) {
+	// The cost bowl is convex, so hill climbing from any start must reach
+	// the exact optimum.
+	s, eval := costSpace()
+	obj := metrics.MinimizeMetric("cost")
+	res, err := HillClimb(s, obj, eval, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue != 0 {
+		t.Errorf("hill climb best = %v, want 0 on convex space", res.BestValue)
+	}
+	if res.DistinctEvals > 300 {
+		t.Errorf("budget exceeded: %d", res.DistinctEvals)
+	}
+}
+
+func TestHillClimbGetsStuckOnDeceptiveSpace(t *testing.T) {
+	// A deceptive space: a broad local basin at x=3 (cost 5) and a narrow
+	// global optimum at x=18 (cost 0) surrounded by a high ridge. Greedy
+	// single-gene moves from most starts end in the basin; verify the
+	// baseline exhibits exactly the weakness the paper's GA avoids.
+	s := param.MustSpace(param.Int("x", 0, 19, 1))
+	eval := func(pt param.Point) (metrics.Metrics, error) {
+		x := pt[0]
+		switch {
+		case x == 18:
+			return metrics.Metrics{"cost": 0}, nil
+		case x >= 15:
+			return metrics.Metrics{"cost": 500}, nil // ridge
+		default:
+			d := float64(x - 3)
+			return metrics.Metrics{"cost": 5 + d*d}, nil
+		}
+	}
+	obj := metrics.MinimizeMetric("cost")
+	// Tiny budget: one or two restarts, very likely starting in the basin.
+	res, err := HillClimb(s, obj, eval, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue == 0 {
+		t.Skip("lucky start found the needle; deceptiveness not exercised")
+	}
+	if res.BestValue > 500 {
+		t.Errorf("best %v, should at least reach the basin", res.BestValue)
+	}
+}
+
+func TestHillClimbSurvivesInfeasibleStripes(t *testing.T) {
+	s, eval := costSpace()
+	striped := func(pt param.Point) (metrics.Metrics, error) {
+		if (pt[0]+pt[1])%5 == 4 {
+			return nil, errors.New("stripe")
+		}
+		return eval(pt)
+	}
+	res, err := HillClimb(s, metrics.MinimizeMetric("cost"), striped, 350, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPoint == nil {
+		t.Fatal("nothing feasible found")
+	}
+	if math.IsInf(res.BestValue, 0) {
+		t.Fatal("best value is sentinel")
+	}
+}
+
+func TestHillClimbBadBudget(t *testing.T) {
+	s, eval := costSpace()
+	if _, err := HillClimb(s, metrics.MinimizeMetric("cost"), eval, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package stats aggregates multi-run search results: summary statistics,
+// best-so-far curves on a common evaluation grid, and evals-to-quality
+// accounting. The paper averages each experiment over 20-40 runs to smooth
+// the stochastic search process; this package implements that methodology.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (NaN for fewer than two
+// values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median (NaN for empty input).
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using nearest-rank on a
+// sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// Summary bundles the descriptive statistics of a sample.
+type Summary struct {
+	N           int
+	Mean        float64
+	StdDev      float64
+	Min, Median float64
+	Max         float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Quantile(xs, 0),
+		Median: Median(xs),
+		Max:    Quantile(xs, 1),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// CurvePoint is one sample of an averaged best-so-far curve: after X
+// distinct evaluations, the mean best objective value across runs is Y.
+// Runs counts how many runs had produced a feasible value by X.
+type CurvePoint struct {
+	X    int
+	Y    float64
+	Runs int
+}
+
+// Curve is an averaged search trajectory, the form the paper's Figures 3-7
+// plot.
+type Curve []CurvePoint
+
+// EvalGrid builds an evaluation-count grid of roughly `points` entries from
+// 1 to max (inclusive), spaced evenly.
+func EvalGrid(max, points int) []int {
+	if max < 1 {
+		return nil
+	}
+	if points < 2 || points > max {
+		points = max
+	}
+	grid := make([]int, 0, points)
+	for i := 0; i < points; i++ {
+		x := 1 + int(math.Round(float64(i)*float64(max-1)/float64(points-1)))
+		if len(grid) == 0 || x > grid[len(grid)-1] {
+			grid = append(grid, x)
+		}
+	}
+	return grid
+}
+
+// valueAt returns the best value a run had achieved once it had spent at
+// most x distinct evaluations, and whether any feasible value existed yet.
+func valueAt(res ga.Result, obj metrics.Objective, x int) (float64, bool) {
+	best := obj.Worst()
+	found := false
+	for _, gp := range res.Trajectory {
+		if gp.DistinctEvals > x {
+			break
+		}
+		if gp.BestValue != obj.Worst() {
+			best = gp.BestValue
+			found = true
+		}
+	}
+	return best, found
+}
+
+// AverageTrajectories resamples each run's best-so-far trajectory onto the
+// grid (as a step function of distinct evaluations) and averages across
+// runs. Grid points where no run had found a feasible value yet are
+// omitted.
+func AverageTrajectories(results []ga.Result, obj metrics.Objective, grid []int) Curve {
+	var curve Curve
+	for _, x := range grid {
+		sum := 0.0
+		n := 0
+		for _, res := range results {
+			if v, ok := valueAt(res, obj, x); ok {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			curve = append(curve, CurvePoint{X: x, Y: sum / float64(n), Runs: n})
+		}
+	}
+	return curve
+}
+
+// FinalValues extracts each run's final best value (skipping runs that
+// found nothing feasible).
+func FinalValues(results []ga.Result, obj metrics.Objective) []float64 {
+	var out []float64
+	for _, res := range results {
+		if res.BestPoint != nil {
+			out = append(out, res.BestValue)
+		}
+	}
+	_ = obj
+	return out
+}
+
+// Reach summarizes how many distinct evaluations runs needed to hit a
+// quality target.
+type Reach struct {
+	// MeanEvals averages the evaluation counts of the runs that reached the
+	// target (NaN if none did).
+	MeanEvals float64
+	// Reached and Total count successful runs and all runs.
+	Reached, Total int
+}
+
+// String renders e.g. "63.4 evals (38/40 runs)".
+func (r Reach) String() string {
+	return fmt.Sprintf("%.1f evals (%d/%d runs)", r.MeanEvals, r.Reached, r.Total)
+}
+
+// EvalsToReach computes the Reach statistics of target under obj across
+// runs.
+func EvalsToReach(results []ga.Result, obj metrics.Objective, target float64) Reach {
+	var evals []float64
+	for _, res := range results {
+		if e := res.EvalsToReach(obj, target); e >= 0 {
+			evals = append(evals, float64(e))
+		}
+	}
+	return Reach{
+		MeanEvals: Mean(evals),
+		Reached:   len(evals),
+		Total:     len(results),
+	}
+}
+
+// MeanDistinctEvals averages the total distinct evaluations across runs.
+func MeanDistinctEvals(results []ga.Result) float64 {
+	xs := make([]float64, len(results))
+	for i, res := range results {
+		xs[i] = float64(res.DistinctEvals)
+	}
+	return Mean(xs)
+}
+
+// CI is a bootstrap confidence interval around a sample mean.
+type CI struct {
+	Mean     float64
+	Lo, Hi   float64
+	Level    float64
+	Resample int
+}
+
+// String renders e.g. "63.4 [58.1, 68.9] @95%".
+func (c CI) String() string {
+	return fmt.Sprintf("%.1f [%.1f, %.1f] @%d%%", c.Mean, c.Lo, c.Hi, int(c.Level*100))
+}
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for the
+// mean of xs at the given level (e.g. 0.95), using `resamples` bootstrap
+// replicates drawn with the given seed. The paper averages noisy stochastic
+// runs; the interval quantifies how trustworthy those averages are.
+func BootstrapCI(xs []float64, level float64, resamples int, seed int64) CI {
+	if len(xs) == 0 {
+		return CI{Mean: math.NaN(), Lo: math.NaN(), Hi: math.NaN(), Level: level}
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	if resamples < 10 {
+		resamples = 1000
+	}
+	r := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for i := range means {
+		sum := 0.0
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo := means[int(alpha*float64(resamples-1))]
+	hi := means[int((1-alpha)*float64(resamples-1))]
+	return CI{Mean: Mean(xs), Lo: lo, Hi: hi, Level: level, Resample: resamples}
+}
+
+// ReachCI bundles evals-to-quality with a bootstrap interval over the runs
+// that reached the target.
+func ReachCI(results []ga.Result, obj metrics.Objective, target float64, seed int64) (Reach, CI) {
+	var evals []float64
+	for _, res := range results {
+		if e := res.EvalsToReach(obj, target); e >= 0 {
+			evals = append(evals, float64(e))
+		}
+	}
+	reach := Reach{MeanEvals: Mean(evals), Reached: len(evals), Total: len(results)}
+	return reach, BootstrapCI(evals, 0.95, 2000, seed)
+}

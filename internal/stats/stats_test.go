@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+func TestMeanStdDevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ~2.138 (sample)", sd)
+	}
+	if med := Median(xs); med < 4 || med > 5 {
+		t.Errorf("Median = %v, want in [4,5]", med)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev([]float64{1})) || !math.IsNaN(Median(nil)) {
+		t.Error("degenerate inputs should yield NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("Quantile(0.5) = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty input should give zero Summary")
+	}
+}
+
+func TestEvalGrid(t *testing.T) {
+	g := EvalGrid(100, 5)
+	if len(g) != 5 || g[0] != 1 || g[len(g)-1] != 100 {
+		t.Errorf("EvalGrid = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatal("grid not strictly increasing")
+		}
+	}
+	if g := EvalGrid(3, 10); len(g) != 3 {
+		t.Errorf("oversampled grid = %v, want 3 unique points", g)
+	}
+	if EvalGrid(0, 5) != nil {
+		t.Error("EvalGrid(0) should be nil")
+	}
+}
+
+func fakeResult(evals []int, values []float64) ga.Result {
+	res := ga.Result{}
+	for i := range evals {
+		res.Trajectory = append(res.Trajectory, ga.GenPoint{
+			Generation:    i,
+			DistinctEvals: evals[i],
+			BestValue:     values[i],
+		})
+	}
+	res.DistinctEvals = evals[len(evals)-1]
+	res.BestValue = values[len(values)-1]
+	res.BestPoint = param.Point{0}
+	return res
+}
+
+func TestAverageTrajectories(t *testing.T) {
+	obj := metrics.MinimizeMetric("cost")
+	a := fakeResult([]int{10, 20, 30}, []float64{100, 50, 20})
+	b := fakeResult([]int{10, 20, 30}, []float64{80, 60, 40})
+	curve := AverageTrajectories([]ga.Result{a, b}, obj, []int{10, 20, 30})
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(curve))
+	}
+	want := []float64{90, 55, 30}
+	for i, cp := range curve {
+		if cp.Y != want[i] || cp.Runs != 2 {
+			t.Errorf("curve[%d] = %+v, want Y=%v Runs=2", i, cp, want[i])
+		}
+	}
+}
+
+func TestAverageTrajectoriesStepSemantics(t *testing.T) {
+	obj := metrics.MinimizeMetric("cost")
+	a := fakeResult([]int{10, 30}, []float64{100, 20})
+	// At x=20 run a has only spent 10 evals worth of progress: value 100.
+	curve := AverageTrajectories([]ga.Result{a}, obj, []int{5, 20, 40})
+	if len(curve) != 2 {
+		t.Fatalf("curve = %+v, want 2 points (x=5 has no data)", curve)
+	}
+	if curve[0].X != 20 || curve[0].Y != 100 {
+		t.Errorf("curve[0] = %+v, want step value 100 at x=20", curve[0])
+	}
+	if curve[1].X != 40 || curve[1].Y != 20 {
+		t.Errorf("curve[1] = %+v", curve[1])
+	}
+}
+
+func TestAverageTrajectoriesSkipsWorstSentinel(t *testing.T) {
+	obj := metrics.MinimizeMetric("cost")
+	a := ga.Result{Trajectory: []ga.GenPoint{
+		{Generation: 0, DistinctEvals: 10, BestValue: math.Inf(1)},
+		{Generation: 1, DistinctEvals: 20, BestValue: 5},
+	}}
+	curve := AverageTrajectories([]ga.Result{a}, obj, []int{10, 20})
+	if len(curve) != 1 || curve[0].X != 20 || curve[0].Y != 5 {
+		t.Errorf("curve = %+v, want single feasible point", curve)
+	}
+}
+
+func TestFinalValues(t *testing.T) {
+	obj := metrics.MinimizeMetric("cost")
+	ok := fakeResult([]int{10}, []float64{42})
+	var noPoint ga.Result
+	noPoint.BestValue = math.Inf(1)
+	vals := FinalValues([]ga.Result{ok, noPoint}, obj)
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Errorf("FinalValues = %v", vals)
+	}
+}
+
+func TestEvalsToReach(t *testing.T) {
+	obj := metrics.MinimizeMetric("cost")
+	a := fakeResult([]int{10, 20}, []float64{50, 10})
+	b := fakeResult([]int{10, 20}, []float64{40, 30})
+	r := EvalsToReach([]ga.Result{a, b}, obj, 35)
+	if r.Total != 2 || r.Reached != 2 {
+		t.Fatalf("Reach = %+v", r)
+	}
+	if r.MeanEvals != 20 { // both runs first drop below 35 at 20 evals
+		t.Errorf("MeanEvals = %v, want 20", r.MeanEvals)
+	}
+	r = EvalsToReach([]ga.Result{a, b}, obj, 15)
+	if r.Reached != 1 || r.MeanEvals != 20 {
+		t.Errorf("Reach(15) = %+v", r)
+	}
+	r = EvalsToReach([]ga.Result{a, b}, obj, 1)
+	if r.Reached != 0 || !math.IsNaN(r.MeanEvals) {
+		t.Errorf("Reach(1) = %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty Reach string")
+	}
+}
+
+func TestMeanDistinctEvals(t *testing.T) {
+	a := fakeResult([]int{10}, []float64{1})
+	b := fakeResult([]int{30}, []float64{1})
+	if m := MeanDistinctEvals([]ga.Result{a, b}); m != 20 {
+		t.Errorf("MeanDistinctEvals = %v, want 20", m)
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a, b := float64(qa%101)/100, float64(qb%101)/100
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := Quantile(raw, a), Quantile(raw, b)
+		return va <= vb && va >= Quantile(raw, 0) && vb <= Quantile(raw, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mean lies within [min, max].
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		m := Mean(raw)
+		return m >= Quantile(raw, 0)-1e-9 && m <= Quantile(raw, 1)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 50 + float64(i%21) - 10 // mean 50, spread +-10
+	}
+	ci := BootstrapCI(xs, 0.95, 2000, 1)
+	if math.Abs(ci.Mean-50) > 0.5 {
+		t.Errorf("mean = %v, want ~50", ci.Mean)
+	}
+	if !(ci.Lo < ci.Mean && ci.Mean < ci.Hi) {
+		t.Errorf("interval [%v, %v] does not bracket mean %v", ci.Lo, ci.Hi, ci.Mean)
+	}
+	// 200 samples of a +-10 spread: the 95% interval of the MEAN is tight.
+	if ci.Hi-ci.Lo > 4 {
+		t.Errorf("interval width %v implausibly wide", ci.Hi-ci.Lo)
+	}
+	if ci.String() == "" {
+		t.Error("empty String")
+	}
+	// Deterministic per seed.
+	ci2 := BootstrapCI(xs, 0.95, 2000, 1)
+	if ci != ci2 {
+		t.Error("bootstrap not deterministic per seed")
+	}
+	// Degenerate input.
+	empty := BootstrapCI(nil, 0.95, 100, 1)
+	if !math.IsNaN(empty.Mean) {
+		t.Error("empty input should yield NaN mean")
+	}
+}
+
+func TestReachCI(t *testing.T) {
+	obj := metrics.MinimizeMetric("cost")
+	var results []ga.Result
+	for i := 0; i < 10; i++ {
+		results = append(results, fakeResult([]int{10 + i, 30 + i}, []float64{100, 5}))
+	}
+	reach, ci := ReachCI(results, obj, 50, 3)
+	if reach.Reached != 10 {
+		t.Fatalf("reached %d, want 10", reach.Reached)
+	}
+	if math.Abs(ci.Mean-reach.MeanEvals) > 1e-9 {
+		t.Error("CI mean disagrees with Reach mean")
+	}
+	if !(ci.Lo <= ci.Mean && ci.Mean <= ci.Hi) {
+		t.Error("interval does not bracket mean")
+	}
+}

@@ -1,0 +1,286 @@
+// Package synth provides the synthesis-substrate models that stand in for
+// the EDA tools used in the Nautilus paper (Xilinx XST 14.7 targeting a
+// Virtex-6 LX760T, and a commercial 65nm ASIC flow).
+//
+// The genetic-algorithm machinery never looks inside the tools: it only
+// observes (design point -> metrics). These analytical models therefore only
+// need to reproduce the *structure* of real synthesis results - the additive
+// and multiplicative area terms of hardware building blocks, frequency that
+// degrades with logic depth and routing congestion, and small per-design
+// "CAD noise" - not absolute tool output. All models are deterministic:
+// the same design always synthesizes to the same numbers, with pseudo-random
+// noise derived from a hash of the design's identity.
+package synth
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// FPGADevice describes an FPGA target for the LUT/Fmax models.
+type FPGADevice struct {
+	Name string
+	// LUTCapacity is the number of 6-input LUTs on the device.
+	LUTCapacity int
+	// ClkToQNS is the fixed register clock-to-out plus setup time in ns.
+	ClkToQNS float64
+	// LUTDelayNS is the propagation delay of one LUT level in ns.
+	LUTDelayNS float64
+	// NetDelayNS is the base routing delay charged per logic level in ns;
+	// it is scaled up by the congestion factor passed to Fmax.
+	NetDelayNS float64
+	// FmaxCapMHz bounds the achievable clock frequency (global clocking
+	// limits) in MHz.
+	FmaxCapMHz float64
+}
+
+// Virtex6LX760 approximates the Xilinx Virtex-6 LX760T (xc6vlx760) used for
+// the paper's FPGA characterization runs.
+var Virtex6LX760 = FPGADevice{
+	Name:        "xc6vlx760",
+	LUTCapacity: 474240,
+	ClkToQNS:    0.60,
+	LUTDelayNS:  0.25,
+	NetDelayNS:  0.45,
+	FmaxCapMHz:  500,
+}
+
+// Fmax estimates the maximum clock frequency in MHz of a circuit whose
+// critical path crosses the given number of logic levels, with a relative
+// routing-congestion factor (0 = uncongested; 1 roughly doubles net delay).
+// Levels below 1 are clamped to 1.
+func (d FPGADevice) Fmax(levels, congestion float64) float64 {
+	if levels < 1 {
+		levels = 1
+	}
+	if congestion < 0 {
+		congestion = 0
+	}
+	period := d.ClkToQNS + levels*(d.LUTDelayNS+d.NetDelayNS*(1+congestion))
+	f := 1000 / period
+	if f > d.FmaxCapMHz {
+		f = d.FmaxCapMHz
+	}
+	return f
+}
+
+// Congestion estimates a routing-congestion factor from device utilization
+// (used LUTs / capacity) and fan-in pressure of the widest structure. Both
+// effects are mild until utilization grows large, matching observed FPGA
+// behaviour.
+func (d FPGADevice) Congestion(usedLUTs float64, maxFanIn int) float64 {
+	util := usedLUTs / float64(d.LUTCapacity)
+	if util < 0 {
+		util = 0
+	}
+	fanin := 0.0
+	if maxFanIn > 4 {
+		fanin = 0.08 * math.Log2(float64(maxFanIn)/4)
+	}
+	return util*2.5 + fanin
+}
+
+// ASICNode describes a standard-cell technology node for area/power models.
+type ASICNode struct {
+	Name string
+	// KGEPerMM2 is how many thousand gate equivalents fit in one mm^2.
+	KGEPerMM2 float64
+	// DynUWPerGEMHz is dynamic power in microwatts per gate equivalent per
+	// MHz at nominal activity 1.0.
+	DynUWPerGEMHz float64
+	// LeakNWPerGE is leakage power in nanowatts per gate equivalent.
+	LeakNWPerGE float64
+	// SRAMKGEPerKb is the gate-equivalent cost of 1 kilobit of SRAM.
+	SRAMKGEPerKb float64
+}
+
+// ASIC65nm approximates the commercial 65nm node used for the paper's
+// CONNECT NoC characterization (Figure 2).
+var ASIC65nm = ASICNode{
+	Name:          "commercial-65nm",
+	KGEPerMM2:     800, // 800 kGE per mm^2
+	DynUWPerGEMHz: 0.009,
+	LeakNWPerGE:   2.0,
+	SRAMKGEPerKb:  1.5,
+}
+
+// AreaMM2 converts a gate-equivalent count (in kGE) to silicon area.
+func (n ASICNode) AreaMM2(kGE float64) float64 {
+	if kGE < 0 {
+		kGE = 0
+	}
+	return kGE / n.KGEPerMM2
+}
+
+// PowerMW estimates total power in mW for kGE thousand gate equivalents
+// clocked at freqMHz with the given switching activity (0..1].
+func (n ASICNode) PowerMW(kGE, freqMHz, activity float64) float64 {
+	if kGE < 0 {
+		kGE = 0
+	}
+	if activity <= 0 {
+		activity = 0.1
+	}
+	dynamic := kGE * 1000 * n.DynUWPerGEMHz * freqMHz * activity / 1000 // mW
+	leakage := kGE * 1000 * n.LeakNWPerGE / 1e6                         // mW
+	return dynamic + leakage
+}
+
+// KGEFromLUTs maps an FPGA LUT count to an ASIC gate-equivalent estimate.
+// One 6-LUT plus its register is on the order of 8 gate equivalents.
+func KGEFromLUTs(luts float64) float64 {
+	return luts * 8 / 1000
+}
+
+// ---- Building-block LUT cost primitives -----------------------------------
+//
+// These reproduce well-known FPGA mapping results for the structures that
+// dominate NoC routers and streaming transforms. All return fractional LUTs;
+// callers round once at the end so composition does not accumulate rounding
+// error.
+
+const lutInputs = 6
+
+// MuxLUTs estimates the LUTs needed for a width-bit n-to-1 multiplexer.
+// A 6-input LUT implements a 4:1 mux (2 select bits); wider muxes form trees.
+func MuxLUTs(inputs, width int) float64 {
+	if inputs <= 1 || width <= 0 {
+		return 0
+	}
+	perBit := 0.0
+	n := inputs
+	for n > 1 {
+		stages := math.Ceil(float64(n) / 4)
+		perBit += stages
+		n = int(stages)
+	}
+	return perBit * float64(width)
+}
+
+// CrossbarLUTs estimates a full ports x ports crossbar of the given data
+// width: one n-to-1 mux per output port.
+func CrossbarLUTs(ports, width int) float64 {
+	if ports <= 1 {
+		return 0
+	}
+	return float64(ports) * MuxLUTs(ports, width)
+}
+
+// LUTRAMBits is the storage capacity of one LUT used as distributed RAM.
+const LUTRAMBits = 64
+
+// FIFOLUTs estimates a depth x width FIFO built from LUTRAM plus pointer
+// and flag logic. Shallow FIFOs are register-based and slightly cheaper per
+// bit.
+func FIFOLUTs(depth, width int) float64 {
+	if depth <= 0 || width <= 0 {
+		return 0
+	}
+	var storage float64
+	if depth <= 2 {
+		storage = float64(depth*width) * 0.10 // register-based; control-only LUT cost
+	} else {
+		// LUTRAM: each 6-LUT serves as a 64x1 RAM, so a depth-D width-W
+		// FIFO needs W * ceil(D/64) storage LUTs.
+		storage = float64(width) * math.Ceil(float64(depth)/LUTRAMBits)
+	}
+	control := 4 + 2*math.Ceil(math.Log2(float64(depth+1))) // pointers + flags
+	return storage + control
+}
+
+// RegisterLUTs estimates the LUT overhead of a width-bit pipeline register
+// stage (registers are nearly free on FPGAs; enable/reset logic costs a
+// little).
+func RegisterLUTs(width int) float64 {
+	return 0.12 * float64(width)
+}
+
+// ArbiterLUTs estimates a round-robin arbiter over n requesters
+// (priority-rotate + grant mask logic, ~O(n log n)).
+func ArbiterLUTs(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 3*fn + fn*math.Log2(fn)
+}
+
+// WavefrontAllocatorLUTs estimates a wavefront allocator over an n x n
+// request matrix (cost grows quadratically, faster than separable designs).
+func WavefrontAllocatorLUTs(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 5 * fn * fn
+}
+
+// AdderLUTs estimates a width-bit carry-chain adder (about 1 LUT/bit).
+func AdderLUTs(width int) float64 {
+	return float64(width)
+}
+
+// MultiplierLUTs estimates a width x width soft multiplier when DSP blocks
+// are not used (roughly width^2 / 2 with modern mapping).
+func MultiplierLUTs(width int) float64 {
+	fw := float64(width)
+	return fw * fw / 2
+}
+
+// ComparatorLUTs estimates a width-bit magnitude comparator.
+func ComparatorLUTs(width int) float64 {
+	return math.Ceil(float64(width) / 3)
+}
+
+// ROMLUTs estimates a LUT-implemented ROM of the given number of entries and
+// width (e.g. twiddle-factor tables).
+func ROMLUTs(entries, width int) float64 {
+	if entries <= 0 || width <= 0 {
+		return 0
+	}
+	return float64(width) * math.Ceil(float64(entries)/LUTRAMBits)
+}
+
+// BRAMCapacityBits is the usable capacity of one Virtex-6 36Kb block RAM.
+const BRAMCapacityBits = 36 * 1024
+
+// BRAMsFor returns the number of block RAMs needed for bits of storage at
+// the given word width (width limits the aspect ratios a single BRAM can
+// serve: one 36Kb BRAM provides at most 72 data bits per access).
+func BRAMsFor(bits, width int) int {
+	if bits <= 0 || width <= 0 {
+		return 0
+	}
+	byCapacity := int(math.Ceil(float64(bits) / BRAMCapacityBits))
+	byWidth := int(math.Ceil(float64(width) / 72))
+	if byWidth > byCapacity {
+		return byWidth
+	}
+	return byCapacity
+}
+
+// ---- Deterministic CAD noise ----------------------------------------------
+
+// Hash64 mixes the given strings into a 64-bit FNV-1a hash. It is the
+// identity basis for all deterministic pseudo-noise in the models.
+func Hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Noise returns a deterministic multiplier in [1-frac, 1+frac] derived from
+// the key. It models run-to-run CAD variability: the same design always sees
+// the same "noise", different designs see independent draws.
+func Noise(key string, frac float64) float64 {
+	if frac <= 0 {
+		return 1
+	}
+	h := Hash64("noise", key)
+	// Map the top 53 bits to [0,1).
+	u := float64(h>>11) / float64(1<<53)
+	return 1 + frac*(2*u-1)
+}

@@ -1,0 +1,258 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFmaxMonotonicInLevels(t *testing.T) {
+	d := Virtex6LX760
+	prev := math.Inf(1)
+	for levels := 1.0; levels <= 20; levels++ {
+		f := d.Fmax(levels, 0)
+		if f > prev {
+			t.Fatalf("Fmax increased from %v to %v at %v levels", prev, f, levels)
+		}
+		prev = f
+	}
+}
+
+func TestFmaxCap(t *testing.T) {
+	d := Virtex6LX760
+	if f := d.Fmax(0.01, 0); f > d.FmaxCapMHz {
+		t.Errorf("Fmax %v exceeds cap %v", f, d.FmaxCapMHz)
+	}
+	if f := d.Fmax(-5, 0); f <= 0 || f > d.FmaxCapMHz {
+		t.Errorf("Fmax with negative levels = %v", f)
+	}
+}
+
+func TestFmaxCongestionHurts(t *testing.T) {
+	d := Virtex6LX760
+	if d.Fmax(5, 1.0) >= d.Fmax(5, 0) {
+		t.Error("congestion did not reduce Fmax")
+	}
+	if d.Fmax(5, -1) != d.Fmax(5, 0) {
+		t.Error("negative congestion should clamp to 0")
+	}
+}
+
+func TestFmaxRealisticRange(t *testing.T) {
+	d := Virtex6LX760
+	// A 4-7 level router pipeline on Virtex-6 lands in roughly 100-300 MHz.
+	f := d.Fmax(5, 0.2)
+	if f < 100 || f > 300 {
+		t.Errorf("Fmax(5 levels) = %v MHz, outside plausible 100-300", f)
+	}
+}
+
+func TestCongestionGrowsWithUtilization(t *testing.T) {
+	d := Virtex6LX760
+	lo := d.Congestion(1000, 4)
+	hi := d.Congestion(200000, 4)
+	if hi <= lo {
+		t.Error("congestion should grow with utilization")
+	}
+	if d.Congestion(-5, 2) != 0 {
+		t.Error("negative usage should clamp to 0 congestion")
+	}
+	if d.Congestion(1000, 64) <= d.Congestion(1000, 4) {
+		t.Error("fan-in pressure should add congestion")
+	}
+}
+
+func TestASICAreaPower(t *testing.T) {
+	n := ASIC65nm
+	a := n.AreaMM2(800)
+	if math.Abs(a-1.0) > 1e-9 {
+		t.Errorf("800 kGE should be 1 mm^2, got %v", a)
+	}
+	if n.AreaMM2(-1) != 0 {
+		t.Error("negative kGE should clamp to 0 area")
+	}
+	p := n.PowerMW(100, 500, 0.5)
+	if p <= 0 {
+		t.Errorf("power = %v, want > 0", p)
+	}
+	if n.PowerMW(100, 500, 1.0) <= n.PowerMW(100, 500, 0.5) {
+		t.Error("power should grow with activity")
+	}
+	if n.PowerMW(100, 500, 0.5) <= n.PowerMW(100, 100, 0.5) {
+		t.Error("power should grow with frequency")
+	}
+	// Zero frequency leaves only leakage.
+	leak := n.PowerMW(100, 0, 0.5)
+	if leak <= 0 || leak > 1 {
+		t.Errorf("leakage-only power = %v mW, want small positive", leak)
+	}
+}
+
+func TestKGEFromLUTs(t *testing.T) {
+	if g := KGEFromLUTs(1000); math.Abs(g-8) > 1e-9 {
+		t.Errorf("1000 LUTs = %v kGE, want 8", g)
+	}
+}
+
+func TestMuxLUTs(t *testing.T) {
+	if MuxLUTs(1, 32) != 0 {
+		t.Error("1-input mux should cost nothing")
+	}
+	if MuxLUTs(4, 1) != 1 {
+		t.Errorf("4:1 mux per bit = %v, want 1 LUT", MuxLUTs(4, 1))
+	}
+	// 16:1 mux: 4 first-level + 1 second-level = 5 LUTs per bit.
+	if MuxLUTs(16, 1) != 5 {
+		t.Errorf("16:1 mux per bit = %v, want 5", MuxLUTs(16, 1))
+	}
+	if MuxLUTs(8, 32) != 32*MuxLUTs(8, 1) {
+		t.Error("mux cost should scale linearly with width")
+	}
+}
+
+func TestCrossbarLUTs(t *testing.T) {
+	if CrossbarLUTs(1, 64) != 0 {
+		t.Error("degenerate crossbar should cost nothing")
+	}
+	c5 := CrossbarLUTs(5, 32)
+	c8 := CrossbarLUTs(8, 32)
+	if c8 <= c5 {
+		t.Error("crossbar cost should grow with ports")
+	}
+	// Superlinear in ports: doubling port count should more than double cost.
+	if CrossbarLUTs(8, 32) <= 2*CrossbarLUTs(4, 32) {
+		t.Error("crossbar should grow superlinearly with ports")
+	}
+}
+
+func TestFIFOLUTs(t *testing.T) {
+	if FIFOLUTs(0, 32) != 0 || FIFOLUTs(8, 0) != 0 {
+		t.Error("degenerate FIFO should cost nothing")
+	}
+	if FIFOLUTs(8, 32) <= FIFOLUTs(2, 32) {
+		t.Error("deeper FIFO should cost more")
+	}
+	if FIFOLUTs(8, 64) <= FIFOLUTs(8, 32) {
+		t.Error("wider FIFO should cost more")
+	}
+}
+
+func TestArbiterAndAllocator(t *testing.T) {
+	if ArbiterLUTs(1) != 0 {
+		t.Error("single-requester arbiter should be free")
+	}
+	if ArbiterLUTs(8) <= ArbiterLUTs(4) {
+		t.Error("arbiter should grow with requesters")
+	}
+	// Wavefront is quadratic, separable arbiters are n log n: for large n the
+	// wavefront allocator must cost more than a pair of arbiters.
+	if WavefrontAllocatorLUTs(10) <= 2*ArbiterLUTs(10) {
+		t.Error("wavefront allocator should exceed separable arbitration cost")
+	}
+}
+
+func TestROMAndBRAM(t *testing.T) {
+	if ROMLUTs(0, 18) != 0 {
+		t.Error("empty ROM should be free")
+	}
+	if ROMLUTs(1024, 18) <= ROMLUTs(64, 18) {
+		t.Error("bigger ROM should cost more")
+	}
+	if BRAMsFor(0, 32) != 0 {
+		t.Error("zero bits need zero BRAMs")
+	}
+	if got := BRAMsFor(36*1024, 32); got != 1 {
+		t.Errorf("36Kb at width 32 = %d BRAMs, want 1", got)
+	}
+	if got := BRAMsFor(2*36*1024, 32); got != 2 {
+		t.Errorf("72Kb = %d BRAMs, want 2", got)
+	}
+	// Width-limited: 144-bit words need 2 BRAMs even for tiny depth.
+	if got := BRAMsFor(144*4, 144); got != 2 {
+		t.Errorf("width-limited BRAM count = %d, want 2", got)
+	}
+}
+
+func TestDatapathPrimitives(t *testing.T) {
+	if AdderLUTs(16) != 16 {
+		t.Errorf("16-bit adder = %v LUTs, want 16", AdderLUTs(16))
+	}
+	if MultiplierLUTs(16) != 128 {
+		t.Errorf("16x16 multiplier = %v LUTs, want 128", MultiplierLUTs(16))
+	}
+	if ComparatorLUTs(16) != 6 {
+		t.Errorf("16-bit comparator = %v LUTs, want 6", ComparatorLUTs(16))
+	}
+	if RegisterLUTs(100) <= 0 {
+		t.Error("register stage should have small positive cost")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64("a", "b") != Hash64("a", "b") {
+		t.Error("Hash64 not deterministic")
+	}
+	if Hash64("a", "b") == Hash64("ab") {
+		t.Error("Hash64 should separate parts (a,b vs ab)")
+	}
+	if Hash64("a", "b") == Hash64("b", "a") {
+		t.Error("Hash64 should be order-sensitive")
+	}
+}
+
+func TestNoiseProperties(t *testing.T) {
+	if Noise("k", 0) != 1 {
+		t.Error("zero-fraction noise should be exactly 1")
+	}
+	if Noise("k", -0.1) != 1 {
+		t.Error("negative fraction should disable noise")
+	}
+	if Noise("k", 0.05) != Noise("k", 0.05) {
+		t.Error("noise not deterministic")
+	}
+	// Different keys should usually differ.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if Noise(fmt.Sprintf("k%d", i), 0.05) == Noise(fmt.Sprintf("j%d", i), 0.05) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 key pairs collided in noise", same)
+	}
+}
+
+// Property: noise is always within [1-frac, 1+frac].
+func TestQuickNoiseBounds(t *testing.T) {
+	f := func(key string, rawFrac float64) bool {
+		frac := math.Mod(math.Abs(rawFrac), 0.5)
+		n := Noise(key, frac)
+		return n >= 1-frac-1e-12 && n <= 1+frac+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all primitive cost estimators are non-negative for non-negative
+// arguments and monotone in each size argument.
+func TestQuickCostsNonNegative(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n, w := int(a%64)+1, int(b)+1
+		costs := []float64{
+			MuxLUTs(n, w), CrossbarLUTs(n, w), FIFOLUTs(n, w),
+			RegisterLUTs(w), ArbiterLUTs(n), WavefrontAllocatorLUTs(n),
+			AdderLUTs(w), MultiplierLUTs(w), ComparatorLUTs(w), ROMLUTs(n, w),
+		}
+		for _, c := range costs {
+			if c < 0 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
