@@ -1,0 +1,42 @@
+# Nautilus reproduction - build/test/bench entry points.
+#
+#   make check   tier-1 gate: build + vet + race-enabled tests
+#   make test    plain test run (fastest)
+#   make smoke   reduced-scale benchmark sweep -> BENCH_results.json
+#   make bench   Go micro/macro benchmarks with allocation counts
+#   make tables  regenerate every paper table (RESULTS.md to stdout)
+
+GO ?= go
+
+.PHONY: all check build vet test race smoke bench tables clean
+
+all: check
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reduced-scale end-to-end benchmark of representative figures; writes
+# BENCH_results.json (ns/op, allocs/op, cores) for commit-to-commit tracking.
+smoke:
+	$(GO) run ./cmd/bench -figs fig1,fig3,fig4,fig6 -runs 2 -gens 10 -out BENCH_results.json
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+tables:
+	$(GO) run ./cmd/experiments
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_results.json

@@ -32,39 +32,43 @@ func runExperiment(b *testing.B, fn func(experiments.Config) ([]experiments.Tabl
 
 // BenchmarkFig1RouterSpace characterizes the ~28k-point VC router space and
 // summarizes its LUT/frequency landscape (paper Figure 1).
-func BenchmarkFig1RouterSpace(b *testing.B) { runExperiment(b, experiments.Fig1) }
+func BenchmarkFig1RouterSpace(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Fig1) }
 
 // BenchmarkFig2NoCLandscape characterizes all 64-endpoint network
 // configurations across eight topology families at 65nm (paper Figure 2).
-func BenchmarkFig2NoCLandscape(b *testing.B) { runExperiment(b, experiments.Fig2) }
+func BenchmarkFig2NoCLandscape(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Fig2) }
 
 // BenchmarkFig3BiasHints compares the baseline GA against Nautilus with one
 // and two bias hints on FFT score-vs-generation (paper Figure 3).
-func BenchmarkFig3BiasHints(b *testing.B) { runExperiment(b, experiments.Fig3) }
+func BenchmarkFig3BiasHints(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Fig3) }
 
 // BenchmarkFig4NoCFrequency runs the NoC maximize-frequency query with
 // non-expert hints at three guidance levels (paper Figure 4).
-func BenchmarkFig4NoCFrequency(b *testing.B) { runExperiment(b, experiments.Fig4) }
+func BenchmarkFig4NoCFrequency(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Fig4) }
 
 // BenchmarkFig5AreaDelay runs the NoC minimize-area-delay-product composite
 // query (paper Figure 5).
-func BenchmarkFig5AreaDelay(b *testing.B) { runExperiment(b, experiments.Fig5) }
+func BenchmarkFig5AreaDelay(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Fig5) }
 
 // BenchmarkFig6FFTLUTs runs the FFT minimize-LUTs query with expert hints,
 // including the random-sampling comparison (paper Figure 6).
-func BenchmarkFig6FFTLUTs(b *testing.B) { runExperiment(b, experiments.Fig6) }
+func BenchmarkFig6FFTLUTs(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Fig6) }
 
 // BenchmarkFig7ThroughputPerLUT runs the FFT maximize-throughput-per-LUT
 // composite query with expert hints (paper Figure 7).
-func BenchmarkFig7ThroughputPerLUT(b *testing.B) { runExperiment(b, experiments.Fig7) }
+func BenchmarkFig7ThroughputPerLUT(b *testing.B) {
+	b.ReportAllocs()
+	runExperiment(b, experiments.Fig7)
+}
 
 // BenchmarkHeadlineNumbers regenerates the Section 4.2 summary ratios.
-func BenchmarkHeadlineNumbers(b *testing.B) { runExperiment(b, experiments.Headline) }
+func BenchmarkHeadlineNumbers(b *testing.B) { b.ReportAllocs(); runExperiment(b, experiments.Headline) }
 
 // BenchmarkAblations regenerates the design-choice studies: confidence
 // sweep, hint classes, importance decay, adversarial hints, and GA
 // parameter sensitivity.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables, err := experiments.Ablations(experiments.Config{Runs: 3, Generations: 40})
 		if err != nil {
@@ -78,18 +82,28 @@ func BenchmarkAblations(b *testing.B) {
 
 // BenchmarkExtensionBaselines compares Nautilus against random sampling,
 // hill climbing, and simulated annealing under equal cost accounting.
-func BenchmarkExtensionBaselines(b *testing.B) { runExperiment(b, experiments.ExtensionBaselines) }
+func BenchmarkExtensionBaselines(b *testing.B) {
+	b.ReportAllocs()
+	runExperiment(b, experiments.ExtensionBaselines)
+}
 
 // BenchmarkExtensionPareto extracts the FFT area-throughput Pareto front
 // and measures how close single-query answers land to it.
-func BenchmarkExtensionPareto(b *testing.B) { runExperiment(b, experiments.ExtensionPareto) }
+func BenchmarkExtensionPareto(b *testing.B) {
+	b.ReportAllocs()
+	runExperiment(b, experiments.ExtensionPareto)
+}
 
 // BenchmarkExtensionSimVsAnalytical cross-validates the analytical
 // bisection-bandwidth model against the cycle-based wormhole simulator.
 func BenchmarkExtensionSimVsAnalytical(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, experiments.ExtensionSimVsAnalytical)
 }
 
 // BenchmarkExtensionThirdIP runs the generality study on the systolic GEMM
 // generator.
-func BenchmarkExtensionThirdIP(b *testing.B) { runExperiment(b, experiments.ExtensionThirdIP) }
+func BenchmarkExtensionThirdIP(b *testing.B) {
+	b.ReportAllocs()
+	runExperiment(b, experiments.ExtensionThirdIP)
+}

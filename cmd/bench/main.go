@@ -1,0 +1,161 @@
+// Command bench runs the figure reproductions as Go benchmarks at a
+// reduced-but-representative scale and writes the measurements to a JSON
+// file, so the repository's performance trajectory (ns/op, allocs/op,
+// effective parallelism) is tracked from commit to commit.
+//
+// Usage:
+//
+//	bench [-figs fig1,fig3,fig4,fig6|all] [-runs N] [-gens N] [-par N]
+//	      [-benchtime 1x] [-out BENCH_results.json]
+//
+// The default subset covers both design spaces (router and FFT), the GA
+// trial fan-out, and the space enumerations, and finishes in well under a
+// minute; -figs all measures every table of the paper's evaluation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"nautilus/internal/experiments"
+)
+
+// figures maps -figs names to experiment drivers.
+var figures = map[string]func(experiments.Config) ([]experiments.Table, error){
+	"fig1":          experiments.Fig1,
+	"fig2":          experiments.Fig2,
+	"fig3":          experiments.Fig3,
+	"fig4":          experiments.Fig4,
+	"fig5":          experiments.Fig5,
+	"fig6":          experiments.Fig6,
+	"fig7":          experiments.Fig7,
+	"headline":      experiments.Headline,
+	"ablations":     experiments.Ablations,
+	"ext-baselines": experiments.ExtensionBaselines,
+	"ext-pareto":    experiments.ExtensionPareto,
+	"ext-thirdip":   experiments.ExtensionThirdIP,
+}
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Seconds     float64 `json:"seconds_total"`
+}
+
+type benchReport struct {
+	Timestamp   string        `json:"timestamp"`
+	GoVersion   string        `json:"go_version"`
+	Cores       int           `json:"cores"`
+	Parallelism int           `json:"parallelism"`
+	Runs        int           `json:"runs"`
+	Generations int           `json:"generations"`
+	Results     []benchResult `json:"results"`
+}
+
+func main() {
+	testing.Init() // registers -test.* flags; benchtime is set after Parse
+	figs := flag.String("figs", "fig1,fig3,fig4,fig6", "comma-separated figures to benchmark, or 'all'")
+	runs := flag.Int("runs", 5, "GA runs per variant per iteration (reduced scale)")
+	gens := flag.Int("gens", 0, "GA generations (0 = per-figure paper defaults)")
+	par := flag.Int("par", 0, "experiment parallelism (0 = all cores)")
+	benchtime := flag.String("benchtime", "1x", "benchmark time per figure (Go -benchtime syntax)")
+	out := flag.String("out", "BENCH_results.json", "output JSON path")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(2)
+	}
+
+	var names []string
+	if *figs == "all" {
+		for name := range figures {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		for _, name := range strings.Split(*figs, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := figures[name]; !ok {
+				fmt.Fprintf(os.Stderr, "bench: unknown figure %q\n", name)
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no figures selected")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: *par}
+	report := benchReport{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Cores:       runtime.NumCPU(),
+		Parallelism: *par,
+		Runs:        *runs,
+		Generations: *gens,
+	}
+	if report.Parallelism == 0 {
+		report.Parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	for _, name := range names {
+		fn := figures[name]
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tables, err := fn(cfg)
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				if len(tables) == 0 {
+					benchErr = fmt.Errorf("%s produced no tables", name)
+					b.Fatal(benchErr)
+				}
+			}
+		})
+		if benchErr != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, benchErr)
+			os.Exit(1)
+		}
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Seconds:     r.T.Seconds(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-14s %12d ns/op  %10d allocs/op  %12d B/op  (%d iter)\n",
+			name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (cores=%d, parallelism=%d)\n", *out, report.Cores, report.Parallelism)
+}

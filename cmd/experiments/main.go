@@ -5,12 +5,14 @@
 //
 //	experiments [-fig all|fig1..fig7|headline|ablations|
 //	             ext-baselines|ext-pareto|ext-sim-validate|ext-thirdip]
-//	            [-runs N] [-gens N] [-out DIR] [-md FILE]
+//	            [-runs N] [-gens N] [-par N] [-out DIR] [-md FILE]
 //
 // With -out, each figure's raw series is also written as CSV for
 // re-plotting; with -md, a markdown report is produced. Paper-scale
 // settings (the defaults) take under a minute; lower -runs for a quick
-// look.
+// look. Experiments run on all cores by default (-par 0); every trial is
+// independently seeded and results are collected by index, so the tables
+// are byte-identical at any -par value.
 package main
 
 import (
@@ -26,11 +28,12 @@ func main() {
 	fig := flag.String("fig", "all", "which experiment to regenerate (all, fig1..fig7, headline, ablations, ext-*)")
 	runs := flag.Int("runs", 0, "override GA runs per variant (0 = paper defaults)")
 	gens := flag.Int("gens", 0, "override GA generations (0 = paper defaults)")
+	par := flag.Int("par", 0, "max parallel figures/variants/trials (0 = all cores, 1 = sequential; output is identical at any level)")
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	md := flag.String("md", "", "also write a markdown report to this file (optional)")
 	flag.Parse()
 
-	cfg := experiments.Config{Runs: *runs, Generations: *gens, OutDir: *out}
+	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: *par, OutDir: *out}
 	drivers := map[string]func(experiments.Config) ([]experiments.Table, error){
 		"all":              experiments.All,
 		"fig1":             experiments.Fig1,

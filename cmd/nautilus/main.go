@@ -7,7 +7,7 @@
 // Usage:
 //
 //	nautilus -ip noc|fft|gemm -query QUERY [-guidance baseline|weak|strong]
-//	         [-gens N] [-pop N] [-seed N] [-trace] [-rtl FILE]
+//	         [-gens N] [-pop N] [-par N] [-seed N] [-trace] [-rtl FILE]
 //	         [-hints FILE] [-save-hints FILE]
 //
 // Queries:
@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
@@ -47,6 +48,8 @@ func run() error {
 	guidance := flag.String("guidance", "strong", "baseline, weak, or strong")
 	gens := flag.Int("gens", 80, "GA generations")
 	pop := flag.Int("pop", 10, "GA population size")
+	par := flag.Int("par", runtime.GOMAXPROCS(0),
+		"parallel fitness evaluations (capped by population size; results are identical at any level)")
 	seed := flag.Int64("seed", 1, "random seed")
 	trace := flag.Bool("trace", false, "print per-generation progress")
 	emitRTL := flag.String("rtl", "", "write the best design's Verilog to this file")
@@ -173,7 +176,7 @@ func run() error {
 		return fmt.Errorf("unknown guidance level %q", *guidance)
 	}
 
-	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed}
+	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed, Parallelism: *par}
 	res, err := core.Run(space, obj, eval, cfg, guid)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 
 // BenchmarkBuild measures full-space dataset construction on the toy space.
 func BenchmarkBuild(b *testing.B) {
+	b.ReportAllocs()
 	s, eval := toySpace()
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(s, eval); err != nil {
@@ -20,6 +21,7 @@ func BenchmarkBuild(b *testing.B) {
 // BenchmarkCacheHit measures a warm cache lookup - the cost of re-visiting
 // an already-synthesized design.
 func BenchmarkCacheHit(b *testing.B) {
+	b.ReportAllocs()
 	s, eval := toySpace()
 	c := NewCache(s, eval)
 	pt := param.Point{3, 4}
@@ -36,6 +38,7 @@ func BenchmarkCacheHit(b *testing.B) {
 
 // BenchmarkRank measures objective rank queries against a built dataset.
 func BenchmarkRank(b *testing.B) {
+	b.ReportAllocs()
 	s, eval := toySpace()
 	d, err := Build(s, eval)
 	if err != nil {

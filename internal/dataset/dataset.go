@@ -21,9 +21,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
+	"nautilus/internal/pool"
 )
 
 // Evaluator maps a design point to its characterization metrics. An error
@@ -31,75 +33,110 @@ import (
 // count as spent synthesis jobs, as they would in a real flow.
 type Evaluator func(param.Point) (metrics.Metrics, error)
 
+// cacheShards is the number of lock stripes in a Cache. A modest power of
+// two keeps the footprint small while making shard collisions rare at the
+// parallelism levels the experiment harness runs at.
+const cacheShards = 32
+
 // Cache memoizes an Evaluator and counts distinct evaluations. It is safe
-// for concurrent use.
+// for concurrent use: lookups stripe across cacheShards independently
+// locked shards, and concurrent requests for the same not-yet-characterized
+// point are deduplicated singleflight-style - exactly one goroutine runs
+// the evaluator while the rest block on its result. A distinct design point
+// therefore costs exactly one evaluator call no matter how many goroutines
+// race for it, which is what the paper's synthesis-job accounting demands.
 type Cache struct {
 	space *param.Space
 	eval  Evaluator
 
-	mu       sync.Mutex
-	results  map[string]cached
-	distinct int
-	total    int
+	distinct atomic.Int64
+	total    atomic.Int64
+	shards   [cacheShards]cacheShard
 }
 
-type cached struct {
-	m   metrics.Metrics
-	err error
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is the singleflight slot for one design point. done is closed
+// by the owning goroutine once m/err are valid; everyone else waits on it.
+type cacheEntry struct {
+	done chan struct{}
+	m    metrics.Metrics
+	err  error
 }
 
 // NewCache wraps eval for the given space.
 func NewCache(space *param.Space, eval Evaluator) *Cache {
-	return &Cache{space: space, eval: eval, results: make(map[string]cached)}
+	c := &Cache{space: space, eval: eval}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// shardFor stripes keys across shards with FNV-1a.
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
 }
 
 // Evaluate returns the (possibly cached) characterization of pt.
 func (c *Cache) Evaluate(pt param.Point) (metrics.Metrics, error) {
-	key := c.space.Key(pt)
-	c.mu.Lock()
-	c.total++
-	if r, ok := c.results[key]; ok {
-		c.mu.Unlock()
-		return r.m, r.err
-	}
-	c.mu.Unlock()
+	return c.EvaluateKeyed(c.space.Key(pt), pt)
+}
 
-	// Evaluate outside the lock; duplicate concurrent evaluations of the
-	// same point are deterministic, so last-write-wins is harmless (the
-	// distinct counter is only bumped on first insertion).
-	m, err := c.eval(pt)
-	c.mu.Lock()
-	if _, ok := c.results[key]; !ok {
-		c.results[key] = cached{m: m, err: err}
-		c.distinct++
+// EvaluateKeyed is Evaluate for callers that already hold pt's canonical
+// key (param.Space.Key), sparing the hot path a key rebuild.
+func (c *Cache) EvaluateKeyed(key string, pt param.Point) (metrics.Metrics, error) {
+	c.total.Add(1)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		return e.m, e.err
 	}
-	c.mu.Unlock()
-	return m, err
+	e := &cacheEntry{done: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+
+	// This goroutine owns the evaluation; concurrent requesters for the
+	// same key block on e.done instead of re-running the evaluator.
+	e.m, e.err = c.eval(pt)
+	c.distinct.Add(1)
+	close(e.done)
+	return e.m, e.err
 }
 
 // DistinctEvaluations returns how many distinct design points have been
 // evaluated - the paper's search-cost metric.
 func (c *Cache) DistinctEvaluations() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.distinct
+	return int(c.distinct.Load())
 }
 
 // TotalQueries returns how many evaluations were requested, including cache
 // hits.
 func (c *Cache) TotalQueries() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.total
+	return int(c.total.Load())
 }
 
-// Reset clears the cache and counters.
+// Reset clears the cache and counters. It must not race with in-flight
+// Evaluate calls.
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.results = make(map[string]cached)
-	c.distinct = 0
-	c.total = 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*cacheEntry)
+		sh.mu.Unlock()
+	}
+	c.distinct.Store(0)
+	c.total.Store(0)
 }
 
 // Dataset is a fully enumerated characterization of a design space:
@@ -118,29 +155,66 @@ type Dataset struct {
 // counted but not stored. Intended for spaces up to a few hundred thousand
 // points.
 func Build(space *param.Space, eval Evaluator) (*Dataset, error) {
+	return BuildParallel(space, eval, 1)
+}
+
+// maxParallelBuild bounds the per-point result buffer a parallel Build will
+// allocate; larger spaces fall back to sequential streaming enumeration.
+const maxParallelBuild = 1 << 24
+
+// BuildParallel is Build with up to parallelism concurrent evaluator calls.
+// Points are assembled in flat enumeration order afterwards, so the
+// resulting dataset is identical to Build's at any parallelism level.
+func BuildParallel(space *param.Space, eval Evaluator, parallelism int) (*Dataset, error) {
 	d := &Dataset{
 		space:  space,
 		byKey:  make(map[string]metrics.Metrics),
 		sorted: make(map[string][]float64),
 	}
-	var firstErr error
-	space.Enumerate(func(pt param.Point) bool {
-		m, err := eval(pt)
-		if err != nil {
-			d.infeasible++
+	if n64 := space.Cardinality(); parallelism > 1 && n64 > 1 && n64 <= maxParallelBuild {
+		n := int(n64)
+		type outcome struct {
+			m   metrics.Metrics
+			err error
+		}
+		results, _ := pool.Map(parallelism, n, func(i int) (outcome, error) {
+			var o outcome
+			o.m, o.err = eval(space.PointAt(uint64(i)))
+			return o, nil
+		})
+		for i, o := range results {
+			if o.err != nil {
+				d.infeasible++
+				continue
+			}
+			pt := space.PointAt(uint64(i))
+			if o.m == nil {
+				return nil, fmt.Errorf("dataset: evaluator returned nil metrics without error at %s", space.Describe(pt))
+			}
+			key := space.Key(pt)
+			d.byKey[key] = o.m
+			d.keys = append(d.keys, key)
+		}
+	} else {
+		var firstErr error
+		space.Enumerate(func(pt param.Point) bool {
+			m, err := eval(pt)
+			if err != nil {
+				d.infeasible++
+				return true
+			}
+			if m == nil {
+				firstErr = fmt.Errorf("dataset: evaluator returned nil metrics without error at %s", space.Describe(pt))
+				return false
+			}
+			key := space.Key(pt)
+			d.byKey[key] = m
+			d.keys = append(d.keys, key)
 			return true
+		})
+		if firstErr != nil {
+			return nil, firstErr
 		}
-		if m == nil {
-			firstErr = fmt.Errorf("dataset: evaluator returned nil metrics without error at %s", space.Describe(pt))
-			return false
-		}
-		key := space.Key(pt)
-		d.byKey[key] = m
-		d.keys = append(d.keys, key)
-		return true
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	if len(d.byKey) == 0 {
 		return nil, errors.New("dataset: no feasible points")

@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// TestCacheSingleflight is the regression test for the duplicate-concurrent-
+// evaluation gap: with many goroutines racing to evaluate the same point,
+// the raw evaluator must run exactly once.
+func TestCacheSingleflight(t *testing.T) {
+	s, raw := toySpace()
+	var calls atomic.Int64
+	start := make(chan struct{})
+	c := NewCache(s, func(pt param.Point) (metrics.Metrics, error) {
+		calls.Add(1)
+		<-start // hold the evaluation open until all requesters have queued
+		return raw(pt)
+	})
+
+	const goroutines = 16
+	pt := param.Point{4, 2}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Evaluate(pt); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Every requester bumps the total counter before either owning the
+	// evaluation or blocking on it, so this poll guarantees overlap.
+	for c.TotalQueries() < goroutines {
+		runtime.Gosched()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("raw evaluator ran %d times for one design point, want 1", got)
+	}
+	if got := c.DistinctEvaluations(); got != 1 {
+		t.Errorf("distinct = %d, want 1", got)
+	}
+	if got := c.TotalQueries(); got != goroutines {
+		t.Errorf("total = %d, want %d", got, goroutines)
+	}
+}
+
+// TestCacheConcurrentStress hammers the sharded cache from many goroutines
+// (run under -race) and checks the paper's cost invariant: raw evaluator
+// calls == distinct design points, regardless of interleaving.
+func TestCacheConcurrentStress(t *testing.T) {
+	s, raw := toySpace()
+	var calls atomic.Int64
+	c := NewCache(s, func(pt param.Point) (metrics.Metrics, error) {
+		calls.Add(1)
+		return raw(pt)
+	})
+
+	const goroutines = 16
+	const perG = 500
+	unique := make(map[string]bool)
+	points := make([][]param.Point, goroutines)
+	r := rand.New(rand.NewSource(7))
+	for g := range points {
+		points[g] = make([]param.Point, perG)
+		for i := range points[g] {
+			pt := s.Random(r)
+			points[g][i] = pt
+			unique[s.Key(pt)] = true
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(pts []param.Point) {
+			defer wg.Done()
+			for _, pt := range pts {
+				c.Evaluate(pt) // the infeasible corner errors; that's fine
+			}
+		}(points[g])
+	}
+	wg.Wait()
+
+	if got, want := c.DistinctEvaluations(), len(unique); got != want {
+		t.Errorf("distinct = %d, want %d unique points", got, want)
+	}
+	if got := calls.Load(); got != int64(c.DistinctEvaluations()) {
+		t.Errorf("raw evaluator calls = %d, want %d (one per distinct point)", got, c.DistinctEvaluations())
+	}
+	if got := c.TotalQueries(); got != goroutines*perG {
+		t.Errorf("total = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestBuildParallelMatchesSequential checks that a parallel Build is
+// byte-identical to the sequential one: same keys in the same enumeration
+// order, same metrics, same infeasible count.
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	s, eval := toySpace()
+	seq, err := Build(s, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8, 32} {
+		got, err := BuildParallel(s, eval, par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got.Size() != seq.Size() || got.Infeasible() != seq.Infeasible() {
+			t.Fatalf("par=%d: size/infeasible = %d/%d, want %d/%d",
+				par, got.Size(), got.Infeasible(), seq.Size(), seq.Infeasible())
+		}
+		var a, b bytes.Buffer
+		if err := seq.WriteCSV(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("par=%d: parallel build CSV differs from sequential", par)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"nautilus/internal/fft"
 	"nautilus/internal/ga"
 	"nautilus/internal/metrics"
+	"nautilus/internal/pool"
 	"nautilus/internal/stats"
 )
 
@@ -21,7 +22,7 @@ import (
 //   - adversarial (sign-flipped) bias hints: the stochastic core must
 //     degrade gracefully, not break (the paper's Section 3 requirement).
 func Ablations(cfg Config) ([]Table, error) {
-	ds, err := fftDataset()
+	ds, err := fftDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +33,7 @@ func Ablations(cfg Config) ([]Table, error) {
 	runs, gens := cfg.runs(40), cfg.generations(80)
 
 	measure := func(name string, g *core.Guidance) ([]string, error) {
-		results, err := runGA(s, obj, ds.Evaluator(), g, "ablation", name, runs, gens)
+		results, err := runGA(s, obj, ds.Evaluator(), g, "ablation", name, runs, gens, cfg.parallelism())
 		if err != nil {
 			return nil, err
 		}
@@ -208,15 +209,17 @@ func gaParamTable(cfg Config, ds *dataset.Dataset, obj metrics.Objective, relaxe
 		{"mutation 0.4 (explore)", func(c *ga.Config) { c.MutationRate = 0.4 }},
 	}
 	for _, v := range variants {
-		results := make([]ga.Result, runs)
-		for i := 0; i < runs; i++ {
+		results, err := pool.Map(cfg.parallelism(), runs, func(i int) (ga.Result, error) {
 			gcfg := ga.Config{Seed: seedFor("ablation_ga", v.name, i), Generations: gens}
 			v.mod(&gcfg)
 			engine, err := ga.New(s, obj, ds.Evaluator(), gcfg, nil)
 			if err != nil {
-				return nil, err
+				return ga.Result{}, err
 			}
-			results[i] = engine.Run()
+			return engine.Run(), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			v.name,

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"nautilus/internal/core"
@@ -22,6 +23,7 @@ import (
 	"nautilus/internal/ga"
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
+	"nautilus/internal/pool"
 	"nautilus/internal/synth"
 )
 
@@ -34,6 +36,13 @@ type Config struct {
 	// Generations overrides the GA generation count (default: per-figure
 	// paper value - 80, or 20 for Figure 5).
 	Generations int
+	// Parallelism bounds each fan-out level of the harness - concurrent
+	// figures, variants within a figure, GA trials within a variant, and
+	// design-space enumeration shards (default: runtime.GOMAXPROCS(0)).
+	// Every trial derives its seed from (experiment, variant, run) and
+	// results are collected by index, so all tables are byte-identical at
+	// any parallelism level, including 1.
+	Parallelism int
 	// OutDir, when non-empty, receives CSV files per figure.
 	OutDir string
 }
@@ -50,6 +59,13 @@ func (c Config) generations(paperDefault int) int {
 		return c.Generations
 	}
 	return paperDefault
+}
+
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Confidence levels for the paper's guidance variants: the strongly and
@@ -132,19 +148,36 @@ func seedFor(experiment, variant string, run int) int64 {
 	return int64(synth.Hash64(experiment, variant, fmt.Sprint(run)) & 0x7fffffff)
 }
 
-// runGA performs `runs` independent GA searches and collects the results.
+// runGA performs `runs` independent GA searches on up to par workers and
+// collects the results in run order. Each run's seed depends only on
+// (experiment, variant, run), so the result set is identical at any par.
 func runGA(space *param.Space, obj metrics.Objective, eval dataset.Evaluator,
-	g *core.Guidance, experiment, variant string, runs, generations int) ([]ga.Result, error) {
-	out := make([]ga.Result, runs)
-	for i := 0; i < runs; i++ {
+	g *core.Guidance, experiment, variant string, runs, generations, par int) ([]ga.Result, error) {
+	return pool.Map(par, runs, func(i int) (ga.Result, error) {
 		cfg := ga.Config{Seed: seedFor(experiment, variant, i), Generations: generations}
 		res, err := core.Run(space, obj, eval, cfg, g)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s run %d: %w", experiment, variant, i, err)
+			return ga.Result{}, fmt.Errorf("%s/%s run %d: %w", experiment, variant, i, err)
 		}
-		out[i] = res
-	}
-	return out, nil
+		return res, nil
+	})
+}
+
+// variantSpec names one guidance configuration of a figure.
+type variantSpec struct {
+	name string
+	g    *core.Guidance
+}
+
+// runVariants fans a figure's search variants out concurrently; within each
+// variant the trials fan out again. The per-variant result sets come back
+// in the order the variants were given.
+func runVariants(cfg Config, space *param.Space, obj metrics.Objective, eval dataset.Evaluator,
+	experiment string, runs, generations int, vs ...variantSpec) ([][]ga.Result, error) {
+	par := cfg.parallelism()
+	return pool.Map(par, len(vs), func(i int) ([]ga.Result, error) {
+		return runGA(space, obj, eval, vs[i].g, experiment, vs[i].name, runs, generations, par)
+	})
 }
 
 // f renders a float compactly for table cells.
@@ -161,17 +194,22 @@ func ratio(a, b float64) string {
 	return fmt.Sprintf("%.1fx", a/b)
 }
 
-// All runs every experiment in figure order.
+// All runs every experiment concurrently and returns the tables in figure
+// order. The figures sharing a memoized dataset simply block on its one
+// build; everything else proceeds independently.
 func All(cfg Config) ([]Table, error) {
-	var tables []Table
-	for _, fn := range []func(Config) ([]Table, error){
+	figs := []func(Config) ([]Table, error){
 		Fig1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7, Headline, Ablations,
 		ExtensionBaselines, ExtensionPareto, ExtensionSimVsAnalytical, ExtensionThirdIP,
-	} {
-		ts, err := fn(cfg)
-		if err != nil {
-			return nil, err
-		}
+	}
+	per, err := pool.Map(cfg.parallelism(), len(figs), func(i int) ([]Table, error) {
+		return figs[i](cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []Table
+	for _, ts := range per {
 		tables = append(tables, ts...)
 	}
 	return tables, nil

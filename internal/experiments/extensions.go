@@ -13,6 +13,7 @@ import (
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
 	"nautilus/internal/pareto"
+	"nautilus/internal/pool"
 	"nautilus/internal/search"
 	"nautilus/internal/stats"
 )
@@ -23,7 +24,7 @@ import (
 // alongside the baseline GA - all under the same distinct-evaluation cost
 // accounting, on the FFT minimize-LUTs query.
 func ExtensionBaselines(cfg Config) ([]Table, error) {
-	ds, err := fftDataset()
+	ds, err := fftDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -36,15 +37,9 @@ func ExtensionBaselines(cfg Config) ([]Table, error) {
 	budget := 500
 
 	collect := func(variant string, run func(seed int64) (ga.Result, error)) ([]ga.Result, error) {
-		out := make([]ga.Result, runs)
-		for i := 0; i < runs; i++ {
-			res, err := run(seedFor("ext_baselines", variant, i))
-			if err != nil {
-				return nil, err
-			}
-			out[i] = res
-		}
-		return out, nil
+		return pool.Map(cfg.parallelism(), runs, func(i int) (ga.Result, error) {
+			return run(seedFor("ext_baselines", variant, i))
+		})
 	}
 
 	random, err := collect("random", func(seed int64) (ga.Result, error) {
@@ -65,18 +60,16 @@ func ExtensionBaselines(cfg Config) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "ext_baselines", "ga", runs, gens)
-	if err != nil {
-		return nil, err
-	}
 	strongG, err := fft.ExpertHints().GuidanceForObjective(obj, StrongConfidence)
 	if err != nil {
 		return nil, err
 	}
-	naut, err := runGA(s, obj, ds.Evaluator(), strongG, "ext_baselines", "nautilus", runs, gens)
+	rs, err := runVariants(cfg, s, obj, ds.Evaluator(), "ext_baselines", runs, gens,
+		variantSpec{"ga", nil}, variantSpec{"nautilus", strongG})
 	if err != nil {
 		return nil, err
 	}
+	base, naut := rs[0], rs[1]
 
 	row := func(name string, results []ga.Result) []string {
 		return []string{
@@ -111,7 +104,7 @@ func ExtensionBaselines(cfg Config) ([]Table, error) {
 // (the object the related-work active-learning systems model) and measures
 // how close Nautilus's single-query answers land to it.
 func ExtensionPareto(cfg Config) ([]Table, error) {
-	ds, err := fftDataset()
+	ds, err := fftDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +157,7 @@ func ExtensionPareto(cfg Config) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := runGA(s, q.obj, ds.Evaluator(), g, "ext_pareto", q.name, 1, cfg.generations(80))
+		res, err := runGA(s, q.obj, ds.Evaluator(), g, "ext_pareto", q.name, 1, cfg.generations(80), cfg.parallelism())
 		if err != nil {
 			return nil, err
 		}
@@ -199,30 +192,42 @@ func ExtensionSimVsAnalytical(cfg Config) ([]Table, error) {
 			"zero-load latency (cyc)"},
 	}
 	type pair struct{ analytical, simulated float64 }
-	var pairs []pair
-	for _, topo := range []string{
+	topos := []string{
 		netsim.TopoRing, netsim.TopoConcRing, netsim.TopoDoubleRing,
 		netsim.TopoConcDoubleRing, netsim.TopoMesh, netsim.TopoTorus, netsim.TopoFatTree,
-	} {
+	}
+	type simRow struct {
+		bw, sat, lat float64
+	}
+	// Each topology's simulation is independent and internally seeded, so
+	// the sweep fans out; rows are assembled in topology order afterwards.
+	rows, err := pool.Map(cfg.parallelism(), len(topos), func(i int) (simRow, error) {
 		pt := make([]int, s.Len())
-		ptP := s.Set(pt, noc.ParamTopology, topo)
+		ptP := s.Set(pt, noc.ParamTopology, topos[i])
 		ptP = s.Set(ptP, noc.ParamVCs, "2")
 		ptP = s.Set(ptP, noc.ParamBufDepth, "4")
 		ptP = s.Set(ptP, noc.ParamFlitWidth, "64")
 		n := noc.DecodeNetwork(s, ptP)
 		analytical, err := noc.NetworkEvaluate(s, ptP)
 		if err != nil {
-			return nil, err
+			return simRow{}, err
 		}
 		sim, err := n.SimulatePerformance(13)
 		if err != nil {
-			return nil, err
+			return simRow{}, err
 		}
 		bw, _ := analytical.Get(metrics.BisectionGbps)
 		sat, _ := sim.Get(noc.MetricSatThroughput)
 		lat, _ := sim.Get(noc.MetricZeroLoadLatency)
-		pairs = append(pairs, pair{bw, sat})
-		t.Rows = append(t.Rows, []string{topo, f1(bw), f3(sat), f1(lat)})
+		return simRow{bw, sat, lat}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pairs []pair
+	for i, r := range rows {
+		pairs = append(pairs, pair{r.bw, r.sat})
+		t.Rows = append(t.Rows, []string{topos[i], f1(r.bw), f3(r.sat), f1(r.lat)})
 	}
 	// Rank agreement between the two substrates.
 	agree, total := 0, 0
@@ -251,9 +256,9 @@ func ExtensionSimVsAnalytical(cfg Config) ([]Table, error) {
 // Nautilus provides IP-agnostic infrastructure; this measures it.
 func ExtensionThirdIP(cfg Config) ([]Table, error) {
 	s := gemm.Space()
-	ds, err := dataset.Build(s, func(pt param.Point) (metrics.Metrics, error) {
+	ds, err := dataset.BuildParallel(s, func(pt param.Point) (metrics.Metrics, error) {
 		return gemm.Evaluate(s, pt)
-	})
+	}, cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -267,18 +272,12 @@ func ExtensionThirdIP(cfg Config) ([]Table, error) {
 	weak := strong.WithConfidence(WeakConfidence)
 
 	runs, gens := cfg.runs(40), cfg.generations(80)
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "ext_thirdip", "baseline", runs, gens)
+	rs, err := runVariants(cfg, s, obj, ds.Evaluator(), "ext_thirdip", runs, gens,
+		variantSpec{"baseline", nil}, variantSpec{"weak", weak}, variantSpec{"strong", strong})
 	if err != nil {
 		return nil, err
 	}
-	wk, err := runGA(s, obj, ds.Evaluator(), weak, "ext_thirdip", "weak", runs, gens)
-	if err != nil {
-		return nil, err
-	}
-	st, err := runGA(s, obj, ds.Evaluator(), strong, "ext_thirdip", "strong", runs, gens)
-	if err != nil {
-		return nil, err
-	}
+	base, wk, st := rs[0], rs[1], rs[2]
 	_, best := ds.Best(obj)
 	target := best * 0.95
 	row := func(name string, results []ga.Result) []string {

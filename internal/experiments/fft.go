@@ -9,6 +9,7 @@ import (
 	"nautilus/internal/ga"
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
+	"nautilus/internal/pool"
 	"nautilus/internal/search"
 	"nautilus/internal/stats"
 )
@@ -20,13 +21,14 @@ var (
 )
 
 // fftDataset enumerates and characterizes the ~11k-point FFT space once per
-// process.
-func fftDataset() (*dataset.Dataset, error) {
+// process. The first caller's parallelism level drives the build; the
+// result is identical at any level.
+func fftDataset(par int) (*dataset.Dataset, error) {
 	fftOnce.Do(func() {
 		s := fft.Space()
-		fftDS, fftErr = dataset.Build(s, func(pt param.Point) (metrics.Metrics, error) {
+		fftDS, fftErr = dataset.BuildParallel(s, func(pt param.Point) (metrics.Metrics, error) {
 			return fft.Evaluate(s, pt)
-		})
+		}, par)
 	})
 	return fftDS, fftErr
 }
@@ -37,7 +39,7 @@ func fftDataset() (*dataset.Dataset, error) {
 // bias hints, averaged over 20 runs. The paper's baseline enters the top 1%
 // at generation ~56, the bias-hinted variants at generations 15-23.
 func Fig3(cfg Config) ([]Table, error) {
-	ds, err := fftDataset()
+	ds, err := fftDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -54,18 +56,12 @@ func Fig3(cfg Config) ([]Table, error) {
 	}
 
 	runs, gens := cfg.runs(20), cfg.generations(75)
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "fig3", "baseline", runs, gens)
+	rs, err := runVariants(cfg, s, obj, ds.Evaluator(), "fig3", runs, gens,
+		variantSpec{"baseline", nil}, variantSpec{"bias1", g1}, variantSpec{"bias2", g2})
 	if err != nil {
 		return nil, err
 	}
-	one, err := runGA(s, obj, ds.Evaluator(), g1, "fig3", "bias1", runs, gens)
-	if err != nil {
-		return nil, err
-	}
-	two, err := runGA(s, obj, ds.Evaluator(), g2, "fig3", "bias2", runs, gens)
-	if err != nil {
-		return nil, err
-	}
+	base, one, two := rs[0], rs[1], rs[2]
 
 	// Mean score per generation for each variant. The paper plots a
 	// fitness-derived "design solution score (in %)"; here the score of a
@@ -148,7 +144,7 @@ func Fig3(cfg Config) ([]Table, error) {
 // the baseline; to twice the minimum (the relaxed goal), 23.6 versus 78.9
 // runs, where random sampling would need ~11,921.
 func Fig6(cfg Config) ([]Table, error) {
-	ds, err := fftDataset()
+	ds, err := fftDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -162,30 +158,35 @@ func Fig6(cfg Config) ([]Table, error) {
 	weak := strong.WithConfidence(WeakConfidence)
 
 	runs, gens := cfg.runs(40), cfg.generations(80)
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "fig6", "baseline", runs, gens)
+	rs, err := runVariants(cfg, s, obj, ds.Evaluator(), "fig6", runs, gens,
+		variantSpec{"baseline", nil}, variantSpec{"weak", weak}, variantSpec{"strong", strong})
 	if err != nil {
 		return nil, err
 	}
-	wk, err := runGA(s, obj, ds.Evaluator(), weak, "fig6", "weak", runs, gens)
-	if err != nil {
-		return nil, err
-	}
-	st, err := runGA(s, obj, ds.Evaluator(), strong, "fig6", "strong", runs, gens)
-	if err != nil {
-		return nil, err
-	}
+	base, wk, st := rs[0], rs[1], rs[2]
 
 	_, best := ds.Best(obj)
 	optTarget := best * 1.005 // "converge on the optimum" with rounding slack
 	relaxed := best * 2       // the paper's twice-the-minimum goal
 
-	// Empirical random sampling to the relaxed goal.
-	randomEvals := make([]float64, 0, runs)
-	for i := 0; i < runs; i++ {
+	// Empirical random sampling to the relaxed goal; each draw sequence is
+	// seeded per run, so the trials fan out freely.
+	type draw struct {
+		n  int
+		ok bool
+	}
+	draws, err := pool.Map(cfg.parallelism(), runs, func(i int) (draw, error) {
 		n, ok := search.RandomUntil(s, obj, ds.Evaluator(), relaxed,
 			ds.Size()+ds.Infeasible(), seedFor("fig6", "random", i))
-		if ok {
-			randomEvals = append(randomEvals, float64(n))
+		return draw{n, ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	randomEvals := make([]float64, 0, runs)
+	for _, d := range draws {
+		if d.ok {
+			randomEvals = append(randomEvals, float64(d.n))
 		}
 	}
 
@@ -228,7 +229,7 @@ func Fig6(cfg Config) ([]Table, error) {
 // baseline (>8x), with the baseline never approaching the >1.5 region even
 // after exploring >5x more of the space.
 func Fig7(cfg Config) ([]Table, error) {
-	ds, err := fftDataset()
+	ds, err := fftDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -242,18 +243,12 @@ func Fig7(cfg Config) ([]Table, error) {
 	weak := strong.WithConfidence(WeakConfidence)
 
 	runs, gens := cfg.runs(40), cfg.generations(80)
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "fig7", "baseline", runs, gens)
+	rs, err := runVariants(cfg, s, obj, ds.Evaluator(), "fig7", runs, gens,
+		variantSpec{"baseline", nil}, variantSpec{"weak", weak}, variantSpec{"strong", strong})
 	if err != nil {
 		return nil, err
 	}
-	wk, err := runGA(s, obj, ds.Evaluator(), weak, "fig7", "weak", runs, gens)
-	if err != nil {
-		return nil, err
-	}
-	st, err := runGA(s, obj, ds.Evaluator(), strong, "fig7", "strong", runs, gens)
-	if err != nil {
-		return nil, err
-	}
+	base, wk, st := rs[0], rs[1], rs[2]
 
 	_, best := ds.Best(obj)
 	mid := best * 0.95  // the paper's 1.45-MSPS/LUT analog

@@ -21,11 +21,11 @@ func Headline(cfg Config) ([]Table, error) {
 
 	// NoC: maximize frequency (Figure 4 query, strong guidance).
 	{
-		ds, err := routerDataset()
+		ds, err := routerDataset(cfg.parallelism())
 		if err != nil {
 			return nil, err
 		}
-		lib, err := routerHintLibrary()
+		lib, err := routerHintLibrary(cfg.parallelism())
 		if err != nil {
 			return nil, err
 		}
@@ -36,18 +36,12 @@ func Headline(cfg Config) ([]Table, error) {
 		}
 		weak := strong.WithConfidence(WeakConfidence)
 		runs, gens := cfg.runs(40), cfg.generations(80)
-		base, err := runGA(ds.Space(), obj, ds.Evaluator(), nil, "headline_noc", "baseline", runs, gens)
+		vres, err := runVariants(cfg, ds.Space(), obj, ds.Evaluator(), "headline_noc", runs, gens,
+			variantSpec{"baseline", nil}, variantSpec{"strong", strong}, variantSpec{"weak", weak})
 		if err != nil {
 			return nil, err
 		}
-		st, err := runGA(ds.Space(), obj, ds.Evaluator(), strong, "headline_noc", "strong", runs, gens)
-		if err != nil {
-			return nil, err
-		}
-		wk, err := runGA(ds.Space(), obj, ds.Evaluator(), weak, "headline_noc", "weak", runs, gens)
-		if err != nil {
-			return nil, err
-		}
+		base, st, wk := vres[0], vres[1], vres[2]
 		_, best := ds.Best(obj)
 		rb, cb := stats.ReachCI(base, obj, best*0.99, 1)
 		rs, cs := stats.ReachCI(st, obj, best*0.99, 2)
@@ -62,7 +56,7 @@ func Headline(cfg Config) ([]Table, error) {
 
 	// FFT: minimize LUTs and maximize throughput/LUT (Figures 6-7 queries).
 	{
-		ds, err := fftDataset()
+		ds, err := fftDataset(cfg.parallelism())
 		if err != nil {
 			return nil, err
 		}
@@ -74,14 +68,12 @@ func Headline(cfg Config) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		baseL, err := runGA(ds.Space(), objL, ds.Evaluator(), nil, "headline_fft_luts", "baseline", runs, gens)
+		vresL, err := runVariants(cfg, ds.Space(), objL, ds.Evaluator(), "headline_fft_luts", runs, gens,
+			variantSpec{"baseline", nil}, variantSpec{"strong", strongL})
 		if err != nil {
 			return nil, err
 		}
-		stL, err := runGA(ds.Space(), objL, ds.Evaluator(), strongL, "headline_fft_luts", "strong", runs, gens)
-		if err != nil {
-			return nil, err
-		}
+		baseL, stL := vresL[0], vresL[1]
 		_, bestL := ds.Best(objL)
 		rbOpt, cbOpt := stats.ReachCI(baseL, objL, bestL*1.005, 4)
 		rsOpt, csOpt := stats.ReachCI(stL, objL, bestL*1.005, 5)
@@ -99,14 +91,12 @@ func Headline(cfg Config) ([]Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		baseT, err := runGA(ds.Space(), objT, ds.Evaluator(), nil, "headline_fft_tpl", "baseline", runs, gens)
+		vresT, err := runVariants(cfg, ds.Space(), objT, ds.Evaluator(), "headline_fft_tpl", runs, gens,
+			variantSpec{"baseline", nil}, variantSpec{"strong", strongT})
 		if err != nil {
 			return nil, err
 		}
-		stT, err := runGA(ds.Space(), objT, ds.Evaluator(), strongT, "headline_fft_tpl", "strong", runs, gens)
-		if err != nil {
-			return nil, err
-		}
+		baseT, stT := vresT[0], vresT[1]
 		_, bestT := ds.Best(objT)
 		rbT, cbT := stats.ReachCI(baseT, objT, bestT*0.95, 8)
 		rsT, csT := stats.ReachCI(stT, objT, bestT*0.95, 9)

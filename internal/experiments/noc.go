@@ -11,6 +11,7 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
+	"nautilus/internal/pool"
 	"nautilus/internal/stats"
 )
 
@@ -26,13 +27,14 @@ var (
 
 // routerDataset enumerates and characterizes the full ~28k-point router
 // space once per process - the stand-in for the paper's offline cluster
-// characterization.
-func routerDataset() (*dataset.Dataset, error) {
+// characterization. The first caller's parallelism level drives the build;
+// the result is identical at any level.
+func routerDataset(par int) (*dataset.Dataset, error) {
 	routerOnce.Do(func() {
 		s := noc.RouterSpace()
-		routerDS, routerErr = dataset.Build(s, func(pt param.Point) (metrics.Metrics, error) {
+		routerDS, routerErr = dataset.BuildParallel(s, func(pt param.Point) (metrics.Metrics, error) {
 			return noc.RouterEvaluate(s, pt)
-		})
+		}, par)
 	})
 	return routerDS, routerErr
 }
@@ -40,9 +42,9 @@ func routerDataset() (*dataset.Dataset, error) {
 // routerHintLibrary estimates the paper's non-expert NoC hints: ~80
 // synthesized designs (<0.3% of the space) swept per-parameter, exactly the
 // procedure Section 4.1 describes.
-func routerHintLibrary() (*core.Library, error) {
+func routerHintLibrary(par int) (*core.Library, error) {
 	routerHintsOnce.Do(func() {
-		ds, err := routerDataset()
+		ds, err := routerDataset(par)
 		if err != nil {
 			routerHintsErr = err
 			return
@@ -61,7 +63,7 @@ func routerHintLibrary() (*core.Library, error) {
 // plots the raw scatter; the table reports its envelope, and the full
 // scatter is written to fig1_scatter.csv when an output directory is set.
 func Fig1(cfg Config) ([]Table, error) {
-	ds, err := routerDataset()
+	ds, err := routerDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -122,13 +124,18 @@ func Fig2(cfg Config) ([]Table, error) {
 		Title:  "network design points",
 		Header: []string{"topology", "area_mm2", "power_mw", "bisection_gbps"},
 	}
-	var enumErr error
-	s.Enumerate(func(pt param.Point) bool {
-		m, err := noc.NetworkEvaluate(s, pt)
-		if err != nil {
-			enumErr = err
-			return false
-		}
+	// Characterize all points concurrently, then aggregate in flat
+	// enumeration order so the scatter and family rows stay byte-identical
+	// to a sequential sweep.
+	points := int(s.Cardinality())
+	evals, err := pool.Map(cfg.parallelism(), points, func(i int) (metrics.Metrics, error) {
+		return noc.NetworkEvaluate(s, s.PointAt(uint64(i)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range evals {
+		pt := s.PointAt(uint64(i))
 		n := noc.DecodeNetwork(s, pt)
 		a := fams[n.Topology]
 		if a == nil {
@@ -143,10 +150,6 @@ func Fig2(cfg Config) ([]Table, error) {
 		a.minP, a.maxP = minf(a.minP, power), maxf(a.maxP, power)
 		a.minB, a.maxB = minf(a.minB, bw), maxf(a.maxB, bw)
 		scatter.Rows = append(scatter.Rows, []string{n.Topology, f2(area), f1(power), f1(bw)})
-		return true
-	})
-	if enumErr != nil {
-		return nil, enumErr
 	}
 	t := Table{
 		Name:  "fig2",
@@ -190,11 +193,11 @@ func Fig2(cfg Config) ([]Table, error) {
 // reports the baseline needing about 2.8x (vs strong) and 1.8x (vs weak)
 // the synthesis jobs to come within 1% of the best solution.
 func Fig4(cfg Config) ([]Table, error) {
-	ds, err := routerDataset()
+	ds, err := routerDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
-	lib, err := routerHintLibrary()
+	lib, err := routerHintLibrary(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -207,18 +210,12 @@ func Fig4(cfg Config) ([]Table, error) {
 
 	runs, gens := cfg.runs(40), cfg.generations(80)
 	s := ds.Space()
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "fig4", "baseline", runs, gens)
+	vres, err := runVariants(cfg, s, obj, ds.Evaluator(), "fig4", runs, gens,
+		variantSpec{"baseline", nil}, variantSpec{"weak", weak}, variantSpec{"strong", strong})
 	if err != nil {
 		return nil, err
 	}
-	wk, err := runGA(s, obj, ds.Evaluator(), weak, "fig4", "weak", runs, gens)
-	if err != nil {
-		return nil, err
-	}
-	st, err := runGA(s, obj, ds.Evaluator(), strong, "fig4", "strong", runs, gens)
-	if err != nil {
-		return nil, err
-	}
+	base, wk, st := vres[0], vres[1], vres[2]
 
 	_, best := ds.Best(obj)
 	target := best * 0.99
@@ -272,11 +269,11 @@ func Fig4(cfg Config) ([]Table, error) {
 // buffer depth and friends), as the paper describes; Nautilus reaches the
 // baseline's quality with roughly half the synthesis runs.
 func Fig5(cfg Config) ([]Table, error) {
-	ds, err := routerDataset()
+	ds, err := routerDataset(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
-	lib, err := routerHintLibrary()
+	lib, err := routerHintLibrary(cfg.parallelism())
 	if err != nil {
 		return nil, err
 	}
@@ -293,14 +290,12 @@ func Fig5(cfg Config) ([]Table, error) {
 
 	runs, gens := cfg.runs(40), cfg.generations(20)
 	s := ds.Space()
-	base, err := runGA(s, obj, ds.Evaluator(), nil, "fig5", "baseline", runs, gens)
+	rs, err := runVariants(cfg, s, obj, ds.Evaluator(), "fig5", runs, gens,
+		variantSpec{"baseline", nil}, variantSpec{"nautilus", guid})
 	if err != nil {
 		return nil, err
 	}
-	naut, err := runGA(s, obj, ds.Evaluator(), guid, "fig5", "nautilus", runs, gens)
-	if err != nil {
-		return nil, err
-	}
+	base, naut := rs[0], rs[1]
 
 	_, best := ds.Best(obj)
 	// With only 20 generations (the paper's Figure 5 budget), quality is

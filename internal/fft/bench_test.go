@@ -10,6 +10,7 @@ import (
 
 // BenchmarkCharacterize measures one synthetic FFT synthesis job.
 func BenchmarkCharacterize(b *testing.B) {
+	b.ReportAllocs()
 	s := Space()
 	r := rand.New(rand.NewSource(1))
 	pts := make([]param.Point, 0, 64)

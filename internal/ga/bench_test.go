@@ -10,6 +10,7 @@ import (
 // space (80 generations, population 10) - the engine overhead excluding
 // real synthesis cost.
 func BenchmarkRun(b *testing.B) {
+	b.ReportAllocs()
 	s, eval := quadSpace()
 	for i := 0; i < b.N; i++ {
 		e, err := New(s, metrics.MinimizeMetric("cost"), eval, Config{Seed: int64(i)}, nil)
@@ -23,6 +24,7 @@ func BenchmarkRun(b *testing.B) {
 // BenchmarkRunParallel measures the same search with 8-way parallel fitness
 // evaluation (the paper notes population size caps this parallelism).
 func BenchmarkRunParallel(b *testing.B) {
+	b.ReportAllocs()
 	s, eval := quadSpace()
 	for i := 0; i < b.N; i++ {
 		e, err := New(s, metrics.MinimizeMetric("cost"), eval, Config{Seed: int64(i), Parallelism: 8}, nil)

@@ -20,11 +20,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"nautilus/internal/dataset"
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
+	"nautilus/internal/pool"
 )
 
 // Selection schemes. The default, rank-based roulette, matches the
@@ -244,6 +244,9 @@ type Engine struct {
 	cache    *dataset.Cache
 	cfg      Config
 	strategy Strategy
+	// seen is the scratch map for per-generation genome-diversity counting,
+	// reused across generations to keep the hot loop allocation-free.
+	seen map[string]struct{}
 }
 
 // New builds an Engine. eval is the raw (uncached) evaluator; the engine
@@ -273,7 +276,10 @@ func New(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg 
 func (e *Engine) Config() Config { return e.cfg }
 
 type individual struct {
-	genome  param.Point
+	genome param.Point
+	// key caches space.Key(genome); filled lazily at evaluation and carried
+	// along when an elite genome survives unchanged.
+	key     string
 	fitness float64
 	value   float64
 	ok      bool
@@ -305,7 +311,7 @@ func (e *Engine) Run() Result {
 				best.genome = ind.genome.Clone()
 			}
 		}
-		unique := uniqueGenomes(e.space, pop)
+		unique := e.uniqueGenomes(pop)
 		trajectory = append(trajectory, GenPoint{
 			Generation:    gen,
 			DistinctEvals: e.cache.DistinctEvaluations(),
@@ -344,19 +350,32 @@ func (e *Engine) Run() Result {
 	return res
 }
 
-// uniqueGenomes counts distinct genomes in the population.
-func uniqueGenomes(space *param.Space, pop []individual) int {
-	seen := make(map[string]bool, len(pop))
-	for _, ind := range pop {
-		seen[space.Key(ind.genome)] = true
+// uniqueGenomes counts distinct genomes in the population. It runs after
+// evaluate, so every individual's key cache is populated; the scratch map
+// is reused across generations.
+func (e *Engine) uniqueGenomes(pop []individual) int {
+	if e.seen == nil {
+		e.seen = make(map[string]struct{}, len(pop))
+	} else {
+		clear(e.seen)
 	}
-	return len(seen)
+	for i := range pop {
+		e.seen[pop[i].key] = struct{}{}
+	}
+	return len(e.seen)
 }
 
-// evaluate fills in fitness for the population, in parallel if configured.
+// evaluate fills in fitness for the population - on a fixed set of
+// Parallelism workers when configured. Results land per individual, and the
+// cache deduplicates concurrent requests for the same genome, so the
+// outcome is identical at any parallelism level.
 func (e *Engine) evaluate(pop []individual) {
-	eval := func(ind *individual) {
-		m, err := e.cache.Evaluate(ind.genome)
+	eval := func(i int) {
+		ind := &pop[i]
+		if ind.key == "" {
+			ind.key = e.space.Key(ind.genome)
+		}
+		m, err := e.cache.EvaluateKeyed(ind.key, ind.genome)
 		if err != nil {
 			ind.fitness = math.Inf(-1)
 			ind.value = e.obj.Worst()
@@ -370,24 +389,7 @@ func (e *Engine) evaluate(pop []individual) {
 			ind.value = e.obj.Worst()
 		}
 	}
-	if e.cfg.Parallelism <= 1 {
-		for i := range pop {
-			eval(&pop[i])
-		}
-		return
-	}
-	sem := make(chan struct{}, e.cfg.Parallelism)
-	var wg sync.WaitGroup
-	for i := range pop {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ind *individual) {
-			defer wg.Done()
-			eval(ind)
-			<-sem
-		}(&pop[i])
-	}
-	wg.Wait()
+	pool.Each(e.cfg.Parallelism, len(pop), eval)
 }
 
 // nextGeneration breeds the following population: elites first, then
@@ -409,7 +411,8 @@ func (e *Engine) nextGeneration(r *rand.Rand, gen int, pop []individual) []indiv
 			}
 		}
 		order[k], order[maxI] = order[maxI], order[k]
-		next = append(next, individual{genome: pop[order[k]].genome.Clone()})
+		// The elite genome is unchanged, so its cached key carries over.
+		next = append(next, individual{genome: pop[order[k]].genome.Clone(), key: pop[order[k]].key})
 	}
 
 	sel := e.newSelector(pop)

@@ -10,6 +10,7 @@ import (
 // BenchmarkRouterCharacterize measures one synthetic "synthesis job" - the
 // per-design cost the search engines pay.
 func BenchmarkRouterCharacterize(b *testing.B) {
+	b.ReportAllocs()
 	s := RouterSpace()
 	r := rand.New(rand.NewSource(1))
 	pts := make([]param.Point, 64)
@@ -26,6 +27,7 @@ func BenchmarkRouterCharacterize(b *testing.B) {
 
 // BenchmarkNetworkCharacterize measures one network-level evaluation.
 func BenchmarkNetworkCharacterize(b *testing.B) {
+	b.ReportAllocs()
 	s := NetworkSpace()
 	r := rand.New(rand.NewSource(2))
 	pts := make([]param.Point, 64)

@@ -1,0 +1,111 @@
+// Package pool provides a bounded worker pool with deterministic,
+// index-ordered results - the orchestration primitive behind the parallel
+// experiment harness.
+//
+// Every fan-out in this repository (GA trials, figure variants, whole
+// figures, design-space enumerations, population fitness evaluation) is a
+// fixed list of independent jobs whose *outputs* must not depend on
+// scheduling. Map and Each therefore identify jobs by index: a fixed set of
+// workers claims indices from a shared counter, and results land in a
+// pre-sized slice slot per index. Running with parallelism 1 and
+// parallelism N yields identical result slices.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0,n) using at most parallelism concurrent
+// workers and returns the n results in index order.
+//
+// If a call fails, workers stop claiming new indices, Map waits for
+// in-flight calls, and the error with the lowest index among those recorded
+// is returned. With parallelism <= 1 the jobs run sequentially on the
+// calling goroutine and the first error returns immediately.
+func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Each runs fn(i) for every i in [0,n) using at most parallelism concurrent
+// workers and waits for all calls to finish. It is Map for side-effecting
+// jobs that cannot fail (e.g. filling a pre-allocated slice in place).
+func Each(parallelism, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,127 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 16} {
+		out, err := Map(par, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("par=%d: got %d results", par, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapIdenticalAtAnyParallelism(t *testing.T) {
+	run := func(par int) []string {
+		out, err := Map(par, 37, func(i int) (string, error) {
+			return fmt.Sprintf("job-%03d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, par := range []int{2, 8, 64} {
+		got := run(par)
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("par=%d diverges at %d: %q vs %q", par, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(par, 50, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > par {
+		t.Errorf("peak concurrency %d exceeds parallelism %d", p, par)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	wantErr := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Map(4, 1000, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 5 {
+			return 0, wantErr
+		}
+		time.Sleep(200 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// Early stop: an error must prevent the pool from churning through the
+	// whole index range.
+	if c := calls.Load(); c == 1000 {
+		t.Error("pool did not stop early after an error")
+	}
+}
+
+func TestMapSequentialErrorStopsImmediately(t *testing.T) {
+	var calls int
+	_, err := Map(1, 100, func(i int) (int, error) {
+		calls++
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if calls != 4 {
+		t.Errorf("sequential path made %d calls, want 4", calls)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(8, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(8, 0) = %v, %v", out, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		out := make([]int, 64)
+		Each(par, len(out), func(i int) { out[i] = i + 1 })
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("par=%d: out[%d] = %d", par, i, v)
+			}
+		}
+	}
+	Each(4, 0, func(i int) { t.Error("fn called for n=0") })
+}
