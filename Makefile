@@ -1,6 +1,7 @@
 # Nautilus reproduction - build/test/bench entry points.
 #
 #   make check   tier-1 gate: build + vet + race-enabled tests
+#   make lint    static gate: go vet + gofmt formatting check
 #   make test    plain test run (fastest)
 #   make smoke   reduced-scale benchmark sweep -> BENCH_results.json
 #   make bench   Go micro/macro benchmarks with allocation counts
@@ -8,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race smoke bench tables clean
+.PHONY: all check lint fmt build vet test race smoke bench tables clean
 
 all: check
 
@@ -19,6 +20,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fails (listing the offending files) when anything is not gofmt-clean.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
 
 test:
 	$(GO) test ./...

@@ -71,6 +71,18 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "benchmark time per figure (Go -benchtime syntax)")
 	out := flag.String("out", "BENCH_results.json", "output JSON path")
 	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "bench: -runs must be at least 1, got %d\n", *runs)
+		os.Exit(2)
+	}
+	if *gens < 0 {
+		fmt.Fprintf(os.Stderr, "bench: -gens must be non-negative (0 = paper defaults), got %d\n", *gens)
+		os.Exit(2)
+	}
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "bench: -par must be non-negative (0 = all cores), got %d\n", *par)
+		os.Exit(2)
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
 		os.Exit(2)

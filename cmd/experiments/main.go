@@ -6,6 +6,7 @@
 //	experiments [-fig all|fig1..fig7|headline|ablations|
 //	             ext-baselines|ext-pareto|ext-sim-validate|ext-thirdip]
 //	            [-runs N] [-gens N] [-par N] [-out DIR] [-md FILE]
+//	            [-journal FILE] [-debug-addr ADDR]
 //
 // With -out, each figure's raw series is also written as CSV for
 // re-plotting; with -md, a markdown report is produced. Paper-scale
@@ -13,6 +14,11 @@
 // look. Experiments run on all cores by default (-par 0); every trial is
 // independently seeded and results are collected by index, so the tables
 // are byte-identical at any -par value.
+//
+// -journal appends every run event (generations, evaluations, cache
+// traffic, hint applications, pool scheduling) across all trials to one
+// JSONL file; -debug-addr serves live aggregate metrics and pprof while
+// the figures run. Neither changes any table.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"nautilus/internal/experiments"
+	"nautilus/internal/telemetry"
 )
 
 func main() {
@@ -31,9 +38,49 @@ func main() {
 	par := flag.Int("par", 0, "max parallel figures/variants/trials (0 = all cores, 1 = sequential; output is identical at any level)")
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	md := flag.String("md", "", "also write a markdown report to this file (optional)")
+	journal := flag.String("journal", "", "append structured run events from every trial as JSON lines to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics (expvar) and pprof on this address while experiments run")
+	summary := flag.Bool("summary", false, "print aggregate telemetry (evaluations, cache, hints, pool) after the tables")
 	flag.Parse()
+	if err := validateFlags(*runs, *gens, *par); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: *par, OutDir: *out}
+
+	// The harness runs trials concurrently, so all sinks see one interleaved
+	// event stream; the collector's aggregates and the journal are still
+	// exact totals across every trial of the requested figures.
+	var col *telemetry.Collector
+	var recorders []telemetry.Recorder
+	if *summary || *debugAddr != "" {
+		col = telemetry.NewCollector(nil)
+		recorders = append(recorders, col)
+	}
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		j := telemetry.NewJournal(f)
+		defer j.Close()
+		recorders = append(recorders, j)
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, col.Registry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug endpoint: http://%s/debug/vars\n", addr)
+	}
+	if len(recorders) > 0 {
+		cfg.Recorder = telemetry.Multi(recorders...)
+	}
+
 	drivers := map[string]func(experiments.Config) ([]experiments.Table, error){
 		"all":              experiments.All,
 		"fig1":             experiments.Fig1,
@@ -66,6 +113,15 @@ func main() {
 	for i := range tables {
 		tables[i].Fprint(os.Stdout)
 	}
+	if *summary {
+		// The per-generation table would interleave thousands of concurrent
+		// trials meaninglessly, so the aggregate totals alone are printed.
+		agg := telemetry.NewCollector(col.Registry())
+		if err := agg.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *md != "" {
 		f, err := os.Create(*md)
 		if err != nil {
@@ -86,4 +142,19 @@ func main() {
 	if *out != "" {
 		fmt.Printf("CSV series written to %s\n", *out)
 	}
+}
+
+// validateFlags rejects scale overrides that cannot mean anything: 0 keeps
+// the per-figure paper default, so only negatives are errors.
+func validateFlags(runs, gens, par int) error {
+	if runs < 0 {
+		return fmt.Errorf("-runs must be non-negative (0 = paper defaults), got %d", runs)
+	}
+	if gens < 0 {
+		return fmt.Errorf("-gens must be non-negative (0 = paper defaults), got %d", gens)
+	}
+	if par < 0 {
+		return fmt.Errorf("-par must be non-negative (0 = all cores), got %d", par)
+	}
+	return nil
 }

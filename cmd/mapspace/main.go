@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mapspace -ip noc|fft|network|gemm [-o FILE]
+//	mapspace -ip noc|fft|network|gemm [-o FILE] [-debug-addr ADDR]
 package main
 
 import (
@@ -20,11 +20,13 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
+	"nautilus/internal/telemetry"
 )
 
 func main() {
 	ip := flag.String("ip", "noc", "IP generator to map: noc (VC router), fft, network (64-endpoint NoCs), or gemm")
 	out := flag.String("o", "", "output CSV file (default stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve live progress metrics (expvar) and pprof while the enumeration runs")
 	flag.Parse()
 
 	var (
@@ -51,6 +53,30 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mapspace: unknown IP %q\n", *ip)
 		os.Exit(2)
+	}
+
+	// Full enumerations can run for a long time; the debug endpoint exposes
+	// how far along the sweep is (points characterized, infeasible so far).
+	if *debugAddr != "" {
+		reg := telemetry.NewRegistry()
+		points := reg.Counter("mapspace.points")
+		infeasible := reg.Counter("mapspace.infeasible")
+		reg.Gauge("mapspace.points_total").Set(float64(space.Cardinality()))
+		inner := eval
+		eval = func(pt param.Point) (metrics.Metrics, error) {
+			m, err := inner(pt)
+			points.Inc()
+			if err != nil {
+				infeasible.Inc()
+			}
+			return m, err
+		}
+		addr, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapspace: debug endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mapspace: debug endpoint http://%s/debug/vars\n", addr)
 	}
 
 	start := time.Now()

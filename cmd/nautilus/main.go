@@ -7,8 +7,8 @@
 // Usage:
 //
 //	nautilus -ip noc|fft|gemm -query QUERY [-guidance baseline|weak|strong]
-//	         [-gens N] [-pop N] [-par N] [-seed N] [-trace] [-rtl FILE]
-//	         [-hints FILE] [-save-hints FILE]
+//	         [-gens N] [-pop N] [-par N] [-seed N] [-summary] [-rtl FILE]
+//	         [-hints FILE] [-save-hints FILE] [-journal FILE] [-debug-addr ADDR]
 //
 // Queries:
 //
@@ -33,6 +33,7 @@ import (
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
 	"nautilus/internal/rtl"
+	"nautilus/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nautilus: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects GA shape flags that would otherwise fail deep in
+// the engine (or silently misbehave) with a clear front-door error.
+func validateFlags(pop, gens, par int, seed int64) error {
+	if pop < 2 {
+		return fmt.Errorf("-pop must be at least 2 (crossover needs two parents), got %d", pop)
+	}
+	if gens < 1 {
+		return fmt.Errorf("-gens must be at least 1, got %d", gens)
+	}
+	if par < 1 {
+		return fmt.Errorf("-par must be at least 1, got %d", par)
+	}
+	if seed < 0 {
+		return fmt.Errorf("-seed must be non-negative, got %d", seed)
+	}
+	return nil
 }
 
 func run() error {
@@ -51,11 +70,17 @@ func run() error {
 	par := flag.Int("par", runtime.GOMAXPROCS(0),
 		"parallel fitness evaluations (capped by population size; results are identical at any level)")
 	seed := flag.Int64("seed", 1, "random seed")
-	trace := flag.Bool("trace", false, "print per-generation progress")
+	summary := flag.Bool("summary", false, "print the end-of-run telemetry summary (per-generation trajectory, cache, hints, pool)")
+	trace := flag.Bool("trace", false, "alias for -summary (the old per-generation trace is part of the summary)")
+	journal := flag.String("journal", "", "append structured run events as JSON lines to this file")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics (expvar) and pprof on this address, e.g. localhost:6060")
 	emitRTL := flag.String("rtl", "", "write the best design's Verilog to this file")
 	hintsIn := flag.String("hints", "", "load the hint library from this JSON file instead of the built-in one")
 	hintsOut := flag.String("save-hints", "", "write the active hint library to this JSON file")
 	flag.Parse()
+	if err := validateFlags(*pop, *gens, *par, *seed); err != nil {
+		return err
+	}
 
 	var (
 		space *param.Space
@@ -176,16 +201,47 @@ func run() error {
 		return fmt.Errorf("unknown guidance level %q", *guidance)
 	}
 
+	// Telemetry assembly: a collector backs the -summary report and the
+	// debug endpoint, a journal streams events to disk. With none of the
+	// observability flags set the recorder stays nil and the run pays
+	// nothing for it.
+	wantSummary := *summary || *trace
+	var col *telemetry.Collector
+	var recorders []telemetry.Recorder
+	if wantSummary || *debugAddr != "" {
+		col = telemetry.NewCollector(nil)
+		recorders = append(recorders, col)
+	}
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer f.Close()
+		j := telemetry.NewJournal(f)
+		defer j.Close()
+		recorders = append(recorders, j)
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr, col.Registry())
+		if err != nil {
+			return fmt.Errorf("debug endpoint: %w", err)
+		}
+		fmt.Printf("debug endpoint:  http://%s/debug/vars\n", addr)
+	}
+
 	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed, Parallelism: *par}
+	if len(recorders) > 0 {
+		cfg.Recorder = telemetry.Multi(recorders...)
+	}
 	res, err := core.Run(space, obj, eval, cfg, guid)
 	if err != nil {
 		return err
 	}
 
-	if *trace {
-		fmt.Println("gen  distinct-evals  best-so-far")
-		for _, gp := range res.Trajectory {
-			fmt.Printf("%3d  %14d  %.4g\n", gp.Generation, gp.DistinctEvals, gp.BestValue)
+	if wantSummary {
+		if err := col.WriteSummary(os.Stdout); err != nil {
+			return err
 		}
 	}
 
@@ -200,7 +256,8 @@ func run() error {
 	fmt.Printf("best value:      %.4g\n", res.BestValue)
 	fmt.Printf("configuration:   %s\n", space.Describe(res.BestPoint))
 	fmt.Printf("all metrics:     %s\n", m)
-	fmt.Printf("synthesis jobs:  %d distinct design evaluations\n", res.DistinctEvals)
+	fmt.Printf("synthesis jobs:  %d distinct design evaluations (%d queries, %.1f%% cache hits)\n",
+		res.Cache.Distinct, res.Cache.Total, 100*res.Cache.HitRate)
 
 	if *emitRTL != "" {
 		var design *rtl.Design

@@ -38,6 +38,18 @@ func run() error {
 	packet := flag.Int("packet", 4, "packet length in flits")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+	switch {
+	case *vcs < 1:
+		return fmt.Errorf("-vcs must be at least 1, got %d", *vcs)
+	case *depth < 1:
+		return fmt.Errorf("-depth must be at least 1, got %d", *depth)
+	case *pipeline < 1:
+		return fmt.Errorf("-pipeline must be at least 1, got %d", *pipeline)
+	case *packet < 1:
+		return fmt.Errorf("-packet must be at least 1, got %d", *packet)
+	case *seed < 0:
+		return fmt.Errorf("-seed must be non-negative, got %d", *seed)
+	}
 
 	topo, err := netsim.Build(*topology, *endpoints)
 	if err != nil {

@@ -10,9 +10,17 @@ import (
 // Run executes one Nautilus search: a GA over the space under cfg, guided
 // by g. A nil guidance (or zero confidence) runs the baseline GA. This is
 // the entry point an IP generator embeds.
+//
+// When cfg.Recorder is set it observes the whole run: the engine reports
+// generations, evaluations, cache lookups, and pool scheduling, and the
+// guidance reports each hint application (the run is handed a recording
+// copy of g; the caller's guidance is never mutated).
 func Run(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg ga.Config, g *Guidance) (ga.Result, error) {
 	var strategy ga.Strategy
 	if g != nil {
+		if cfg.Recorder != nil {
+			g = g.WithRecorder(cfg.Recorder)
+		}
 		strategy = g
 	}
 	engine, err := ga.New(space, obj, eval, cfg, strategy)

@@ -26,6 +26,7 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
 	"nautilus/internal/pool"
+	"nautilus/internal/telemetry"
 )
 
 // Evaluator maps a design point to its characterization metrics. An error
@@ -48,9 +49,11 @@ const cacheShards = 32
 type Cache struct {
 	space *param.Space
 	eval  Evaluator
+	rec   telemetry.Recorder
 
 	distinct atomic.Int64
 	total    atomic.Int64
+	dedup    atomic.Int64
 	shards   [cacheShards]cacheShard
 }
 
@@ -69,21 +72,30 @@ type cacheEntry struct {
 
 // NewCache wraps eval for the given space.
 func NewCache(space *param.Space, eval Evaluator) *Cache {
-	c := &Cache{space: space, eval: eval}
+	c := &Cache{space: space, eval: eval, rec: telemetry.Nop}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*cacheEntry)
 	}
 	return c
 }
 
+// SetRecorder attaches a telemetry recorder that receives one cache event
+// (hit, miss, or singleflight-dedup wait, with the shard index) per
+// lookup. Call it before the cache is shared across goroutines; a nil
+// recorder restores the free no-op default. Recording observes lookup
+// outcomes only - counters and results are identical with any recorder.
+func (c *Cache) SetRecorder(rec telemetry.Recorder) {
+	c.rec = telemetry.OrNop(rec)
+}
+
 // shardFor stripes keys across shards with FNV-1a.
-func (c *Cache) shardFor(key string) *cacheShard {
+func (c *Cache) shardFor(key string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &c.shards[h%cacheShards]
+	return int(h % cacheShards)
 }
 
 // Evaluate returns the (possibly cached) characterization of pt.
@@ -95,16 +107,28 @@ func (c *Cache) Evaluate(pt param.Point) (metrics.Metrics, error) {
 // key (param.Space.Key), sparing the hot path a key rebuild.
 func (c *Cache) EvaluateKeyed(key string, pt param.Point) (metrics.Metrics, error) {
 	c.total.Add(1)
-	sh := c.shardFor(key)
+	shi := c.shardFor(key)
+	sh := &c.shards[shi]
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
 		sh.mu.Unlock()
-		<-e.done
+		// Classify the lookup for telemetry: a closed done channel means a
+		// plain hit; an open one means this goroutine is about to block on
+		// another's in-flight evaluation (a singleflight-deduplicated wait).
+		select {
+		case <-e.done:
+			c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheHit, Shard: shi})
+		default:
+			c.dedup.Add(1)
+			c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheDedup, Shard: shi})
+			<-e.done
+		}
 		return e.m, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	sh.entries[key] = e
 	sh.mu.Unlock()
+	c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheMiss, Shard: shi})
 
 	// This goroutine owns the evaluation; concurrent requesters for the
 	// same key block on e.done instead of re-running the evaluator.
@@ -126,6 +150,51 @@ func (c *Cache) TotalQueries() int {
 	return int(c.total.Load())
 }
 
+// DedupedWaits returns how many lookups blocked on another goroutine's
+// in-flight evaluation of the same point. Unlike Stats, this depends on
+// scheduling and therefore varies across parallelism levels.
+func (c *Cache) DedupedWaits() int {
+	return int(c.dedup.Load())
+}
+
+// CacheStats is one consistent accounting snapshot of a Cache. All fields
+// are deterministic for a deterministic workload: Total counts lookups,
+// Distinct counts spent evaluator calls (the paper's synthesis-job
+// metric), and Hits = Total - Distinct counts lookups answered without an
+// evaluator call of their own (including singleflight waits).
+type CacheStats struct {
+	Distinct int
+	Total    int
+	Hits     int
+	// HitRate is Hits/Total, 0 when no lookups happened.
+	HitRate float64
+}
+
+// Stats returns a single consistent snapshot of the cache counters,
+// replacing racy back-to-back DistinctEvaluations/TotalQueries reads. The
+// counters are re-read until the total is stable across the read (bounded
+// retries), and hits are clamped so in-flight evaluations can never
+// produce a negative count.
+func (c *Cache) Stats() CacheStats {
+	var total, distinct int64
+	for attempt := 0; ; attempt++ {
+		total = c.total.Load()
+		distinct = c.distinct.Load()
+		if c.total.Load() == total || attempt >= 8 {
+			break
+		}
+	}
+	hits := total - distinct
+	if hits < 0 {
+		hits = 0
+	}
+	st := CacheStats{Distinct: int(distinct), Total: int(total), Hits: int(hits)}
+	if total > 0 {
+		st.HitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
 // Reset clears the cache and counters. It must not race with in-flight
 // Evaluate calls.
 func (c *Cache) Reset() {
@@ -137,6 +206,7 @@ func (c *Cache) Reset() {
 	}
 	c.distinct.Store(0)
 	c.total.Store(0)
+	c.dedup.Store(0)
 }
 
 // Dataset is a fully enumerated characterization of a design space:

@@ -25,6 +25,7 @@ import (
 	"nautilus/internal/param"
 	"nautilus/internal/pool"
 	"nautilus/internal/synth"
+	"nautilus/internal/telemetry"
 )
 
 // Config scales the experiments. The zero value reproduces the paper's
@@ -45,6 +46,12 @@ type Config struct {
 	Parallelism int
 	// OutDir, when non-empty, receives CSV files per figure.
 	OutDir string
+	// Recorder, when non-nil, observes every GA trial and harness fan-out:
+	// generations, evaluations, cache traffic, hint applications, and pool
+	// occupancy aggregate across all figures into one stream. It must be
+	// safe for concurrent use (trials run concurrently, so per-run event
+	// streams interleave); recording never changes any table.
+	Recorder telemetry.Recorder
 }
 
 func (c Config) runs(paperDefault int) int {
@@ -152,15 +159,16 @@ func seedFor(experiment, variant string, run int) int64 {
 // collects the results in run order. Each run's seed depends only on
 // (experiment, variant, run), so the result set is identical at any par.
 func runGA(space *param.Space, obj metrics.Objective, eval dataset.Evaluator,
-	g *core.Guidance, experiment, variant string, runs, generations, par int) ([]ga.Result, error) {
-	return pool.Map(par, runs, func(i int) (ga.Result, error) {
-		cfg := ga.Config{Seed: seedFor(experiment, variant, i), Generations: generations}
+	g *core.Guidance, experiment, variant string, runs, generations, par int,
+	rec telemetry.Recorder) ([]ga.Result, error) {
+	return pool.MapRec(par, runs, func(i int) (ga.Result, error) {
+		cfg := ga.Config{Seed: seedFor(experiment, variant, i), Generations: generations, Recorder: rec}
 		res, err := core.Run(space, obj, eval, cfg, g)
 		if err != nil {
 			return ga.Result{}, fmt.Errorf("%s/%s run %d: %w", experiment, variant, i, err)
 		}
 		return res, nil
-	})
+	}, rec)
 }
 
 // variantSpec names one guidance configuration of a figure.
@@ -175,9 +183,9 @@ type variantSpec struct {
 func runVariants(cfg Config, space *param.Space, obj metrics.Objective, eval dataset.Evaluator,
 	experiment string, runs, generations int, vs ...variantSpec) ([][]ga.Result, error) {
 	par := cfg.parallelism()
-	return pool.Map(par, len(vs), func(i int) ([]ga.Result, error) {
-		return runGA(space, obj, eval, vs[i].g, experiment, vs[i].name, runs, generations, par)
-	})
+	return pool.MapRec(par, len(vs), func(i int) ([]ga.Result, error) {
+		return runGA(space, obj, eval, vs[i].g, experiment, vs[i].name, runs, generations, par, cfg.Recorder)
+	}, cfg.Recorder)
 }
 
 // f renders a float compactly for table cells.
@@ -202,9 +210,9 @@ func All(cfg Config) ([]Table, error) {
 		Fig1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7, Headline, Ablations,
 		ExtensionBaselines, ExtensionPareto, ExtensionSimVsAnalytical, ExtensionThirdIP,
 	}
-	per, err := pool.Map(cfg.parallelism(), len(figs), func(i int) ([]Table, error) {
+	per, err := pool.MapRec(cfg.parallelism(), len(figs), func(i int) ([]Table, error) {
 		return figs[i](cfg)
-	})
+	}, cfg.Recorder)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"nautilus/internal/telemetry"
 )
 
 // renderFig runs a figure and flattens its tables (header, rows, notes) to
@@ -56,5 +58,26 @@ func TestFig2ParallelDeterminism(t *testing.T) {
 	par := renderFig(t, Fig2, cfg)
 	if !bytes.Equal(seq, par) {
 		t.Error("fig2 output differs between Parallelism 1 and 8")
+	}
+}
+
+// TestRecorderDoesNotPerturbFigures asserts a wired Recorder leaves every
+// table byte-identical while actually observing the harness's GA trials.
+func TestRecorderDoesNotPerturbFigures(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Parallelism = 4
+	plain := renderFig(t, Fig4, cfg)
+	col := telemetry.NewCollector(nil)
+	cfg.Recorder = col
+	recorded := renderFig(t, Fig4, cfg)
+	if !bytes.Equal(plain, recorded) {
+		t.Errorf("fig4 output differs with a Recorder wired:\n--- plain ---\n%s\n--- recorded ---\n%s", plain, recorded)
+	}
+	snap := col.Registry().Snapshot()
+	if snap.Counters[telemetry.MetricGenerations] == 0 {
+		t.Error("recorder saw no generations despite observing a full figure")
+	}
+	if snap.Counters[telemetry.MetricPoolTasks] == 0 {
+		t.Error("recorder saw no pool tasks despite the trial fan-out")
 	}
 }

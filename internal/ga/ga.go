@@ -20,11 +20,13 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"nautilus/internal/dataset"
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
 	"nautilus/internal/pool"
+	"nautilus/internal/telemetry"
 )
 
 // Selection schemes. The default, rank-based roulette, matches the
@@ -80,6 +82,13 @@ type Config struct {
 	// which further generations only revisit cached designs. 0 disables
 	// early stopping (the paper's fixed-generation methodology).
 	ConvergenceWindow int
+	// Recorder receives structured telemetry events (per-generation stats,
+	// per-individual evaluations, cache lookups, pool scheduling). nil
+	// defaults to telemetry.Nop, which is free. Recording is purely
+	// observational: it never draws from the run's RNG, so results are
+	// identical with telemetry on or off. The recorder must be safe for
+	// concurrent use when Parallelism > 1.
+	Recorder telemetry.Recorder
 }
 
 // withDefaults returns cfg with zero fields replaced by paper defaults.
@@ -110,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
+	}
+	if c.Recorder == nil {
+		c.Recorder = telemetry.Nop
 	}
 	return c
 }
@@ -220,6 +232,10 @@ type Result struct {
 	// Converged reports whether the run stopped early via
 	// Config.ConvergenceWindow.
 	Converged bool
+	// Cache is the run's evaluation-cache accounting (distinct, total,
+	// hits, hit rate). Deterministic in (Seed, Config, Strategy,
+	// evaluator) like every other Result field.
+	Cache dataset.CacheStats
 }
 
 // EvalsToReach returns the number of distinct evaluations after which the
@@ -244,6 +260,7 @@ type Engine struct {
 	cache    *dataset.Cache
 	cfg      Config
 	strategy Strategy
+	rec      telemetry.Recorder
 	// seen is the scratch map for per-generation genome-diversity counting,
 	// reused across generations to keep the hot loop allocation-free.
 	seen map[string]struct{}
@@ -263,12 +280,15 @@ func New(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg 
 	if strategy == nil {
 		strategy = Baseline{Space: space}
 	}
+	cache := dataset.NewCache(space, eval)
+	cache.SetRecorder(cfg.Recorder)
 	return &Engine{
 		space:    space,
 		obj:      obj,
-		cache:    dataset.NewCache(space, eval),
+		cache:    cache,
 		cfg:      cfg,
 		strategy: strategy,
+		rec:      cfg.Recorder,
 	}, nil
 }
 
@@ -303,8 +323,18 @@ func (e *Engine) Run() Result {
 	stale := 0
 	prevBest := math.Inf(-1)
 
+	// Telemetry is observational only: wall-clock timing and the
+	// per-generation record are built solely when a live recorder asks for
+	// them, and nothing here touches r, so runs are byte-identical with
+	// telemetry on or off.
+	recording := e.rec.Enabled()
+
 	for gen := 0; gen <= e.cfg.Generations; gen++ {
-		e.evaluate(pop)
+		var genStart time.Time
+		if recording {
+			genStart = time.Now()
+		}
+		e.evaluate(gen, pop)
 		for _, ind := range pop {
 			if ind.fitness > best.fitness {
 				best = ind
@@ -318,6 +348,30 @@ func (e *Engine) Run() Result {
 			BestValue:     best.value,
 			UniqueGenomes: unique,
 		})
+		if recording {
+			var sum float64
+			feasible := 0
+			for _, ind := range pop {
+				if ind.ok {
+					sum += ind.fitness
+					feasible++
+				}
+			}
+			mean := math.NaN()
+			if feasible > 0 {
+				mean = sum / float64(feasible)
+			}
+			e.rec.RecordGeneration(telemetry.GenerationRecord{
+				Generation:    gen,
+				BestValue:     best.value,
+				BestFitness:   best.fitness,
+				MeanFitness:   mean,
+				Feasible:      feasible,
+				UniqueGenomes: unique,
+				DistinctEvals: e.cache.DistinctEvaluations(),
+				Elapsed:       time.Since(genStart),
+			})
+		}
 		if e.cfg.ConvergenceWindow > 0 {
 			if best.fitness == prevBest && unique == 1 {
 				stale++
@@ -341,6 +395,7 @@ func (e *Engine) Run() Result {
 		Trajectory:    trajectory,
 		DistinctEvals: e.cache.DistinctEvaluations(),
 		Converged:     converged,
+		Cache:         e.cache.Stats(),
 	}
 	if best.ok {
 		res.BestPoint = best.genome
@@ -369,7 +424,7 @@ func (e *Engine) uniqueGenomes(pop []individual) int {
 // Parallelism workers when configured. Results land per individual, and the
 // cache deduplicates concurrent requests for the same genome, so the
 // outcome is identical at any parallelism level.
-func (e *Engine) evaluate(pop []individual) {
+func (e *Engine) evaluate(gen int, pop []individual) {
 	eval := func(i int) {
 		ind := &pop[i]
 		if ind.key == "" {
@@ -380,16 +435,21 @@ func (e *Engine) evaluate(pop []individual) {
 			ind.fitness = math.Inf(-1)
 			ind.value = e.obj.Worst()
 			ind.ok = false
-			return
+		} else {
+			ind.fitness = e.obj.Fitness(m)
+			ind.value, ind.ok = e.obj.Value(m)
+			if !ind.ok {
+				ind.fitness = math.Inf(-1)
+				ind.value = e.obj.Worst()
+			}
 		}
-		ind.fitness = e.obj.Fitness(m)
-		ind.value, ind.ok = e.obj.Value(m)
-		if !ind.ok {
-			ind.fitness = math.Inf(-1)
-			ind.value = e.obj.Worst()
-		}
+		e.rec.RecordEvaluation(telemetry.EvaluationRecord{
+			Generation: gen,
+			Feasible:   ind.ok,
+			Fitness:    ind.fitness,
+		})
 	}
-	pool.Each(e.cfg.Parallelism, len(pop), eval)
+	pool.EachRec(e.cfg.Parallelism, len(pop), eval, e.rec)
 }
 
 // nextGeneration breeds the following population: elites first, then

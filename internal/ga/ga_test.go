@@ -396,3 +396,48 @@ func TestConvergenceWindowDisabledByDefault(t *testing.T) {
 		t.Errorf("trajectory length %d, want full 26", len(res.Trajectory))
 	}
 }
+
+func TestConvergenceWindowFiresAtExactlyWindow(t *testing.T) {
+	// A cardinality-1 space is homogeneous and stagnant from generation 0:
+	// every genome is identical and the best can never move. The staleness
+	// counter starts after the first generation establishes a baseline, so
+	// the run must stop at exactly generation `window`.
+	s := param.MustSpace(param.Int("x", 5, 5, 1))
+	pinned := func(pt param.Point) (metrics.Metrics, error) {
+		return metrics.Metrics{"cost": 7}, nil
+	}
+	const window = 4
+	e, err := New(s, metrics.MinimizeMetric("cost"), pinned,
+		Config{Seed: 1, Generations: 100, ConvergenceWindow: window}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("fully homogeneous run did not report convergence")
+	}
+	if last := res.Trajectory[len(res.Trajectory)-1].Generation; last != window {
+		t.Errorf("converged at generation %d, want exactly %d", last, window)
+	}
+}
+
+func TestConvergenceWindowZeroNeverFires(t *testing.T) {
+	// Window 0 disables early stopping even on a population that is
+	// homogeneous and stagnant for the entire run.
+	s := param.MustSpace(param.Int("x", 5, 5, 1))
+	pinned := func(pt param.Point) (metrics.Metrics, error) {
+		return metrics.Metrics{"cost": 7}, nil
+	}
+	e, err := New(s, metrics.MinimizeMetric("cost"), pinned,
+		Config{Seed: 1, Generations: 30, ConvergenceWindow: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if res.Converged {
+		t.Error("Converged set with ConvergenceWindow 0")
+	}
+	if got := len(res.Trajectory); got != 31 {
+		t.Errorf("trajectory length %d, want full 31", got)
+	}
+}

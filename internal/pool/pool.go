@@ -14,6 +14,8 @@ package pool
 import (
 	"sync"
 	"sync/atomic"
+
+	"nautilus/internal/telemetry"
 )
 
 // Map runs fn(i) for every i in [0,n) using at most parallelism concurrent
@@ -24,6 +26,15 @@ import (
 // is returned. With parallelism <= 1 the jobs run sequentially on the
 // calling goroutine and the first error returns immediately.
 func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapRec[T](parallelism, n, fn, nil)
+}
+
+// MapRec is Map with scheduling telemetry: each task run, worker start
+// (busy), and worker exit (idle) is reported to rec, so pool occupancy and
+// effective parallelism are observable. A nil rec records nothing and
+// costs nothing; recording never alters scheduling or results.
+func MapRec[T any](parallelism, n int, fn func(i int) (T, error), rec telemetry.Recorder) ([]T, error) {
+	rec = telemetry.OrNop(rec)
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -32,8 +43,11 @@ func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
 		parallelism = n
 	}
 	if parallelism <= 1 {
+		rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerBusy, Worker: 0})
+		defer rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerIdle, Worker: 0})
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
+			rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolTask, Worker: 0})
 			if err != nil {
 				return nil, err
 			}
@@ -48,14 +62,17 @@ func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerBusy, Worker: w})
+			defer rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerIdle, Worker: w})
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
 				v, err := fn(i)
+				rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolTask, Worker: w})
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -63,7 +80,7 @@ func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if failed.Load() {
@@ -80,6 +97,12 @@ func Map[T any](parallelism, n int, fn func(i int) (T, error)) ([]T, error) {
 // workers and waits for all calls to finish. It is Map for side-effecting
 // jobs that cannot fail (e.g. filling a pre-allocated slice in place).
 func Each(parallelism, n int, fn func(i int)) {
+	EachRec(parallelism, n, fn, nil)
+}
+
+// EachRec is Each with scheduling telemetry, mirroring MapRec.
+func EachRec(parallelism, n int, fn func(i int), rec telemetry.Recorder) {
+	rec = telemetry.OrNop(rec)
 	if n == 0 {
 		return
 	}
@@ -87,8 +110,11 @@ func Each(parallelism, n int, fn func(i int)) {
 		parallelism = n
 	}
 	if parallelism <= 1 {
+		rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerBusy, Worker: 0})
+		defer rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerIdle, Worker: 0})
 		for i := 0; i < n; i++ {
 			fn(i)
+			rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolTask, Worker: 0})
 		}
 		return
 	}
@@ -96,16 +122,19 @@ func Each(parallelism, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerBusy, Worker: w})
+			defer rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerIdle, Worker: w})
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				fn(i)
+				rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolTask, Worker: w})
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Metric names the Collector maintains in its Registry. Exported so tests
+// and the debug endpoint can reference them without string drift.
+const (
+	MetricGenerations      = "ga.generations"
+	MetricEvaluations      = "ga.evaluations"
+	MetricEvalInfeasible   = "ga.evaluations_infeasible"
+	MetricGenerationMillis = "ga.generation_ms"
+	MetricBestValue        = "ga.best_value"
+	MetricMeanFitness      = "ga.mean_fitness"
+	MetricUniqueGenomes    = "ga.unique_genomes"
+	MetricDistinctEvals    = "ga.distinct_evals"
+	MetricCacheHits        = "cache.hits"
+	MetricCacheMisses      = "cache.misses"
+	MetricCacheDedups      = "cache.dedup_waits"
+	MetricPoolTasks        = "pool.tasks"
+	MetricPoolBusy         = "pool.workers_busy"
+	MetricPoolBusyMax      = "pool.workers_busy_max"
+	hintMetricPrefix       = "hints."
+	gateGuidedMetric       = "hints.gate_guided"
+	gateUnguidedMetric     = "hints.gate_unguided"
+	dedupShardFmt          = "cache.dedup_waits.shard%02d"
+)
+
+// generationMillisBounds are the fixed buckets for per-generation wall
+// time: sub-millisecond analytical models through multi-minute synthesis.
+var generationMillisBounds = []float64{0.01, 0.1, 1, 10, 100, 1_000, 10_000, 60_000}
+
+// Collector aggregates run events into a Registry and retains the
+// per-generation trajectory, powering the end-of-run summary and the live
+// debug endpoint. It is safe for concurrent use; counter updates are
+// atomic and only generation retention takes a mutex.
+type Collector struct {
+	reg *Registry
+
+	generations    *Counter
+	evals          *Counter
+	evalInfeasible *Counter
+	genMillis      *Histogram
+	bestValue      *Gauge
+	meanFitness    *Gauge
+	uniqueGenomes  *Gauge
+	distinctEvals  *Gauge
+
+	hintCounters map[string]*Counter // per mechanism, pre-resolved
+	gateGuided   *Counter
+	gateUnguided *Counter
+
+	cacheHits   *Counter
+	cacheMisses *Counter
+	cacheDedups *Counter
+
+	poolTasks *Counter
+	poolBusy  *Gauge
+	poolMax   *Gauge
+
+	mu   sync.Mutex
+	gens []GenerationRecord
+}
+
+// NewCollector builds a collector over reg (a fresh registry when nil).
+func NewCollector(reg *Registry) *Collector {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	c := &Collector{
+		reg:            reg,
+		generations:    reg.Counter(MetricGenerations),
+		evals:          reg.Counter(MetricEvaluations),
+		evalInfeasible: reg.Counter(MetricEvalInfeasible),
+		genMillis:      reg.Histogram(MetricGenerationMillis, generationMillisBounds),
+		bestValue:      reg.Gauge(MetricBestValue),
+		meanFitness:    reg.Gauge(MetricMeanFitness),
+		uniqueGenomes:  reg.Gauge(MetricUniqueGenomes),
+		distinctEvals:  reg.Gauge(MetricDistinctEvals),
+		hintCounters:   make(map[string]*Counter, 5),
+		gateGuided:     reg.Counter(gateGuidedMetric),
+		gateUnguided:   reg.Counter(gateUnguidedMetric),
+		cacheHits:      reg.Counter(MetricCacheHits),
+		cacheMisses:    reg.Counter(MetricCacheMisses),
+		cacheDedups:    reg.Counter(MetricCacheDedups),
+		poolTasks:      reg.Counter(MetricPoolTasks),
+		poolBusy:       reg.Gauge(MetricPoolBusy),
+		poolMax:        reg.Gauge(MetricPoolBusyMax),
+	}
+	for _, mech := range []string{
+		HintGeneImportance, HintGeneUniform,
+		HintValueTarget, HintValueBias, HintValueUniform,
+	} {
+		c.hintCounters[mech] = reg.Counter(hintMetricPrefix + mech)
+	}
+	return c
+}
+
+// Registry returns the collector's backing registry (for ServeDebug).
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Enabled implements Recorder.
+func (c *Collector) Enabled() bool { return true }
+
+// RecordGeneration implements Recorder.
+func (c *Collector) RecordGeneration(g GenerationRecord) {
+	c.generations.Inc()
+	c.genMillis.Observe(float64(g.Elapsed) / float64(time.Millisecond))
+	c.bestValue.Set(g.BestValue)
+	c.meanFitness.Set(g.MeanFitness)
+	c.uniqueGenomes.Set(float64(g.UniqueGenomes))
+	c.distinctEvals.Set(float64(g.DistinctEvals))
+	c.mu.Lock()
+	c.gens = append(c.gens, g)
+	c.mu.Unlock()
+}
+
+// RecordEvaluation implements Recorder.
+func (c *Collector) RecordEvaluation(e EvaluationRecord) {
+	c.evals.Inc()
+	if !e.Feasible {
+		c.evalInfeasible.Inc()
+	}
+}
+
+// RecordHint implements Recorder.
+func (c *Collector) RecordHint(h HintRecord) {
+	if ctr, ok := c.hintCounters[h.Mechanism]; ok {
+		ctr.Inc()
+	}
+	switch h.Mechanism {
+	case HintValueTarget, HintValueBias, HintValueUniform:
+		if h.Guided {
+			c.gateGuided.Inc()
+		} else {
+			c.gateUnguided.Inc()
+		}
+	}
+}
+
+// RecordCache implements Recorder.
+func (c *Collector) RecordCache(r CacheRecord) {
+	switch r.Event {
+	case CacheHit:
+		c.cacheHits.Inc()
+	case CacheMiss:
+		c.cacheMisses.Inc()
+	case CacheDedup:
+		c.cacheDedups.Inc()
+		// Dedup waits are contention events, rare by design; resolving the
+		// per-shard counter lazily here keeps the hit/miss fast path
+		// allocation-free.
+		c.reg.Counter(fmt.Sprintf(dedupShardFmt, r.Shard)).Inc()
+	}
+}
+
+// RecordPool implements Recorder.
+func (c *Collector) RecordPool(p PoolRecord) {
+	switch p.Event {
+	case PoolTask:
+		c.poolTasks.Inc()
+	case PoolWorkerBusy:
+		c.poolBusy.Add(1)
+		c.poolMax.Max(c.poolBusy.Value())
+	case PoolWorkerIdle:
+		c.poolBusy.Add(-1)
+	}
+}
+
+// Generations returns a copy of the retained per-generation records.
+func (c *Collector) Generations() []GenerationRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]GenerationRecord(nil), c.gens...)
+}
+
+// hintCount returns the aggregated count for a mechanism.
+func (c *Collector) hintCount(mech string) int64 {
+	if ctr, ok := c.hintCounters[mech]; ok {
+		return ctr.Value()
+	}
+	return 0
+}
+
+// WriteSummary renders the human-readable end-of-run report: the
+// per-generation trajectory table (the successor of the ad-hoc -trace
+// table), then evaluation, cache, hint-application, and pool totals. Hint
+// rates read directly against the paper's confidence sweep: at confidence
+// c, roughly a fraction c of value moves should be guided.
+func (c *Collector) WriteSummary(w io.Writer) error {
+	gens := c.Generations()
+	fmt.Fprintln(w, "== run telemetry ==")
+	if len(gens) > 0 {
+		fmt.Fprintln(w, "gen  distinct-evals  best-so-far   mean-fitness  unique  elapsed")
+		for _, g := range gens {
+			fmt.Fprintf(w, "%3d  %14d  %-12.6g  %-12.6g  %6d  %s\n",
+				g.Generation, g.DistinctEvals, g.BestValue, g.MeanFitness,
+				g.UniqueGenomes, g.Elapsed.Round(time.Microsecond))
+		}
+	}
+	evals := c.evals.Value()
+	fmt.Fprintf(w, "evaluations:  %d requested, %d infeasible\n",
+		evals, c.evalInfeasible.Value())
+
+	hits, misses, dedups := c.cacheHits.Value(), c.cacheMisses.Value(), c.cacheDedups.Value()
+	if total := hits + misses + dedups; total > 0 {
+		fmt.Fprintf(w, "cache:        %d lookups: %d hits (%.1f%%), %d misses, %d deduped waits\n",
+			total, hits, 100*float64(hits)/float64(total), misses, dedups)
+	}
+
+	genePicks := c.hintCount(HintGeneImportance) + c.hintCount(HintGeneUniform)
+	valueMoves := c.hintCount(HintValueTarget) + c.hintCount(HintValueBias) + c.hintCount(HintValueUniform)
+	if genePicks+valueMoves > 0 {
+		fmt.Fprintf(w, "hints:        gene picks %d importance-weighted / %d uniform; value moves %d target, %d bias, %d uniform\n",
+			c.hintCount(HintGeneImportance), c.hintCount(HintGeneUniform),
+			c.hintCount(HintValueTarget), c.hintCount(HintValueBias), c.hintCount(HintValueUniform))
+		guided, unguided := c.gateGuided.Value(), c.gateUnguided.Value()
+		if gate := guided + unguided; gate > 0 {
+			fmt.Fprintf(w, "confidence:   gate guided %d / unguided %d (%.1f%% applied)\n",
+				guided, unguided, 100*float64(guided)/float64(gate))
+		}
+	}
+
+	if tasks := c.poolTasks.Value(); tasks > 0 {
+		maxBusy := c.poolMax.Value()
+		if math.IsNaN(maxBusy) {
+			maxBusy = 0
+		}
+		fmt.Fprintf(w, "pool:         %d tasks, peak %d workers busy\n", tasks, int(maxBusy))
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugRegistry is the registry the process-wide "nautilus" expvar reads
+// from; ServeDebug installs the most recently served registry.
+var (
+	debugRegistry atomic.Pointer[Registry]
+	publishOnce   sync.Once
+)
+
+// ServeDebug starts an HTTP introspection endpoint on addr and returns the
+// bound address (useful with ":0"). It exposes
+//
+//	/debug/vars   - expvar, including the registry snapshot as "nautilus"
+//	/debug/pprof  - the standard Go profiling handlers
+//
+// so a long search can be watched live (hint rates, cache hit rates, pool
+// occupancy) and profiled without stopping it. The server runs on its own
+// goroutine for the life of the process; errors after startup are dropped,
+// matching expvar's own best-effort semantics.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	debugRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("nautilus", expvar.Func(func() any {
+			if r := debugRegistry.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return Snapshot{}
+		}))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

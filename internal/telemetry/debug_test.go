@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeDebug boots the introspection endpoint on an ephemeral port and
+// checks the registry snapshot is live under /debug/vars and the pprof
+// index answers.
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricCacheHits).Add(41)
+	addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Counter(MetricCacheHits).Inc() // live updates must be visible
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars: status %d, err %v", resp.StatusCode, err)
+	}
+	var vars struct {
+		Nautilus Snapshot `json:"nautilus"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, body)
+	}
+	if got := vars.Nautilus.Counters[MetricCacheHits]; got != 42 {
+		t.Errorf("%s via expvar = %d, want 42", MetricCacheHits, got)
+	}
+
+	resp, err = client.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+}
