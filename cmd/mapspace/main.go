@@ -6,6 +6,12 @@
 // Usage:
 //
 //	mapspace -ip noc|fft|network|gemm [-o FILE] [-debug-addr ADDR]
+//	         [-eval-timeout DUR] [-eval-retries N]
+//
+// Against a real synthesis backend individual characterizations can hang or
+// fail transiently; -eval-timeout bounds each attempt and -eval-retries
+// retries transient failures with jittered exponential backoff before the
+// point is recorded as infeasible.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
+	"nautilus/internal/resilience"
 	"nautilus/internal/telemetry"
 )
 
@@ -27,7 +34,17 @@ func main() {
 	ip := flag.String("ip", "noc", "IP generator to map: noc (VC router), fft, network (64-endpoint NoCs), or gemm")
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve live progress metrics (expvar) and pprof while the enumeration runs")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-attempt characterization deadline, e.g. 30s (0 = none)")
+	evalRetries := flag.Int("eval-retries", 0, "max attempts per point for transient failures (0 = default 3)")
 	flag.Parse()
+	if *evalTimeout < 0 {
+		fmt.Fprintf(os.Stderr, "mapspace: -eval-timeout must be non-negative, got %v\n", *evalTimeout)
+		os.Exit(2)
+	}
+	if *evalRetries < 0 {
+		fmt.Fprintf(os.Stderr, "mapspace: -eval-retries must be non-negative (0 = default), got %d\n", *evalRetries)
+		os.Exit(2)
+	}
 
 	var (
 		space *param.Space
@@ -53,6 +70,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "mapspace: unknown IP %q\n", *ip)
 		os.Exit(2)
+	}
+
+	if *evalTimeout > 0 || *evalRetries > 0 {
+		sup, err := resilience.Supervise(space, eval, resilience.Policy{
+			Timeout:     *evalTimeout,
+			MaxAttempts: *evalRetries,
+		}, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mapspace: %v\n", err)
+			os.Exit(2)
+		}
+		eval = sup.PlainEvaluator()
 	}
 
 	// Full enumerations can run for a long time; the debug endpoint exposes

@@ -9,19 +9,39 @@
 //	nautilus -ip noc|fft|gemm -query QUERY [-guidance baseline|weak|strong]
 //	         [-gens N] [-pop N] [-par N] [-seed N] [-summary] [-rtl FILE]
 //	         [-hints FILE] [-save-hints FILE] [-journal FILE] [-debug-addr ADDR]
+//	         [-checkpoint FILE] [-checkpoint-every N] [-resume FILE]
+//	         [-eval-timeout DUR] [-eval-retries N] [-quarantine-after N]
+//	         [-fault-rate F] [-fault-failures N] [-fault-seed N]
 //
 // Queries:
 //
 //	noc:  max-frequency | min-luts | min-area-delay
 //	fft:  min-luts | max-throughput | max-throughput-per-lut | max-snr
 //	gemm: min-luts | max-gmacs | max-gmacs-per-lut
+//
+// Long searches survive crashes and preemption: -checkpoint snapshots the
+// full GA state every -checkpoint-every generations (atomic rename, never a
+// torn file), SIGINT/SIGTERM drains in-flight evaluations and writes a
+// final snapshot, and -resume continues a run to the byte-identical result
+// the uninterrupted run would have produced. The supervised evaluation path
+// (-eval-timeout/-eval-retries/-quarantine-after) retries transient
+// synthesis failures with jittered exponential backoff and quarantines
+// persistently failing points as infeasible; -fault-rate injects
+// deterministic transient faults to exercise it.
+//
+// Exit codes: 0 success, 1 fatal error, 2 usage error, 3 interrupted with
+// checkpoint saved (resume with -resume).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
@@ -32,15 +52,34 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
+	"nautilus/internal/resilience"
+	"nautilus/internal/resilience/faulty"
 	"nautilus/internal/rtl"
 	"nautilus/internal/telemetry"
 )
 
+// Exit codes, so orchestration around long searches can tell a crash from
+// a clean preemption it should resume.
+const (
+	exitOK          = 0
+	exitFatal       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		// After the first signal starts the graceful drain, restore default
+		// handling so a second signal kills the process immediately.
+		<-ctx.Done()
+		stop()
+	}()
+	code, err := run(ctx)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "nautilus: %v\n", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
 // validateFlags rejects GA shape flags that would otherwise fail deep in
@@ -61,7 +100,31 @@ func validateFlags(pop, gens, par int, seed int64) error {
 	return nil
 }
 
-func run() error {
+// validateResilienceFlags front-doors the checkpoint/supervision flags.
+func validateResilienceFlags(checkpoint string, every int, timeout time.Duration,
+	retries, quarantine int, faultRate float64, faultFailures int) error {
+	if every < 1 {
+		return fmt.Errorf("-checkpoint-every must be at least 1 generation, got %d", every)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("-eval-timeout must be non-negative, got %v", timeout)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-eval-retries must be non-negative (0 = default), got %d", retries)
+	}
+	if quarantine < 0 {
+		return fmt.Errorf("-quarantine-after must be non-negative (0 = default), got %d", quarantine)
+	}
+	if faultRate < 0 || faultRate > 1 {
+		return fmt.Errorf("-fault-rate must be in [0,1], got %v", faultRate)
+	}
+	if faultFailures < 0 {
+		return fmt.Errorf("-fault-failures must be non-negative (0 = default), got %d", faultFailures)
+	}
+	return nil
+}
+
+func run(ctx context.Context) (int, error) {
 	ip := flag.String("ip", "fft", "IP generator: noc, fft, or gemm")
 	query := flag.String("query", "min-luts", "optimization query (see doc)")
 	guidance := flag.String("guidance", "strong", "baseline, weak, or strong")
@@ -77,9 +140,22 @@ func run() error {
 	emitRTL := flag.String("rtl", "", "write the best design's Verilog to this file")
 	hintsIn := flag.String("hints", "", "load the hint library from this JSON file instead of the built-in one")
 	hintsOut := flag.String("save-hints", "", "write the active hint library to this JSON file")
+	checkpoint := flag.String("checkpoint", "", "snapshot full GA state to this file (atomic rename) for crash recovery")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "snapshot every N generations (with -checkpoint)")
+	resume := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint (-ip and -seed must match)")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-attempt evaluation deadline, e.g. 30s (0 = none)")
+	evalRetries := flag.Int("eval-retries", 0, "max attempts per evaluation for transient failures (0 = default 3)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "demote a point to infeasible after N exhausted retry rounds (0 = default 2)")
+	faultRate := flag.Float64("fault-rate", 0, "inject deterministic transient faults on this fraction of design points (resilience testing)")
+	faultFailures := flag.Int("fault-failures", 0, "failed attempts before an injected transient point succeeds (0 = default 1)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed decorrelating injected faults from the search seed")
 	flag.Parse()
 	if err := validateFlags(*pop, *gens, *par, *seed); err != nil {
-		return err
+		return exitUsage, err
+	}
+	if err := validateResilienceFlags(*checkpoint, *checkpointEvery, *evalTimeout,
+		*evalRetries, *quarantineAfter, *faultRate, *faultFailures); err != nil {
+		return exitUsage, err
 	}
 
 	var (
@@ -103,7 +179,7 @@ func run() error {
 		lib, _, err = hintcal.Estimate(s, eval, []string{metrics.FmaxMHz, metrics.LUTs},
 			hintcal.Options{Budget: 80, Seed: 5})
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		switch *query {
 		case "max-frequency":
@@ -114,7 +190,7 @@ func run() error {
 			obj = metrics.AreaDelayProduct()
 			weights = map[string]float64{metrics.LUTs: 1, metrics.FmaxMHz: -1}
 		default:
-			return fmt.Errorf("unknown noc query %q", *query)
+			return exitUsage, fmt.Errorf("unknown noc query %q", *query)
 		}
 	case "fft":
 		s := fft.Space()
@@ -132,7 +208,7 @@ func run() error {
 		case "max-snr":
 			obj = metrics.MaximizeMetric(metrics.SNRdB)
 		default:
-			return fmt.Errorf("unknown fft query %q", *query)
+			return exitUsage, fmt.Errorf("unknown fft query %q", *query)
 		}
 	case "gemm":
 		s := gemm.Space()
@@ -148,34 +224,34 @@ func run() error {
 			obj = metrics.MaximizeDerived(gemm.MetricEfficiency, metrics.Ratio(gemm.MetricGMACS, metrics.LUTs))
 			weights = map[string]float64{gemm.MetricEfficiency: 1}
 		default:
-			return fmt.Errorf("unknown gemm query %q", *query)
+			return exitUsage, fmt.Errorf("unknown gemm query %q", *query)
 		}
 	default:
-		return fmt.Errorf("unknown IP %q", *ip)
+		return exitUsage, fmt.Errorf("unknown IP %q", *ip)
 	}
 
 	if *hintsIn != "" {
 		f, err := os.Open(*hintsIn)
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		lib, err = core.LoadLibrary(space, f)
 		f.Close()
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 	}
 	if *hintsOut != "" {
 		f, err := os.Create(*hintsOut)
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 		if err := lib.SaveJSON(f); err != nil {
 			f.Close()
-			return err
+			return exitFatal, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return exitFatal, err
 		}
 		fmt.Printf("hint library written to %s\n", *hintsOut)
 	}
@@ -195,10 +271,10 @@ func run() error {
 			guid, err = lib.GuidanceForObjective(obj, conf)
 		}
 		if err != nil {
-			return err
+			return exitFatal, err
 		}
 	default:
-		return fmt.Errorf("unknown guidance level %q", *guidance)
+		return exitUsage, fmt.Errorf("unknown guidance level %q", *guidance)
 	}
 
 	// Telemetry assembly: a collector backs the -summary report and the
@@ -215,7 +291,7 @@ func run() error {
 	if *journal != "" {
 		f, err := os.Create(*journal)
 		if err != nil {
-			return fmt.Errorf("journal: %w", err)
+			return exitFatal, fmt.Errorf("journal: %w", err)
 		}
 		defer f.Close()
 		j := telemetry.NewJournal(f)
@@ -225,32 +301,96 @@ func run() error {
 	if *debugAddr != "" {
 		addr, err := telemetry.ServeDebug(*debugAddr, col.Registry())
 		if err != nil {
-			return fmt.Errorf("debug endpoint: %w", err)
+			return exitFatal, fmt.Errorf("debug endpoint: %w", err)
 		}
 		fmt.Printf("debug endpoint:  http://%s/debug/vars\n", addr)
+	}
+
+	// A registry shared with the collector surfaces resilience and
+	// checkpoint metrics in -summary and on the debug endpoint.
+	var reg *telemetry.Registry
+	if col != nil {
+		reg = col.Registry()
+	}
+
+	// Evaluation chain: base evaluator, then (optionally) deterministic
+	// fault injection, then the supervision layer with per-attempt
+	// deadlines, retries, and the quarantine breaker. Retries absorb
+	// transient failures before they reach the GA, so a supervised run's
+	// search results match the fault-free run's byte for byte.
+	ctxEval := dataset.AdaptContext(eval)
+	if *faultRate > 0 {
+		inj, err := faulty.NewContext(space, ctxEval, faulty.Config{
+			TransientRate:     *faultRate,
+			TransientFailures: *faultFailures,
+			Seed:              *faultSeed,
+		})
+		if err != nil {
+			return exitUsage, err
+		}
+		ctxEval = inj.Evaluate
+	}
+	var sup *resilience.Supervisor
+	if *evalTimeout > 0 || *evalRetries > 0 || *quarantineAfter > 0 || *faultRate > 0 {
+		var err error
+		sup, err = resilience.NewSupervisor(space, ctxEval, resilience.Policy{
+			Timeout:         *evalTimeout,
+			MaxAttempts:     *evalRetries,
+			QuarantineAfter: *quarantineAfter,
+		}, reg)
+		if err != nil {
+			return exitUsage, err
+		}
+		ctxEval = sup.Evaluator()
 	}
 
 	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed, Parallelism: *par}
 	if len(recorders) > 0 {
 		cfg.Recorder = telemetry.Multi(recorders...)
 	}
-	res, err := core.Run(space, obj, eval, cfg, guid)
+	if *checkpoint != "" {
+		saver := resilience.NewSaver(*checkpoint, space, reg)
+		cfg.Checkpoint = saver.Save
+		cfg.CheckpointEvery = *checkpointEvery
+	}
+	if *resume != "" {
+		snap, err := resilience.Load(*resume, space, *seed)
+		if err != nil {
+			return exitFatal, err
+		}
+		cfg.Resume = snap
+		fmt.Fprintf(os.Stderr, "resuming from %s at generation %d\n", *resume, snap.Generation)
+	}
+	res, err := core.RunContext(ctx, space, obj, ctxEval, cfg, guid)
 	if err != nil {
-		return err
+		return exitFatal, err
 	}
 
 	if wantSummary {
 		if err := col.WriteSummary(os.Stdout); err != nil {
-			return err
+			return exitFatal, err
 		}
+	}
+	if sup != nil {
+		if q := sup.Quarantined(); len(q) > 0 {
+			fmt.Printf("quarantined:     %d design points demoted to infeasible after repeated failures\n", len(q))
+		}
+	}
+	if res.Interrupted {
+		if *checkpoint == "" {
+			return exitFatal, fmt.Errorf("interrupted (no -checkpoint configured; progress lost)")
+		}
+		fmt.Fprintf(os.Stderr, "nautilus: interrupted; state saved to %s (continue with -resume %s)\n",
+			*checkpoint, *checkpoint)
+		return exitInterrupted, nil
 	}
 
 	if res.BestPoint == nil {
-		return fmt.Errorf("no feasible design found")
+		return exitFatal, fmt.Errorf("no feasible design found")
 	}
 	m, err := eval(res.BestPoint)
 	if err != nil {
-		return err
+		return exitFatal, err
 	}
 	fmt.Printf("query:           %s on %s (%s guidance)\n", obj, *ip, *guidance)
 	fmt.Printf("best value:      %.4g\n", res.BestValue)
@@ -270,13 +410,13 @@ func run() error {
 			design, err = gemm.Decode(space, res.BestPoint).Verilog()
 		}
 		if err != nil {
-			return fmt.Errorf("emit RTL: %w", err)
+			return exitFatal, fmt.Errorf("emit RTL: %w", err)
 		}
 		if err := os.WriteFile(*emitRTL, []byte(design.Verilog()), 0o644); err != nil {
-			return err
+			return exitFatal, err
 		}
 		stats := design.Summarize()
 		fmt.Printf("RTL written:     %s (%d modules, %d instances)\n", *emitRTL, stats.Modules, stats.Instances)
 	}
-	return nil
+	return exitOK, nil
 }

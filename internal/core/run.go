@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"nautilus/internal/dataset"
 	"nautilus/internal/ga"
 	"nautilus/internal/metrics"
@@ -16,6 +18,14 @@ import (
 // guidance reports each hint application (the run is handed a recording
 // copy of g; the caller's guidance is never mutated).
 func Run(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg ga.Config, g *Guidance) (ga.Result, error) {
+	return RunContext(context.Background(), space, obj, dataset.AdaptContext(eval), cfg, g)
+}
+
+// RunContext is Run with cancellation and a context-aware evaluator: the
+// supervised/deadline path. Canceling ctx stops the search at the next
+// evaluation boundary; if cfg.Checkpoint is set the engine writes a final
+// snapshot first, and the returned Result has Interrupted set.
+func RunContext(ctx context.Context, space *param.Space, obj metrics.Objective, eval dataset.ContextEvaluator, cfg ga.Config, g *Guidance) (ga.Result, error) {
 	var strategy ga.Strategy
 	if g != nil {
 		if cfg.Recorder != nil {
@@ -23,11 +33,11 @@ func Run(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg 
 		}
 		strategy = g
 	}
-	engine, err := ga.New(space, obj, eval, cfg, strategy)
+	engine, err := ga.NewContext(space, obj, eval, cfg, strategy)
 	if err != nil {
 		return ga.Result{}, err
 	}
-	return engine.Run(), nil
+	return engine.RunContext(ctx)
 }
 
 // RunBaseline executes the unguided baseline GA - the paper's comparison

@@ -12,6 +12,7 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,50 @@ import (
 // count as spent synthesis jobs, as they would in a real flow.
 type Evaluator func(param.Point) (metrics.Metrics, error)
 
+// ContextEvaluator is an Evaluator that honors cancellation and deadlines -
+// the shape a real synthesis-in-the-loop evaluation has, where a tool run
+// can be killed when its budget expires. internal/resilience supervises
+// evaluators in this form.
+type ContextEvaluator func(context.Context, param.Point) (metrics.Metrics, error)
+
+// AdaptContext lifts a plain Evaluator into a ContextEvaluator that checks
+// for cancellation before starting. It cannot interrupt an evaluation
+// already in flight - only natively context-aware evaluators can honor
+// mid-run deadlines.
+func AdaptContext(eval Evaluator) ContextEvaluator {
+	return func(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, MarkTransient(err)
+		}
+		return eval(pt)
+	}
+}
+
+// MarkTransient wraps err so IsTransient reports true. Transient errors are
+// retryable infrastructure failures (tool crash, timeout, garbage output) -
+// the design point itself is not known infeasible, so the Cache must never
+// memoize them.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// IsTransient reports whether err (or anything it wraps) is marked
+// transient. Anything else - including plain infeasibility errors - is
+// permanent and may be memoized.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
 // cacheShards is the number of lock stripes in a Cache. A modest power of
 // two keeps the footprint small while making shard collisions rare at the
 // parallelism levels the experiment harness runs at.
@@ -46,15 +91,23 @@ const cacheShards = 32
 // the evaluator while the rest block on its result. A distinct design point
 // therefore costs exactly one evaluator call no matter how many goroutines
 // race for it, which is what the paper's synthesis-job accounting demands.
+//
+// Error memoization is deliberate: a permanent error marks the point
+// infeasible and is cached like a result (a failed synthesis job spent its
+// budget and will fail again), but a transient error (IsTransient) is never
+// memoized - the owning lookup's entry is withdrawn so later lookups retry
+// the evaluation, and concurrent waiters receive the error without the
+// shard being poisoned for the rest of the run.
 type Cache struct {
 	space *param.Space
-	eval  Evaluator
+	eval  ContextEvaluator
 	rec   telemetry.Recorder
 
-	distinct atomic.Int64
-	total    atomic.Int64
-	dedup    atomic.Int64
-	shards   [cacheShards]cacheShard
+	distinct  atomic.Int64
+	total     atomic.Int64
+	dedup     atomic.Int64
+	transient atomic.Int64
+	shards    [cacheShards]cacheShard
 }
 
 type cacheShard struct {
@@ -72,6 +125,14 @@ type cacheEntry struct {
 
 // NewCache wraps eval for the given space.
 func NewCache(space *param.Space, eval Evaluator) *Cache {
+	return NewCacheContext(space, AdaptContext(eval))
+}
+
+// NewCacheContext wraps a context-aware evaluator for the given space. The
+// context passed to Evaluate flows through the singleflight path into the
+// evaluator, so per-evaluation deadlines and run-level cancellation reach
+// the underlying tool run.
+func NewCacheContext(space *param.Space, eval ContextEvaluator) *Cache {
 	c := &Cache{space: space, eval: eval, rec: telemetry.Nop}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*cacheEntry)
@@ -100,12 +161,27 @@ func (c *Cache) shardFor(key string) int {
 
 // Evaluate returns the (possibly cached) characterization of pt.
 func (c *Cache) Evaluate(pt param.Point) (metrics.Metrics, error) {
-	return c.EvaluateKeyed(c.space.Key(pt), pt)
+	return c.EvaluateKeyedCtx(context.Background(), c.space.Key(pt), pt)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation interrupts both a
+// singleflight wait and (through a context-aware evaluator) the evaluation
+// itself.
+func (c *Cache) EvaluateCtx(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+	return c.EvaluateKeyedCtx(ctx, c.space.Key(pt), pt)
 }
 
 // EvaluateKeyed is Evaluate for callers that already hold pt's canonical
 // key (param.Space.Key), sparing the hot path a key rebuild.
 func (c *Cache) EvaluateKeyed(key string, pt param.Point) (metrics.Metrics, error) {
+	return c.EvaluateKeyedCtx(context.Background(), key, pt)
+}
+
+// EvaluateKeyedCtx is the full evaluation path: keyed lookup under a
+// context. Transient evaluator errors (IsTransient) are delivered to the
+// callers that observed them but never memoized; permanent errors and
+// results are cached and counted as distinct evaluations.
+func (c *Cache) EvaluateKeyedCtx(ctx context.Context, key string, pt param.Point) (metrics.Metrics, error) {
 	c.total.Add(1)
 	shi := c.shardFor(key)
 	sh := &c.shards[shi]
@@ -121,7 +197,13 @@ func (c *Cache) EvaluateKeyed(key string, pt param.Point) (metrics.Metrics, erro
 		default:
 			c.dedup.Add(1)
 			c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheDedup, Shard: shi})
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				// A canceled waiter abandons the in-flight evaluation; the
+				// owner still completes (or withdraws) the entry.
+				return nil, MarkTransient(ctx.Err())
+			}
 		}
 		return e.m, e.err
 	}
@@ -132,7 +214,21 @@ func (c *Cache) EvaluateKeyed(key string, pt param.Point) (metrics.Metrics, erro
 
 	// This goroutine owns the evaluation; concurrent requesters for the
 	// same key block on e.done instead of re-running the evaluator.
-	e.m, e.err = c.eval(pt)
+	e.m, e.err = c.eval(ctx, pt)
+	if e.err != nil && IsTransient(e.err) {
+		// Withdraw the entry before publishing the error: the failure is an
+		// infrastructure event, not a characterization, so the next lookup
+		// must re-run the evaluator rather than inherit a poisoned shard.
+		sh.mu.Lock()
+		if sh.entries[key] == e {
+			delete(sh.entries, key)
+		}
+		sh.mu.Unlock()
+		c.transient.Add(1)
+		c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheTransient, Shard: shi})
+		close(e.done)
+		return e.m, e.err
+	}
 	c.distinct.Add(1)
 	close(e.done)
 	return e.m, e.err
@@ -157,6 +253,12 @@ func (c *Cache) DedupedWaits() int {
 	return int(c.dedup.Load())
 }
 
+// TransientFailures returns how many evaluations ended in a transient
+// (withdrawn, never-memoized) error.
+func (c *Cache) TransientFailures() int {
+	return int(c.transient.Load())
+}
+
 // CacheStats is one consistent accounting snapshot of a Cache. All fields
 // are deterministic for a deterministic workload: Total counts lookups,
 // Distinct counts spent evaluator calls (the paper's synthesis-job
@@ -166,6 +268,10 @@ type CacheStats struct {
 	Distinct int
 	Total    int
 	Hits     int
+	// Transient counts evaluations that ended in a withdrawn transient
+	// error (retryable infrastructure failures, never memoized). 0 on any
+	// healthy run.
+	Transient int
 	// HitRate is Hits/Total, 0 when no lookups happened.
 	HitRate float64
 }
@@ -176,19 +282,20 @@ type CacheStats struct {
 // retries), and hits are clamped so in-flight evaluations can never
 // produce a negative count.
 func (c *Cache) Stats() CacheStats {
-	var total, distinct int64
+	var total, distinct, transient int64
 	for attempt := 0; ; attempt++ {
 		total = c.total.Load()
 		distinct = c.distinct.Load()
+		transient = c.transient.Load()
 		if c.total.Load() == total || attempt >= 8 {
 			break
 		}
 	}
-	hits := total - distinct
+	hits := total - distinct - transient
 	if hits < 0 {
 		hits = 0
 	}
-	st := CacheStats{Distinct: int(distinct), Total: int(total), Hits: int(hits)}
+	st := CacheStats{Distinct: int(distinct), Total: int(total), Hits: int(hits), Transient: int(transient)}
 	if total > 0 {
 		st.HitRate = float64(hits) / float64(total)
 	}
@@ -207,6 +314,93 @@ func (c *Cache) Reset() {
 	c.distinct.Store(0)
 	c.total.Store(0)
 	c.dedup.Store(0)
+	c.transient.Store(0)
+}
+
+// CacheEntrySnapshot is one memoized evaluation in a CacheSnapshot: the
+// point's key plus either its metrics or the permanent error string it
+// failed with.
+type CacheEntrySnapshot struct {
+	Key     string
+	Metrics metrics.Metrics
+	Err     string
+}
+
+// CacheSnapshot is a consistent export of a Cache's memoized contents and
+// counters, the unit of state a run checkpoint persists. Entries are sorted
+// by key, so two snapshots of identical caches are deeply equal.
+type CacheSnapshot struct {
+	Entries   []CacheEntrySnapshot
+	Distinct  int64
+	Total     int64
+	Dedup     int64
+	Transient int64
+}
+
+// Export snapshots the cache for checkpointing. Only completed entries are
+// captured (in-flight singleflight evaluations are skipped); callers that
+// need an exact snapshot - like the GA engine at a generation boundary -
+// export when no evaluations are in flight. Metrics maps are shared, not
+// copied: memoized metrics are immutable by contract.
+func (c *Cache) Export() CacheSnapshot {
+	snap := CacheSnapshot{
+		Distinct:  c.distinct.Load(),
+		Total:     c.total.Load(),
+		Dedup:     c.dedup.Load(),
+		Transient: c.transient.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			select {
+			case <-e.done:
+			default:
+				continue // in flight; not yet a characterization
+			}
+			es := CacheEntrySnapshot{Key: key, Metrics: e.m}
+			if e.err != nil {
+				es.Err = e.err.Error()
+			}
+			snap.Entries = append(snap.Entries, es)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(snap.Entries, func(a, b int) bool { return snap.Entries[a].Key < snap.Entries[b].Key })
+	return snap
+}
+
+// Restore replaces the cache's contents and counters with a snapshot
+// previously produced by Export - the resume half of checkpointing. Keys
+// are validated against the cache's space. It must not race with in-flight
+// Evaluate calls.
+func (c *Cache) Restore(snap CacheSnapshot) error {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*cacheEntry)
+		sh.mu.Unlock()
+	}
+	closed := make(chan struct{})
+	close(closed)
+	for _, es := range snap.Entries {
+		if _, err := c.space.ParseKey(es.Key); err != nil {
+			return fmt.Errorf("dataset: restore: %w", err)
+		}
+		e := &cacheEntry{done: closed, m: es.Metrics}
+		if es.Err != "" {
+			e.err = errors.New(es.Err)
+		}
+		sh := &c.shards[c.shardFor(es.Key)]
+		sh.mu.Lock()
+		sh.entries[es.Key] = e
+		sh.mu.Unlock()
+	}
+	c.distinct.Store(snap.Distinct)
+	c.total.Store(snap.Total)
+	c.dedup.Store(snap.Dedup)
+	c.transient.Store(snap.Transient)
+	return nil
 }
 
 // Dataset is a fully enumerated characterization of a design space:

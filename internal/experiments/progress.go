@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"nautilus/internal/resilience"
+)
+
+// Driver regenerates one figure (or figure group) of the paper.
+type Driver func(Config) ([]Table, error)
+
+// figureDrivers lists every individually runnable experiment in paper
+// order. "all" is not in this list - it is the whole list.
+var figureDrivers = []struct {
+	name string
+	fn   Driver
+}{
+	{"fig1", Fig1},
+	{"fig2", Fig2},
+	{"fig3", Fig3},
+	{"fig4", Fig4},
+	{"fig5", Fig5},
+	{"fig6", Fig6},
+	{"fig7", Fig7},
+	{"headline", Headline},
+	{"ablations", Ablations},
+	{"ext-baselines", ExtensionBaselines},
+	{"ext-pareto", ExtensionPareto},
+	{"ext-sim-validate", ExtensionSimVsAnalytical},
+	{"ext-thirdip", ExtensionThirdIP},
+}
+
+// FigureNames returns every individually runnable experiment name in paper
+// order (excluding the "all" meta-driver).
+func FigureNames() []string {
+	names := make([]string, len(figureDrivers))
+	for i, d := range figureDrivers {
+		names[i] = d.name
+	}
+	return names
+}
+
+// FindDriver resolves an experiment name ("all" or any FigureNames entry).
+func FindDriver(name string) (Driver, bool) {
+	if name == "all" {
+		return All, true
+	}
+	for _, d := range figureDrivers {
+		if d.name == name {
+			return d.fn, true
+		}
+	}
+	return nil, false
+}
+
+// progressVersion is the on-disk schema version of a Progress file.
+const progressVersion = 1
+
+// progressJSON is the serialized form of a Progress file: the scale
+// parameters the tables depend on, plus every completed figure's tables.
+type progressJSON struct {
+	Version     int                `json:"version"`
+	Runs        int                `json:"runs"`
+	Generations int                `json:"generations"`
+	Figures     map[string][]Table `json:"figures"`
+}
+
+// Progress checkpoints an experiments run at figure granularity: after each
+// figure completes, its tables are persisted (atomic rename), so a killed
+// run resumes by replaying completed figures from the file and recomputing
+// only the rest. Tables are deterministic per (figure, Runs, Generations),
+// so a resumed run's output is identical to an uninterrupted one at any
+// parallelism; the file rejects resumption under different scale settings.
+type Progress struct {
+	path string
+
+	mu      sync.Mutex
+	state   progressJSON
+	every   int // persist after every N Records (default 1)
+	pending int // Records since the last persist
+}
+
+// NewProgress creates an empty progress tracker writing to path.
+func NewProgress(path string, cfg Config) *Progress {
+	return &Progress{
+		path: path,
+		state: progressJSON{
+			Version:     progressVersion,
+			Runs:        cfg.Runs,
+			Generations: cfg.Generations,
+			Figures:     make(map[string][]Table),
+		},
+	}
+}
+
+// LoadProgress reads a progress file written by a previous run and
+// validates that its scale settings match cfg; completed figures whose
+// tables it holds will be skipped. A missing file is not an error - it
+// returns a fresh tracker, so resume flags are safe on first runs.
+func LoadProgress(path string, cfg Config) (*Progress, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return NewProgress(path, cfg), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("read progress: %w", err)
+	}
+	var state progressJSON
+	if err := json.Unmarshal(data, &state); err != nil {
+		return nil, fmt.Errorf("decode progress %s: %w", path, err)
+	}
+	if state.Version != progressVersion {
+		return nil, fmt.Errorf("progress %s has schema version %d, this build reads %d",
+			path, state.Version, progressVersion)
+	}
+	if state.Runs != cfg.Runs || state.Generations != cfg.Generations {
+		return nil, fmt.Errorf("progress %s was taken with -runs %d -gens %d, run configured with -runs %d -gens %d",
+			path, state.Runs, state.Generations, cfg.Runs, cfg.Generations)
+	}
+	if state.Figures == nil {
+		state.Figures = make(map[string][]Table)
+	}
+	return &Progress{path: path, state: state}, nil
+}
+
+// Completed returns the stored tables for a figure, if it already ran.
+func (p *Progress) Completed(name string) ([]Table, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ts, ok := p.state.Figures[name]
+	return ts, ok
+}
+
+// CompletedCount reports how many figures the tracker holds.
+func (p *Progress) CompletedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.state.Figures)
+}
+
+// SetSaveEvery persists the file only after every n Records instead of
+// each one (a crash then re-runs at most n figures); Flush covers the
+// remainder. Values below 1 mean every Record.
+func (p *Progress) SetSaveEvery(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	p.every = n
+}
+
+// Record stores a completed figure's tables and persists the file
+// atomically (subject to SetSaveEvery), so a crash between figures never
+// loses completed work.
+func (p *Progress) Record(name string, tables []Table) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tables == nil {
+		tables = []Table{}
+	}
+	p.state.Figures[name] = tables
+	p.pending++
+	if p.every > 1 && p.pending < p.every {
+		return nil
+	}
+	return p.persistLocked()
+}
+
+// Flush persists any Records held back by SetSaveEvery.
+func (p *Progress) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pending == 0 {
+		return nil
+	}
+	return p.persistLocked()
+}
+
+func (p *Progress) persistLocked() error {
+	data, err := json.MarshalIndent(&p.state, "", " ")
+	if err != nil {
+		return fmt.Errorf("encode progress: %w", err)
+	}
+	if err := resilience.WriteFileAtomic(p.path, data); err != nil {
+		return fmt.Errorf("write progress %s: %w", p.path, err)
+	}
+	p.pending = 0
+	return nil
+}
+
+// RunResumable runs the named figures in order, skipping any the tracker
+// already holds and recording each as it completes. Canceling ctx stops
+// before the next figure starts (the in-flight figure finishes and is
+// recorded); the error then wraps context.Canceled and the caller decides
+// the exit path. A nil prog degrades to plain sequential execution.
+//
+// Figures run sequentially here - resumability is the point; the fan-out
+// inside each figure still uses cfg's full parallelism.
+func RunResumable(ctx context.Context, cfg Config, names []string, prog *Progress) ([]Table, error) {
+	var tables []Table
+	for _, name := range names {
+		if prog != nil {
+			if ts, ok := prog.Completed(name); ok {
+				tables = append(tables, ts...)
+				continue
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			if prog != nil {
+				if ferr := prog.Flush(); ferr != nil {
+					return tables, ferr
+				}
+			}
+			return tables, fmt.Errorf("interrupted before %s: %w", name, err)
+		}
+		driver, ok := FindDriver(name)
+		if !ok || name == "all" {
+			return tables, fmt.Errorf("unknown figure %q", name)
+		}
+		ts, err := driver(cfg)
+		if err != nil {
+			return tables, err
+		}
+		if prog != nil {
+			if err := prog.Record(name, ts); err != nil {
+				return tables, err
+			}
+		}
+		tables = append(tables, ts...)
+	}
+	if prog != nil {
+		if err := prog.Flush(); err != nil {
+			return tables, err
+		}
+	}
+	return tables, nil
+}

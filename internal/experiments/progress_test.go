@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestProgressPersistLoadRoundTrip(t *testing.T) {
+	cfg := Config{Runs: 2, Generations: 5}
+	path := filepath.Join(t.TempDir(), "progress.json")
+	p := NewProgress(path, cfg)
+	tables := []Table{{
+		Name:   "fig1",
+		Title:  "t",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}}
+	if err := p.Record("fig1", tables); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := LoadProgress(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p2.Completed("fig1")
+	if !ok || !reflect.DeepEqual(got, tables) {
+		t.Fatalf("Completed = %+v (ok=%v), want stored tables", got, ok)
+	}
+	if p2.CompletedCount() != 1 {
+		t.Errorf("CompletedCount = %d, want 1", p2.CompletedCount())
+	}
+}
+
+func TestLoadProgressValidation(t *testing.T) {
+	cfg := Config{Runs: 2, Generations: 5}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "progress.json")
+
+	// Missing file is not an error: resume flags are safe on first runs.
+	if p, err := LoadProgress(path, cfg); err != nil || p.CompletedCount() != 0 {
+		t.Fatalf("missing file: p=%v err=%v, want fresh tracker", p, err)
+	}
+
+	p := NewProgress(path, cfg)
+	if err := p.Record("fig1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProgress(path, Config{Runs: 3, Generations: 5}); err == nil {
+		t.Error("mismatched -runs accepted")
+	}
+	if _, err := LoadProgress(path, Config{Runs: 2, Generations: 9}); err == nil {
+		t.Error("mismatched -gens accepted")
+	}
+}
+
+func TestSetSaveEveryHoldsBackPersist(t *testing.T) {
+	cfg := Config{Runs: 1, Generations: 1}
+	path := filepath.Join(t.TempDir(), "progress.json")
+	p := NewProgress(path, cfg)
+	p.SetSaveEvery(3)
+	if err := p.Record("fig1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Record("fig2", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two records held back: nothing on disk yet.
+	if loaded, err := LoadProgress(path, cfg); err != nil || loaded.CompletedCount() != 0 {
+		t.Fatalf("before flush: count=%d err=%v, want empty file", loaded.CompletedCount(), err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadProgress(path, cfg)
+	if err != nil || loaded.CompletedCount() != 2 {
+		t.Fatalf("after flush: count=%d err=%v, want 2", loaded.CompletedCount(), err)
+	}
+}
+
+// TestRunResumableSkipsCompleted uses a tiny real figure run to prove a
+// resumed invocation replays stored tables without recomputing them, and
+// that cancellation stops before the next figure.
+func TestRunResumableSkipsCompleted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two real figures")
+	}
+	cfg := Config{Runs: 1, Generations: 2, Parallelism: 2}
+	names := []string{"fig4", "fig5"}
+	path := filepath.Join(t.TempDir(), "progress.json")
+
+	prog := NewProgress(path, cfg)
+	want, err := RunResumable(context.Background(), cfg, names, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.CompletedCount() != 2 {
+		t.Fatalf("completed %d figures, want 2", prog.CompletedCount())
+	}
+
+	// Resume with everything done: tables come back identical from the file.
+	prog2, err := LoadProgress(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunResumable(context.Background(), cfg, names, prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("replayed tables differ from the original run")
+	}
+
+	// A canceled context still replays completed figures but refuses to
+	// start new work, wrapping the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := RunResumable(ctx, cfg, []string{"fig4", "fig6"}, prog2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if len(partial) == 0 {
+		t.Error("completed figure was not replayed under a canceled context")
+	}
+}

@@ -16,6 +16,7 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -89,6 +90,22 @@ type Config struct {
 	// identical with telemetry on or off. The recorder must be safe for
 	// concurrent use when Parallelism > 1.
 	Recorder telemetry.Recorder
+	// Checkpoint, when non-nil, receives a full resumable Snapshot of the
+	// run at generation boundaries: every CheckpointEvery generations, and
+	// once more when the run context is canceled (after the evaluation pool
+	// has drained). A Checkpoint error aborts the run. Checkpointing never
+	// draws from the run RNG, so results are byte-identical with it on or
+	// off.
+	Checkpoint func(*Snapshot) error
+	// CheckpointEvery is the generation cadence for Checkpoint calls
+	// (default 1 = every generation boundary). Ignored when Checkpoint is
+	// nil.
+	CheckpointEvery int
+	// Resume, when non-nil, starts the run from a Snapshot previously
+	// produced by Checkpoint instead of generation 0. The snapshot's seed
+	// and population size must match the configuration; the resumed run's
+	// Result is byte-identical to an uninterrupted run's.
+	Resume *Snapshot
 }
 
 // withDefaults returns cfg with zero fields replaced by paper defaults.
@@ -119,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
 	}
 	if c.Recorder == nil {
 		c.Recorder = telemetry.Nop
@@ -158,6 +178,9 @@ func (c Config) validate() error {
 	}
 	if c.Parallelism < 1 {
 		return fmt.Errorf("ga: parallelism %d < 1", c.Parallelism)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("ga: checkpoint interval %d < 0", c.CheckpointEvery)
 	}
 	return nil
 }
@@ -232,6 +255,11 @@ type Result struct {
 	// Converged reports whether the run stopped early via
 	// Config.ConvergenceWindow.
 	Converged bool
+	// Interrupted reports that the run context was canceled before the
+	// search finished: the evaluation pool drained, a final checkpoint was
+	// written (when configured), and the fields above describe the search
+	// up to the last completed generation.
+	Interrupted bool
 	// Cache is the run's evaluation-cache accounting (distinct, total,
 	// hits, hit rate). Deterministic in (Seed, Config, Strategy,
 	// evaluator) like every other Result field.
@@ -270,6 +298,17 @@ type Engine struct {
 // wraps it in a distinct-evaluation-counting cache per run. strategy nil
 // selects the unguided Baseline.
 func New(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg Config, strategy Strategy) (*Engine, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("ga: nil space or evaluator")
+	}
+	return NewContext(space, obj, dataset.AdaptContext(eval), cfg, strategy)
+}
+
+// NewContext is New for a context-aware evaluator: the run context reaches
+// each evaluation through the cache's singleflight path, so supervised
+// evaluators (internal/resilience) can honor per-evaluation deadlines and
+// run-level cancellation.
+func NewContext(space *param.Space, obj metrics.Objective, eval dataset.ContextEvaluator, cfg Config, strategy Strategy) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -280,7 +319,7 @@ func New(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg 
 	if strategy == nil {
 		strategy = Baseline{Space: space}
 	}
-	cache := dataset.NewCache(space, eval)
+	cache := dataset.NewCacheContext(space, eval)
 	cache.SetRecorder(cfg.Recorder)
 	return &Engine{
 		space:    space,
@@ -306,35 +345,104 @@ type individual struct {
 }
 
 // Run executes one full GA search and returns its result. The engine's
-// evaluation cache persists across Run calls only if reset is false;
-// the paper's experiments use fresh caches per run.
+// evaluation cache is reset per run; the paper's experiments use fresh
+// caches per run.
 func (e *Engine) Run() Result {
-	e.cache.Reset()
-	r := rand.New(rand.NewSource(e.cfg.Seed))
-
-	pop := make([]individual, e.cfg.PopulationSize)
-	for i := range pop {
-		pop[i].genome = e.space.Random(r)
+	res, err := e.RunContext(context.Background())
+	if err != nil {
+		// Without Checkpoint or Resume configured, RunContext cannot fail;
+		// misconfigured resume state is a programming error here.
+		panic(err)
 	}
+	return res
+}
+
+// RunContext is Run under a context. Cancellation stops the search at the
+// nearest generation boundary: in-flight evaluations drain, a final
+// checkpoint is written when Config.Checkpoint is set, and the partial
+// result comes back with Interrupted set. The only error sources are a
+// failing Checkpoint call and an invalid Resume snapshot.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
+	src := newCountingSource(e.cfg.Seed)
+	r := rand.New(src)
 
 	best := individual{fitness: math.Inf(-1), value: e.obj.Worst()}
+	var pop []individual
 	var trajectory []GenPoint
 	converged := false
+	interrupted := false
 	stale := 0
 	prevBest := math.Inf(-1)
+	startGen := 0
+
+	if snap := e.cfg.Resume; snap != nil {
+		if err := e.validateResume(snap); err != nil {
+			return Result{}, err
+		}
+		if err := e.cache.Restore(snap.Cache); err != nil {
+			return Result{}, err
+		}
+		src.fastForward(snap.Draws)
+		pop = make([]individual, len(snap.Population))
+		for i, g := range snap.Population {
+			pop[i].genome = g.Clone()
+		}
+		if snap.Best != nil {
+			best = individual{
+				genome:  snap.Best.Clone(),
+				fitness: snap.BestFitness,
+				value:   snap.BestValue,
+				ok:      true,
+			}
+		}
+		trajectory = append(trajectory, snap.Trajectory...)
+		stale = snap.Stale
+		prevBest = snap.PrevBest
+		startGen = snap.Generation
+	} else {
+		e.cache.Reset()
+		pop = make([]individual, e.cfg.PopulationSize)
+		for i := range pop {
+			pop[i].genome = e.space.Random(r)
+		}
+	}
 
 	// Telemetry is observational only: wall-clock timing and the
 	// per-generation record are built solely when a live recorder asks for
 	// them, and nothing here touches r, so runs are byte-identical with
 	// telemetry on or off.
 	recording := e.rec.Enabled()
+	checkpointing := e.cfg.Checkpoint != nil
 
-	for gen := 0; gen <= e.cfg.Generations; gen++ {
+	// boundary is the resumable state at the start of the generation being
+	// evaluated; on cancellation it becomes the final checkpoint, so a kill
+	// mid-generation loses no completed work.
+	var boundary *Snapshot
+
+	for gen := startGen; gen <= e.cfg.Generations; gen++ {
+		if checkpointing {
+			boundary = e.snapshot(gen, src.draws, pop, best, stale, prevBest, trajectory)
+			if gen != startGen && gen%e.cfg.CheckpointEvery == 0 {
+				if err := e.cfg.Checkpoint(boundary); err != nil {
+					return Result{}, fmt.Errorf("ga: checkpoint at generation %d: %w", gen, err)
+				}
+			}
+		}
 		var genStart time.Time
 		if recording {
 			genStart = time.Now()
 		}
-		e.evaluate(gen, pop)
+		if err := e.evaluate(ctx, gen, pop); err != nil {
+			// Canceled mid-generation: the pool has drained; discard the
+			// partially evaluated generation and checkpoint its boundary.
+			interrupted = true
+			if checkpointing {
+				if cerr := e.cfg.Checkpoint(boundary); cerr != nil {
+					return Result{}, fmt.Errorf("ga: final checkpoint at generation %d: %w", gen, cerr)
+				}
+			}
+			break
+		}
 		for _, ind := range pop {
 			if ind.fitness > best.fitness {
 				best = ind
@@ -395,6 +503,7 @@ func (e *Engine) Run() Result {
 		Trajectory:    trajectory,
 		DistinctEvals: e.cache.DistinctEvaluations(),
 		Converged:     converged,
+		Interrupted:   interrupted,
 		Cache:         e.cache.Stats(),
 	}
 	if best.ok {
@@ -402,7 +511,29 @@ func (e *Engine) Run() Result {
 	} else {
 		res.BestValue = e.obj.Worst()
 	}
-	return res
+	return res, nil
+}
+
+// snapshot captures the resumable state at the start of generation gen,
+// before its population is evaluated.
+func (e *Engine) snapshot(gen int, draws int64, pop []individual, best individual,
+	stale int, prevBest float64, trajectory []GenPoint) *Snapshot {
+	snap := &Snapshot{
+		Seed:       e.cfg.Seed,
+		Generation: gen,
+		Draws:      draws,
+		Population: clonePoints(pop),
+		Stale:      stale,
+		PrevBest:   prevBest,
+		Trajectory: append([]GenPoint(nil), trajectory...),
+		Cache:      e.cache.Export(),
+	}
+	if best.ok {
+		snap.Best = best.genome.Clone()
+		snap.BestFitness = best.fitness
+		snap.BestValue = best.value
+	}
+	return snap
 }
 
 // uniqueGenomes counts distinct genomes in the population. It runs after
@@ -423,14 +554,16 @@ func (e *Engine) uniqueGenomes(pop []individual) int {
 // evaluate fills in fitness for the population - on a fixed set of
 // Parallelism workers when configured. Results land per individual, and the
 // cache deduplicates concurrent requests for the same genome, so the
-// outcome is identical at any parallelism level.
-func (e *Engine) evaluate(gen int, pop []individual) {
+// outcome is identical at any parallelism level. A non-nil error means ctx
+// was canceled: the workers drained, but the generation is incomplete and
+// must be discarded.
+func (e *Engine) evaluate(ctx context.Context, gen int, pop []individual) error {
 	eval := func(i int) {
 		ind := &pop[i]
 		if ind.key == "" {
 			ind.key = e.space.Key(ind.genome)
 		}
-		m, err := e.cache.EvaluateKeyed(ind.key, ind.genome)
+		m, err := e.cache.EvaluateKeyedCtx(ctx, ind.key, ind.genome)
 		if err != nil {
 			ind.fitness = math.Inf(-1)
 			ind.value = e.obj.Worst()
@@ -449,7 +582,7 @@ func (e *Engine) evaluate(gen int, pop []individual) {
 			Fitness:    ind.fitness,
 		})
 	}
-	pool.EachRec(e.cfg.Parallelism, len(pop), eval, e.rec)
+	return pool.EachRecCtx(ctx, e.cfg.Parallelism, len(pop), eval, e.rec)
 }
 
 // nextGeneration breeds the following population: elites first, then

@@ -1,0 +1,125 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/param"
+)
+
+// countingSource wraps the run's random source and counts every draw. The
+// count is the serializable form of the generator's state: math/rand's
+// source advances exactly one step per Int63 or Uint64 call, so a resumed
+// run rebuilds the source from the seed and fast-forwards the same number
+// of steps to land on a bit-identical stream. Not safe for concurrent use -
+// the engine only draws from the single breeding goroutine, never from
+// evaluation workers.
+type countingSource struct {
+	src   rand.Source64
+	draws int64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// fastForward advances the source to the given draw count.
+func (s *countingSource) fastForward(draws int64) {
+	for s.draws < draws {
+		s.draws++
+		s.src.Uint64()
+	}
+}
+
+// Snapshot is the complete resumable state of a GA run at a generation
+// boundary: everything needed to continue the search and reproduce the
+// uninterrupted run's Result byte for byte. Guidance importance decay is
+// derived from Generation, and the run RNG is reconstructed from
+// (Seed, Draws), so neither needs explicit state.
+//
+// Snapshots are taken at the *start* of Generation, before its population
+// is evaluated: resuming re-evaluates that population against the restored
+// cache, so a mid-generation crash costs at most one generation of cache
+// misses and never skews the distinct-evaluation accounting.
+type Snapshot struct {
+	// Seed is the run seed the snapshot belongs to; resuming under a
+	// different seed is rejected.
+	Seed int64
+	// Generation is the next generation to evaluate (0-based).
+	Generation int
+	// Draws is the number of RNG draws consumed so far.
+	Draws int64
+	// Population holds the generation's genomes (not yet evaluated).
+	Population []param.Point
+	// Best is the best feasible genome so far (nil when none).
+	Best        param.Point
+	BestFitness float64
+	BestValue   float64
+	// Stale and PrevBest carry the convergence-window state.
+	Stale    int
+	PrevBest float64
+	// Trajectory holds the per-generation records accumulated so far.
+	Trajectory []GenPoint
+	// Cache is the memoized evaluation state and its counters.
+	Cache dataset.CacheSnapshot
+}
+
+// clonePoints deep-copies a population's genomes.
+func clonePoints(pop []individual) []param.Point {
+	out := make([]param.Point, len(pop))
+	for i := range pop {
+		out[i] = pop[i].genome.Clone()
+	}
+	return out
+}
+
+// validateResume checks a snapshot against the engine's configuration and
+// space before any state is restored.
+func (e *Engine) validateResume(snap *Snapshot) error {
+	if snap.Seed != e.cfg.Seed {
+		return fmt.Errorf("ga: resume snapshot was taken with seed %d, run configured with seed %d",
+			snap.Seed, e.cfg.Seed)
+	}
+	if len(snap.Population) != e.cfg.PopulationSize {
+		return fmt.Errorf("ga: resume snapshot has population %d, run configured with %d",
+			len(snap.Population), e.cfg.PopulationSize)
+	}
+	if snap.Generation < 0 || snap.Generation > e.cfg.Generations {
+		return fmt.Errorf("ga: resume snapshot at generation %d outside run's [0,%d]",
+			snap.Generation, e.cfg.Generations)
+	}
+	if snap.Draws < 0 {
+		return fmt.Errorf("ga: resume snapshot has negative RNG draw count %d", snap.Draws)
+	}
+	for i, g := range snap.Population {
+		if err := e.space.Validate(g); err != nil {
+			return fmt.Errorf("ga: resume snapshot genome %d: %w", i, err)
+		}
+	}
+	if snap.Best != nil {
+		if err := e.space.Validate(snap.Best); err != nil {
+			return fmt.Errorf("ga: resume snapshot best genome: %w", err)
+		}
+		if math.IsNaN(snap.BestFitness) {
+			return fmt.Errorf("ga: resume snapshot best fitness is NaN")
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package pool
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -91,6 +92,71 @@ func MapRec[T any](parallelism, n int, fn func(i int) (T, error), rec telemetry.
 		}
 	}
 	return out, nil
+}
+
+// EachCtx is Each under a context: workers stop claiming new indices once
+// ctx is canceled, in-flight calls run to completion (the pool fully
+// drains), and the context's error is returned whenever it was canceled -
+// even when every index had already been claimed, because in-flight calls
+// may have observed the canceled context and produced void results. A nil
+// error therefore guarantees every index ran under a live context.
+func EachCtx(ctx context.Context, parallelism, n int, fn func(i int)) error {
+	return EachRecCtx(ctx, parallelism, n, fn, nil)
+}
+
+// EachRecCtx is EachCtx with scheduling telemetry, mirroring MapRec.
+//
+// Cancellation is a claim barrier, not a preemption: fn itself observes ctx
+// only if its closure captures it. Workers always drain - after EachRecCtx
+// returns, no pool goroutine remains, which is what makes mid-run timeout
+// storms safe (see the drain test).
+func EachRecCtx(ctx context.Context, parallelism, n int, fn func(i int), rec telemetry.Recorder) error {
+	rec = telemetry.OrNop(rec)
+	if n == 0 {
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerBusy, Worker: 0})
+		defer rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerIdle, Worker: 0})
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+			rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolTask, Worker: 0})
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerBusy, Worker: w})
+			defer rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolWorkerIdle, Worker: w})
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+				rec.RecordPool(telemetry.PoolRecord{Event: telemetry.PoolTask, Worker: w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Checked after the drain, not via a worker-observed flag: a cancel that
+	// lands once every index is claimed is still a cancel - the in-flight
+	// calls may have seen the dead context, so their results cannot be
+	// trusted as a completed batch.
+	return ctx.Err()
 }
 
 // Each runs fn(i) for every i in [0,n) using at most parallelism concurrent

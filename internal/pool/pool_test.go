@@ -1,8 +1,10 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -124,4 +126,81 @@ func TestEach(t *testing.T) {
 		}
 	}
 	Each(4, 0, func(i int) { t.Error("fn called for n=0") })
+}
+
+// TestEachCtxRunsAll proves the ctx variant is a drop-in Each when the
+// context never cancels.
+func TestEachCtxRunsAll(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		var ran atomic.Int64
+		if err := EachCtx(context.Background(), par, 200, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if ran.Load() != 200 {
+			t.Fatalf("par=%d: ran %d of 200", par, ran.Load())
+		}
+	}
+}
+
+// TestEachCtxCancelDrainsWorkers cancels a pool mid-run under a timeout
+// storm (every task blocks until cancellation) and proves that (a) EachCtx
+// returns only after every in-flight task finished, and (b) no pool worker
+// goroutine survives the call - the mid-run-timeout leak the supervisor
+// relies on never happening.
+func TestEachCtxCancelDrainsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		const par = 8
+		var started, finished atomic.Int64
+		err := EachCtx(ctx, par, 1000, func(i int) {
+			started.Add(1)
+			if started.Load() == par {
+				cancel() // storm: cancel once the pool is saturated
+			}
+			<-ctx.Done() // every in-flight task blocks until cancellation
+			finished.Add(1)
+		})
+		cancel()
+		if err == nil {
+			t.Fatalf("round %d: want context error after cancellation", round)
+		}
+		if s, f := started.Load(), finished.Load(); s != f {
+			t.Fatalf("round %d: %d tasks started but only %d finished before return", round, s, f)
+		}
+		if s := started.Load(); s >= 1000 {
+			t.Fatalf("round %d: cancellation did not stop index claiming (%d claimed)", round, s)
+		}
+	}
+	// Workers must be gone; allow the runtime a moment to retire them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation storms",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEachCtxSequentialCancel covers the parallelism<=1 inline path.
+func TestEachCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int
+	err := EachCtx(ctx, 1, 100, func(i int) {
+		ran++
+		if ran == 7 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 7 {
+		t.Fatalf("ran %d tasks after cancel at 7", ran)
+	}
 }

@@ -1,0 +1,324 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/telemetry"
+)
+
+// CheckpointVersion is the on-disk checkpoint schema version; Load rejects
+// files written by an incompatible schema.
+const CheckpointVersion = 1
+
+// jfloat is a float64 that survives JSON: IEEE specials (which appear
+// legitimately in GA state - e.g. a trajectory's best value before any
+// feasible point) are encoded as quoted strings.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jfloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = jfloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("bad float %s", b)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("bad float %q", s)
+	}
+	*f = jfloat(v)
+	return nil
+}
+
+// The serialized checkpoint schema. Design points are stored by canonical
+// key (param.Space.Key), which survives parameter-value renumbering better
+// than raw indices and is validated on load.
+
+type checkpointJSON struct {
+	Version    int              `json:"version"`
+	SavedAt    string           `json:"saved_at,omitempty"` // informational only
+	Space      []spaceParamJSON `json:"space"`
+	Seed       int64            `json:"seed"`
+	Generation int              `json:"generation"`
+	Draws      int64            `json:"rng_draws"`
+	Population []string         `json:"population"`
+	Best       *bestJSON        `json:"best,omitempty"`
+	Stale      int              `json:"stale"`
+	PrevBest   jfloat           `json:"prev_best"`
+	Trajectory []trajJSON       `json:"trajectory"`
+	Cache      cacheJSON        `json:"cache"`
+}
+
+type spaceParamJSON struct {
+	Name string `json:"name"`
+	Card int    `json:"card"`
+}
+
+type bestJSON struct {
+	Key     string `json:"key"`
+	Fitness jfloat `json:"fitness"`
+	Value   jfloat `json:"value"`
+}
+
+type trajJSON struct {
+	Generation    int    `json:"gen"`
+	DistinctEvals int    `json:"distinct_evals"`
+	BestValue     jfloat `json:"best_value"`
+	UniqueGenomes int    `json:"unique_genomes"`
+}
+
+type cacheJSON struct {
+	Distinct  int64            `json:"distinct"`
+	Total     int64            `json:"total"`
+	Dedup     int64            `json:"dedup"`
+	Transient int64            `json:"transient"`
+	Entries   []cacheEntryJSON `json:"entries"`
+}
+
+type cacheEntryJSON struct {
+	Key     string            `json:"key"`
+	Metrics map[string]jfloat `json:"metrics,omitempty"`
+	Err     string            `json:"err,omitempty"`
+}
+
+// fingerprint summarizes the space for checkpoint validation: parameter
+// names and cardinalities in order.
+func fingerprint(space *param.Space) []spaceParamJSON {
+	fp := make([]spaceParamJSON, space.Len())
+	for i := 0; i < space.Len(); i++ {
+		fp[i] = spaceParamJSON{Name: space.Param(i).Name(), Card: space.Param(i).Card()}
+	}
+	return fp
+}
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory, fsyncs it, and renames it into place, so a crash mid-write
+// leaves either the previous checkpoint or the new one - never a torn file.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Save persists a GA snapshot to path atomically.
+func Save(path string, space *param.Space, snap *ga.Snapshot) error {
+	out := checkpointJSON{
+		Version:    CheckpointVersion,
+		SavedAt:    time.Now().UTC().Format(time.RFC3339),
+		Space:      fingerprint(space),
+		Seed:       snap.Seed,
+		Generation: snap.Generation,
+		Draws:      snap.Draws,
+		Stale:      snap.Stale,
+		PrevBest:   jfloat(snap.PrevBest),
+	}
+	out.Population = make([]string, len(snap.Population))
+	for i, g := range snap.Population {
+		out.Population[i] = space.Key(g)
+	}
+	if snap.Best != nil {
+		out.Best = &bestJSON{
+			Key:     space.Key(snap.Best),
+			Fitness: jfloat(snap.BestFitness),
+			Value:   jfloat(snap.BestValue),
+		}
+	}
+	out.Trajectory = make([]trajJSON, len(snap.Trajectory))
+	for i, gp := range snap.Trajectory {
+		out.Trajectory[i] = trajJSON{
+			Generation:    gp.Generation,
+			DistinctEvals: gp.DistinctEvals,
+			BestValue:     jfloat(gp.BestValue),
+			UniqueGenomes: gp.UniqueGenomes,
+		}
+	}
+	out.Cache = cacheJSON{
+		Distinct:  snap.Cache.Distinct,
+		Total:     snap.Cache.Total,
+		Dedup:     snap.Cache.Dedup,
+		Transient: snap.Cache.Transient,
+		Entries:   make([]cacheEntryJSON, len(snap.Cache.Entries)),
+	}
+	for i, e := range snap.Cache.Entries {
+		ej := cacheEntryJSON{Key: e.Key, Err: e.Err}
+		if e.Metrics != nil {
+			ej.Metrics = make(map[string]jfloat, len(e.Metrics))
+			for name, v := range e.Metrics {
+				ej.Metrics[name] = jfloat(v)
+			}
+		}
+		out.Cache.Entries[i] = ej
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return fmt.Errorf("resilience: encode checkpoint: %w", err)
+	}
+	if err := WriteFileAtomic(path, data); err != nil {
+		return fmt.Errorf("resilience: write checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save and rebinds it to the given
+// space, validating the schema version, the space fingerprint, and the
+// seed (pass the run's configured seed; a snapshot from a different seed
+// cannot resume that run).
+func Load(path string, space *param.Space, seed int64) (*ga.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read checkpoint: %w", err)
+	}
+	var in checkpointJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("resilience: decode checkpoint %s: %w", path, err)
+	}
+	if in.Version != CheckpointVersion {
+		return nil, fmt.Errorf("resilience: checkpoint %s has schema version %d, this build reads %d",
+			path, in.Version, CheckpointVersion)
+	}
+	want := fingerprint(space)
+	if len(in.Space) != len(want) {
+		return nil, fmt.Errorf("resilience: checkpoint %s was taken on a %d-parameter space, run has %d",
+			path, len(in.Space), len(want))
+	}
+	for i := range want {
+		if in.Space[i] != want[i] {
+			return nil, fmt.Errorf("resilience: checkpoint %s space mismatch at parameter %d: saved %s/%d, run has %s/%d",
+				path, i, in.Space[i].Name, in.Space[i].Card, want[i].Name, want[i].Card)
+		}
+	}
+	if in.Seed != seed {
+		return nil, fmt.Errorf("resilience: checkpoint %s was taken with seed %d, run configured with seed %d",
+			path, in.Seed, seed)
+	}
+
+	snap := &ga.Snapshot{
+		Seed:       in.Seed,
+		Generation: in.Generation,
+		Draws:      in.Draws,
+		Stale:      in.Stale,
+		PrevBest:   float64(in.PrevBest),
+	}
+	snap.Population = make([]param.Point, len(in.Population))
+	for i, key := range in.Population {
+		pt, err := space.ParseKey(key)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: checkpoint %s genome %d: %w", path, i, err)
+		}
+		snap.Population[i] = pt
+	}
+	if in.Best != nil {
+		pt, err := space.ParseKey(in.Best.Key)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: checkpoint %s best genome: %w", path, err)
+		}
+		snap.Best = pt
+		snap.BestFitness = float64(in.Best.Fitness)
+		snap.BestValue = float64(in.Best.Value)
+	}
+	snap.Trajectory = make([]ga.GenPoint, len(in.Trajectory))
+	for i, gp := range in.Trajectory {
+		snap.Trajectory[i] = ga.GenPoint{
+			Generation:    gp.Generation,
+			DistinctEvals: gp.DistinctEvals,
+			BestValue:     float64(gp.BestValue),
+			UniqueGenomes: gp.UniqueGenomes,
+		}
+	}
+	snap.Cache = dataset.CacheSnapshot{
+		Distinct:  in.Cache.Distinct,
+		Total:     in.Cache.Total,
+		Dedup:     in.Cache.Dedup,
+		Transient: in.Cache.Transient,
+		Entries:   make([]dataset.CacheEntrySnapshot, len(in.Cache.Entries)),
+	}
+	for i, ej := range in.Cache.Entries {
+		if _, err := space.ParseKey(ej.Key); err != nil {
+			return nil, fmt.Errorf("resilience: checkpoint %s cache entry %d: %w", path, i, err)
+		}
+		es := dataset.CacheEntrySnapshot{Key: ej.Key, Err: ej.Err}
+		if ej.Metrics != nil {
+			es.Metrics = make(metrics.Metrics, len(ej.Metrics))
+			for name, v := range ej.Metrics {
+				es.Metrics[name] = float64(v)
+			}
+		}
+		snap.Cache.Entries[i] = es
+	}
+	return snap, nil
+}
+
+// Saver binds a checkpoint path to a space and measures every write, the
+// ready-made ga.Config.Checkpoint implementation for the cmd tools.
+type Saver struct {
+	path   string
+	space  *param.Space
+	count  *telemetry.Counter
+	millis *telemetry.Histogram
+}
+
+// NewSaver builds a Saver writing to path. reg receives checkpoint count
+// and latency metrics; nil uses a private registry.
+func NewSaver(path string, space *param.Space, reg *telemetry.Registry) *Saver {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &Saver{
+		path:   path,
+		space:  space,
+		count:  reg.Counter(MetricCheckpoints),
+		millis: reg.Histogram(MetricCheckpointMS, checkpointMillisBounds),
+	}
+}
+
+// Save implements ga.Config.Checkpoint.
+func (s *Saver) Save(snap *ga.Snapshot) error {
+	start := time.Now()
+	if err := Save(s.path, s.space, snap); err != nil {
+		return err
+	}
+	s.count.Inc()
+	s.millis.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return nil
+}

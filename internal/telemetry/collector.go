@@ -22,6 +22,7 @@ const (
 	MetricCacheHits        = "cache.hits"
 	MetricCacheMisses      = "cache.misses"
 	MetricCacheDedups      = "cache.dedup_waits"
+	MetricCacheTransient   = "cache.transient_errors"
 	MetricPoolTasks        = "pool.tasks"
 	MetricPoolBusy         = "pool.workers_busy"
 	MetricPoolBusyMax      = "pool.workers_busy_max"
@@ -55,9 +56,10 @@ type Collector struct {
 	gateGuided   *Counter
 	gateUnguided *Counter
 
-	cacheHits   *Counter
-	cacheMisses *Counter
-	cacheDedups *Counter
+	cacheHits      *Counter
+	cacheMisses    *Counter
+	cacheDedups    *Counter
+	cacheTransient *Counter
 
 	poolTasks *Counter
 	poolBusy  *Gauge
@@ -88,6 +90,7 @@ func NewCollector(reg *Registry) *Collector {
 		cacheHits:      reg.Counter(MetricCacheHits),
 		cacheMisses:    reg.Counter(MetricCacheMisses),
 		cacheDedups:    reg.Counter(MetricCacheDedups),
+		cacheTransient: reg.Counter(MetricCacheTransient),
 		poolTasks:      reg.Counter(MetricPoolTasks),
 		poolBusy:       reg.Gauge(MetricPoolBusy),
 		poolMax:        reg.Gauge(MetricPoolBusyMax),
@@ -156,6 +159,8 @@ func (c *Collector) RecordCache(r CacheRecord) {
 		// per-shard counter lazily here keeps the hit/miss fast path
 		// allocation-free.
 		c.reg.Counter(fmt.Sprintf(dedupShardFmt, r.Shard)).Inc()
+	case CacheTransient:
+		c.cacheTransient.Inc()
 	}
 }
 
@@ -211,6 +216,21 @@ func (c *Collector) WriteSummary(w io.Writer) error {
 	if total := hits + misses + dedups; total > 0 {
 		fmt.Fprintf(w, "cache:        %d lookups: %d hits (%.1f%%), %d misses, %d deduped waits\n",
 			total, hits, 100*float64(hits)/float64(total), misses, dedups)
+	}
+	if transient := c.cacheTransient.Value(); transient > 0 {
+		fmt.Fprintf(w, "faults:       %d transient evaluation failures withdrawn from the cache\n", transient)
+	}
+	// Supervisor counters appear when a resilience policy shares this
+	// registry (referenced by name to keep telemetry independent of the
+	// resilience package; read through a snapshot so absent counters are
+	// not registered as zeros).
+	snap := c.reg.Snapshot()
+	retries := snap.Counters["resilience.retries"]
+	timeouts := snap.Counters["resilience.timeouts"]
+	quarantined := snap.Counters["resilience.quarantined"]
+	if retries+timeouts+quarantined > 0 {
+		fmt.Fprintf(w, "resilience:   %d retries, %d timeouts, %d points quarantined\n",
+			retries, timeouts, quarantined)
 	}
 
 	genePicks := c.hintCount(HintGeneImportance) + c.hintCount(HintGeneUniform)

@@ -133,6 +133,9 @@ const (
 	// CacheDedup: another goroutine is evaluating the same point; this
 	// lookup blocked on its result (singleflight wait).
 	CacheDedup = "dedup"
+	// CacheTransient: the owned evaluation ended in a transient error; the
+	// entry was withdrawn so the point stays re-evaluable (never memoized).
+	CacheTransient = "transient"
 )
 
 // CacheRecord reports one evaluation-cache lookup.
