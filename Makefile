@@ -3,13 +3,18 @@
 #   make check   tier-1 gate: build + vet + race-enabled tests
 #   make lint    static gate: go vet + gofmt formatting check
 #   make test    plain test run (fastest)
+#   make cover   coverage run with a total-statement-coverage floor
 #   make smoke   reduced-scale benchmark sweep -> BENCH_results.json
 #   make bench   Go micro/macro benchmarks with allocation counts
 #   make tables  regenerate every paper table (RESULTS.md to stdout)
 
 GO ?= go
 
-.PHONY: all check lint fmt build vet test race smoke bench tables clean
+# Total statement coverage must not drop below this floor (the tree sits
+# around 80%; the gap is headroom for new code, not license to delete tests).
+COVER_FLOOR ?= 75
+
+.PHONY: all check lint fmt build vet test race cover smoke bench tables clean
 
 all: check
 
@@ -37,6 +42,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total statement coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+	{ echo "coverage fell below the $(COVER_FLOOR)% floor"; exit 1; }
+
 # Reduced-scale end-to-end benchmark of representative figures; writes
 # BENCH_results.json (ns/op, allocs/op, cores) for commit-to-commit tracking.
 smoke:
@@ -50,4 +62,4 @@ tables:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_results.json
+	rm -f BENCH_results.json coverage.out

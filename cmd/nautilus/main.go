@@ -43,18 +43,12 @@ import (
 	"syscall"
 	"time"
 
+	"nautilus/internal/catalog"
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
-	"nautilus/internal/fft"
 	"nautilus/internal/ga"
-	"nautilus/internal/gemm"
-	"nautilus/internal/hintcal"
-	"nautilus/internal/metrics"
-	"nautilus/internal/noc"
-	"nautilus/internal/param"
 	"nautilus/internal/resilience"
 	"nautilus/internal/resilience/faulty"
-	"nautilus/internal/rtl"
 	"nautilus/internal/telemetry"
 )
 
@@ -158,78 +152,17 @@ func run(ctx context.Context) (int, error) {
 		return exitUsage, err
 	}
 
-	var (
-		space *param.Space
-		eval  dataset.Evaluator
-		lib   *core.Library
-		obj   metrics.Objective
-		// weights expresses the query for hint compilation (nil = plain
-		// metric objective).
-		weights map[string]float64
-	)
-
-	switch *ip {
-	case "noc":
-		s := noc.RouterSpace()
-		space = s
-		eval = func(pt param.Point) (metrics.Metrics, error) { return noc.RouterEvaluate(s, pt) }
-		// Non-expert hints, estimated from ~80 synthesized designs - the
-		// paper's NoC methodology.
-		var err error
-		lib, _, err = hintcal.Estimate(s, eval, []string{metrics.FmaxMHz, metrics.LUTs},
-			hintcal.Options{Budget: 80, Seed: 5})
-		if err != nil {
-			return exitFatal, err
-		}
-		switch *query {
-		case "max-frequency":
-			obj = metrics.MaximizeMetric(metrics.FmaxMHz)
-		case "min-luts":
-			obj = metrics.MinimizeMetric(metrics.LUTs)
-		case "min-area-delay":
-			obj = metrics.AreaDelayProduct()
-			weights = map[string]float64{metrics.LUTs: 1, metrics.FmaxMHz: -1}
-		default:
-			return exitUsage, fmt.Errorf("unknown noc query %q", *query)
-		}
-	case "fft":
-		s := fft.Space()
-		space = s
-		eval = func(pt param.Point) (metrics.Metrics, error) { return fft.Evaluate(s, pt) }
-		lib = fft.ExpertHints() // expert hints ship with the generator
-		switch *query {
-		case "min-luts":
-			obj = metrics.MinimizeMetric(metrics.LUTs)
-		case "max-throughput":
-			obj = metrics.MaximizeMetric(metrics.ThroughputMSPS)
-		case "max-throughput-per-lut":
-			obj = metrics.ThroughputPerLUT()
-			weights = map[string]float64{"throughput_per_lut": 1}
-		case "max-snr":
-			obj = metrics.MaximizeMetric(metrics.SNRdB)
-		default:
-			return exitUsage, fmt.Errorf("unknown fft query %q", *query)
-		}
-	case "gemm":
-		s := gemm.Space()
-		space = s
-		eval = func(pt param.Point) (metrics.Metrics, error) { return gemm.Evaluate(s, pt) }
-		lib = gemm.ExpertHints()
-		switch *query {
-		case "min-luts":
-			obj = metrics.MinimizeMetric(metrics.LUTs)
-		case "max-gmacs":
-			obj = metrics.MaximizeMetric(gemm.MetricGMACS)
-		case "max-gmacs-per-lut":
-			obj = metrics.MaximizeDerived(gemm.MetricEfficiency, metrics.Ratio(gemm.MetricGMACS, metrics.LUTs))
-			weights = map[string]float64{gemm.MetricEfficiency: 1}
-		default:
-			return exitUsage, fmt.Errorf("unknown gemm query %q", *query)
-		}
-	default:
-		return exitUsage, fmt.Errorf("unknown IP %q", *ip)
+	// The catalog resolves (ip, query) to the space, evaluator, default
+	// hint library, and objective - the same resolution nautserve performs,
+	// so a CLI run and a server session with equal settings are
+	// byte-identical searches.
+	entry, err := catalog.Lookup(*ip, *query)
+	if err != nil {
+		return exitUsage, err
 	}
+	space, eval, obj := entry.Space, entry.Eval, entry.Objective
 
+	lib := entry.Library
 	if *hintsIn != "" {
 		f, err := os.Open(*hintsIn)
 		if err != nil {
@@ -256,25 +189,13 @@ func run(ctx context.Context) (int, error) {
 		fmt.Printf("hint library written to %s\n", *hintsOut)
 	}
 
-	var guid *core.Guidance
-	switch *guidance {
-	case "baseline":
-	case "weak", "strong":
-		conf := 0.9
-		if *guidance == "weak" {
-			conf = 0.4
+	guid, err := entry.Guidance(*guidance, lib)
+	if err != nil {
+		if *guidance != catalog.GuidanceBaseline && *guidance != catalog.GuidanceWeak &&
+			*guidance != catalog.GuidanceStrong {
+			return exitUsage, err
 		}
-		var err error
-		if weights != nil {
-			guid, err = lib.Guidance(obj.Direction(), weights, conf)
-		} else {
-			guid, err = lib.GuidanceForObjective(obj, conf)
-		}
-		if err != nil {
-			return exitFatal, err
-		}
-	default:
-		return exitUsage, fmt.Errorf("unknown guidance level %q", *guidance)
+		return exitFatal, err
 	}
 
 	// Telemetry assembly: a collector backs the -summary report and the
@@ -400,15 +321,7 @@ func run(ctx context.Context) (int, error) {
 		res.Cache.Distinct, res.Cache.Total, 100*res.Cache.HitRate)
 
 	if *emitRTL != "" {
-		var design *rtl.Design
-		switch *ip {
-		case "noc":
-			design, err = noc.DecodeRouter(space, res.BestPoint).Verilog()
-		case "fft":
-			design, err = fft.Decode(space, res.BestPoint).Verilog()
-		case "gemm":
-			design, err = gemm.Decode(space, res.BestPoint).Verilog()
-		}
+		design, err := entry.RTL(res.BestPoint)
 		if err != nil {
 			return exitFatal, fmt.Errorf("emit RTL: %w", err)
 		}

@@ -1,0 +1,113 @@
+// Command nautserve runs the Nautilus search engine as a long-lived
+// service: a JSON HTTP API accepting search jobs, running them as
+// concurrent supervised sessions over a bounded, fairly shared evaluation
+// budget, with per-generation progress over SSE and live metrics under
+// /debug/.
+//
+// Sessions on the same IP share one process-wide evaluation cache, so
+// concurrent searches of one space pay for each distinct design point
+// once - while each session's own accounting (and result) stays
+// byte-identical to a solo nautilus CLI run of the same spec.
+//
+// SIGTERM/SIGINT drains gracefully: every in-flight session stops at its
+// next generation boundary and persists a resumable checkpoint; a restart
+// on the same -state-dir resumes all of them to the exact results they
+// would have reached uninterrupted.
+//
+// Exit codes: 0 after a clean drain, 1 on a fatal error, 2 on a usage
+// error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nautilus/internal/server"
+	"nautilus/internal/telemetry"
+)
+
+const (
+	exitOK    = 0
+	exitFatal = 1
+	exitUsage = 2
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nautserve:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("nautserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "address to listen on (host:port, :0 picks a free port)")
+	stateDir := fs.String("state-dir", "", "directory persisting session state across restarts (required)")
+	workers := fs.Int("workers", 0, "global evaluation budget shared across sessions (0 = GOMAXPROCS)")
+	maxSessions := fs.Int("max-sessions", 0, "maximum concurrently running sessions (0 = unlimited)")
+	checkpointEvery := fs.Int("checkpoint-every", 5, "checkpoint cadence in generations (drain always checkpoints)")
+	evalDelay := fs.Duration("eval-delay", 0, "artificial per-evaluation latency, simulating synthesis cost (testing)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain may take before forcing exit")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage, nil // flag package already printed the error
+	}
+	if *stateDir == "" {
+		fs.Usage()
+		return exitUsage, fmt.Errorf("-state-dir is required")
+	}
+	if fs.NArg() > 0 {
+		return exitUsage, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv, err := server.New(server.Options{
+		StateDir:        *stateDir,
+		Workers:         *workers,
+		MaxSessions:     *maxSessions,
+		CheckpointEvery: *checkpointEvery,
+		EvalDelay:       *evalDelay,
+		Registry:        telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return exitFatal, err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return exitFatal, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	// The bound address line is machine-read by tests driving -addr :0;
+	// keep its format stable.
+	fmt.Fprintf(out, "nautserve listening on %s\n", ln.Addr())
+	fmt.Fprintf(out, "nautserve state dir %s\n", *stateDir)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "nautserve received %s, draining\n", sig)
+	case err := <-serveErr:
+		return exitFatal, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	_ = hs.Shutdown(ctx)
+	if drainErr != nil {
+		return exitFatal, drainErr
+	}
+	fmt.Fprintln(out, "nautserve drained cleanly")
+	return exitOK, nil
+}

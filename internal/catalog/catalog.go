@@ -1,0 +1,241 @@
+// Package catalog is the registry of bundled IP generators and the
+// optimization queries each one answers. It is the single place where an
+// (ip, query) pair resolves to a design space, an evaluator, a default
+// hint library, and an objective, so every front end - the nautilus CLI,
+// the nautserve daemon, and tests - drives byte-identical searches from
+// the same specification.
+//
+// Per-IP state (the space, the evaluator, and the default hint library -
+// including the NoC's estimated non-expert hints, which cost ~80
+// characterizations to calibrate) is built once per process and shared,
+// which is what a long-lived server multiplexing many sessions over the
+// same spaces needs.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nautilus/internal/core"
+	"nautilus/internal/dataset"
+	"nautilus/internal/fft"
+	"nautilus/internal/gemm"
+	"nautilus/internal/hintcal"
+	"nautilus/internal/metrics"
+	"nautilus/internal/noc"
+	"nautilus/internal/param"
+	"nautilus/internal/rtl"
+)
+
+// Guidance levels every front end accepts. Weak and strong differ only in
+// the confidence hint, per the paper's evaluation setup.
+const (
+	GuidanceBaseline = "baseline"
+	GuidanceWeak     = "weak"
+	GuidanceStrong   = "strong"
+
+	weakConfidence   = 0.4
+	strongConfidence = 0.9
+)
+
+// Entry is one resolved (ip, query) pair: everything a search needs.
+type Entry struct {
+	// IP and Query name the entry (e.g. "fft", "min-luts").
+	IP    string
+	Query string
+	// Space is the IP's design space; one instance is shared per process.
+	Space *param.Space
+	// Eval characterizes one design point. Deterministic and safe for
+	// concurrent use.
+	Eval dataset.Evaluator
+	// Library is the IP's default hint library (expert hints, or the NoC's
+	// estimated non-expert hints).
+	Library *core.Library
+	// Objective is the query's optimization goal.
+	Objective metrics.Objective
+	// Weights expresses composite queries for hint compilation; nil means
+	// the plain single-metric objective.
+	Weights map[string]float64
+
+	rtl func(pt param.Point) (*rtl.Design, error)
+}
+
+// ipState is the memoized per-IP half of an entry.
+type ipState struct {
+	once  sync.Once
+	space *param.Space
+	eval  dataset.Evaluator
+	lib   *core.Library
+	rtl   func(space *param.Space, pt param.Point) (*rtl.Design, error)
+	err   error
+}
+
+var ipStates = map[string]*ipState{
+	"noc":  {},
+	"fft":  {},
+	"gemm": {},
+}
+
+// build resolves the per-IP state on first use.
+func (st *ipState) build(ip string) {
+	switch ip {
+	case "noc":
+		s := noc.RouterSpace()
+		st.space = s
+		st.eval = func(pt param.Point) (metrics.Metrics, error) { return noc.RouterEvaluate(s, pt) }
+		// Non-expert hints, estimated from ~80 synthesized designs - the
+		// paper's NoC methodology.
+		st.lib, _, st.err = hintcal.Estimate(s, st.eval, []string{metrics.FmaxMHz, metrics.LUTs},
+			hintcal.Options{Budget: 80, Seed: 5})
+		st.rtl = func(space *param.Space, pt param.Point) (*rtl.Design, error) {
+			return noc.DecodeRouter(space, pt).Verilog()
+		}
+	case "fft":
+		s := fft.Space()
+		st.space = s
+		st.eval = func(pt param.Point) (metrics.Metrics, error) { return fft.Evaluate(s, pt) }
+		st.lib = fft.ExpertHints() // expert hints ship with the generator
+		st.rtl = func(space *param.Space, pt param.Point) (*rtl.Design, error) {
+			return fft.Decode(space, pt).Verilog()
+		}
+	case "gemm":
+		s := gemm.Space()
+		st.space = s
+		st.eval = func(pt param.Point) (metrics.Metrics, error) { return gemm.Evaluate(s, pt) }
+		st.lib = gemm.ExpertHints()
+		st.rtl = func(space *param.Space, pt param.Point) (*rtl.Design, error) {
+			return gemm.Decode(space, pt).Verilog()
+		}
+	}
+}
+
+// queries maps each IP to its query constructors. Objectives are stateless,
+// so constructing one per lookup is free.
+var queries = map[string]map[string]func() (metrics.Objective, map[string]float64){
+	"noc": {
+		"max-frequency": func() (metrics.Objective, map[string]float64) {
+			return metrics.MaximizeMetric(metrics.FmaxMHz), nil
+		},
+		"min-luts": func() (metrics.Objective, map[string]float64) {
+			return metrics.MinimizeMetric(metrics.LUTs), nil
+		},
+		"min-area-delay": func() (metrics.Objective, map[string]float64) {
+			return metrics.AreaDelayProduct(), map[string]float64{metrics.LUTs: 1, metrics.FmaxMHz: -1}
+		},
+	},
+	"fft": {
+		"min-luts": func() (metrics.Objective, map[string]float64) {
+			return metrics.MinimizeMetric(metrics.LUTs), nil
+		},
+		"max-throughput": func() (metrics.Objective, map[string]float64) {
+			return metrics.MaximizeMetric(metrics.ThroughputMSPS), nil
+		},
+		"max-throughput-per-lut": func() (metrics.Objective, map[string]float64) {
+			return metrics.ThroughputPerLUT(), map[string]float64{"throughput_per_lut": 1}
+		},
+		"max-snr": func() (metrics.Objective, map[string]float64) {
+			return metrics.MaximizeMetric(metrics.SNRdB), nil
+		},
+	},
+	"gemm": {
+		"min-luts": func() (metrics.Objective, map[string]float64) {
+			return metrics.MinimizeMetric(metrics.LUTs), nil
+		},
+		"max-gmacs": func() (metrics.Objective, map[string]float64) {
+			return metrics.MaximizeMetric(gemm.MetricGMACS), nil
+		},
+		"max-gmacs-per-lut": func() (metrics.Objective, map[string]float64) {
+			return metrics.MaximizeDerived(gemm.MetricEfficiency, metrics.Ratio(gemm.MetricGMACS, metrics.LUTs)),
+				map[string]float64{gemm.MetricEfficiency: 1}
+		},
+	},
+}
+
+// IPs returns the bundled IP names, sorted.
+func IPs() []string {
+	out := make([]string, 0, len(queries))
+	for ip := range queries {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Queries returns the query names the named IP answers, sorted.
+func Queries(ip string) ([]string, error) {
+	qs, ok := queries[ip]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown IP %q (have %v)", ip, IPs())
+	}
+	out := make([]string, 0, len(qs))
+	for q := range qs {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// GuidanceLevels returns the accepted guidance level names.
+func GuidanceLevels() []string {
+	return []string{GuidanceBaseline, GuidanceWeak, GuidanceStrong}
+}
+
+// Lookup resolves an (ip, query) pair. The per-IP space, evaluator, and
+// default hint library are built once per process and shared across
+// entries, so concurrent sessions over the same IP see one space instance.
+func Lookup(ip, query string) (*Entry, error) {
+	st, ok := ipStates[ip]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown IP %q (have %v)", ip, IPs())
+	}
+	qf, ok := queries[ip][query]
+	if !ok {
+		qs, _ := Queries(ip)
+		return nil, fmt.Errorf("catalog: unknown %s query %q (have %v)", ip, query, qs)
+	}
+	st.once.Do(func() { st.build(ip) })
+	if st.err != nil {
+		return nil, fmt.Errorf("catalog: build %s: %w", ip, st.err)
+	}
+	obj, weights := qf()
+	return &Entry{
+		IP:        ip,
+		Query:     query,
+		Space:     st.space,
+		Eval:      st.eval,
+		Library:   st.lib,
+		Objective: obj,
+		Weights:   weights,
+		rtl:       func(pt param.Point) (*rtl.Design, error) { return st.rtl(st.space, pt) },
+	}, nil
+}
+
+// Guidance compiles the guidance for the entry at the named level
+// (baseline returns nil). lib overrides the entry's default hint library
+// when non-nil (e.g. a user-supplied hints file).
+func (e *Entry) Guidance(level string, lib *core.Library) (*core.Guidance, error) {
+	if lib == nil {
+		lib = e.Library
+	}
+	switch level {
+	case GuidanceBaseline:
+		return nil, nil
+	case GuidanceWeak, GuidanceStrong:
+		conf := strongConfidence
+		if level == GuidanceWeak {
+			conf = weakConfidence
+		}
+		if e.Weights != nil {
+			return lib.Guidance(e.Objective.Direction(), e.Weights, conf)
+		}
+		return lib.GuidanceForObjective(e.Objective, conf)
+	default:
+		return nil, fmt.Errorf("catalog: unknown guidance level %q (have %v)", level, GuidanceLevels())
+	}
+}
+
+// RTL emits the Verilog design for a point of the entry's space.
+func (e *Entry) RTL(pt param.Point) (*rtl.Design, error) {
+	return e.rtl(pt)
+}

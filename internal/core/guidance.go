@@ -68,6 +68,9 @@ func (g *Guidance) Confidence() float64 { return g.confidence }
 // guided" configurations.
 func (g *Guidance) WithConfidence(c float64) *Guidance {
 	out := *g
+	if math.IsNaN(c) {
+		c = 0 // NaN trust is no trust; clamp would pass NaN through
+	}
 	out.confidence = clamp(c, 0, 1)
 	return &out
 }

@@ -88,10 +88,12 @@ func (h *HintSet) paramIndex(name string) int {
 // SetImportance declares how strongly the named parameter affects the
 // metric (1..100), with an optional decay rate (0..1) toward neutrality.
 func (h *HintSet) SetImportance(name string, importance, decay float64) *HintSet {
-	if importance < 1 || importance > 100 {
+	// Negated-range form so NaN (which fails every comparison) is rejected
+	// rather than slipping through and poisoning the compiled weights.
+	if !(importance >= 1 && importance <= 100) {
 		panic(fmt.Sprintf("core: importance %v for %q outside [1,100]", importance, name))
 	}
-	if decay < 0 || decay > 1 {
+	if !(decay >= 0 && decay <= 1) {
 		panic(fmt.Sprintf("core: importance decay %v for %q outside [0,1]", decay, name))
 	}
 	i := h.paramIndex(name)
@@ -104,7 +106,7 @@ func (h *HintSet) SetImportance(name string, importance, decay float64) *HintSet
 // parameter and the metric. The parameter must have a numeric axis (be
 // ordered, or have an ordering hint installed first via SetOrder).
 func (h *HintSet) SetBias(name string, bias float64) *HintSet {
-	if bias < -1 || bias > 1 {
+	if !(bias >= -1 && bias <= 1) { // negated form rejects NaN too
 		panic(fmt.Sprintf("core: bias %v for %q outside [-1,1]", bias, name))
 	}
 	i := h.paramIndex(name)
@@ -121,6 +123,9 @@ func (h *HintSet) SetBias(name string, bias float64) *HintSet {
 // SetTarget declares that good solutions cluster near the given value on
 // the named parameter's numeric axis.
 func (h *HintSet) SetTarget(name string, target float64) *HintSet {
+	if math.IsNaN(target) || math.IsInf(target, 0) {
+		panic(fmt.Sprintf("core: target %v for %q is not finite", target, name))
+	}
 	i := h.paramIndex(name)
 	if h.hints[i].Bias != 0 {
 		panic(fmt.Sprintf("core: parameter %q already has a bias hint (bias and target are mutually exclusive)", name))
@@ -257,7 +262,7 @@ func (l *Library) Metrics() []string {
 // hint sets are ignored; if none of the weighted metrics have hints the
 // Guidance degenerates to baseline behaviour.
 func (l *Library) Guidance(dir metrics.Direction, weights map[string]float64, confidence float64) (*Guidance, error) {
-	if confidence < 0 || confidence > 1 {
+	if !(confidence >= 0 && confidence <= 1) { // negated form rejects NaN too
 		return nil, fmt.Errorf("core: confidence %v outside [0,1]", confidence)
 	}
 	g := newGuidance(l.space, confidence)

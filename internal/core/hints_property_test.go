@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nautilus/internal/metrics"
+)
+
+// Property-based checks for the hint validation contract: every documented
+// range (importance 1..100, decay 0..1, bias -1..1, confidence 0..1) is
+// enforced for ALL float64 inputs - including NaN and the infinities, which
+// plain `v < lo || v > hi` comparisons silently accept - and the clamping
+// paths are idempotent.
+
+// hintPropRuns is deliberately high: the generator below mixes boundary
+// values, near-boundary ULPs, and non-finite floats, so each run is cheap
+// and the extra iterations buy real edge coverage.
+const hintPropRuns = 2000
+
+// drawRangeFloat produces floats concentrated where range validation can go
+// wrong: exact boundaries, one ULP either side of them, small in-range and
+// out-of-range magnitudes, huge magnitudes, and non-finite values.
+func drawRangeFloat(r *rand.Rand) float64 {
+	boundaries := []float64{-1, 0, 1, 100}
+	switch r.Intn(10) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1 - 2*r.Intn(2))
+	case 2:
+		return boundaries[r.Intn(len(boundaries))]
+	case 3: // one ULP outside or inside a boundary
+		b := boundaries[r.Intn(len(boundaries))]
+		return math.Nextafter(b, float64(1-2*r.Intn(2))*math.Inf(1))
+	case 4:
+		return (r.Float64() - 0.5) * 4 // dense around [-2,2]
+	case 5:
+		return r.Float64() * 200 // dense around [0,200]
+	case 6:
+		return -r.Float64() * 200
+	default:
+		return (r.Float64() - 0.5) * 2e6
+	}
+}
+
+// rangeFloatValues is a quick.Config generator filling every argument from
+// drawRangeFloat.
+func rangeFloatValues(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(drawRangeFloat(r))
+	}
+}
+
+func hintPropConfig() *quick.Config {
+	return &quick.Config{MaxCount: hintPropRuns, Values: rangeFloatValues}
+}
+
+// panicked runs fn and reports whether it panicked.
+func panicked(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}
+
+func inRange(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+// TestQuickImportanceRange: SetImportance accepts exactly the documented
+// ranges - importance in [1,100] and decay in [0,1] - and panics on
+// everything else, NaN included.
+func TestQuickImportanceRange(t *testing.T) {
+	prop := func(imp, decay float64) bool {
+		got := panicked(func() {
+			NewHintSet(hintSpace(), "luts").SetImportance("depth", imp, decay)
+		})
+		want := !inRange(imp, 1, 100) || !inRange(decay, 0, 1)
+		if got != want {
+			t.Logf("importance=%v decay=%v: panicked=%v want=%v", imp, decay, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBiasRange: SetBias accepts exactly [-1,1] on an ordered
+// parameter and panics on everything else.
+func TestQuickBiasRange(t *testing.T) {
+	prop := func(bias float64) bool {
+		got := panicked(func() {
+			NewHintSet(hintSpace(), "luts").SetBias("width", bias)
+		})
+		want := !inRange(bias, -1, 1)
+		if got != want {
+			t.Logf("bias=%v: panicked=%v want=%v", bias, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTargetFinite: SetTarget accepts any finite value (targets live on
+// the parameter's own axis, which has no fixed bound) and panics on NaN and
+// the infinities.
+func TestQuickTargetFinite(t *testing.T) {
+	prop := func(target float64) bool {
+		got := panicked(func() {
+			NewHintSet(hintSpace(), "luts").SetTarget("depth", target)
+		})
+		want := math.IsNaN(target) || math.IsInf(target, 0)
+		return got == want
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConfidenceRange: Library.Guidance returns an error for exactly
+// the confidences outside [0,1]; accepted compilations never panic.
+func TestQuickConfidenceRange(t *testing.T) {
+	lib := NewLibrary(hintSpace())
+	lib.Metric("luts").SetImportance("depth", 40, 0.2).SetBias("width", -0.5)
+	prop := func(conf float64) bool {
+		g, err := lib.Guidance(metrics.Minimize, map[string]float64{"luts": 1}, conf)
+		if !inRange(conf, 0, 1) {
+			return err != nil && g == nil
+		}
+		return err == nil && g != nil && g.Confidence() == conf
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWithConfidenceClamp: WithConfidence clamps every float64 into
+// [0,1] (NaN collapses to 0), and clamping is idempotent - re-applying the
+// already-clamped confidence changes nothing.
+func TestQuickWithConfidenceClamp(t *testing.T) {
+	lib := NewLibrary(hintSpace())
+	lib.Metric("luts").SetImportance("depth", 40, 0.2)
+	base, err := lib.Guidance(metrics.Minimize, map[string]float64{"luts": 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(c float64) bool {
+		once := base.WithConfidence(c).Confidence()
+		if !inRange(once, 0, 1) {
+			t.Logf("WithConfidence(%v) escaped [0,1]: %v", c, once)
+			return false
+		}
+		return base.WithConfidence(once).Confidence() == once
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClampIdempotent: the clamp helper is idempotent and bounding for
+// every float64 (NaN stays NaN - callers guard it explicitly).
+func TestQuickClampIdempotent(t *testing.T) {
+	prop := func(x float64) bool {
+		c := clamp(x, -1, 1)
+		if math.IsNaN(x) {
+			return math.IsNaN(c)
+		}
+		return inRange(c, -1, 1) && clamp(c, -1, 1) == c
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLoadLibraryRange: the JSON loader enforces the same ranges as
+// the builder API, for any finite triple of importance/decay/bias values.
+// A zero importance or bias means "unset", so its range (and for
+// importance, the decay) is not checked - matching SaveJSON, which omits
+// unset hints.
+func TestQuickLoadLibraryRange(t *testing.T) {
+	jnum := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	prop := func(imp, decay, bias float64) bool {
+		if math.IsNaN(imp) || math.IsInf(imp, 0) ||
+			math.IsNaN(decay) || math.IsInf(decay, 0) ||
+			math.IsNaN(bias) || math.IsInf(bias, 0) {
+			return true // not representable in JSON
+		}
+		doc := fmt.Sprintf(
+			`{"metrics":{"luts":{"depth":{"importance":%s,"decay":%s},"width":{"bias":%s}}}}`,
+			jnum(imp), jnum(decay), jnum(bias))
+		lib, err := LoadLibrary(hintSpace(), strings.NewReader(doc))
+		wantErr := (imp != 0 && (!inRange(imp, 1, 100) || !inRange(decay, 0, 1))) ||
+			(bias != 0 && !inRange(bias, -1, 1))
+		if wantErr {
+			return err != nil && lib == nil
+		}
+		if err != nil {
+			t.Logf("in-range library rejected (imp=%v decay=%v bias=%v): %v", imp, decay, bias, err)
+			return false
+		}
+		// Accepted libraries must compile without panicking.
+		_, gerr := lib.Guidance(metrics.Minimize, map[string]float64{"luts": 1}, 0.8)
+		return gerr == nil
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompiledBiasClamped: however many metrics contribute bias to the
+// same parameter, and whatever the objective weights, the compiled
+// per-parameter bias lands in [-1,1] and recompiling is deterministic -
+// clamping at compile time, applied again, changes nothing.
+func TestQuickCompiledBiasClamped(t *testing.T) {
+	prop := func(b1, b2, b3, w1, w2, w3 float64) bool {
+		// Squash hint biases into their legal range and weights into a
+		// modest span; the property is about what compilation produces.
+		squash := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return clamp(v, -1, 1)
+		}
+		weight := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v == 0 {
+				return 1
+			}
+			return clamp(v, -8, 8)
+		}
+		lib := NewLibrary(hintSpace())
+		lib.Metric("luts").SetBias("width", squash(b1))
+		lib.Metric("fmax_mhz").SetBias("width", squash(b2))
+		lib.Metric("power_mw").SetBias("width", squash(b3))
+		weights := map[string]float64{
+			"luts":     weight(w1),
+			"fmax_mhz": weight(w2),
+			"power_mw": weight(w3),
+		}
+		g, err := lib.Guidance(metrics.Minimize, weights, 0.9)
+		if err != nil {
+			t.Logf("compile failed: %v", err)
+			return false
+		}
+		for i := 0; i < hintSpace().Len(); i++ {
+			if !inRange(g.Bias(i), -1, 1) {
+				t.Logf("compiled bias[%d]=%v escaped [-1,1]", i, g.Bias(i))
+				return false
+			}
+		}
+		// Deterministic recompilation: same library, same weights, same
+		// compiled guidance.
+		g2, err := lib.Guidance(metrics.Minimize, weights, 0.9)
+		if err != nil {
+			return false
+		}
+		return g.Describe() == g2.Describe()
+	}
+	if err := quick.Check(prop, hintPropConfig()); err != nil {
+		t.Error(err)
+	}
+}

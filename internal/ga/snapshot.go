@@ -108,6 +108,17 @@ func (e *Engine) validateResume(snap *Snapshot) error {
 	if snap.Draws < 0 {
 		return fmt.Errorf("ga: resume snapshot has negative RNG draw count %d", snap.Draws)
 	}
+	// fastForward replays the stream one draw at a time, so a corrupted
+	// draw count must be bounded before it is trusted: a generous
+	// overestimate of what the configured run could ever have consumed
+	// (~1024 draws per genome per generation, orders of magnitude above
+	// any real operator mix) separates plausible state from garbage.
+	maxDraws := float64(e.cfg.Generations+1) * float64(e.cfg.PopulationSize) *
+		1024 * float64(e.space.Len()+e.cfg.TournamentSize+4)
+	if float64(snap.Draws) > maxDraws {
+		return fmt.Errorf("ga: resume snapshot draw count %d is impossibly large for a %d-generation run",
+			snap.Draws, e.cfg.Generations)
+	}
 	for i, g := range snap.Population {
 		if err := e.space.Validate(g); err != nil {
 			return fmt.Errorf("ga: resume snapshot genome %d: %w", i, err)

@@ -232,6 +232,29 @@ func Load(path string, space *param.Space, seed int64) (*ga.Snapshot, error) {
 		return nil, fmt.Errorf("resilience: checkpoint %s was taken with seed %d, run configured with seed %d",
 			path, in.Seed, seed)
 	}
+	// A bit-flipped but still-parseable file must never resume silently
+	// wrong: every counter a resumed run trusts has to be a value a real
+	// run could have produced.
+	if in.Generation < 0 {
+		return nil, fmt.Errorf("resilience: checkpoint %s has negative generation %d", path, in.Generation)
+	}
+	if in.Draws < 0 {
+		return nil, fmt.Errorf("resilience: checkpoint %s has negative RNG draw count %d", path, in.Draws)
+	}
+	if in.Stale < 0 {
+		return nil, fmt.Errorf("resilience: checkpoint %s has negative convergence counter %d", path, in.Stale)
+	}
+	if len(in.Population) == 0 {
+		return nil, fmt.Errorf("resilience: checkpoint %s has an empty population", path)
+	}
+	if in.Cache.Distinct < 0 || in.Cache.Total < 0 || in.Cache.Dedup < 0 || in.Cache.Transient < 0 {
+		return nil, fmt.Errorf("resilience: checkpoint %s has negative cache counters", path)
+	}
+	for i, gp := range in.Trajectory {
+		if gp.Generation < 0 || gp.DistinctEvals < 0 || gp.UniqueGenomes < 0 {
+			return nil, fmt.Errorf("resilience: checkpoint %s trajectory entry %d has negative fields", path, i)
+		}
+	}
 
 	snap := &ga.Snapshot{
 		Seed:       in.Seed,

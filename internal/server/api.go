@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"nautilus/internal/telemetry"
+)
+
+// Sentinel and typed errors the API maps onto HTTP status codes.
+var (
+	// ErrDraining: the server is shutting down and refuses new jobs (503).
+	ErrDraining = errors.New("server is draining, not accepting new jobs")
+	// ErrTooManySessions: Options.MaxSessions running sessions exist (429).
+	ErrTooManySessions = errors.New("too many concurrent sessions")
+	// ErrNotFound: no session with that ID (404).
+	ErrNotFound = errors.New("no such job")
+	// ErrNotReady: the session is still running, its result is not final
+	// yet (409).
+	ErrNotReady = errors.New("job still running, result not ready")
+)
+
+// BadRequestError marks an invalid job spec (400).
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+// FailedError reports a result request against a session that ended
+// without one (failed, canceled, or interrupted; 409).
+type FailedError struct {
+	State   State
+	Message string
+}
+
+func (e *FailedError) Error() string {
+	return fmt.Sprintf("job %s: %s", e.State, e.Message)
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /api/v1/jobs             submit a JobSpec, 202 + JobStatus
+//	GET    /api/v1/jobs             list sessions (submission order)
+//	GET    /api/v1/jobs/{id}        one session's status
+//	GET    /api/v1/jobs/{id}/result final JobResult (409 until terminal)
+//	GET    /api/v1/jobs/{id}/events SSE per-generation progress
+//	DELETE /api/v1/jobs/{id}        cancel a running session
+//	GET    /api/v1/stats            shared-cache + scheduler accounting
+//	GET    /api/v1/healthz          liveness + draining flag
+//	GET    /debug/sessions          per-session metric registry snapshots
+//	/debug/vars, /debug/pprof/...   telemetry.DebugMux over the registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/sessions", s.handleDebugSessions)
+	mux.Handle("/debug/", telemetry.DebugMux(s.reg))
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps err to a status code and writes {"error": ...}.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var bad *BadRequestError
+	var failed *FailedError
+	switch {
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.As(err, &failed):
+		status = http.StatusConflict
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNotReady):
+		status = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooManySessions):
+		status = http.StatusTooManyRequests
+	}
+	body := map[string]string{"error": err.Error()}
+	if failed != nil {
+		body["state"] = string(failed.State)
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, &BadRequestError{Err: fmt.Errorf("decode job spec: %w", err)})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	type cacheStats struct {
+		Distinct  int     `json:"distinct_evals"`
+		Total     int     `json:"total_queries"`
+		Hits      int     `json:"hits"`
+		HitRate   float64 `json:"hit_rate"`
+		Transient int     `json:"transient"`
+	}
+	shared := make(map[string]cacheStats)
+	for ip, st := range s.SharedCacheStats() {
+		shared[ip] = cacheStats{
+			Distinct: st.Distinct, Total: st.Total, Hits: st.Hits,
+			HitRate: st.HitRate, Transient: st.Transient,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shared_caches": shared,
+		"scheduler": map[string]any{
+			"capacity": s.opts.Workers,
+			"busy":     s.sched.busySlots(),
+			"waiting":  s.sched.waiting(),
+		},
+		"sessions_active": s.runningCount(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.Draining()})
+}
+
+// handleDebugSessions dumps each session's private metric registry - the
+// per-session half of the introspection story (the global half lives at
+// /debug/vars via the shared registry).
+func (s *Server) handleDebugSessions(w http.ResponseWriter, _ *http.Request) {
+	type sessionDebug struct {
+		Status  JobStatus          `json:"status"`
+		Metrics telemetry.Snapshot `json:"metrics"`
+	}
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make(map[string]sessionDebug, len(ids))
+	for _, id := range ids {
+		sess, err := s.get(id)
+		if err != nil {
+			continue
+		}
+		out[id] = sessionDebug{Status: sess.status(), Metrics: sess.col.Registry().Snapshot()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEvents streams per-generation progress as Server-Sent Events:
+// every completed generation as an "event: generation" with a genEvent
+// JSON payload (replayed from history for late subscribers), then one
+// "event: done" carrying the final JobStatus when the session ends.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(name string, data []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	}
+	finish := func() {
+		data, err := json.Marshal(sess.status())
+		if err == nil {
+			writeEvent("done", data)
+			fl.Flush()
+		}
+	}
+
+	ch, replay, closed := sess.hub.subscribe()
+	for _, b := range replay {
+		writeEvent("generation", b)
+	}
+	fl.Flush()
+	if closed {
+		finish()
+		return
+	}
+	defer sess.hub.unsubscribe(ch)
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				finish()
+				return
+			}
+			writeEvent("generation", b)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"nautilus/internal/telemetry"
+)
+
+// scheduler is the server's global evaluation budget: at most capacity
+// design-point evaluations run at once across every session, no matter how
+// many sessions are live or how much per-session parallelism each GA
+// requests (each engine still fans its population out on internal/pool
+// workers; those workers block here before touching an evaluator).
+//
+// Admission is max-min fair rather than FIFO: when a slot frees up it goes
+// to the waiting session currently holding the fewest slots, so a session
+// with population 50 cannot starve one with population 4 - every session
+// makes per-generation progress proportional to 1/active-sessions, which
+// is the "shared fairly" contract of a multi-tenant search service.
+// Within one session, waiters are served in arrival order.
+type scheduler struct {
+	mu       sync.Mutex
+	capacity int
+	busy     int
+	inUse    map[string]int
+	waiters  []*waiter
+
+	busyGauge *telemetry.Gauge
+	waitGauge *telemetry.Gauge
+	grants    *telemetry.Counter
+}
+
+// waiter is one blocked Acquire. granted flags a slot handed over while
+// the waiter was simultaneously canceled, so the loser of that race can
+// give the slot back.
+type waiter struct {
+	session string
+	ready   chan struct{}
+	granted bool
+}
+
+// newScheduler builds a budget of capacity slots, reporting occupancy to
+// reg (scheduler.busy, scheduler.waiting, scheduler.grants).
+func newScheduler(capacity int, reg *telemetry.Registry) *scheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &scheduler{
+		capacity:  capacity,
+		inUse:     make(map[string]int),
+		busyGauge: reg.Gauge(MetricSchedulerBusy),
+		waitGauge: reg.Gauge(MetricSchedulerWaiting),
+		grants:    reg.Counter(MetricSchedulerGrants),
+	}
+}
+
+// Acquire blocks until the session holds a slot or ctx is canceled.
+func (s *scheduler) Acquire(ctx context.Context, session string) error {
+	s.mu.Lock()
+	// No barging: free capacity with waiters queued can only appear
+	// transiently (slots are handed over directly on release), but joining
+	// the queue whenever it is non-empty keeps arrival order honest within
+	// a session either way.
+	if s.busy < s.capacity && len(s.waiters) == 0 {
+		s.busy++
+		s.inUse[session]++
+		s.grants.Inc()
+		s.busyGauge.Set(float64(s.busy))
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{session: session, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.waitGauge.Set(float64(len(s.waiters)))
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The handover beat the cancellation: we own a slot we will
+			// never use, so pass it on.
+			s.mu.Unlock()
+			s.Release(session)
+			return ctx.Err()
+		}
+		for i, other := range s.waiters {
+			if other == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		s.waitGauge.Set(float64(len(s.waiters)))
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns the session's slot. If sessions are waiting, the slot is
+// handed directly to the one holding the fewest slots (max-min fairness);
+// otherwise global occupancy drops.
+func (s *scheduler) Release(session string) {
+	s.mu.Lock()
+	if n := s.inUse[session]; n <= 1 {
+		delete(s.inUse, session)
+	} else {
+		s.inUse[session] = n - 1
+	}
+	if len(s.waiters) > 0 {
+		// Hand the slot to the first waiter of the least-loaded session.
+		best := 0
+		for i, w := range s.waiters[1:] {
+			if s.inUse[w.session] < s.inUse[s.waiters[best].session] {
+				best = i + 1
+			}
+		}
+		w := s.waiters[best]
+		s.waiters = append(s.waiters[:best], s.waiters[best+1:]...)
+		s.waitGauge.Set(float64(len(s.waiters)))
+		w.granted = true
+		s.inUse[w.session]++
+		s.grants.Inc()
+		close(w.ready)
+		s.mu.Unlock()
+		return
+	}
+	s.busy--
+	s.busyGauge.Set(float64(s.busy))
+	s.mu.Unlock()
+}
+
+// held reports how many slots the session currently holds (tests).
+func (s *scheduler) held(session string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse[session]
+}
+
+// busySlots reports current global occupancy.
+func (s *scheduler) busySlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy
+}
+
+// waiting reports how many Acquire calls are blocked.
+func (s *scheduler) waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerCapacity hammers the budget from many goroutines and checks
+// occupancy never exceeds capacity while every acquire eventually lands.
+func TestSchedulerCapacity(t *testing.T) {
+	const capacity, tasks = 3, 200
+	s := newScheduler(capacity, nil)
+	var cur, peak, done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		session := []string{"a", "b", "c", "d"}[i%4]
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), session); err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			cur.Add(-1)
+			s.Release(session)
+			done.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > capacity {
+		t.Fatalf("peak occupancy %d exceeds capacity %d", got, capacity)
+	}
+	if got := done.Load(); got != tasks {
+		t.Fatalf("%d of %d acquires completed", got, tasks)
+	}
+	if s.busySlots() != 0 || s.waiting() != 0 {
+		t.Fatalf("scheduler not idle after drain: busy=%d waiting=%d", s.busySlots(), s.waiting())
+	}
+}
+
+// TestSchedulerFairness checks max-min admission: a freed slot goes to the
+// session holding the fewest, not to the longest-waiting request.
+func TestSchedulerFairness(t *testing.T) {
+	s := newScheduler(2, nil)
+	ctx := context.Background()
+	// Session a fills the budget.
+	if err := s.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// a queues a third request first, then b queues its first.
+	aReady := make(chan struct{})
+	bReady := make(chan struct{})
+	go func() { _ = s.Acquire(ctx, "a"); close(aReady) }()
+	waitFor(t, func() bool { return s.waiting() == 1 })
+	go func() { _ = s.Acquire(ctx, "b"); close(bReady) }()
+	waitFor(t, func() bool { return s.waiting() == 2 })
+
+	// Freeing one of a's slots must admit b (holds 0) over a (holds 1),
+	// despite a having waited longer.
+	s.Release("a")
+	select {
+	case <-bReady:
+	case <-time.After(5 * time.Second):
+		t.Fatal("released slot did not go to the least-loaded session")
+	}
+	select {
+	case <-aReady:
+		t.Fatal("slot went to the session already holding one")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// The next free slot goes to a's waiter.
+	s.Release("b")
+	select {
+	case <-aReady:
+	case <-time.After(5 * time.Second):
+		t.Fatal("remaining waiter never admitted")
+	}
+	if got := s.held("a"); got != 2 {
+		t.Fatalf("session a holds %d slots, want 2", got)
+	}
+}
+
+// TestSchedulerAcquireCancel checks a canceled waiter leaves the queue and
+// a cancellation racing a handover returns the slot.
+func TestSchedulerAcquireCancel(t *testing.T) {
+	s := newScheduler(1, nil)
+	if err := s.Acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx, "b") }()
+	waitFor(t, func() bool { return s.waiting() == 1 })
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled Acquire returned %v", err)
+	}
+	waitFor(t, func() bool { return s.waiting() == 0 })
+	// The slot is still usable afterwards.
+	s.Release("a")
+	if err := s.Acquire(context.Background(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	s.Release("c")
+	if s.busySlots() != 0 {
+		t.Fatalf("busy=%d after full release", s.busySlots())
+	}
+}
+
+// waitFor polls cond with a deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,378 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"nautilus/internal/catalog"
+	"nautilus/internal/core"
+	"nautilus/internal/telemetry"
+)
+
+// State is a session's lifecycle stage.
+type State string
+
+const (
+	// StateRunning: the session's search is in flight.
+	StateRunning State = "running"
+	// StateDone: the search finished; the result is available.
+	StateDone State = "done"
+	// StateFailed: the search ended in an error (including "no feasible
+	// design found").
+	StateFailed State = "failed"
+	// StateCanceled: the client canceled the session; it will not resume.
+	StateCanceled State = "canceled"
+	// StateInterrupted: a server drain stopped the session after writing
+	// its checkpoint; a restart on the same state directory resumes it.
+	StateInterrupted State = "interrupted"
+)
+
+// terminal reports whether the state is final for this server life.
+// Interrupted is terminal here but resumable by the next life.
+func (s State) terminal() bool { return s != StateRunning }
+
+// JobSpec is a search job submission: which characterized space to search,
+// under which objective and guidance, at what GA scale. It deliberately
+// matches the nautilus CLI's flags, so a job with the same (space, hints,
+// seed, scale) as a CLI run produces a byte-identical best configuration.
+type JobSpec struct {
+	// IP selects the bundled generator: noc, fft, or gemm.
+	IP string `json:"ip"`
+	// Query is the optimization goal (see catalog.Queries).
+	Query string `json:"query"`
+	// Guidance is baseline, weak, or strong (default strong).
+	Guidance string `json:"guidance,omitempty"`
+	// Generations is the GA generation count (default 80).
+	Generations int `json:"generations,omitempty"`
+	// Population is the GA population size (default 10).
+	Population int `json:"population,omitempty"`
+	// Seed seeds the run; results are deterministic in the full spec.
+	Seed int64 `json:"seed"`
+	// Parallelism bounds the session's concurrent fitness evaluations
+	// (default min(population, server workers)); actual concurrency is
+	// further gated by the server's fair global budget. Results are
+	// identical at any level.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Hints optionally replaces the IP's built-in hint library with an
+	// inline library in the hints-file JSON schema (core.LoadLibrary).
+	Hints json.RawMessage `json:"hints,omitempty"`
+}
+
+// withDefaults fills zero fields with the CLI's defaults.
+func (j JobSpec) withDefaults(workers int) JobSpec {
+	if j.Guidance == "" {
+		j.Guidance = catalog.GuidanceStrong
+	}
+	if j.Generations == 0 {
+		j.Generations = 80
+	}
+	if j.Population == 0 {
+		j.Population = 10
+	}
+	if j.Parallelism == 0 {
+		j.Parallelism = min(j.Population, workers)
+	}
+	return j
+}
+
+// resolve validates the spec and compiles its catalog entry and guidance.
+func (j JobSpec) resolve() (*catalog.Entry, *core.Guidance, error) {
+	if j.Population < 2 {
+		return nil, nil, fmt.Errorf("population must be at least 2, got %d", j.Population)
+	}
+	if j.Generations < 1 {
+		return nil, nil, fmt.Errorf("generations must be at least 1, got %d", j.Generations)
+	}
+	if j.Parallelism < 1 {
+		return nil, nil, fmt.Errorf("parallelism must be at least 1, got %d", j.Parallelism)
+	}
+	if j.Seed < 0 {
+		return nil, nil, fmt.Errorf("seed must be non-negative, got %d", j.Seed)
+	}
+	entry, err := catalog.Lookup(j.IP, j.Query)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib := entry.Library
+	if len(j.Hints) > 0 {
+		lib, err = core.LoadLibrary(entry.Space, bytes.NewReader(j.Hints))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	guid, err := entry.Guidance(j.Guidance, lib)
+	if err != nil {
+		return nil, nil, err
+	}
+	return entry, guid, nil
+}
+
+// JobStatus is the status payload for one session.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	// Generation is the last completed generation (-1 before the first).
+	Generation int `json:"generation"`
+	// BestValue is the best objective value so far; absent until a
+	// feasible point is found.
+	BestValue *float64 `json:"best_value,omitempty"`
+	// DistinctEvals counts this session's distinct design evaluations so
+	// far (the paper's cost metric, session-private accounting).
+	DistinctEvals int    `json:"distinct_evals"`
+	Error         string `json:"error,omitempty"`
+	// Resumed marks a session restored from a drain checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// JobResult is the final payload of a completed session.
+type JobResult struct {
+	ID string `json:"id"`
+	// BestValue and Configuration describe the winning design point.
+	// Configuration is param.Space.Describe's rendering - byte-identical
+	// to the "configuration:" line the nautilus CLI prints for the same
+	// (space, hints, seed, scale).
+	BestValue     float64            `json:"best_value"`
+	Configuration string             `json:"configuration"`
+	Params        map[string]string  `json:"params"`
+	Key           string             `json:"key"`
+	Metrics       map[string]float64 `json:"metrics"`
+	// DistinctEvals / TotalQueries / CacheHits are the session's private
+	// evaluation accounting - identical to a solo CLI run's. Evaluations
+	// answered by the server's shared per-space cache still count here (the
+	// session would have spent them alone), which is exactly what makes
+	// cross-session deduplication measurable: the shared space's distinct
+	// count stays below the sum over sessions.
+	DistinctEvals int     `json:"distinct_evals"`
+	TotalQueries  int     `json:"total_queries"`
+	CacheHits     int     `json:"cache_hits"`
+	HitRate       float64 `json:"hit_rate"`
+	Converged     bool    `json:"converged"`
+	// Generations is the last completed generation index.
+	Generations int `json:"generations"`
+}
+
+// genEvent is one SSE progress event, derived from a GenerationRecord.
+type genEvent struct {
+	Generation    int      `json:"generation"`
+	BestValue     *float64 `json:"best_value,omitempty"`
+	MeanFitness   *float64 `json:"mean_fitness,omitempty"`
+	Feasible      int      `json:"feasible"`
+	UniqueGenomes int      `json:"unique_genomes"`
+	DistinctEvals int      `json:"distinct_evals"`
+	ElapsedMicros int64    `json:"elapsed_us"`
+}
+
+// session is one supervised search running inside the server.
+type session struct {
+	id    string
+	seq   int
+	spec  JobSpec
+	entry *catalog.Entry
+	guid  *core.Guidance
+
+	hub  *progressHub
+	col  *telemetry.Collector
+	done chan struct{}
+
+	mu         sync.Mutex
+	cancel     context.CancelFunc
+	state      State
+	gen        int
+	bestValue  float64
+	feasible   bool
+	distinct   int
+	errMsg     string
+	resumed    bool
+	userCancel bool
+	result     *JobResult
+}
+
+func newSession(id string, seq int, spec JobSpec, entry *catalog.Entry, guid *core.Guidance) *session {
+	return &session{
+		id:    id,
+		seq:   seq,
+		spec:  spec,
+		entry: entry,
+		guid:  guid,
+		hub:   newProgressHub(),
+		col:   telemetry.NewCollector(nil),
+		done:  make(chan struct{}),
+		state: StateRunning,
+		gen:   -1,
+	}
+}
+
+// status snapshots the session for the API.
+func (s *session) status() JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		ID:            s.id,
+		Spec:          s.spec,
+		State:         s.state,
+		Generation:    s.gen,
+		DistinctEvals: s.distinct,
+		Error:         s.errMsg,
+		Resumed:       s.resumed,
+	}
+	if s.feasible {
+		v := s.bestValue
+		st.BestValue = &v
+	}
+	return st
+}
+
+// stop cancels the session's run context. user marks a client cancel
+// (terminal state "canceled") as opposed to a server drain ("interrupted",
+// which resumes on restart).
+func (s *session) stop(user bool) {
+	s.mu.Lock()
+	if user && s.state == StateRunning {
+		s.userCancel = true
+	}
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// finish transitions the session to a terminal state and wakes waiters.
+func (s *session) finish(state State, errMsg string, result *JobResult) {
+	s.mu.Lock()
+	s.state = state
+	s.errMsg = errMsg
+	s.result = result
+	s.mu.Unlock()
+	s.hub.close()
+	close(s.done)
+}
+
+// sessionRecorder feeds per-generation progress into the session's status
+// and SSE hub. It observes records the engine already built (a live
+// collector is always teed in, so Enabled is true) and never touches the
+// run RNG - streaming progress cannot change a search result.
+type sessionRecorder struct{ s *session }
+
+func (r sessionRecorder) Enabled() bool { return true }
+
+func (r sessionRecorder) RecordGeneration(g telemetry.GenerationRecord) {
+	s := r.s
+	s.mu.Lock()
+	s.gen = g.Generation
+	s.distinct = g.DistinctEvals
+	if g.Feasible > 0 || s.feasible {
+		// BestValue is the objective's Worst sentinel until something is
+		// feasible; only publish it once real.
+		s.feasible = true
+		s.bestValue = g.BestValue
+	}
+	feasible := s.feasible
+	s.mu.Unlock()
+
+	ev := genEvent{
+		Generation:    g.Generation,
+		Feasible:      g.Feasible,
+		UniqueGenomes: g.UniqueGenomes,
+		DistinctEvals: g.DistinctEvals,
+		ElapsedMicros: g.Elapsed.Microseconds(),
+	}
+	if feasible {
+		v := g.BestValue
+		ev.BestValue = &v
+	}
+	if g.Feasible > 0 {
+		m := g.MeanFitness
+		ev.MeanFitness = &m
+	}
+	if b, err := json.Marshal(ev); err == nil {
+		s.hub.publish(b)
+	}
+}
+
+func (r sessionRecorder) RecordEvaluation(telemetry.EvaluationRecord) {}
+func (r sessionRecorder) RecordHint(telemetry.HintRecord)             {}
+func (r sessionRecorder) RecordCache(telemetry.CacheRecord)           {}
+func (r sessionRecorder) RecordPool(telemetry.PoolRecord)             {}
+
+// progressHub broadcasts generation events to SSE subscribers. Delivery to
+// live subscribers is best-effort (a stalled client drops events rather
+// than stalling the search); the retained history bounds replay for late
+// subscribers.
+type progressHub struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	history [][]byte
+	closed  bool
+}
+
+// hubHistoryLimit bounds replayed events per subscriber; older generations
+// are dropped from replay (live status carries the cumulative fields).
+const hubHistoryLimit = 1024
+
+// subChanBuffer is each subscriber's event buffer; a subscriber further
+// behind than this loses events.
+const subChanBuffer = 256
+
+func newProgressHub() *progressHub {
+	return &progressHub{subs: make(map[chan []byte]struct{})}
+}
+
+// publish broadcasts one event and retains it for replay.
+func (h *progressHub) publish(b []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.history = append(h.history, b)
+	if len(h.history) > hubHistoryLimit {
+		h.history = h.history[len(h.history)-hubHistoryLimit:]
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- b:
+		default: // slow subscriber: drop rather than block the search
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns its live channel, the
+// replay backlog, and whether the stream is already complete.
+func (h *progressHub) subscribe() (ch chan []byte, replay [][]byte, closed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = append([][]byte(nil), h.history...)
+	if h.closed {
+		return nil, replay, true
+	}
+	ch = make(chan []byte, subChanBuffer)
+	h.subs[ch] = struct{}{}
+	return ch, replay, false
+}
+
+// unsubscribe removes a subscriber.
+func (h *progressHub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, ch)
+}
+
+// close ends the stream: subscribers' channels are closed after any
+// buffered events drain.
+func (h *progressHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = make(map[chan []byte]struct{})
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"nautilus/internal/resilience"
+)
+
+// store is the server's state directory layout. Each session owns one
+// subdirectory:
+//
+//	<dir>/<id>/job.json        - the jobRecord (spec + last known state)
+//	<dir>/<id>/checkpoint.json - the resilience checkpoint (while running)
+//	<dir>/<id>/result.json     - the final JobResult (once done)
+//
+// All writes go through resilience.WriteFileAtomic, so a crash at any
+// moment leaves every file either absent, previous, or current - never
+// torn. A restart replays job.json records: terminal sessions come back
+// queryable, running/interrupted ones resume from their checkpoint.
+type store struct {
+	dir string
+}
+
+// jobRecord is the persisted identity of one session.
+type jobRecord struct {
+	ID    string  `json:"id"`
+	Seq   int     `json:"seq"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	Error string  `json:"error,omitempty"`
+}
+
+func newStore(dir string) (*store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: state directory must be set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: create state dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) sessionDir(id string) string { return filepath.Join(st.dir, id) }
+
+func (st *store) jobPath(id string) string { return filepath.Join(st.dir, id, "job.json") }
+
+func (st *store) checkpointPath(id string) string {
+	return filepath.Join(st.dir, id, "checkpoint.json")
+}
+
+func (st *store) resultPath(id string) string { return filepath.Join(st.dir, id, "result.json") }
+
+// saveJob persists the session's record, creating its directory on first
+// write.
+func (st *store) saveJob(rec jobRecord) error {
+	if err := os.MkdirAll(st.sessionDir(rec.ID), 0o755); err != nil {
+		return fmt.Errorf("server: create session dir: %w", err)
+	}
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		return err
+	}
+	return resilience.WriteFileAtomic(st.jobPath(rec.ID), data)
+}
+
+// saveResult persists a completed session's result.
+func (st *store) saveResult(res *JobResult) error {
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return err
+	}
+	return resilience.WriteFileAtomic(st.resultPath(res.ID), data)
+}
+
+// loadResult reads a previously persisted result; (nil, nil) if absent.
+func (st *store) loadResult(id string) (*JobResult, error) {
+	data, err := os.ReadFile(st.resultPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var res JobResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("server: decode result %s: %w", id, err)
+	}
+	return &res, nil
+}
+
+// loadAll returns every persisted job record, ordered by submission
+// sequence. Directories without a readable job.json are skipped (a crash
+// between MkdirAll and the first atomic write can leave one).
+func (st *store) loadAll() ([]jobRecord, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var recs []jobRecord
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(st.jobPath(e.Name()))
+		if err != nil {
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != e.Name() {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq })
+	return recs, nil
+}

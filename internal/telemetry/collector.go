@@ -65,8 +65,9 @@ type Collector struct {
 	poolBusy  *Gauge
 	poolMax   *Gauge
 
-	mu   sync.Mutex
-	gens []GenerationRecord
+	mu     sync.Mutex
+	gens   []GenerationRecord
+	retain bool
 }
 
 // NewCollector builds a collector over reg (a fresh registry when nil).
@@ -95,6 +96,7 @@ func NewCollector(reg *Registry) *Collector {
 		poolBusy:       reg.Gauge(MetricPoolBusy),
 		poolMax:        reg.Gauge(MetricPoolBusyMax),
 	}
+	c.retain = true
 	for _, mech := range []string{
 		HintGeneImportance, HintGeneUniform,
 		HintValueTarget, HintValueBias, HintValueUniform,
@@ -102,6 +104,18 @@ func NewCollector(reg *Registry) *Collector {
 		c.hintCounters[mech] = reg.Counter(hintMetricPrefix + mech)
 	}
 	return c
+}
+
+// DisableGenerationRetention stops the collector from keeping the
+// per-generation record slice. Aggregate counters, gauges, and histograms
+// are unaffected; Generations returns nil afterwards. Long-lived processes
+// (the nautserve daemon) aggregate unbounded numbers of runs into one
+// collector and must not grow memory per generation.
+func (c *Collector) DisableGenerationRetention() {
+	c.mu.Lock()
+	c.retain = false
+	c.gens = nil
+	c.mu.Unlock()
 }
 
 // Registry returns the collector's backing registry (for ServeDebug).
@@ -119,7 +133,9 @@ func (c *Collector) RecordGeneration(g GenerationRecord) {
 	c.uniqueGenomes.Set(float64(g.UniqueGenomes))
 	c.distinctEvals.Set(float64(g.DistinctEvals))
 	c.mu.Lock()
-	c.gens = append(c.gens, g)
+	if c.retain {
+		c.gens = append(c.gens, g)
+	}
 	c.mu.Unlock()
 }
 

@@ -16,17 +16,16 @@ var (
 	publishOnce   sync.Once
 )
 
-// ServeDebug starts an HTTP introspection endpoint on addr and returns the
-// bound address (useful with ":0"). It exposes
+// DebugMux returns the introspection routes over reg as a mux, so hosts
+// with their own HTTP server (the nautserve daemon) can mount them beside
+// their API instead of opening a second port:
 //
 //	/debug/vars   - expvar, including the registry snapshot as "nautilus"
 //	/debug/pprof  - the standard Go profiling handlers
 //
-// so a long search can be watched live (hint rates, cache hit rates, pool
-// occupancy) and profiled without stopping it. The server runs on its own
-// goroutine for the life of the process; errors after startup are dropped,
-// matching expvar's own best-effort semantics.
-func ServeDebug(addr string, reg *Registry) (string, error) {
+// The registry becomes the process-wide "nautilus" expvar (the most
+// recently installed registry wins, matching expvar's global semantics).
+func DebugMux(reg *Registry) *http.ServeMux {
 	if reg == nil {
 		reg = NewRegistry()
 	}
@@ -39,11 +38,6 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 			return Snapshot{}
 		}))
 	})
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -51,6 +45,21 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts an HTTP introspection endpoint on addr and returns the
+// bound address (useful with ":0"). It serves DebugMux(reg), so a long
+// search can be watched live (hint rates, cache hit rates, pool occupancy)
+// and profiled without stopping it. The server runs on its own goroutine
+// for the life of the process; errors after startup are dropped, matching
+// expvar's own best-effort semantics.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	mux := DebugMux(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
