@@ -7,10 +7,17 @@
 //
 //	bench [-figs fig1,fig3,fig4,fig6|all] [-runs N] [-gens N] [-par N]
 //	      [-benchtime 1x] [-out BENCH_results.json]
+//	      [-dispatch] [-dispatch-baseline FILE]
 //
 // The default subset covers both design spaces (router and FFT), the GA
 // trial fan-out, and the space enumerations, and finishes in well under a
 // minute; -figs all measures every table of the paper's evaluation.
+//
+// -dispatch (on by default) additionally compares the batched evaluation
+// pipeline against the legacy point-at-a-time dispatch on a cache-heavy
+// FFT search, verifying the two produce identical results and recording
+// the per-dispatch speedup; -dispatch-baseline fails the run if that
+// speedup regressed more than 10% against a committed report.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"testing"
 	"time"
 
+	"nautilus/internal/cliflags"
 	"nautilus/internal/experiments"
 )
 
@@ -53,13 +61,14 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Timestamp   string        `json:"timestamp"`
-	GoVersion   string        `json:"go_version"`
-	Cores       int           `json:"cores"`
-	Parallelism int           `json:"parallelism"`
-	Runs        int           `json:"runs"`
-	Generations int           `json:"generations"`
-	Results     []benchResult `json:"results"`
+	Timestamp   string          `json:"timestamp"`
+	GoVersion   string          `json:"go_version"`
+	Cores       int             `json:"cores"`
+	Parallelism int             `json:"parallelism"`
+	Runs        int             `json:"runs"`
+	Generations int             `json:"generations"`
+	Results     []benchResult   `json:"results"`
+	Dispatch    *dispatchReport `json:"dispatch,omitempty"`
 }
 
 func main() {
@@ -67,9 +76,11 @@ func main() {
 	figs := flag.String("figs", "fig1,fig3,fig4,fig6", "comma-separated figures to benchmark, or 'all'")
 	runs := flag.Int("runs", 5, "GA runs per variant per iteration (reduced scale)")
 	gens := flag.Int("gens", 0, "GA generations (0 = per-figure paper defaults)")
-	par := flag.Int("par", 0, "experiment parallelism (0 = all cores)")
+	par := cliflags.NewParallelism(flag.CommandLine, 0, true)
 	benchtime := flag.String("benchtime", "1x", "benchmark time per figure (Go -benchtime syntax)")
 	out := flag.String("out", "BENCH_results.json", "output JSON path")
+	dispatch := flag.Bool("dispatch", true, "also run the batched-vs-single evaluation dispatch comparison")
+	dispatchBaseline := flag.String("dispatch-baseline", "", "fail if the dispatch speedup regresses >10% vs this committed BENCH_results.json")
 	flag.Parse()
 	if *runs < 1 {
 		fmt.Fprintf(os.Stderr, "bench: -runs must be at least 1, got %d\n", *runs)
@@ -79,8 +90,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: -gens must be non-negative (0 = paper defaults), got %d\n", *gens)
 		os.Exit(2)
 	}
-	if *par < 0 {
-		fmt.Fprintf(os.Stderr, "bench: -par must be non-negative (0 = all cores), got %d\n", *par)
+	if err := par.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(2)
 	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -112,12 +123,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: *par}
+	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: par.Value()}
 	report := benchReport{
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		Cores:       runtime.NumCPU(),
-		Parallelism: *par,
+		Parallelism: par.Value(),
 		Runs:        *runs,
 		Generations: *gens,
 	}
@@ -157,6 +168,23 @@ func main() {
 		report.Results = append(report.Results, res)
 		fmt.Printf("%-14s %12d ns/op  %10d allocs/op  %12d B/op  (%d iter)\n",
 			name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
+	}
+
+	if *dispatch {
+		rep, err := runDispatch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: dispatch: %v\n", err)
+			os.Exit(1)
+		}
+		report.Dispatch = &rep
+		fmt.Printf("%-14s %12d ns/eval single  %10d ns/eval batch  %8.2fx speedup  (%d dispatched)\n",
+			"dispatch", rep.SingleNsPerEval, rep.BatchNsPerEval, rep.Speedup, rep.DispatchedEvals)
+		if *dispatchBaseline != "" {
+			if err := checkDispatchBaseline(*dispatchBaseline, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: dispatch: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"nautilus/internal/cliflags"
 	"nautilus/internal/experiments"
 	"nautilus/internal/telemetry"
 )
@@ -61,17 +62,19 @@ func realMain(ctx context.Context) {
 	fig := flag.String("fig", "all", "which experiment to regenerate (all, fig1..fig7, headline, ablations, ext-*)")
 	runs := flag.Int("runs", 0, "override GA runs per variant (0 = paper defaults)")
 	gens := flag.Int("gens", 0, "override GA generations (0 = paper defaults)")
-	par := flag.Int("par", 0, "max parallel figures/variants/trials (0 = all cores, 1 = sequential; output is identical at any level)")
+	par := cliflags.NewParallelism(flag.CommandLine, 0, true)
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	md := flag.String("md", "", "also write a markdown report to this file (optional)")
-	journal := flag.String("journal", "", "append structured run events from every trial as JSON lines to this file")
-	debugAddr := flag.String("debug-addr", "", "serve live metrics (expvar) and pprof on this address while experiments run")
-	summary := flag.Bool("summary", false, "print aggregate telemetry (evaluations, cache, hints, pool) after the tables")
+	obs := cliflags.NewObservability(flag.CommandLine, false)
 	checkpoint := flag.String("checkpoint", "", "persist each completed figure's tables to this progress file (figures run sequentially)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "persist the progress file after every N completed figures (with -checkpoint)")
 	resume := flag.Bool("resume", false, "skip figures already completed in the -checkpoint progress file")
 	flag.Parse()
-	if err := validateFlags(*runs, *gens, *par); err != nil {
+	if err := validateFlags(*runs, *gens); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	if err := par.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
 	}
@@ -80,39 +83,18 @@ func realMain(ctx context.Context) {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: *par, OutDir: *out}
+	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: par.Value(), OutDir: *out}
 
 	// The harness runs trials concurrently, so all sinks see one interleaved
 	// event stream; the collector's aggregates and the journal are still
 	// exact totals across every trial of the requested figures.
-	var col *telemetry.Collector
-	var recorders []telemetry.Recorder
-	if *summary || *debugAddr != "" {
-		col = telemetry.NewCollector(nil)
-		recorders = append(recorders, col)
+	stack, err := obs.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
-	if *journal != "" {
-		f, err := os.Create(*journal)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: journal: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		j := telemetry.NewJournal(f)
-		defer j.Close()
-		recorders = append(recorders, j)
-	}
-	if *debugAddr != "" {
-		addr, err := telemetry.ServeDebug(*debugAddr, col.Registry())
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: debug endpoint: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("debug endpoint: http://%s/debug/vars\n", addr)
-	}
-	if len(recorders) > 0 {
-		cfg.Recorder = telemetry.Multi(recorders...)
-	}
+	defer stack.Close()
+	cfg.Recorder = stack.Recorder
 
 	driver, ok := experiments.FindDriver(*fig)
 	if !ok {
@@ -123,7 +105,6 @@ func realMain(ctx context.Context) {
 
 	start := time.Now()
 	var tables []experiments.Table
-	var err error
 	if *checkpoint != "" {
 		// The resumable path trades figure-level concurrency for figure-level
 		// durability; within each figure the full -par fan-out still applies.
@@ -165,10 +146,10 @@ func realMain(ctx context.Context) {
 	for i := range tables {
 		tables[i].Fprint(os.Stdout)
 	}
-	if *summary {
+	if obs.WantSummary() {
 		// The per-generation table would interleave thousands of concurrent
 		// trials meaninglessly, so the aggregate totals alone are printed.
-		agg := telemetry.NewCollector(col.Registry())
+		agg := telemetry.NewCollector(stack.Collector.Registry())
 		if err := agg.WriteSummary(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -197,16 +178,14 @@ func realMain(ctx context.Context) {
 }
 
 // validateFlags rejects scale overrides that cannot mean anything: 0 keeps
-// the per-figure paper default, so only negatives are errors.
-func validateFlags(runs, gens, par int) error {
+// the per-figure paper default, so only negatives are errors (-par
+// validates through cliflags).
+func validateFlags(runs, gens int) error {
 	if runs < 0 {
 		return fmt.Errorf("-runs must be non-negative (0 = paper defaults), got %d", runs)
 	}
 	if gens < 0 {
 		return fmt.Errorf("-gens must be non-negative (0 = paper defaults), got %d", gens)
-	}
-	if par < 0 {
-		return fmt.Errorf("-par must be non-negative (0 = all cores), got %d", par)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"nautilus/internal/cliflags"
 	"nautilus/internal/dataset"
 	"nautilus/internal/fft"
 	"nautilus/internal/gemm"
@@ -33,16 +34,11 @@ import (
 func main() {
 	ip := flag.String("ip", "noc", "IP generator to map: noc (VC router), fft, network (64-endpoint NoCs), or gemm")
 	out := flag.String("o", "", "output CSV file (default stdout)")
-	debugAddr := flag.String("debug-addr", "", "serve live progress metrics (expvar) and pprof while the enumeration runs")
-	evalTimeout := flag.Duration("eval-timeout", 0, "per-attempt characterization deadline, e.g. 30s (0 = none)")
-	evalRetries := flag.Int("eval-retries", 0, "max attempts per point for transient failures (0 = default 3)")
+	debugAddr := cliflags.DebugAddr(flag.CommandLine)
+	supFlags := cliflags.NewSupervision(flag.CommandLine, false)
 	flag.Parse()
-	if *evalTimeout < 0 {
-		fmt.Fprintf(os.Stderr, "mapspace: -eval-timeout must be non-negative, got %v\n", *evalTimeout)
-		os.Exit(2)
-	}
-	if *evalRetries < 0 {
-		fmt.Fprintf(os.Stderr, "mapspace: -eval-retries must be non-negative (0 = default), got %d\n", *evalRetries)
+	if err := supFlags.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mapspace: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -72,11 +68,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *evalTimeout > 0 || *evalRetries > 0 {
-		sup, err := resilience.Supervise(space, eval, resilience.Policy{
-			Timeout:     *evalTimeout,
-			MaxAttempts: *evalRetries,
-		}, nil)
+	if supFlags.Enabled() {
+		sup, err := resilience.Supervise(space, eval, supFlags.Policy(), nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mapspace: %v\n", err)
 			os.Exit(2)

@@ -41,15 +41,14 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
-	"time"
 
 	"nautilus/internal/catalog"
+	"nautilus/internal/cliflags"
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
 	"nautilus/internal/ga"
 	"nautilus/internal/resilience"
 	"nautilus/internal/resilience/faulty"
-	"nautilus/internal/telemetry"
 )
 
 // Exit codes, so orchestration around long searches can tell a crash from
@@ -78,15 +77,12 @@ func main() {
 
 // validateFlags rejects GA shape flags that would otherwise fail deep in
 // the engine (or silently misbehave) with a clear front-door error.
-func validateFlags(pop, gens, par int, seed int64) error {
+func validateFlags(pop, gens int, seed int64) error {
 	if pop < 2 {
 		return fmt.Errorf("-pop must be at least 2 (crossover needs two parents), got %d", pop)
 	}
 	if gens < 1 {
 		return fmt.Errorf("-gens must be at least 1, got %d", gens)
-	}
-	if par < 1 {
-		return fmt.Errorf("-par must be at least 1, got %d", par)
 	}
 	if seed < 0 {
 		return fmt.Errorf("-seed must be non-negative, got %d", seed)
@@ -94,20 +90,11 @@ func validateFlags(pop, gens, par int, seed int64) error {
 	return nil
 }
 
-// validateResilienceFlags front-doors the checkpoint/supervision flags.
-func validateResilienceFlags(checkpoint string, every int, timeout time.Duration,
-	retries, quarantine int, faultRate float64, faultFailures int) error {
+// validateResilienceFlags front-doors the checkpoint and fault-injection
+// flags (the supervision flags validate through cliflags).
+func validateResilienceFlags(every int, faultRate float64, faultFailures int) error {
 	if every < 1 {
 		return fmt.Errorf("-checkpoint-every must be at least 1 generation, got %d", every)
-	}
-	if timeout < 0 {
-		return fmt.Errorf("-eval-timeout must be non-negative, got %v", timeout)
-	}
-	if retries < 0 {
-		return fmt.Errorf("-eval-retries must be non-negative (0 = default), got %d", retries)
-	}
-	if quarantine < 0 {
-		return fmt.Errorf("-quarantine-after must be non-negative (0 = default), got %d", quarantine)
 	}
 	if faultRate < 0 || faultRate > 1 {
 		return fmt.Errorf("-fault-rate must be in [0,1], got %v", faultRate)
@@ -124,31 +111,30 @@ func run(ctx context.Context) (int, error) {
 	guidance := flag.String("guidance", "strong", "baseline, weak, or strong")
 	gens := flag.Int("gens", 80, "GA generations")
 	pop := flag.Int("pop", 10, "GA population size")
-	par := flag.Int("par", runtime.GOMAXPROCS(0),
-		"parallel fitness evaluations (capped by population size; results are identical at any level)")
+	par := cliflags.NewParallelism(flag.CommandLine, runtime.GOMAXPROCS(0), false)
 	seed := flag.Int64("seed", 1, "random seed")
-	summary := flag.Bool("summary", false, "print the end-of-run telemetry summary (per-generation trajectory, cache, hints, pool)")
-	trace := flag.Bool("trace", false, "alias for -summary (the old per-generation trace is part of the summary)")
-	journal := flag.String("journal", "", "append structured run events as JSON lines to this file")
-	debugAddr := flag.String("debug-addr", "", "serve live metrics (expvar) and pprof on this address, e.g. localhost:6060")
+	obs := cliflags.NewObservability(flag.CommandLine, true)
 	emitRTL := flag.String("rtl", "", "write the best design's Verilog to this file")
 	hintsIn := flag.String("hints", "", "load the hint library from this JSON file instead of the built-in one")
 	hintsOut := flag.String("save-hints", "", "write the active hint library to this JSON file")
 	checkpoint := flag.String("checkpoint", "", "snapshot full GA state to this file (atomic rename) for crash recovery")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "snapshot every N generations (with -checkpoint)")
 	resume := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint (-ip and -seed must match)")
-	evalTimeout := flag.Duration("eval-timeout", 0, "per-attempt evaluation deadline, e.g. 30s (0 = none)")
-	evalRetries := flag.Int("eval-retries", 0, "max attempts per evaluation for transient failures (0 = default 3)")
-	quarantineAfter := flag.Int("quarantine-after", 0, "demote a point to infeasible after N exhausted retry rounds (0 = default 2)")
+	sup := cliflags.NewSupervision(flag.CommandLine, true)
 	faultRate := flag.Float64("fault-rate", 0, "inject deterministic transient faults on this fraction of design points (resilience testing)")
 	faultFailures := flag.Int("fault-failures", 0, "failed attempts before an injected transient point succeeds (0 = default 1)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed decorrelating injected faults from the search seed")
 	flag.Parse()
-	if err := validateFlags(*pop, *gens, *par, *seed); err != nil {
+	if err := validateFlags(*pop, *gens, *seed); err != nil {
 		return exitUsage, err
 	}
-	if err := validateResilienceFlags(*checkpoint, *checkpointEvery, *evalTimeout,
-		*evalRetries, *quarantineAfter, *faultRate, *faultFailures); err != nil {
+	if err := par.Validate(); err != nil {
+		return exitUsage, err
+	}
+	if err := sup.Validate(); err != nil {
+		return exitUsage, err
+	}
+	if err := validateResilienceFlags(*checkpointEvery, *faultRate, *faultFailures); err != nil {
 		return exitUsage, err
 	}
 
@@ -202,37 +188,15 @@ func run(ctx context.Context) (int, error) {
 	// debug endpoint, a journal streams events to disk. With none of the
 	// observability flags set the recorder stays nil and the run pays
 	// nothing for it.
-	wantSummary := *summary || *trace
-	var col *telemetry.Collector
-	var recorders []telemetry.Recorder
-	if wantSummary || *debugAddr != "" {
-		col = telemetry.NewCollector(nil)
-		recorders = append(recorders, col)
+	stack, err := obs.Build()
+	if err != nil {
+		return exitFatal, err
 	}
-	if *journal != "" {
-		f, err := os.Create(*journal)
-		if err != nil {
-			return exitFatal, fmt.Errorf("journal: %w", err)
-		}
-		defer f.Close()
-		j := telemetry.NewJournal(f)
-		defer j.Close()
-		recorders = append(recorders, j)
-	}
-	if *debugAddr != "" {
-		addr, err := telemetry.ServeDebug(*debugAddr, col.Registry())
-		if err != nil {
-			return exitFatal, fmt.Errorf("debug endpoint: %w", err)
-		}
-		fmt.Printf("debug endpoint:  http://%s/debug/vars\n", addr)
-	}
+	defer stack.Close()
 
 	// A registry shared with the collector surfaces resilience and
 	// checkpoint metrics in -summary and on the debug endpoint.
-	var reg *telemetry.Registry
-	if col != nil {
-		reg = col.Registry()
-	}
+	reg := stack.Registry()
 
 	// Evaluation chain: base evaluator, then (optionally) deterministic
 	// fault injection, then the supervision layer with per-attempt
@@ -251,24 +215,18 @@ func run(ctx context.Context) (int, error) {
 		}
 		ctxEval = inj.Evaluate
 	}
-	var sup *resilience.Supervisor
-	if *evalTimeout > 0 || *evalRetries > 0 || *quarantineAfter > 0 || *faultRate > 0 {
+	var supv *resilience.Supervisor
+	if sup.Enabled() || *faultRate > 0 {
 		var err error
-		sup, err = resilience.NewSupervisor(space, ctxEval, resilience.Policy{
-			Timeout:         *evalTimeout,
-			MaxAttempts:     *evalRetries,
-			QuarantineAfter: *quarantineAfter,
-		}, reg)
+		supv, err = resilience.NewSupervisor(space, ctxEval, sup.Policy(), reg)
 		if err != nil {
 			return exitUsage, err
 		}
-		ctxEval = sup.Evaluator()
+		ctxEval = supv.Evaluator()
 	}
 
-	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed, Parallelism: *par}
-	if len(recorders) > 0 {
-		cfg.Recorder = telemetry.Multi(recorders...)
-	}
+	cfg := ga.Config{PopulationSize: *pop, Generations: *gens, Seed: *seed, Parallelism: par.Value()}
+	cfg.Recorder = stack.Recorder
 	if *checkpoint != "" {
 		saver := resilience.NewSaver(*checkpoint, space, reg)
 		cfg.Checkpoint = saver.Save
@@ -282,18 +240,23 @@ func run(ctx context.Context) (int, error) {
 		cfg.Resume = snap
 		fmt.Fprintf(os.Stderr, "resuming from %s at generation %d\n", *resume, snap.Generation)
 	}
-	res, err := core.RunContext(ctx, space, obj, ctxEval, cfg, guid)
+	res, err := core.Search(ctx, core.SearchRequest{
+		Space:       space,
+		Objective:   obj,
+		EvaluateCtx: ctxEval,
+		Config:      cfg,
+	}, core.WithGuidance(guid))
 	if err != nil {
 		return exitFatal, err
 	}
 
-	if wantSummary {
-		if err := col.WriteSummary(os.Stdout); err != nil {
+	if obs.WantSummary() {
+		if err := stack.Collector.WriteSummary(os.Stdout); err != nil {
 			return exitFatal, err
 		}
 	}
-	if sup != nil {
-		if q := sup.Quarantined(); len(q) > 0 {
+	if supv != nil {
+		if q := supv.Quarantined(); len(q) > 0 {
 			fmt.Printf("quarantined:     %d design points demoted to infeasible after repeated failures\n", len(q))
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -100,11 +101,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	baseline, err := core.RunBaseline(space, objective, evaluate, ga.Config{Seed: 3})
+	req := core.SearchRequest{
+		Space:     space,
+		Objective: objective,
+		Evaluate:  evaluate,
+		Config:    ga.Config{Seed: 3},
+	}
+	baseline, err := core.Search(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	guided, err := core.Run(space, objective, evaluate, ga.Config{Seed: 3}, guidance)
+	guided, err := core.Search(context.Background(), req, core.WithGuidance(guidance))
 	if err != nil {
 		log.Fatal(err)
 	}

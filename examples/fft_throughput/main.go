@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Run(space, objective, evaluate, ga.Config{Seed: 7}, guidance)
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space:     space,
+		Objective: objective,
+		Evaluate:  evaluate,
+		Config:    ga.Config{Seed: 7},
+	}, core.WithGuidance(guidance))
 	if err != nil {
 		log.Fatal(err)
 	}

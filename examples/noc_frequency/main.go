@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,8 +55,12 @@ func main() {
 		var sumEvals int
 		const runs = 10
 		for seed := int64(0); seed < runs; seed++ {
-			res, err := core.Run(space, objective, evaluate,
-				ga.Config{Seed: seed, Generations: 80}, v.g)
+			res, err := core.Search(context.Background(), core.SearchRequest{
+				Space:     space,
+				Objective: objective,
+				Evaluate:  evaluate,
+				Config:    ga.Config{Seed: seed, Generations: 80},
+			}, core.WithGuidance(v.g))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,8 +71,12 @@ func main() {
 	constrained := objective.Constrained(metrics.AtMost(noc.MetricZeroLoadLatency, 60))
 
 	fmt.Println("\noptimizing saturation-throughput-per-mm2 (latency <= 60 cycles):")
-	res, err := core.RunBaseline(space, constrained, evaluate,
-		ga.Config{Seed: 5, Generations: 12, PopulationSize: 8})
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space:     space,
+		Objective: constrained,
+		Evaluate:  evaluate,
+		Config:    ga.Config{Seed: 5, Generations: 12, PopulationSize: 8},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

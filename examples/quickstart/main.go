@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,8 @@ func main() {
 	cfg := ga.Config{Seed: 42} // paper defaults: population 10, 80 generations
 
 	// 1. Baseline GA: no knowledge of the design space.
-	baseline, err := core.RunBaseline(space, objective, evaluate, cfg)
+	req := core.SearchRequest{Space: space, Objective: objective, Evaluate: evaluate, Config: cfg}
+	baseline, err := core.Search(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	guided, err := core.Run(space, objective, evaluate, cfg, guidance)
+	guided, err := core.Search(context.Background(), req, core.WithGuidance(guidance))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"nautilus/internal/core"
@@ -35,7 +36,12 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	res, err := core.Run(space, obj, evaluate, ga.Config{Seed: 1, Generations: 30}, guidance)
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space:     space,
+		Objective: obj,
+		Evaluate:  evaluate,
+		Config:    ga.Config{Seed: 1, Generations: 30},
+	}, core.WithGuidance(guidance))
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -10,38 +10,31 @@ import (
 )
 
 // Run executes one Nautilus search: a GA over the space under cfg, guided
-// by g. A nil guidance (or zero confidence) runs the baseline GA. This is
-// the entry point an IP generator embeds.
+// by g. A nil guidance (or zero confidence) runs the baseline GA.
 //
-// When cfg.Recorder is set it observes the whole run: the engine reports
-// generations, evaluations, cache lookups, and pool scheduling, and the
-// guidance reports each hint application (the run is handed a recording
-// copy of g; the caller's guidance is never mutated).
+// Deprecated: use Search with WithGuidance. Run is a thin wrapper kept for
+// one release; it adds nothing over Search.
 func Run(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg ga.Config, g *Guidance) (ga.Result, error) {
-	return RunContext(context.Background(), space, obj, dataset.AdaptContext(eval), cfg, g)
+	return Search(context.Background(),
+		SearchRequest{Space: space, Objective: obj, Evaluate: eval, Config: cfg},
+		WithGuidance(g))
 }
 
-// RunContext is Run with cancellation and a context-aware evaluator: the
-// supervised/deadline path. Canceling ctx stops the search at the next
-// evaluation boundary; if cfg.Checkpoint is set the engine writes a final
-// snapshot first, and the returned Result has Interrupted set.
+// RunContext is Run with cancellation and a context-aware evaluator.
+//
+// Deprecated: use Search with WithGuidance. RunContext is a thin wrapper
+// kept for one release; it adds nothing over Search.
 func RunContext(ctx context.Context, space *param.Space, obj metrics.Objective, eval dataset.ContextEvaluator, cfg ga.Config, g *Guidance) (ga.Result, error) {
-	var strategy ga.Strategy
-	if g != nil {
-		if cfg.Recorder != nil {
-			g = g.WithRecorder(cfg.Recorder)
-		}
-		strategy = g
-	}
-	engine, err := ga.NewContext(space, obj, eval, cfg, strategy)
-	if err != nil {
-		return ga.Result{}, err
-	}
-	return engine.RunContext(ctx)
+	return Search(ctx,
+		SearchRequest{Space: space, Objective: obj, EvaluateCtx: eval, Config: cfg},
+		WithGuidance(g))
 }
 
 // RunBaseline executes the unguided baseline GA - the paper's comparison
 // point.
+//
+// Deprecated: use Search without WithGuidance.
 func RunBaseline(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg ga.Config) (ga.Result, error) {
-	return Run(space, obj, eval, cfg, nil)
+	return Search(context.Background(),
+		SearchRequest{Space: space, Objective: obj, Evaluate: eval, Config: cfg})
 }

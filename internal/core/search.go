@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nautilus/internal/dataset"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+	"nautilus/internal/resilience"
+	"nautilus/internal/telemetry"
+)
+
+// SearchRequest names everything a Nautilus search needs: the
+// characterized space, the objective, exactly one evaluator form, and the
+// GA scale. Cross-cutting concerns - guidance, telemetry, resilience,
+// batching, checkpointing - attach as SearchOptions rather than widening
+// this struct or the Search signature.
+type SearchRequest struct {
+	// Space is the design space to search.
+	Space *param.Space
+	// Objective scores evaluated metrics.
+	Objective metrics.Objective
+	// Evaluate characterizes one design point. Exactly one of Evaluate and
+	// EvaluateCtx must be set.
+	Evaluate dataset.Evaluator
+	// EvaluateCtx is the context-aware evaluator form: per-evaluation
+	// deadlines and run-level cancellation reach the underlying tool run.
+	EvaluateCtx dataset.ContextEvaluator
+	// Config is the GA scale and operator configuration. Options layered on
+	// top of the request (WithRecorder, WithBatchSize, ...) take precedence
+	// over the corresponding Config fields.
+	Config ga.Config
+}
+
+// SearchOption customizes one Search call.
+type SearchOption func(*searchConfig)
+
+type searchConfig struct {
+	guidance  *Guidance
+	policy    *resilience.Policy
+	registry  *telemetry.Registry
+	overrides []func(*ga.Config)
+}
+
+// WithGuidance applies hint-guided mutation (nil or zero-confidence
+// guidance degrades to the unguided baseline). When a recorder is active,
+// the run is handed a recording copy of g; the caller's guidance is never
+// mutated.
+func WithGuidance(g *Guidance) SearchOption {
+	return func(c *searchConfig) { c.guidance = g }
+}
+
+// WithRecorder attaches structured run telemetry (generations,
+// evaluations, cache lookups, pool scheduling, hint applications).
+// Recording is observational only: results are byte-identical with it on
+// or off.
+func WithRecorder(rec telemetry.Recorder) SearchOption {
+	return func(c *searchConfig) {
+		if rec != nil {
+			c.override(func(cfg *ga.Config) { cfg.Recorder = rec })
+		}
+	}
+}
+
+// WithResilience wraps the evaluator in a resilience.Supervisor built from
+// policy: per-attempt deadlines, bounded seeded-jitter retries, and the
+// quarantine circuit breaker. reg (optional) receives the supervisor's
+// counters. Callers that need the supervisor afterwards (e.g. to list
+// Quarantined points) should construct it themselves and pass its
+// Evaluator as EvaluateCtx instead.
+func WithResilience(policy resilience.Policy, reg *telemetry.Registry) SearchOption {
+	return func(c *searchConfig) {
+		p := policy
+		c.policy, c.registry = &p, reg
+	}
+}
+
+// WithBatchSize caps how many individuals each evaluation batch carries
+// (0 = the whole generation, the default). Results are identical at any
+// batch size.
+func WithBatchSize(n int) SearchOption {
+	return func(c *searchConfig) {
+		c.override(func(cfg *ga.Config) { cfg.BatchSize = n })
+	}
+}
+
+// WithDispatch selects the evaluation dispatch mode: ga.DispatchBatch (the
+// default) or ga.DispatchSingle (the legacy point-at-a-time path, kept for
+// comparison).
+func WithDispatch(mode string) SearchOption {
+	return func(c *searchConfig) {
+		c.override(func(cfg *ga.Config) { cfg.Dispatch = mode })
+	}
+}
+
+// WithBatchBackend routes each generation's residual cache misses to b as
+// whole batches (see dataset.Cache.SetBatchBackend).
+func WithBatchBackend(b dataset.BatchEvaluator) SearchOption {
+	return func(c *searchConfig) {
+		c.override(func(cfg *ga.Config) { cfg.BatchBackend = b })
+	}
+}
+
+// WithCheckpoint saves a resumable snapshot through save every `every`
+// generations (and once more on cancellation).
+func WithCheckpoint(save func(*ga.Snapshot) error, every int) SearchOption {
+	return func(c *searchConfig) {
+		c.override(func(cfg *ga.Config) {
+			cfg.Checkpoint = save
+			cfg.CheckpointEvery = every
+		})
+	}
+}
+
+// WithResume starts the run from a previously checkpointed snapshot.
+func WithResume(snap *ga.Snapshot) SearchOption {
+	return func(c *searchConfig) {
+		c.override(func(cfg *ga.Config) { cfg.Resume = snap })
+	}
+}
+
+// override queues a ga.Config mutation applied after the request's Config
+// is copied, so options win over request fields.
+func (c *searchConfig) override(f func(*ga.Config)) {
+	c.overrides = append(c.overrides, f)
+}
+
+// Search executes one Nautilus search described by req: a (by default
+// batched) GA over req.Space under req.Config, optionally guided,
+// supervised, and recorded via opts. It is the single entry point an IP
+// generator embeds; Run, RunContext, and RunBaseline are thin deprecated
+// wrappers over it.
+//
+// Canceling ctx stops the search at the next evaluation boundary; with a
+// checkpoint configured the engine writes a final snapshot first and the
+// returned Result has Interrupted set.
+func Search(ctx context.Context, req SearchRequest, opts ...SearchOption) (ga.Result, error) {
+	var sc searchConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&sc)
+		}
+	}
+
+	eval := req.EvaluateCtx
+	switch {
+	case req.Evaluate != nil && req.EvaluateCtx != nil:
+		return ga.Result{}, fmt.Errorf("core: SearchRequest sets both Evaluate and EvaluateCtx")
+	case req.Evaluate != nil:
+		eval = dataset.AdaptContext(req.Evaluate)
+	case req.EvaluateCtx == nil:
+		return ga.Result{}, fmt.Errorf("core: SearchRequest needs an evaluator")
+	}
+
+	cfg := req.Config
+	for _, f := range sc.overrides {
+		f(&cfg)
+	}
+	if sc.policy != nil {
+		sup, err := resilience.NewSupervisor(req.Space, eval, *sc.policy, sc.registry)
+		if err != nil {
+			return ga.Result{}, err
+		}
+		eval = sup.Evaluate
+	}
+
+	var strategy ga.Strategy
+	if g := sc.guidance; g != nil {
+		if cfg.Recorder != nil {
+			g = g.WithRecorder(cfg.Recorder)
+		}
+		strategy = g
+	}
+	engine, err := ga.NewContext(req.Space, req.Objective, eval, cfg, strategy)
+	if err != nil {
+		return ga.Result{}, err
+	}
+	return engine.RunContext(ctx)
+}

@@ -1,0 +1,402 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// TestBatchEvaluateValues checks a batch with duplicates and an infeasible
+// point returns exactly what point-at-a-time evaluation returns, with
+// batch-amortized accounting that still matches the single path's.
+func TestBatchEvaluateValues(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	pts := []param.Point{
+		{1, 2}, {3, 4}, {1, 2}, {9, 9}, {3, 4}, {1, 2},
+	}
+	ms, errs, err := c.EvaluateBatchCtx(context.Background(), pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		want, wantErr := eval(pt)
+		if (errs[i] == nil) != (wantErr == nil) {
+			t.Errorf("point %d: err %v, want %v", i, errs[i], wantErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(ms[i], want) {
+			t.Errorf("point %d: metrics %v, want %v", i, ms[i], want)
+		}
+	}
+	st := c.Stats()
+	if st.Total != 6 || st.Distinct != 3 || st.Hits != 3 || st.Transient != 0 {
+		t.Errorf("stats = %+v, want total 6, distinct 3, hits 3", st)
+	}
+}
+
+// TestBatchMatchesSingleStats streams the same requests through the batch
+// path and the single path on fresh caches: values and accounting must be
+// identical.
+func TestBatchMatchesSingleStats(t *testing.T) {
+	s, eval := toySpace()
+	var stream []param.Point
+	for i := 0; i < 40; i++ {
+		stream = append(stream, param.Point{i % 7, (i * 3) % 5})
+	}
+
+	single := NewCache(s, eval)
+	var singleMs []metrics.Metrics
+	var singleErrs []error
+	for _, pt := range stream {
+		m, err := single.EvaluateCtx(context.Background(), pt)
+		singleMs = append(singleMs, m)
+		singleErrs = append(singleErrs, err)
+	}
+
+	batch := NewCache(s, eval)
+	var batchMs []metrics.Metrics
+	var batchErrs []error
+	for lo := 0; lo < len(stream); lo += 8 {
+		ms, errs, err := batch.EvaluateBatchCtx(context.Background(), stream[lo:lo+8], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchMs = append(batchMs, ms...)
+		batchErrs = append(batchErrs, errs...)
+	}
+
+	if !reflect.DeepEqual(singleMs, batchMs) {
+		t.Error("batch metrics differ from single-path metrics")
+	}
+	if !reflect.DeepEqual(singleErrs, batchErrs) {
+		t.Error("batch errors differ from single-path errors")
+	}
+	if ss, bs := single.Stats(), batch.Stats(); ss != bs {
+		t.Errorf("stats differ: single %+v, batch %+v", ss, bs)
+	}
+}
+
+// TestBatchTransientWithdrawal: a transient failure is delivered to every
+// duplicate request of the key, never memoized, and the next batch retries
+// the evaluation.
+func TestBatchTransientWithdrawal(t *testing.T) {
+	s, _ := toySpace()
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	eval := func(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+		k := s.Key(pt)
+		mu.Lock()
+		attempts[k]++
+		n := attempts[k]
+		mu.Unlock()
+		if k == "1,1" && n == 1 {
+			return nil, MarkTransient(errors.New("backend hiccup"))
+		}
+		return metrics.Metrics{"cost": 1}, nil
+	}
+	c := NewCacheContext(s, eval)
+
+	pts := []param.Point{{1, 1}, {2, 2}, {1, 1}}
+	_, errs, err := c.EvaluateBatchCtx(context.Background(), pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] == nil || !IsTransient(errs[0]) {
+		t.Fatalf("first request: err %v, want transient", errs[0])
+	}
+	if !IsTransient(errs[2]) {
+		t.Errorf("duplicate request: err %v, want the same transient", errs[2])
+	}
+	if errs[1] != nil {
+		t.Errorf("healthy point: err %v", errs[1])
+	}
+	st := c.Stats()
+	if st.Distinct != 1 || st.Transient != 1 {
+		t.Errorf("stats = %+v, want distinct 1, transient 1", st)
+	}
+
+	// The withdrawn entry must not be poisoned: a later batch re-runs the
+	// evaluator and memoizes the success.
+	_, errs, err = c.EvaluateBatchCtx(context.Background(), pts[:1], 1)
+	if err != nil || errs[0] != nil {
+		t.Fatalf("retry batch: %v / %v", err, errs[0])
+	}
+	if got := attempts["1,1"]; got != 2 {
+		t.Errorf("attempts = %d, want 2 (withdrawn entry retried)", got)
+	}
+	if st := c.Stats(); st.Distinct != 2 || st.Transient != 1 {
+		t.Errorf("stats after retry = %+v, want distinct 2, transient 1", st)
+	}
+}
+
+// TestBatchBackendForwarding: with a batch backend set, residual misses
+// arrive at the backend as one deduplicated batch in first-appearance
+// order, and cached keys never reach it.
+func TestBatchBackendForwarding(t *testing.T) {
+	s, eval := toySpace()
+	var calls [][]string
+	c := NewCache(s, eval)
+	c.SetBatchBackend(func(ctx context.Context, pts []param.Point) ([]metrics.Metrics, []error) {
+		keys := make([]string, len(pts))
+		ms := make([]metrics.Metrics, len(pts))
+		errs := make([]error, len(pts))
+		for i, pt := range pts {
+			keys[i] = s.Key(pt)
+			ms[i], errs[i] = eval(pt)
+		}
+		calls = append(calls, keys)
+		return ms, errs
+	})
+
+	pts := []param.Point{{5, 1}, {6, 2}, {5, 1}, {7, 3}}
+	if _, _, err := c.EvaluateBatchCtx(context.Background(), pts, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"5,1", "6,2", "7,3"}}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("backend calls = %v, want %v", calls, want)
+	}
+
+	// Second batch: only the genuinely new key reaches the backend.
+	pts = []param.Point{{5, 1}, {8, 4}}
+	if _, _, err := c.EvaluateBatchCtx(context.Background(), pts, 4); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, []string{"8,4"})
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("backend calls = %v, want %v", calls, want)
+	}
+}
+
+// TestBatchBackendMisbehaving: a backend returning the wrong number of
+// results fails the sub-batch transiently without poisoning the cache.
+func TestBatchBackendMisbehaving(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	broken := true
+	c.SetBatchBackend(func(ctx context.Context, pts []param.Point) ([]metrics.Metrics, []error) {
+		if broken {
+			return nil, nil
+		}
+		ms := make([]metrics.Metrics, len(pts))
+		errs := make([]error, len(pts))
+		for i, pt := range pts {
+			ms[i], errs[i] = eval(pt)
+		}
+		return ms, errs
+	})
+
+	pt := []param.Point{{2, 3}}
+	_, errs, err := c.EvaluateBatchCtx(context.Background(), pt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] == nil || !IsTransient(errs[0]) {
+		t.Fatalf("broken backend: err %v, want transient", errs[0])
+	}
+
+	broken = false
+	_, errs, err = c.EvaluateBatchCtx(context.Background(), pt, 1)
+	if err != nil || errs[0] != nil {
+		t.Fatalf("after repair: %v / %v (entry poisoned?)", err, errs[0])
+	}
+}
+
+// TestBatchCanceled: a batch under a canceled context reports the batch as
+// incomplete and marks unevaluated items transient.
+func TestBatchCanceled(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts := []param.Point{{1, 1}, {2, 2}}
+	_, errs, err := c.EvaluateBatchCtx(ctx, pts, 2)
+	if err == nil {
+		t.Fatal("batch error nil under canceled context")
+	}
+	for i, e := range errs {
+		if e == nil || !IsTransient(e) {
+			t.Errorf("item %d: err %v, want transient", i, e)
+		}
+	}
+}
+
+// TestBatchMergesInFlight: a batch requesting a key another goroutine is
+// already evaluating waits for that result instead of re-dispatching, and
+// a canceled wait abandons it transiently while the owner still completes.
+func TestBatchMergesInFlight(t *testing.T) {
+	s, _ := toySpace()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var evals int
+	var mu sync.Mutex
+	eval := func(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+		mu.Lock()
+		evals++
+		mu.Unlock()
+		close(started)
+		<-release
+		return metrics.Metrics{"cost": 42}, nil
+	}
+	c := NewCacheContext(s, eval)
+
+	// Owner: a single-point lookup holding the singleflight slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.EvaluateCtx(context.Background(), param.Point{4, 4}); err != nil {
+			t.Errorf("owner: %v", err)
+		}
+	}()
+	<-started
+
+	// A batch for the same key under a cancelable context: first try is
+	// canceled mid-wait, second try (after release) merges with the result.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, errs, err := c.EvaluateBatchCtx(ctx, []param.Point{{4, 4}}, 1)
+		if err == nil || !IsTransient(errs[0]) {
+			t.Errorf("canceled merge: err %v / %v, want transient", err, errs[0])
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	<-done
+
+	close(release)
+	wg.Wait()
+	ms, errs, err := c.EvaluateBatchCtx(context.Background(), []param.Point{{4, 4}}, 1)
+	if err != nil || errs[0] != nil {
+		t.Fatalf("merged result: %v / %v", err, errs[0])
+	}
+	if ms[0]["cost"] != 42 {
+		t.Errorf("merged metrics = %v", ms[0])
+	}
+	if evals != 1 {
+		t.Errorf("evaluator ran %d times, want 1 (batch must merge, not re-dispatch)", evals)
+	}
+}
+
+// TestBatchConcurrentBatches: concurrent batches over overlapping keys on
+// one cache evaluate each key exactly once between them.
+func TestBatchConcurrentBatches(t *testing.T) {
+	s, _ := toySpace()
+	var mu sync.Mutex
+	evals := map[string]int{}
+	eval := func(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+		mu.Lock()
+		evals[s.Key(pt)]++
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return metrics.Metrics{"cost": float64(pt[0])}, nil
+	}
+	c := NewCacheContext(s, eval)
+
+	mk := func(off int) []param.Point {
+		pts := make([]param.Point, 8)
+		for i := range pts {
+			pts[i] = param.Point{(off + i) % 9, (off + i) % 5}
+		}
+		return pts
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			ms, errs, err := c.EvaluateBatchCtx(context.Background(), mk(off), 2)
+			if err != nil {
+				t.Errorf("batch %d: %v", off, err)
+				return
+			}
+			for i, pt := range mk(off) {
+				if errs[i] != nil || ms[i]["cost"] != float64(pt[0]) {
+					t.Errorf("batch %d item %d: %v / %v", off, i, ms[i], errs[i])
+				}
+			}
+		}(g * 4)
+	}
+	wg.Wait()
+	for k, n := range evals {
+		if n != 1 {
+			t.Errorf("key %s evaluated %d times, want 1", k, n)
+		}
+	}
+}
+
+// TestBatchOf: the adapter fans a batch over the pool and returns
+// index-aligned results; under a canceled context every unstarted item
+// comes back transient.
+func TestBatchOf(t *testing.T) {
+	s, evalPt := toySpace()
+	be := BatchOf(AdaptContext(evalPt), 3)
+	pts := []param.Point{{1, 2}, {3, 4}, {5, 6}, {9, 9}}
+	ms, errs := be(context.Background(), pts)
+	for i, pt := range pts {
+		want, wantErr := evalPt(pt)
+		if (errs[i] == nil) != (wantErr == nil) || (wantErr == nil && !reflect.DeepEqual(ms[i], want)) {
+			t.Errorf("item %d: %v / %v, want %v / %v", i, ms[i], errs[i], want, wantErr)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs = be(ctx, pts)
+	for i, e := range errs {
+		if e == nil || !IsTransient(e) {
+			t.Errorf("canceled item %d: err %v, want transient", i, e)
+		}
+	}
+	_ = s
+}
+
+// TestBatchShapeErrors: the keyed entry point rejects mismatched slices
+// and handles the empty batch.
+func TestBatchShapeErrors(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	if _, _, err := c.EvaluateBatchKeyedCtx(context.Background(), []string{"1,1"}, nil, 1); err == nil {
+		t.Error("mismatched keys/points accepted")
+	}
+	ms, errs, err := c.EvaluateBatchCtx(context.Background(), nil, 1)
+	if err != nil || len(ms) != 0 || len(errs) != 0 {
+		t.Errorf("empty batch: %v %v %v", ms, errs, err)
+	}
+	if st := c.Stats(); st.Total != 0 {
+		t.Errorf("empty batch counted: %+v", st)
+	}
+}
+
+// TestBatchLargeUsesMapDedup pushes a batch past the linear-dedup
+// threshold so the map fallback path is exercised too.
+func TestBatchLargeUsesMapDedup(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	n := linearBatchDedup*2 + 5
+	pts := make([]param.Point, n)
+	for i := range pts {
+		pts[i] = param.Point{i % 8, (i / 8) % 5}
+	}
+	ms, errs, err := c.EvaluateBatchCtx(context.Background(), pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		want, _ := eval(pt)
+		if errs[i] != nil || !reflect.DeepEqual(ms[i], want) {
+			t.Errorf("item %d: %v / %v, want %v", i, ms[i], errs[i], want)
+		}
+	}
+	if st := c.Stats(); st.Total != n || st.Distinct != 40 || st.Hits != n-40 {
+		t.Errorf("stats = %+v, want total %d, distinct 40", st, n)
+	}
+}

@@ -102,12 +102,17 @@ type Cache struct {
 	space *param.Space
 	eval  ContextEvaluator
 	rec   telemetry.Recorder
+	batch BatchEvaluator
 
 	distinct  atomic.Int64
 	total     atomic.Int64
 	dedup     atomic.Int64
 	transient atomic.Int64
 	shards    [cacheShards]cacheShard
+
+	// scratch pools batch-resolution working state (see batchScratch), so
+	// steady-state batches allocate nothing beyond their result slices.
+	scratch sync.Pool
 }
 
 type cacheShard struct {

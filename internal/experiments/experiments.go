@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -163,7 +164,12 @@ func runGA(space *param.Space, obj metrics.Objective, eval dataset.Evaluator,
 	rec telemetry.Recorder) ([]ga.Result, error) {
 	return pool.MapRec(par, runs, func(i int) (ga.Result, error) {
 		cfg := ga.Config{Seed: seedFor(experiment, variant, i), Generations: generations, Recorder: rec}
-		res, err := core.Run(space, obj, eval, cfg, g)
+		res, err := core.Search(context.Background(), core.SearchRequest{
+			Space:     space,
+			Objective: obj,
+			Evaluate:  eval,
+			Config:    cfg,
+		}, core.WithGuidance(g))
 		if err != nil {
 			return ga.Result{}, fmt.Errorf("%s/%s run %d: %w", experiment, variant, i, err)
 		}

@@ -1,0 +1,59 @@
+package ga
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nautilus/internal/metrics"
+)
+
+// TestDispatchEquivalence is the batched pipeline's core contract: batch
+// dispatch produces results identical to the legacy point-at-a-time path -
+// best point, trajectory, and cache accounting included - at every batch
+// size and parallelism.
+func TestDispatchEquivalence(t *testing.T) {
+	s, eval := quadSpace()
+	obj := metrics.MinimizeMetric("cost")
+	const pop = 14
+	run := func(dispatch string, batchSize, par int) Result {
+		t.Helper()
+		e, err := New(s, obj, eval, Config{
+			Seed:           7,
+			PopulationSize: pop,
+			Generations:    30,
+			Parallelism:    par,
+			Dispatch:       dispatch,
+			BatchSize:      batchSize,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run()
+	}
+
+	want := run(DispatchSingle, 0, 1)
+	for _, par := range []int{1, 4} {
+		if got := run(DispatchSingle, 0, par); !reflect.DeepEqual(want, got) {
+			t.Errorf("single dispatch par=%d differs from par=1", par)
+		}
+		for _, bs := range []int{1, 7, pop} {
+			name := fmt.Sprintf("batch size=%d par=%d", bs, par)
+			if got := run(DispatchBatch, bs, par); !reflect.DeepEqual(want, got) {
+				t.Errorf("%s: result differs from single dispatch\n got: %+v\nwant: %+v", name, got, want)
+			}
+		}
+	}
+}
+
+// TestDispatchValidation rejects unknown modes and negative batch sizes.
+func TestDispatchValidation(t *testing.T) {
+	s, eval := quadSpace()
+	obj := metrics.MinimizeMetric("cost")
+	if _, err := New(s, obj, eval, Config{Dispatch: "bulk"}, nil); err == nil {
+		t.Error("unknown dispatch mode accepted")
+	}
+	if _, err := New(s, obj, eval, Config{BatchSize: -1}, nil); err == nil {
+		t.Error("negative batch size accepted")
+	}
+}

@@ -106,7 +106,34 @@ type Config struct {
 	// and population size must match the configuration; the resumed run's
 	// Result is byte-identical to an uninterrupted run's.
 	Resume *Snapshot
+	// Dispatch selects how a generation's evaluations reach the cache:
+	// DispatchBatch (the default) submits the whole generation as one
+	// batch - deduplicated in a single sharded pass, misses fanned out
+	// together - while DispatchSingle keeps the legacy one-lookup-per-point
+	// path. Both produce byte-identical Results and cache stats; single
+	// remains selectable for comparison benchmarks and equivalence tests.
+	Dispatch string
+	// BatchSize caps how many individuals each batch carries under
+	// DispatchBatch. 0 (the default) submits the whole generation at once;
+	// smaller sizes chunk the generation into ceil(population/BatchSize)
+	// batches. Results are identical at any batch size.
+	BatchSize int
+	// BatchBackend, when non-nil, receives the cache's residual misses as
+	// whole batches instead of the cache fanning them out over the
+	// single-point evaluator - the hook a layered cache (e.g. the server's
+	// process-wide shared cache) uses to coalesce in-flight batches across
+	// sessions.
+	BatchBackend dataset.BatchEvaluator
 }
+
+// Dispatch modes for Config.Dispatch.
+const (
+	// DispatchBatch submits each generation as one deduplicated batch.
+	DispatchBatch = "batch"
+	// DispatchSingle dispatches evaluations one cache lookup at a time
+	// (the pre-batching pipeline, kept for comparison).
+	DispatchSingle = "single"
+)
 
 // withDefaults returns cfg with zero fields replaced by paper defaults.
 func (c Config) withDefaults() Config {
@@ -139,6 +166,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 1
+	}
+	if c.Dispatch == "" {
+		c.Dispatch = DispatchBatch
 	}
 	if c.Recorder == nil {
 		c.Recorder = telemetry.Nop
@@ -181,6 +211,14 @@ func (c Config) validate() error {
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("ga: checkpoint interval %d < 0", c.CheckpointEvery)
+	}
+	switch c.Dispatch {
+	case DispatchBatch, DispatchSingle:
+	default:
+		return fmt.Errorf("ga: unknown dispatch mode %q", c.Dispatch)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("ga: batch size %d < 0", c.BatchSize)
 	}
 	return nil
 }
@@ -292,6 +330,10 @@ type Engine struct {
 	// seen is the scratch map for per-generation genome-diversity counting,
 	// reused across generations to keep the hot loop allocation-free.
 	seen map[string]struct{}
+	// batchKeys/batchPts are the batch dispatch path's reusable request
+	// buffers, sized once per run to keep batching allocation-free too.
+	batchKeys []string
+	batchPts  []param.Point
 }
 
 // New builds an Engine. eval is the raw (uncached) evaluator; the engine
@@ -321,6 +363,9 @@ func NewContext(space *param.Space, obj metrics.Objective, eval dataset.ContextE
 	}
 	cache := dataset.NewCacheContext(space, eval)
 	cache.SetRecorder(cfg.Recorder)
+	if cfg.BatchBackend != nil {
+		cache.SetBatchBackend(cfg.BatchBackend)
+	}
 	return &Engine{
 		space:    space,
 		obj:      obj,
@@ -551,31 +596,53 @@ func (e *Engine) uniqueGenomes(pop []individual) int {
 	return len(e.seen)
 }
 
-// evaluate fills in fitness for the population - on a fixed set of
-// Parallelism workers when configured. Results land per individual, and the
-// cache deduplicates concurrent requests for the same genome, so the
-// outcome is identical at any parallelism level. A non-nil error means ctx
-// was canceled: the workers drained, but the generation is incomplete and
-// must be discarded.
+// evaluate fills in fitness for the population. Under DispatchBatch (the
+// default) the generation is submitted to the cache as deduplicated
+// batches; under DispatchSingle each individual is a separate cache lookup
+// on a fixed set of Parallelism workers. Both paths produce identical
+// populations and cache stats at any parallelism level. A non-nil error
+// means ctx was canceled: the generation is incomplete and must be
+// discarded.
 func (e *Engine) evaluate(ctx context.Context, gen int, pop []individual) error {
+	if e.cfg.Dispatch == DispatchSingle {
+		return e.evaluateSingle(ctx, gen, pop)
+	}
+	// Adaptive dispatch: the batch pipeline amortizes worker fan-out and
+	// lock traffic, so with one worker and no bulk backend to feed there is
+	// nothing to amortize and the inline path is strictly cheaper. Results
+	// are identical either way (see TestDispatchEquivalence).
+	if e.cfg.Parallelism <= 1 && e.cfg.BatchBackend == nil {
+		return e.evaluateSingle(ctx, gen, pop)
+	}
+	return e.evaluateBatch(ctx, gen, pop)
+}
+
+// score interprets one evaluation outcome into the individual's fitness
+// fields: errors and infeasible metrics both demote to -Inf / Worst.
+func (e *Engine) score(ind *individual, m metrics.Metrics, err error) {
+	if err != nil {
+		ind.fitness = math.Inf(-1)
+		ind.value = e.obj.Worst()
+		ind.ok = false
+		return
+	}
+	ind.fitness = e.obj.Fitness(m)
+	ind.value, ind.ok = e.obj.Value(m)
+	if !ind.ok {
+		ind.fitness = math.Inf(-1)
+		ind.value = e.obj.Worst()
+	}
+}
+
+// evaluateSingle is the legacy point-at-a-time dispatch path.
+func (e *Engine) evaluateSingle(ctx context.Context, gen int, pop []individual) error {
 	eval := func(i int) {
 		ind := &pop[i]
 		if ind.key == "" {
 			ind.key = e.space.Key(ind.genome)
 		}
 		m, err := e.cache.EvaluateKeyedCtx(ctx, ind.key, ind.genome)
-		if err != nil {
-			ind.fitness = math.Inf(-1)
-			ind.value = e.obj.Worst()
-			ind.ok = false
-		} else {
-			ind.fitness = e.obj.Fitness(m)
-			ind.value, ind.ok = e.obj.Value(m)
-			if !ind.ok {
-				ind.fitness = math.Inf(-1)
-				ind.value = e.obj.Worst()
-			}
-		}
+		e.score(ind, m, err)
 		e.rec.RecordEvaluation(telemetry.EvaluationRecord{
 			Generation: gen,
 			Feasible:   ind.ok,
@@ -583,6 +650,48 @@ func (e *Engine) evaluate(ctx context.Context, gen int, pop []individual) error 
 		})
 	}
 	return pool.EachRecCtx(ctx, e.cfg.Parallelism, len(pop), eval, e.rec)
+}
+
+// evaluateBatch submits the generation to the cache in chunks of BatchSize
+// (whole generation when 0). Keys, points, and outcomes stay index-aligned,
+// so the scored population is identical to evaluateSingle's.
+func (e *Engine) evaluateBatch(ctx context.Context, gen int, pop []individual) error {
+	chunk := e.cfg.BatchSize
+	if chunk <= 0 || chunk > len(pop) {
+		chunk = len(pop)
+	}
+	if cap(e.batchKeys) < chunk {
+		e.batchKeys = make([]string, 0, chunk)
+		e.batchPts = make([]param.Point, 0, chunk)
+	}
+	for lo := 0; lo < len(pop); lo += chunk {
+		hi := min(lo+chunk, len(pop))
+		batch := pop[lo:hi]
+		keys := e.batchKeys[:0]
+		pts := e.batchPts[:0]
+		for i := range batch {
+			ind := &batch[i]
+			if ind.key == "" {
+				ind.key = e.space.Key(ind.genome)
+			}
+			keys = append(keys, ind.key)
+			pts = append(pts, ind.genome)
+		}
+		ms, errs, err := e.cache.EvaluateBatchKeyedCtx(ctx, keys, pts, e.cfg.Parallelism)
+		if err != nil {
+			return err
+		}
+		for i := range batch {
+			ind := &batch[i]
+			e.score(ind, ms[i], errs[i])
+			e.rec.RecordEvaluation(telemetry.EvaluationRecord{
+				Generation: gen,
+				Feasible:   ind.ok,
+				Fitness:    ind.fitness,
+			})
+		}
+	}
+	return ctx.Err()
 }
 
 // nextGeneration breeds the following population: elites first, then

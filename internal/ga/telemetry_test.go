@@ -67,8 +67,11 @@ func TestCollectorSeesRun(t *testing.T) {
 	if int(hits+misses) != res.Cache.Total {
 		t.Errorf("cache events %d != total queries %d", hits+misses, res.Cache.Total)
 	}
+	// This run has Parallelism 1, so adaptive dispatch takes the inline
+	// single path: every evaluation is a pool task, exactly like the
+	// legacy point-at-a-time dispatch.
 	if got := snap.Counters[telemetry.MetricPoolTasks]; got != wantEvals {
-		t.Errorf("pool tasks = %d, want %d", got, wantEvals)
+		t.Errorf("pool tasks = %d, want %d (evaluations)", got, wantEvals)
 	}
 	gens := col.Generations()
 	if len(gens) != 11 {

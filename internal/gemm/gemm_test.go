@@ -1,6 +1,7 @@
 package gemm
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -160,12 +161,17 @@ func TestExpertHintsAccelerateSearch(t *testing.T) {
 	var baseEvals, guidedEvals int
 	const runs = 8
 	for seed := int64(0); seed < runs; seed++ {
-		cfg := ga.Config{Seed: seed, Generations: 40}
-		b, err := core.RunBaseline(s, obj, eval, cfg)
+		req := core.SearchRequest{
+			Space:     s,
+			Objective: obj,
+			Evaluate:  eval,
+			Config:    ga.Config{Seed: seed, Generations: 40},
+		}
+		b, err := core.Search(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
-		n, err := core.Run(s, obj, eval, cfg, g)
+		n, err := core.Search(context.Background(), req, core.WithGuidance(g))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,8 @@
 package integration
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -17,6 +19,8 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/noc"
 	"nautilus/internal/param"
+	"nautilus/internal/resilience"
+	"nautilus/internal/resilience/faulty"
 )
 
 func TestEndToEndFFT(t *testing.T) {
@@ -30,7 +34,9 @@ func TestEndToEndFFT(t *testing.T) {
 	}
 
 	// The user states a goal and runs the search.
-	res, err := core.Run(space, obj, eval, ga.Config{Seed: 11}, guidance)
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space: space, Objective: obj, Evaluate: eval, Config: ga.Config{Seed: 11},
+	}, core.WithGuidance(guidance))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +90,9 @@ func TestEndToEndNoC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(space, obj, eval, ga.Config{Seed: 3}, guidance)
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space: space, Objective: obj, Evaluate: eval, Config: ga.Config{Seed: 3},
+	}, core.WithGuidance(guidance))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +130,9 @@ func TestEndToEndGEMMWithConstraints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(space, obj, eval, ga.Config{Seed: 7}, guidance)
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space: space, Objective: obj, Evaluate: eval, Config: ga.Config{Seed: 7},
+	}, core.WithGuidance(guidance))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,8 +176,10 @@ func TestEndToEndNetworkSimulation(t *testing.T) {
 	}
 	obj := metrics.MaximizeMetric(noc.MetricSatThroughput).
 		Constrained(metrics.AtMost(metrics.PowerMW, 6000))
-	res, err := core.RunBaseline(space, obj, eval,
-		ga.Config{Seed: 2, Generations: 5, PopulationSize: 5})
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space: space, Objective: obj, Evaluate: eval,
+		Config: ga.Config{Seed: 2, Generations: 5, PopulationSize: 5},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,5 +192,63 @@ func TestEndToEndNetworkSimulation(t *testing.T) {
 	}
 	if p, _ := m.Get(metrics.PowerMW); p > 6000 {
 		t.Errorf("power budget violated: %v mW", p)
+	}
+}
+
+// TestDispatchEquivalenceUnderFaults runs the same supervised FFT search
+// under both dispatch modes with 20% of design points injecting transient
+// faults (the PR 3 resilience configuration): retries absorb the faults
+// inside the evaluation layer, so both modes must still produce results
+// identical to each other and to the fault-free run.
+func TestDispatchEquivalenceUnderFaults(t *testing.T) {
+	space := fft.Space()
+	obj := metrics.MinimizeMetric(metrics.LUTs)
+	base := func(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+		return fft.Evaluate(space, pt)
+	}
+	run := func(dispatch string, injectFaults bool) ga.Result {
+		t.Helper()
+		eval := dataset.ContextEvaluator(base)
+		if injectFaults {
+			inj, err := faulty.NewContext(space, eval, faulty.Config{
+				TransientRate:     0.2,
+				TransientFailures: 1,
+				Seed:              5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eval = inj.Evaluate
+		}
+		sup, err := resilience.NewSupervisor(space, eval, resilience.Policy{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Search(context.Background(), core.SearchRequest{
+			Space:       space,
+			Objective:   obj,
+			EvaluateCtx: sup.Evaluate,
+			Config: ga.Config{
+				Seed:           3,
+				PopulationSize: 8,
+				Generations:    25,
+				Parallelism:    4,
+				Dispatch:       dispatch,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	clean := run(ga.DispatchSingle, false)
+	single := run(ga.DispatchSingle, true)
+	batch := run(ga.DispatchBatch, true)
+	if !reflect.DeepEqual(single, batch) {
+		t.Errorf("dispatch modes disagree under faults:\nsingle: %+v\nbatch:  %+v", single, batch)
+	}
+	if !reflect.DeepEqual(clean, single) {
+		t.Errorf("supervised faulty run differs from fault-free run:\nclean:  %+v\nfaulty: %+v", clean, single)
 	}
 }

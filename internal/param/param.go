@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -470,14 +471,17 @@ func (s *Space) Key(pt Point) string {
 	if err := s.Validate(pt); err != nil {
 		panic(err)
 	}
-	var b strings.Builder
+	// Keys are built once per dispatched design point, so this is one of
+	// the search's hottest paths: strconv into a preallocated buffer, not
+	// fmt, keeps it to a single allocation.
+	buf := make([]byte, 0, 8*len(pt))
 	for i, v := range pt {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&b, "%d", v)
+		buf = strconv.AppendInt(buf, int64(v), 10)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // ParseKey is the inverse of Key.

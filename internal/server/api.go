@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"nautilus/internal/telemetry"
 )
@@ -39,31 +40,63 @@ func (e *FailedError) Error() string {
 	return fmt.Sprintf("job %s: %s", e.State, e.Message)
 }
 
-// Handler returns the server's HTTP API:
+// Handler returns the server's HTTP API, versioned under /v1/:
 //
-//	POST   /api/v1/jobs             submit a JobSpec, 202 + JobStatus
-//	GET    /api/v1/jobs             list sessions (submission order)
-//	GET    /api/v1/jobs/{id}        one session's status
-//	GET    /api/v1/jobs/{id}/result final JobResult (409 until terminal)
-//	GET    /api/v1/jobs/{id}/events SSE per-generation progress
-//	DELETE /api/v1/jobs/{id}        cancel a running session
-//	GET    /api/v1/stats            shared-cache + scheduler accounting
-//	GET    /api/v1/healthz          liveness + draining flag
-//	GET    /debug/sessions          per-session metric registry snapshots
+//	POST   /v1/jobs             submit a JobSpec, 202 + JobStatus
+//	GET    /v1/jobs             list sessions (submission order)
+//	GET    /v1/jobs/{id}        one session's status
+//	GET    /v1/jobs/{id}/result final JobResult (409 until terminal)
+//	GET    /v1/jobs/{id}/events SSE per-generation progress
+//	DELETE /v1/jobs/{id}        cancel a running session
+//	GET    /v1/stats            shared-cache + scheduler accounting
+//	GET    /v1/healthz          liveness + draining flag
+//	GET    /debug/sessions      per-session metric registry snapshots
 //	/debug/vars, /debug/pprof/...   telemetry.DebugMux over the registry
+//
+// Every route is also reachable under the pre-versioning /api/v1/ prefix
+// for one release; those aliases answer identically but carry a
+// Deprecation header pointing at the /v1/ replacement. Errors use a
+// uniform envelope on both families:
+//
+//	{"error": {"code": "not_found", "message": "no such job"}}
+//
+// with codes bad_request, not_found, not_ready, draining,
+// too_many_sessions, failed, and internal (failed errors also carry the
+// session's terminal state).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	routes := []struct {
+		pattern string
+		fn      http.HandlerFunc
+	}{
+		{"POST /jobs", s.handleSubmit},
+		{"GET /jobs", s.handleList},
+		{"GET /jobs/{id}", s.handleStatus},
+		{"GET /jobs/{id}/result", s.handleResult},
+		{"GET /jobs/{id}/events", s.handleEvents},
+		{"DELETE /jobs/{id}", s.handleCancel},
+		{"GET /stats", s.handleStats},
+		{"GET /healthz", s.handleHealthz},
+	}
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, rt.fn)
+		mux.HandleFunc(method+" /api/v1"+path, deprecated(path, rt.fn))
+	}
 	mux.HandleFunc("GET /debug/sessions", s.handleDebugSessions)
 	mux.Handle("/debug/", telemetry.DebugMux(s.reg))
 	return mux
+}
+
+// deprecated wraps a legacy-alias route: same handler, plus headers that
+// announce the canonical /v1/ home so clients can migrate before the alias
+// is dropped.
+func deprecated(path string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1`+path+`>; rel="successor-version"`)
+		fn(w, r)
+	}
 }
 
 // writeJSON writes v with the given status.
@@ -75,30 +108,56 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps err to a status code and writes {"error": ...}.
+// Stable machine-readable error codes of the uniform envelope.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeNotReady        = "not_ready"
+	CodeDraining        = "draining"
+	CodeTooManySessions = "too_many_sessions"
+	CodeFailed          = "failed"
+	CodeInternal        = "internal"
+)
+
+// ErrorBody is the payload of the uniform error envelope.
+type ErrorBody struct {
+	// Code is one of the Code* constants - the field clients switch on.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// State carries the session's terminal state on "failed" errors.
+	State State `json:"state,omitempty"`
+}
+
+// ErrorEnvelope is every non-2xx response's JSON shape:
+// {"error":{"code","message"}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError maps err to a status code and writes the uniform envelope.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, CodeInternal
 	var bad *BadRequestError
 	var failed *FailedError
 	switch {
 	case errors.As(err, &bad):
-		status = http.StatusBadRequest
+		status, code = http.StatusBadRequest, CodeBadRequest
 	case errors.As(err, &failed):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, CodeFailed
 	case errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, CodeNotFound
 	case errors.Is(err, ErrNotReady):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, CodeNotReady
 	case errors.Is(err, ErrDraining):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, CodeDraining
 	case errors.Is(err, ErrTooManySessions):
-		status = http.StatusTooManyRequests
+		status, code = http.StatusTooManyRequests, CodeTooManySessions
 	}
-	body := map[string]string{"error": err.Error()}
+	body := ErrorBody{Code: code, Message: err.Error()}
 	if failed != nil {
-		body["state"] = string(failed.State)
+		body.State = failed.State
 	}
-	writeJSON(w, status, body)
+	writeJSON(w, status, ErrorEnvelope{Error: body})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -114,7 +173,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	w.Header().Set("Location", "/api/v1/jobs/"+st.ID)
+	// Point at the route family the client used, so legacy clients are not
+	// redirected across the versioning boundary mid-flight.
+	prefix := "/v1"
+	if strings.HasPrefix(r.URL.Path, "/api/") {
+		prefix = "/api/v1"
+	}
+	w.Header().Set("Location", prefix+"/jobs/"+st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }
 

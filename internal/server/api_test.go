@@ -173,9 +173,9 @@ func TestAPI(t *testing.T) {
 	}
 	waitDone(t, s, st2.ID)
 	resp, body = c.do("GET", "/api/v1/jobs/"+st2.ID+"/result", nil)
-	var errBody struct{ State string }
+	var errBody ErrorEnvelope
 	c.decode(body, &errBody)
-	if resp.StatusCode != http.StatusConflict || errBody.State != string(StateCanceled) {
+	if resp.StatusCode != http.StatusConflict || errBody.Error.Code != CodeFailed || errBody.Error.State != StateCanceled {
 		t.Fatalf("result after cancel: status %d, body %s", resp.StatusCode, body)
 	}
 }

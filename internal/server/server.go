@@ -273,6 +273,16 @@ func (s *Server) run(ctx context.Context, sess *session, resume *ga.Snapshot) {
 	eval := func(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
 		return shared.EvaluateCtx(context.WithValue(ctx, sessionKey{}, sess.id), pt)
 	}
+	// The batch backend forwards each generation's residual misses to the
+	// shared cache as one batch, so concurrent same-space sessions merge
+	// in-flight generations (each waits on the other's evaluations) instead
+	// of colliding point by point. Per-item errors already carry transient
+	// context cancellations, so the batch-level error adds nothing here.
+	batch := func(ctx context.Context, pts []param.Point) ([]metrics.Metrics, []error) {
+		ms, errs, _ := shared.EvaluateBatchCtx(
+			context.WithValue(ctx, sessionKey{}, sess.id), pts, sess.spec.Parallelism)
+		return ms, errs
+	}
 	saver := resilience.NewSaver(s.store.checkpointPath(sess.id), sess.entry.Space, sess.col.Registry())
 	cfg := ga.Config{
 		PopulationSize:  sess.spec.Population,
@@ -283,8 +293,14 @@ func (s *Server) run(ctx context.Context, sess *session, resume *ga.Snapshot) {
 		Checkpoint:      saver.Save,
 		CheckpointEvery: s.opts.CheckpointEvery,
 		Resume:          resume,
+		BatchBackend:    batch,
 	}
-	res, err := core.RunContext(ctx, sess.entry.Space, sess.entry.Objective, eval, cfg, sess.guid)
+	res, err := core.Search(ctx, core.SearchRequest{
+		Space:       sess.entry.Space,
+		Objective:   sess.entry.Objective,
+		EvaluateCtx: eval,
+		Config:      cfg,
+	}, core.WithGuidance(sess.guid))
 
 	var state State
 	var msg string

@@ -34,12 +34,17 @@ func soloRun(t *testing.T, spec JobSpec) (ga.Result, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(entry.Space, entry.Objective, entry.Eval, ga.Config{
-		PopulationSize: spec.Population,
-		Generations:    spec.Generations,
-		Seed:           spec.Seed,
-		Parallelism:    spec.Parallelism,
-	}, guid)
+	res, err := core.Search(context.Background(), core.SearchRequest{
+		Space:     entry.Space,
+		Objective: entry.Objective,
+		Evaluate:  entry.Eval,
+		Config: ga.Config{
+			PopulationSize: spec.Population,
+			Generations:    spec.Generations,
+			Seed:           spec.Seed,
+			Parallelism:    spec.Parallelism,
+		},
+	}, core.WithGuidance(guid))
 	if err != nil {
 		t.Fatal(err)
 	}
