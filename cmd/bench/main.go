@@ -8,16 +8,23 @@
 //	bench [-figs fig1,fig3,fig4,fig6|all] [-runs N] [-gens N] [-par N]
 //	      [-benchtime 1x] [-out BENCH_results.json]
 //	      [-dispatch] [-dispatch-baseline FILE]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default subset covers both design spaces (router and FFT), the GA
 // trial fan-out, and the space enumerations, and finishes in well under a
 // minute; -figs all measures every table of the paper's evaluation.
 //
-// -dispatch (on by default) additionally compares the batched evaluation
-// pipeline against the legacy point-at-a-time dispatch on a cache-heavy
-// FFT search, verifying the two produce identical results and recording
-// the per-dispatch speedup; -dispatch-baseline fails the run if that
-// speedup regressed more than 10% against a committed report.
+// -dispatch (on by default) additionally compares the string-keyed
+// point-at-a-time, string-keyed batched, and hash-keyed batched dispatch
+// pipelines on a cache-heavy FFT search, verifying all of them produce
+// identical results (including under injected transient faults and across
+// checkpoint/resume) and recording the per-dispatch speedups;
+// -dispatch-baseline fails the run if either speedup ratio regressed more
+// than 10% against a committed report.
+//
+// -cpuprofile and -memprofile write standard pprof profiles covering the
+// whole run - the tool for attributing a dispatch-gate regression to a
+// specific hot path.
 package main
 
 import (
@@ -72,6 +79,12 @@ type benchReport struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an exit code, so deferred cleanup (profile flushing)
+// executes on every path.
+func run() int {
 	testing.Init() // registers -test.* flags; benchtime is set after Parse
 	figs := flag.String("figs", "fig1,fig3,fig4,fig6", "comma-separated figures to benchmark, or 'all'")
 	runs := flag.Int("runs", 5, "GA runs per variant per iteration (reduced scale)")
@@ -79,24 +92,25 @@ func main() {
 	par := cliflags.NewParallelism(flag.CommandLine, 0, true)
 	benchtime := flag.String("benchtime", "1x", "benchmark time per figure (Go -benchtime syntax)")
 	out := flag.String("out", "BENCH_results.json", "output JSON path")
-	dispatch := flag.Bool("dispatch", true, "also run the batched-vs-single evaluation dispatch comparison")
-	dispatchBaseline := flag.String("dispatch-baseline", "", "fail if the dispatch speedup regresses >10% vs this committed BENCH_results.json")
+	dispatch := flag.Bool("dispatch", true, "also run the evaluation dispatch comparison (single vs batch vs hash)")
+	dispatchBaseline := flag.String("dispatch-baseline", "", "fail if a dispatch speedup ratio regresses >10% vs this committed BENCH_results.json")
+	prof := cliflags.NewProfiling(flag.CommandLine)
 	flag.Parse()
 	if *runs < 1 {
 		fmt.Fprintf(os.Stderr, "bench: -runs must be at least 1, got %d\n", *runs)
-		os.Exit(2)
+		return 2
 	}
 	if *gens < 0 {
 		fmt.Fprintf(os.Stderr, "bench: -gens must be non-negative (0 = paper defaults), got %d\n", *gens)
-		os.Exit(2)
+		return 2
 	}
 	if err := par.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
-		os.Exit(2)
+		return 2
 	}
 
 	var names []string
@@ -113,15 +127,25 @@ func main() {
 			}
 			if _, ok := figures[name]; !ok {
 				fmt.Fprintf(os.Stderr, "bench: unknown figure %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			names = append(names, name)
 		}
 	}
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no figures selected")
-		os.Exit(2)
+		return 2
 	}
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		}
+	}()
 
 	cfg := experiments.Config{Runs: *runs, Generations: *gens, Parallelism: par.Value()}
 	report := benchReport{
@@ -155,7 +179,7 @@ func main() {
 		})
 		if benchErr != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, benchErr)
-			os.Exit(1)
+			return 1
 		}
 		res := benchResult{
 			Name:        name,
@@ -174,15 +198,16 @@ func main() {
 		rep, err := runDispatch()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: dispatch: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		report.Dispatch = &rep
-		fmt.Printf("%-14s %12d ns/eval single  %10d ns/eval batch  %8.2fx speedup  (%d dispatched)\n",
-			"dispatch", rep.SingleNsPerEval, rep.BatchNsPerEval, rep.Speedup, rep.DispatchedEvals)
+		fmt.Printf("%-14s %12d ns/eval single  %10d ns/eval batch  %10d ns/eval hash  %6.2fx batch  %6.2fx hash  (%d dispatched)\n",
+			"dispatch", rep.SingleNsPerEval, rep.BatchNsPerEval, rep.HashNsPerEval,
+			rep.Speedup, rep.HashSpeedup, rep.DispatchedEvals)
 		if *dispatchBaseline != "" {
 			if err := checkDispatchBaseline(*dispatchBaseline, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "bench: dispatch: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -190,12 +215,13 @@ func main() {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("wrote %s (cores=%d, parallelism=%d)\n", *out, report.Cores, report.Parallelism)
+	return 0
 }

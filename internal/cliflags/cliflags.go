@@ -1,17 +1,19 @@
 // Package cliflags is the one home of the flag wiring the Nautilus command
 // line tools share: evaluation parallelism (-par), evaluation supervision
-// (-eval-timeout, -eval-retries, -quarantine-after), and run observability
-// (-summary, -journal, -debug-addr). Before this package each tool
-// re-declared the flags and re-implemented their validation and the
-// telemetry sink assembly; now there is exactly one usage string, one
-// validation path, and one assembly routine per concern, and a new tool
-// opts into a concern with one call.
+// (-eval-timeout, -eval-retries, -quarantine-after), run observability
+// (-summary, -journal, -debug-addr), and profiling (-cpuprofile,
+// -memprofile). Before this package each tool re-declared the flags and
+// re-implemented their validation and the telemetry sink assembly; now
+// there is exactly one usage string, one validation path, and one assembly
+// routine per concern, and a new tool opts into a concern with one call.
 package cliflags
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nautilus/internal/resilience"
@@ -186,6 +188,71 @@ func (o *Observability) Build() (*Stack, error) {
 		st.Recorder = telemetry.Multi(recorders...)
 	}
 	return st, nil
+}
+
+// Profiling bundles the profiler flags: -cpuprofile and -memprofile, the
+// standard pprof pair for chasing hot-path regressions (the dispatch
+// pipeline's per-eval cost, allocation churn in the GA loop).
+type Profiling struct {
+	CPU *string
+	Mem *string
+
+	cpuFile *os.File
+}
+
+// NewProfiling registers -cpuprofile and -memprofile on fs.
+func NewProfiling(fs *flag.FlagSet) *Profiling {
+	return &Profiling{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this file on exit (inspect with go tool pprof)"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was set. Call after flag
+// parsing, before the measured work; pair with Stop.
+func (p *Profiling) Start() error {
+	if *p.CPU == "" {
+		return nil
+	}
+	f, err := os.Create(*p.CPU)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile when -memprofile was
+// set. Safe to call when neither flag was given, and idempotent for the CPU
+// half.
+func (p *Profiling) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if *p.Mem != "" {
+		f, err := os.Create(*p.Mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC() // materialize the steady-state heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 // Registry returns the collector's metric registry, or nil when no

@@ -95,6 +95,17 @@ func WithDispatch(mode string) SearchOption {
 	}
 }
 
+// WithKeyMode selects how the run's cache identifies design points:
+// ga.KeyModeHash (the default - 64-bit genome hashes, no string key on the
+// hot path) or ga.KeyModeString (the legacy canonical-key representation,
+// kept for comparison). Results and checkpoints are byte-identical across
+// modes.
+func WithKeyMode(mode string) SearchOption {
+	return func(c *searchConfig) {
+		c.override(func(cfg *ga.Config) { cfg.KeyMode = mode })
+	}
+}
+
 // WithBatchBackend routes each generation's residual cache misses to b as
 // whole batches (see dataset.Cache.SetBatchBackend).
 func WithBatchBackend(b dataset.BatchEvaluator) SearchOption {

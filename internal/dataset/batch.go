@@ -9,7 +9,9 @@
 // accounting and singleflight semantics bit-for-bit, but amortizes the
 // bookkeeping from O(points) to O(batches): one counter update per batch,
 // one lock acquisition per touched shard, and one pool fan-out over only
-// the residual misses.
+// the residual misses. Under the default KeyModeHash, a batch is resolved
+// entirely on 64-bit genome hashes - no string key is built anywhere on
+// the path, and every hit is verified against the stored packed genome.
 package dataset
 
 import (
@@ -84,13 +86,89 @@ func (c *Cache) BatchEvaluator(par int) BatchEvaluator {
 }
 
 // EvaluateBatchCtx is the batch analogue of EvaluateCtx: one call resolves
-// every point of the batch. See EvaluateBatchKeyedCtx.
+// every point of the batch, identified per the cache's KeyMode (genome
+// hashes by default - no string key is built anywhere on that path). See
+// EvaluateBatchKeyedCtx for the per-item semantics.
 func (c *Cache) EvaluateBatchCtx(ctx context.Context, pts []param.Point, par int) ([]metrics.Metrics, []error, error) {
-	keys := make([]string, len(pts))
-	for i, pt := range pts {
-		keys[i] = c.space.Key(pt)
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	if c.mode == KeyModeString {
+		if cap(sc.keys) < len(pts) {
+			sc.keys = make([]string, len(pts))
+		}
+		keys := sc.keys[:len(pts)]
+		for i, pt := range pts {
+			keys[i] = c.space.Key(pt)
+		}
+		return c.batchResolve(ctx, sc, keys, nil, pts, par)
 	}
-	return c.EvaluateBatchKeyedCtx(ctx, keys, pts, par)
+	if cap(sc.hashes) < len(pts) {
+		sc.hashes = make([]uint64, len(pts))
+	}
+	hashes := sc.hashes[:len(pts)]
+	for i, pt := range pts {
+		hashes[i] = c.hashFn(pt)
+	}
+	return c.batchResolve(ctx, sc, nil, hashes, pts, par)
+}
+
+// EvaluateBatchKeyedCtx resolves a whole batch of string-keyed lookups in
+// one sharded pass. Semantics per item are exactly EvaluateKeyedCtx's - the
+// batch and single paths are interchangeable and their deterministic
+// accounting (Stats) is byte-identical for the same request stream - but
+// the costs are amortized:
+//
+//   - one Total update per batch instead of one per lookup;
+//   - duplicate keys within the batch collapse to a single resolution
+//     before any lock is taken;
+//   - each cache shard is locked once for all its keys, not once per key;
+//   - only the residual misses (not in the cache, not in flight anywhere)
+//     are evaluated, fanned out on up to par pool workers - or handed to
+//     the batch backend (SetBatchBackend) in a single call;
+//   - keys another goroutine is already evaluating are merged: the batch
+//     waits on the in-flight result instead of re-dispatching.
+//
+// The returned slices are index-aligned with keys/pts. The final error is
+// nil unless ctx was canceled, in which case the batch is incomplete and
+// must be discarded (per-item transient errors mark the affected items).
+// On a hash-mode cache the keys are ignored and the batch re-dispatched by
+// genome hash.
+func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []param.Point, par int) ([]metrics.Metrics, []error, error) {
+	if len(keys) != len(pts) {
+		return nil, nil, fmt.Errorf("dataset: batch has %d keys but %d points", len(keys), len(pts))
+	}
+	if c.mode != KeyModeString {
+		return c.EvaluateBatchHashedCtx(ctx, nil, pts, par)
+	}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	return c.batchResolve(ctx, sc, keys, nil, pts, par)
+}
+
+// EvaluateBatchHashedCtx is the hash-keyed batch hot path: hashes[i] must
+// be pts[i]'s genome hash (param.Space.Hash64). A nil hashes slice asks the
+// cache to compute them. Per-item semantics are EvaluateHashedCtx's; the
+// amortizations match EvaluateBatchKeyedCtx. On a string-mode cache the
+// hashes are discarded and the batch re-dispatched by canonical key.
+func (c *Cache) EvaluateBatchHashedCtx(ctx context.Context, hashes []uint64, pts []param.Point, par int) ([]metrics.Metrics, []error, error) {
+	if hashes != nil && len(hashes) != len(pts) {
+		return nil, nil, fmt.Errorf("dataset: batch has %d hashes but %d points", len(hashes), len(pts))
+	}
+	if c.mode != KeyModeHash {
+		return c.EvaluateBatchCtx(ctx, pts, par)
+	}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	if hashes == nil {
+		if cap(sc.hashes) < len(pts) {
+			sc.hashes = make([]uint64, len(pts))
+		}
+		hashes = sc.hashes[:len(pts)]
+		for i, pt := range pts {
+			hashes[i] = c.hashFn(pt)
+		}
+	}
+	return c.batchResolve(ctx, sc, nil, hashes, pts, par)
 }
 
 // batchScratch is one batch resolution's reusable working state. It lives
@@ -100,7 +178,10 @@ func (c *Cache) EvaluateBatchCtx(ctx context.Context, pts []param.Point, par int
 type batchScratch struct {
 	uniq     []batchLookup
 	dup      []int
+	keys     []string
+	hashes   []uint64
 	uniqIdx  map[string]int
+	uniqIdxH map[uint64]int
 	byShard  [cacheShards][]int
 	withdraw [cacheShards][]int
 	owned    []int
@@ -123,6 +204,9 @@ func (c *Cache) getScratch() *batchScratch {
 func (c *Cache) putScratch(sc *batchScratch) {
 	clear(sc.uniq)
 	sc.uniq = sc.uniq[:0]
+	clear(sc.keys)
+	sc.keys = sc.keys[:0]
+	sc.hashes = sc.hashes[:0]
 	clear(sc.opts)
 	sc.opts = sc.opts[:0]
 	clear(sc.oms)
@@ -139,18 +223,24 @@ func (c *Cache) putScratch(sc *batchScratch) {
 	if sc.uniqIdx != nil {
 		clear(sc.uniqIdx)
 	}
+	if sc.uniqIdxH != nil {
+		clear(sc.uniqIdxH)
+	}
 	c.scratch.Put(sc)
 }
 
 // linearBatchDedup is the batch size up to which duplicate collapsing uses
-// a linear scan over the unique keys (an int shard compare guards the
-// string compare) instead of a map. Generation-sized batches stay far
+// a linear scan over the unique identities (an integer compare guards any
+// deeper compare) instead of a map. Generation-sized batches stay far
 // below it, and the scan beats the map's per-key hashing there.
 const linearBatchDedup = 64
 
-// batchLookup is the per-unique-key state of one batch resolution.
+// batchLookup is the per-unique-point state of one batch resolution. The
+// identity is the key string (string mode) or the (hash, pt) pair (hash
+// mode).
 type batchLookup struct {
 	key   string
+	hash  uint64
 	pt    param.Point
 	shard int
 	entry *cacheEntry
@@ -161,66 +251,103 @@ type batchLookup struct {
 	owned    bool
 	wait     bool
 	canceled bool
-	// requests counts how many batch items resolve to this key.
+	// requests counts how many batch items resolve to this identity.
 	requests int
 }
 
-// EvaluateBatchKeyedCtx resolves a whole batch of keyed lookups in one
-// sharded pass. Semantics per item are exactly EvaluateKeyedCtx's - the two
-// paths are interchangeable and their deterministic accounting (Stats) is
-// byte-identical for the same request stream - but the costs are amortized:
-//
-//   - one Total update per batch instead of one per lookup;
-//   - duplicate keys within the batch collapse to a single resolution
-//     before any lock is taken;
-//   - each cache shard is locked once for all its keys, not once per key;
-//   - only the residual misses (not in the cache, not in flight anywhere)
-//     are evaluated, fanned out on up to par pool workers - or handed to
-//     the batch backend (SetBatchBackend) in a single call;
-//   - keys another goroutine is already evaluating are merged: the batch
-//     waits on the in-flight result instead of re-dispatching.
-//
-// The returned slices are index-aligned with keys/pts. The final error is
-// nil unless ctx was canceled, in which case the batch is incomplete and
-// must be discarded (per-item transient errors mark the affected items).
-func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []param.Point, par int) ([]metrics.Metrics, []error, error) {
-	n := len(keys)
-	if len(pts) != n {
-		return nil, nil, fmt.Errorf("dataset: batch has %d keys but %d points", n, len(pts))
-	}
+// batchResolve is the shared batch engine behind both key modes: exactly
+// one of keys and hashes is non-nil and selects the identity the batch
+// dedups, shards, and probes on. Per-item semantics match the single-point
+// paths; see EvaluateBatchKeyedCtx for the amortization contract.
+func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []string, hashes []uint64, pts []param.Point, par int) ([]metrics.Metrics, []error, error) {
+	n := len(pts)
 	ms := make([]metrics.Metrics, n)
 	errs := make([]error, n)
 	if n == 0 {
 		return ms, errs, ctx.Err()
 	}
+	hashed := hashes != nil
 	c.total.Add(int64(n))
 
-	sc := c.getScratch()
-	defer c.putScratch(sc)
-
-	// Collapse duplicates: one batchLookup per distinct key, in first-
+	// Collapse duplicates: one batchLookup per distinct point, in first-
 	// appearance order so the miss fan-out is deterministic. Generation-
-	// sized batches dedup by linear scan (shard int compare first, so the
-	// string compare runs only on a 1-in-32 false positive or a true
-	// duplicate); larger batches fall back to a pooled map.
+	// sized batches dedup by linear scan (an integer compare - shard or
+	// hash - guards the expensive compare); larger batches fall back to a
+	// pooled map. In hash mode a map hit is still genome-verified, so an
+	// in-batch 64-bit collision splits into separate lookups instead of
+	// merging wrongly.
 	if cap(sc.dup) < n {
 		sc.dup = make([]int, n)
 	}
 	dup := sc.dup[:n] // request index -> uniq index
 	uniq := sc.uniq[:0]
+	appendUniq := func(i int) int {
+		j := len(uniq)
+		u := batchLookup{pt: pts[i]}
+		if hashed {
+			u.hash = hashes[i]
+			u.shard = shardForHash(u.hash)
+		} else {
+			u.key = keys[i]
+			u.shard = c.shardFor(u.key)
+		}
+		uniq = append(uniq, u)
+		return j
+	}
+	match := func(j, i int) bool {
+		if hashed {
+			return uniq[j].hash == hashes[i] && uniq[j].pt.Equal(pts[i])
+		}
+		return uniq[j].key == keys[i]
+	}
 	if n <= linearBatchDedup {
-		for i, k := range keys {
-			shi := c.shardFor(k)
+		for i := 0; i < n; i++ {
 			j := -1
-			for q := range uniq {
-				if uniq[q].shard == shi && uniq[q].key == k {
-					j = q
-					break
+			if hashed {
+				for q := range uniq {
+					if uniq[q].hash == hashes[i] && uniq[q].pt.Equal(pts[i]) {
+						j = q
+						break
+					}
+				}
+			} else {
+				shi := c.shardFor(keys[i])
+				for q := range uniq {
+					if uniq[q].shard == shi && uniq[q].key == keys[i] {
+						j = q
+						break
+					}
 				}
 			}
 			if j < 0 {
-				j = len(uniq)
-				uniq = append(uniq, batchLookup{key: k, pt: pts[i], shard: shi})
+				j = appendUniq(i)
+			}
+			uniq[j].requests++
+			dup[i] = j
+		}
+	} else if hashed {
+		if sc.uniqIdxH == nil {
+			sc.uniqIdxH = make(map[uint64]int, n)
+		}
+		for i := 0; i < n; i++ {
+			j, ok := sc.uniqIdxH[hashes[i]]
+			if ok && !match(j, i) {
+				// 64-bit collision inside one batch: scan for a true match
+				// beyond the map's first index (the map keeps the first).
+				j = -1
+				for q := range uniq {
+					if match(q, i) {
+						j = q
+						break
+					}
+				}
+				ok = j >= 0
+			}
+			if !ok {
+				j = appendUniq(i)
+				if _, exists := sc.uniqIdxH[hashes[i]]; !exists {
+					sc.uniqIdxH[hashes[i]] = j
+				}
 			}
 			uniq[j].requests++
 			dup[i] = j
@@ -229,12 +356,11 @@ func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []
 		if sc.uniqIdx == nil {
 			sc.uniqIdx = make(map[string]int, n)
 		}
-		for i, k := range keys {
-			j, ok := sc.uniqIdx[k]
+		for i := 0; i < n; i++ {
+			j, ok := sc.uniqIdx[keys[i]]
 			if !ok {
-				j = len(uniq)
-				sc.uniqIdx[k] = j
-				uniq = append(uniq, batchLookup{key: k, pt: pts[i], shard: c.shardFor(k)})
+				j = appendUniq(i)
+				sc.uniqIdx[keys[i]] = j
 			}
 			uniq[j].requests++
 			dup[i] = j
@@ -242,9 +368,11 @@ func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []
 	}
 	sc.uniq = uniq // keep any growth for reuse
 
-	// Single sharded probe: group the unique keys by shard and classify each
-	// under one lock acquisition per touched shard - hit (entry complete),
-	// merge (entry in flight elsewhere), or owned miss (entry inserted).
+	// Single sharded probe: group the unique points by shard and classify
+	// each under one lock acquisition per touched shard - hit (entry
+	// complete), merge (entry in flight elsewhere), or owned miss (entry
+	// inserted). Hash-mode probes verify the stored packed genome before
+	// declaring a hit.
 	byShard := &sc.byShard
 	for j := range uniq {
 		byShard[uniq[j].shard] = append(byShard[uniq[j].shard], j)
@@ -257,28 +385,40 @@ func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []
 		sh.mu.Lock()
 		for _, j := range idxs {
 			u := &uniq[j]
-			if e, ok := sh.entries[u.key]; ok {
+			var e *cacheEntry
+			if hashed {
+				e = sh.table.lookup(u.hash, u.pt, &c.collisions)
+			} else {
+				e = sh.entries[u.key]
+			}
+			if e != nil {
 				u.entry = e
 				select {
 				case <-e.done:
 				default:
 					u.wait = true
 				}
-			} else {
-				e := &cacheEntry{done: make(chan struct{})}
-				sh.entries[u.key] = e
-				u.entry = e
-				u.owned = true
+				continue
 			}
+			e = &cacheEntry{done: make(chan struct{})}
+			if hashed {
+				e.hash = u.hash
+				e.genome = c.space.AppendPacked(nil, u.pt)
+				sh.table.insert(e)
+			} else {
+				sh.entries[u.key] = e
+			}
+			u.entry = e
+			u.owned = true
 		}
 		sh.mu.Unlock()
 	}
 
 	// Telemetry mirrors the single-point path's per-lookup classification:
-	// the first request of an owned key is the miss, every further duplicate
-	// would have been answered from the cache (a hit); merged keys are
-	// singleflight-deduplicated waits. The dedup counter is updated
-	// regardless of recording, like the single path.
+	// the first request of an owned point is the miss, every further
+	// duplicate would have been answered from the cache (a hit); merged
+	// points are singleflight-deduplicated waits. The dedup counter is
+	// updated regardless of recording, like the single path.
 	recording := c.rec.Enabled()
 	for j := range uniq {
 		u := &uniq[j]
@@ -385,7 +525,9 @@ func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []
 			sh := &c.shards[shi]
 			sh.mu.Lock()
 			for _, j := range idxs {
-				if sh.entries[uniq[j].key] == uniq[j].entry {
+				if hashed {
+					sh.table.remove(uniq[j].entry)
+				} else if sh.entries[uniq[j].key] == uniq[j].entry {
 					delete(sh.entries, uniq[j].key)
 				}
 			}
@@ -416,7 +558,7 @@ func (c *Cache) EvaluateBatchKeyedCtx(ctx context.Context, keys []string, pts []
 		}
 	}
 
-	for i := range keys {
+	for i := range pts {
 		u := &uniq[dup[i]]
 		if u.canceled {
 			errs[i] = MarkTransient(ctx.Err())

@@ -84,6 +84,26 @@ func IsTransient(err error) bool {
 // parallelism levels the experiment harness runs at.
 const cacheShards = 32
 
+// cacheShardBits is log2(cacheShards); hash-keyed lookups stripe on the
+// hash's top bits so the low bits stay free for the in-shard table index.
+const cacheShardBits = 5
+
+// KeyMode selects how a Cache identifies design points internally.
+type KeyMode int
+
+const (
+	// KeyModeHash (the default) keys entries on 64-bit genome hashes
+	// (param.Space.Hash64) over open-addressed shard tables, storing the
+	// packed genome for collision verification on every hit. This is the
+	// dispatch hot path: no string key is built anywhere on it.
+	KeyModeHash KeyMode = iota
+	// KeyModeString keys entries on canonical string keys (param.Space.Key)
+	// over map shards - the legacy representation, kept selectable for
+	// equivalence benchmarks and comparison tests. Persistence (Export/
+	// Restore) always speaks string keys regardless of mode.
+	KeyModeString
+)
+
 // Cache memoizes an Evaluator and counts distinct evaluations. It is safe
 // for concurrent use: lookups stripe across cacheShards independently
 // locked shards, and concurrent requests for the same not-yet-characterized
@@ -103,12 +123,17 @@ type Cache struct {
 	eval  ContextEvaluator
 	rec   telemetry.Recorder
 	batch BatchEvaluator
+	mode  KeyMode
+	// hashFn computes a point's 64-bit genome hash. It defaults to the
+	// space's Hash64 and is overridable from tests to force collisions.
+	hashFn func(param.Point) uint64
 
-	distinct  atomic.Int64
-	total     atomic.Int64
-	dedup     atomic.Int64
-	transient atomic.Int64
-	shards    [cacheShards]cacheShard
+	distinct   atomic.Int64
+	total      atomic.Int64
+	dedup      atomic.Int64
+	transient  atomic.Int64
+	collisions atomic.Int64
+	shards     [cacheShards]cacheShard
 
 	// scratch pools batch-resolution working state (see batchScratch), so
 	// steady-state batches allocate nothing beyond their result slices.
@@ -116,16 +141,23 @@ type Cache struct {
 }
 
 type cacheShard struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// entries holds KeyModeString state; table holds KeyModeHash state.
+	// Exactly one is populated, per the cache's mode.
 	entries map[string]*cacheEntry
+	table   cacheTable
 }
 
 // cacheEntry is the singleflight slot for one design point. done is closed
 // by the owning goroutine once m/err are valid; everyone else waits on it.
+// In hash mode the entry carries its genome hash and the packed genome, the
+// identity pair the open-addressed table verifies on every hit.
 type cacheEntry struct {
-	done chan struct{}
-	m    metrics.Metrics
-	err  error
+	done   chan struct{}
+	m      metrics.Metrics
+	err    error
+	hash   uint64
+	genome []int32
 }
 
 // NewCache wraps eval for the given space.
@@ -136,14 +168,29 @@ func NewCache(space *param.Space, eval Evaluator) *Cache {
 // NewCacheContext wraps a context-aware evaluator for the given space. The
 // context passed to Evaluate flows through the singleflight path into the
 // evaluator, so per-evaluation deadlines and run-level cancellation reach
-// the underlying tool run.
+// the underlying tool run. The cache starts in KeyModeHash.
 func NewCacheContext(space *param.Space, eval ContextEvaluator) *Cache {
-	c := &Cache{space: space, eval: eval, rec: telemetry.Nop}
-	for i := range c.shards {
-		c.shards[i].entries = make(map[string]*cacheEntry)
-	}
+	c := &Cache{space: space, eval: eval, rec: telemetry.Nop, hashFn: space.Hash64}
 	return c
 }
+
+// SetKeyMode selects the cache's internal key representation. Call it
+// before the cache is shared across goroutines and before any evaluation;
+// switching modes discards nothing because it only chooses which (still
+// empty) store the shards use.
+func (c *Cache) SetKeyMode(mode KeyMode) {
+	c.mode = mode
+	if mode == KeyModeString {
+		for i := range c.shards {
+			if c.shards[i].entries == nil {
+				c.shards[i].entries = make(map[string]*cacheEntry)
+			}
+		}
+	}
+}
+
+// Mode returns the cache's key representation.
+func (c *Cache) Mode() KeyMode { return c.mode }
 
 // SetRecorder attaches a telemetry recorder that receives one cache event
 // (hit, miss, or singleflight-dedup wait, with the shard index) per
@@ -154,7 +201,7 @@ func (c *Cache) SetRecorder(rec telemetry.Recorder) {
 	c.rec = telemetry.OrNop(rec)
 }
 
-// shardFor stripes keys across shards with FNV-1a.
+// shardFor stripes string keys across shards with FNV-1a.
 func (c *Cache) shardFor(key string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
@@ -164,71 +211,62 @@ func (c *Cache) shardFor(key string) int {
 	return int(h % cacheShards)
 }
 
+// shardForHash stripes genome hashes on their top bits, leaving the low
+// bits for the in-shard open-addressed table index.
+func shardForHash(h uint64) int {
+	return int(h >> (64 - cacheShardBits))
+}
+
 // Evaluate returns the (possibly cached) characterization of pt.
 func (c *Cache) Evaluate(pt param.Point) (metrics.Metrics, error) {
-	return c.EvaluateKeyedCtx(context.Background(), c.space.Key(pt), pt)
+	return c.EvaluateCtx(context.Background(), pt)
 }
 
 // EvaluateCtx is Evaluate under a context: cancellation interrupts both a
 // singleflight wait and (through a context-aware evaluator) the evaluation
 // itself.
 func (c *Cache) EvaluateCtx(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
-	return c.EvaluateKeyedCtx(ctx, c.space.Key(pt), pt)
+	if c.mode == KeyModeString {
+		return c.EvaluateKeyedCtx(ctx, c.space.Key(pt), pt)
+	}
+	return c.EvaluateHashedCtx(ctx, c.hashFn(pt), pt)
 }
 
 // EvaluateKeyed is Evaluate for callers that already hold pt's canonical
-// key (param.Space.Key), sparing the hot path a key rebuild.
+// key (param.Space.Key), sparing a string-mode cache a key rebuild. In hash
+// mode the key is ignored and the point is hashed.
 func (c *Cache) EvaluateKeyed(key string, pt param.Point) (metrics.Metrics, error) {
 	return c.EvaluateKeyedCtx(context.Background(), key, pt)
 }
 
-// EvaluateKeyedCtx is the full evaluation path: keyed lookup under a
-// context. Transient evaluator errors (IsTransient) are delivered to the
-// callers that observed them but never memoized; permanent errors and
-// results are cached and counted as distinct evaluations.
-func (c *Cache) EvaluateKeyedCtx(ctx context.Context, key string, pt param.Point) (metrics.Metrics, error) {
-	c.total.Add(1)
-	shi := c.shardFor(key)
-	sh := &c.shards[shi]
-	sh.mu.Lock()
-	if e, ok := sh.entries[key]; ok {
-		sh.mu.Unlock()
-		// Classify the lookup for telemetry: a closed done channel means a
-		// plain hit; an open one means this goroutine is about to block on
-		// another's in-flight evaluation (a singleflight-deduplicated wait).
+// waitShared resolves a lookup that found an existing entry: a completed
+// entry is a plain hit, an in-flight one a singleflight-deduplicated wait.
+func (c *Cache) waitShared(ctx context.Context, e *cacheEntry, shi int) (metrics.Metrics, error) {
+	select {
+	case <-e.done:
+		c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheHit, Shard: shi})
+	default:
+		c.dedup.Add(1)
+		c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheDedup, Shard: shi})
 		select {
 		case <-e.done:
-			c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheHit, Shard: shi})
-		default:
-			c.dedup.Add(1)
-			c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheDedup, Shard: shi})
-			select {
-			case <-e.done:
-			case <-ctx.Done():
-				// A canceled waiter abandons the in-flight evaluation; the
-				// owner still completes (or withdraws) the entry.
-				return nil, MarkTransient(ctx.Err())
-			}
+		case <-ctx.Done():
+			// A canceled waiter abandons the in-flight evaluation; the
+			// owner still completes (or withdraws) the entry.
+			return nil, MarkTransient(ctx.Err())
 		}
-		return e.m, e.err
 	}
-	e := &cacheEntry{done: make(chan struct{})}
-	sh.entries[key] = e
-	sh.mu.Unlock()
-	c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheMiss, Shard: shi})
+	return e.m, e.err
+}
 
-	// This goroutine owns the evaluation; concurrent requesters for the
-	// same key block on e.done instead of re-running the evaluator.
+// runOwned executes the evaluation this goroutine owns and publishes the
+// outcome. Transient errors are withdrawn through the mode-specific
+// withdraw func before the done channel closes, so no later lookup inherits
+// a poisoned entry; everything else is memoized and counted distinct.
+func (c *Cache) runOwned(ctx context.Context, e *cacheEntry, pt param.Point, shi int, withdraw func()) (metrics.Metrics, error) {
 	e.m, e.err = c.eval(ctx, pt)
 	if e.err != nil && IsTransient(e.err) {
-		// Withdraw the entry before publishing the error: the failure is an
-		// infrastructure event, not a characterization, so the next lookup
-		// must re-run the evaluator rather than inherit a poisoned shard.
-		sh.mu.Lock()
-		if sh.entries[key] == e {
-			delete(sh.entries, key)
-		}
-		sh.mu.Unlock()
+		withdraw()
 		c.transient.Add(1)
 		c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheTransient, Shard: shi})
 		close(e.done)
@@ -237,6 +275,76 @@ func (c *Cache) EvaluateKeyedCtx(ctx context.Context, key string, pt param.Point
 	c.distinct.Add(1)
 	close(e.done)
 	return e.m, e.err
+}
+
+// EvaluateKeyedCtx is the string-keyed evaluation path: keyed lookup under
+// a context. Transient evaluator errors (IsTransient) are delivered to the
+// callers that observed them but never memoized; permanent errors and
+// results are cached and counted as distinct evaluations. On a hash-mode
+// cache the key is ignored and the lookup is re-dispatched by hash.
+func (c *Cache) EvaluateKeyedCtx(ctx context.Context, key string, pt param.Point) (metrics.Metrics, error) {
+	if c.mode != KeyModeString {
+		return c.EvaluateHashedCtx(ctx, c.hashFn(pt), pt)
+	}
+	c.total.Add(1)
+	shi := c.shardFor(key)
+	sh := &c.shards[shi]
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		return c.waitShared(ctx, e, shi)
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheMiss, Shard: shi})
+
+	// This goroutine owns the evaluation; concurrent requesters for the
+	// same key block on e.done instead of re-running the evaluator.
+	return c.runOwned(ctx, e, pt, shi, func() {
+		sh.mu.Lock()
+		if sh.entries[key] == e {
+			delete(sh.entries, key)
+		}
+		sh.mu.Unlock()
+	})
+}
+
+// EvaluateHashed is EvaluateHashedCtx without a context.
+func (c *Cache) EvaluateHashed(h uint64, pt param.Point) (metrics.Metrics, error) {
+	return c.EvaluateHashedCtx(context.Background(), h, pt)
+}
+
+// EvaluateHashedCtx is the hash-keyed evaluation hot path for callers that
+// already hold pt's genome hash (param.Space.Hash64): no string key is
+// built, the shard table probes by uint64 compare, and a hit is confirmed
+// against the stored packed genome before it is returned - a 64-bit
+// collision (impossible on packable spaces) therefore degrades to an extra
+// probe and a Stats().Collisions increment, never a wrong answer. Semantics
+// per lookup are exactly EvaluateKeyedCtx's. On a string-mode cache the
+// hash is discarded and the lookup re-dispatched by key.
+func (c *Cache) EvaluateHashedCtx(ctx context.Context, h uint64, pt param.Point) (metrics.Metrics, error) {
+	if c.mode != KeyModeHash {
+		return c.EvaluateKeyedCtx(ctx, c.space.Key(pt), pt)
+	}
+	c.total.Add(1)
+	shi := shardForHash(h)
+	sh := &c.shards[shi]
+	sh.mu.Lock()
+	if e := sh.table.lookup(h, pt, &c.collisions); e != nil {
+		sh.mu.Unlock()
+		return c.waitShared(ctx, e, shi)
+	}
+	e := &cacheEntry{done: make(chan struct{}), hash: h, genome: c.space.AppendPacked(nil, pt)}
+	sh.table.insert(e)
+	sh.mu.Unlock()
+	c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheMiss, Shard: shi})
+
+	return c.runOwned(ctx, e, pt, shi, func() {
+		sh.mu.Lock()
+		sh.table.remove(e)
+		sh.mu.Unlock()
+	})
 }
 
 // DistinctEvaluations returns how many distinct design points have been
@@ -264,6 +372,14 @@ func (c *Cache) TransientFailures() int {
 	return int(c.transient.Load())
 }
 
+// HashCollisions returns how many hash-mode probe steps passed an
+// equal-hash entry holding a different genome - the verification fallback
+// firing. Always 0 on packable spaces (where Hash64 is injective) and in
+// string mode.
+func (c *Cache) HashCollisions() int {
+	return int(c.collisions.Load())
+}
+
 // CacheStats is one consistent accounting snapshot of a Cache. All fields
 // are deterministic for a deterministic workload: Total counts lookups,
 // Distinct counts spent evaluator calls (the paper's synthesis-job
@@ -277,6 +393,13 @@ type CacheStats struct {
 	// error (retryable infrastructure failures, never memoized). 0 on any
 	// healthy run.
 	Transient int
+	// Collisions counts hash-mode lookups that probed past an equal-hash
+	// entry holding a different genome before resolving. 0 whenever Hash64
+	// is injective for the space (every packable space) and always 0 in
+	// string mode; when nonzero, like DedupedWaits, the exact count can
+	// depend on scheduling. Collisions are a performance event only -
+	// genome verification keeps results exact.
+	Collisions int
 	// HitRate is Hits/Total, 0 when no lookups happened.
 	HitRate float64
 }
@@ -300,7 +423,13 @@ func (c *Cache) Stats() CacheStats {
 	if hits < 0 {
 		hits = 0
 	}
-	st := CacheStats{Distinct: int(distinct), Total: int(total), Hits: int(hits), Transient: int(transient)}
+	st := CacheStats{
+		Distinct:   int(distinct),
+		Total:      int(total),
+		Hits:       int(hits),
+		Transient:  int(transient),
+		Collisions: int(c.collisions.Load()),
+	}
 	if total > 0 {
 		st.HitRate = float64(hits) / float64(total)
 	}
@@ -313,13 +442,17 @@ func (c *Cache) Reset() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.entries = make(map[string]*cacheEntry)
+		if sh.entries != nil {
+			sh.entries = make(map[string]*cacheEntry)
+		}
+		sh.table = cacheTable{}
 		sh.mu.Unlock()
 	}
 	c.distinct.Store(0)
 	c.total.Store(0)
 	c.dedup.Store(0)
 	c.transient.Store(0)
+	c.collisions.Store(0)
 }
 
 // CacheEntrySnapshot is one memoized evaluation in a CacheSnapshot: the
@@ -347,6 +480,12 @@ type CacheSnapshot struct {
 // need an exact snapshot - like the GA engine at a generation boundary -
 // export when no evaluations are in flight. Metrics maps are shared, not
 // copied: memoized metrics are immutable by contract.
+//
+// Snapshots always speak canonical string keys regardless of the cache's
+// KeyMode, so the persisted checkpoint format is byte-identical across
+// modes: a hash-mode cache reconstructs each entry's key from its stored
+// packed genome (a cold path), and genome hashes - process-local
+// identities, not stable serialized state - never reach disk.
 func (c *Cache) Export() CacheSnapshot {
 	snap := CacheSnapshot{
 		Distinct:  c.distinct.Load(),
@@ -354,20 +493,29 @@ func (c *Cache) Export() CacheSnapshot {
 		Dedup:     c.dedup.Load(),
 		Transient: c.transient.Load(),
 	}
+	capture := func(key string, e *cacheEntry) {
+		select {
+		case <-e.done:
+		default:
+			return // in flight; not yet a characterization
+		}
+		es := CacheEntrySnapshot{Key: key, Metrics: e.m}
+		if e.err != nil {
+			es.Err = e.err.Error()
+		}
+		snap.Entries = append(snap.Entries, es)
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		for key, e := range sh.entries {
-			select {
-			case <-e.done:
-			default:
-				continue // in flight; not yet a characterization
+		if c.mode == KeyModeString {
+			for key, e := range sh.entries {
+				capture(key, e)
 			}
-			es := CacheEntrySnapshot{Key: key, Metrics: e.m}
-			if e.err != nil {
-				es.Err = e.err.Error()
-			}
-			snap.Entries = append(snap.Entries, es)
+		} else {
+			sh.table.each(func(e *cacheEntry) {
+				capture(c.space.Key(c.space.UnpackPoint(e.genome)), e)
+			})
 		}
 		sh.mu.Unlock()
 	}
@@ -377,34 +525,50 @@ func (c *Cache) Export() CacheSnapshot {
 
 // Restore replaces the cache's contents and counters with a snapshot
 // previously produced by Export - the resume half of checkpointing. Keys
-// are validated against the cache's space. It must not race with in-flight
-// Evaluate calls.
+// are validated against the cache's space (and, in hash mode, rebuilt into
+// genome hashes and packed genomes). It must not race with in-flight
+// Evaluate calls. The collision counter restarts at zero: collisions are a
+// process-local probe statistic, not persisted state.
 func (c *Cache) Restore(snap CacheSnapshot) error {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.entries = make(map[string]*cacheEntry)
+		if sh.entries != nil {
+			sh.entries = make(map[string]*cacheEntry)
+		}
+		sh.table = cacheTable{}
 		sh.mu.Unlock()
 	}
 	closed := make(chan struct{})
 	close(closed)
 	for _, es := range snap.Entries {
-		if _, err := c.space.ParseKey(es.Key); err != nil {
+		pt, err := c.space.ParseKey(es.Key)
+		if err != nil {
 			return fmt.Errorf("dataset: restore: %w", err)
 		}
 		e := &cacheEntry{done: closed, m: es.Metrics}
 		if es.Err != "" {
 			e.err = errors.New(es.Err)
 		}
-		sh := &c.shards[c.shardFor(es.Key)]
-		sh.mu.Lock()
-		sh.entries[es.Key] = e
-		sh.mu.Unlock()
+		if c.mode == KeyModeString {
+			sh := &c.shards[c.shardFor(es.Key)]
+			sh.mu.Lock()
+			sh.entries[es.Key] = e
+			sh.mu.Unlock()
+		} else {
+			e.hash = c.hashFn(pt)
+			e.genome = c.space.AppendPacked(nil, pt)
+			sh := &c.shards[shardForHash(e.hash)]
+			sh.mu.Lock()
+			sh.table.insert(e)
+			sh.mu.Unlock()
+		}
 	}
 	c.distinct.Store(snap.Distinct)
 	c.total.Store(snap.Total)
 	c.dedup.Store(snap.Dedup)
 	c.transient.Store(snap.Transient)
+	c.collisions.Store(0)
 	return nil
 }
 

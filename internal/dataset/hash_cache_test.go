@@ -1,0 +1,388 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// TestHashStringModeEquivalence runs the same request stream through a
+// hash-keyed and a string-keyed cache and demands identical results and
+// identical deterministic accounting - the contract that lets the hot path
+// drop string keys without changing a single answer.
+func TestHashStringModeEquivalence(t *testing.T) {
+	s, eval := toySpace()
+	r := rand.New(rand.NewSource(42))
+	pts := make([]param.Point, 300)
+	for i := range pts {
+		pts[i] = s.Random(r)
+	}
+
+	run := func(mode KeyMode) ([]metrics.Metrics, []string, CacheStats) {
+		c := NewCache(s, eval)
+		c.SetKeyMode(mode)
+		ms := make([]metrics.Metrics, len(pts))
+		errStrs := make([]string, len(pts))
+		for i, pt := range pts {
+			m, err := c.Evaluate(pt)
+			ms[i] = m
+			if err != nil {
+				errStrs[i] = err.Error()
+			}
+		}
+		return ms, errStrs, c.Stats()
+	}
+
+	hm, he, hst := run(KeyModeHash)
+	sm, se, sst := run(KeyModeString)
+	if !reflect.DeepEqual(hm, sm) {
+		t.Fatal("hash-keyed and string-keyed caches returned different metrics")
+	}
+	if !reflect.DeepEqual(he, se) {
+		t.Fatal("hash-keyed and string-keyed caches returned different errors")
+	}
+	if hst != sst {
+		t.Fatalf("stats differ across key modes: hash %+v, string %+v", hst, sst)
+	}
+	if hst.Collisions != 0 {
+		t.Errorf("injective space produced %d collisions", hst.Collisions)
+	}
+}
+
+// TestHashModeExportByteIdentical checks checkpoints are identical across
+// key modes: persistence always speaks canonical string keys.
+func TestHashModeExportByteIdentical(t *testing.T) {
+	s, eval := toySpace()
+	r := rand.New(rand.NewSource(9))
+	pts := make([]param.Point, 120)
+	for i := range pts {
+		pts[i] = s.Random(r)
+	}
+	pts = append(pts, param.Point{9, 9}) // memoized permanent error
+
+	snapshot := func(mode KeyMode) CacheSnapshot {
+		c := NewCache(s, eval)
+		c.SetKeyMode(mode)
+		for _, pt := range pts {
+			c.Evaluate(pt)
+		}
+		return c.Export()
+	}
+	hsnap, ssnap := snapshot(KeyModeHash), snapshot(KeyModeString)
+	if !reflect.DeepEqual(hsnap, ssnap) {
+		t.Fatal("cache snapshots differ across key modes")
+	}
+
+	// And a hash-mode cache restored from a (string-keyed) snapshot serves
+	// the same answers without new evaluator calls.
+	c := NewCache(s, func(param.Point) (metrics.Metrics, error) {
+		t.Error("restored cache called the evaluator for a memoized point")
+		return nil, errors.New("unexpected")
+	})
+	if err := c.Restore(hsnap); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		m, err := c.Evaluate(pt)
+		wm, werr := eval(pt)
+		if !reflect.DeepEqual(m, wm) || (err == nil) != (werr == nil) {
+			t.Fatalf("restored hash-mode cache disagrees at %s", s.Key(pt))
+		}
+	}
+}
+
+// TestHashCollisionVerification forces every point onto one 64-bit hash via
+// the test-only hashFn override and proves the genome-verification fallback:
+// every lookup still gets its own point's answer, and the collision counter
+// surfaces the probe cost in Stats.
+func TestHashCollisionVerification(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	c.hashFn = func(param.Point) uint64 { return 0xdecafbad }
+
+	var pts []param.Point
+	s.Enumerate(func(pt param.Point) bool {
+		pts = append(pts, pt.Clone())
+		return true
+	})
+	check := func() {
+		for _, pt := range pts {
+			m, err := c.Evaluate(pt)
+			wm, werr := eval(pt)
+			if (err == nil) != (werr == nil) || !reflect.DeepEqual(m, wm) {
+				t.Fatalf("colliding cache returned wrong answer for %s: %v, %v", s.Key(pt), m, err)
+			}
+		}
+	}
+	check() // all misses: every insert chains behind the same hash
+	check() // all hits: every lookup probes through the full chain
+	st := c.Stats()
+	if st.Distinct != len(pts) {
+		t.Errorf("distinct = %d, want %d (collisions must not merge points)", st.Distinct, len(pts))
+	}
+	if st.Hits != len(pts) {
+		t.Errorf("hits = %d, want %d", st.Hits, len(pts))
+	}
+	if st.Collisions == 0 {
+		t.Error("Stats().Collisions = 0 after forcing every point onto one hash")
+	}
+	if got := c.HashCollisions(); got != st.Collisions {
+		t.Errorf("HashCollisions() = %d, Stats().Collisions = %d", got, st.Collisions)
+	}
+
+	// The batch path must survive the same abuse, including in-batch dedup
+	// of equal-hash distinct points (both under and over the linear-scan
+	// threshold).
+	for _, dup := range []int{1, 3} {
+		c.Reset()
+		var batch []param.Point
+		for i := 0; i < dup; i++ {
+			batch = append(batch, pts...)
+		}
+		ms, errs, err := c.EvaluateBatchCtx(context.Background(), batch, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range batch {
+			wm, werr := eval(pt)
+			if (errs[i] == nil) != (werr == nil) || !reflect.DeepEqual(ms[i], wm) {
+				t.Fatalf("colliding batch (dup=%d) wrong at %s", dup, s.Key(pt))
+			}
+		}
+		if got := c.DistinctEvaluations(); got != len(pts) {
+			t.Errorf("batch dup=%d: distinct = %d, want %d", dup, got, len(pts))
+		}
+	}
+}
+
+// TestHashModeTransientWithdraw checks the hash path never memoizes
+// transient failures: the withdrawn table entry is re-evaluated on retry.
+func TestHashModeTransientWithdraw(t *testing.T) {
+	s, _ := toySpace()
+	calls := 0
+	c := NewCache(s, func(pt param.Point) (metrics.Metrics, error) {
+		calls++
+		if calls == 1 {
+			return nil, MarkTransient(errors.New("tool crashed"))
+		}
+		return metrics.Metrics{"cost": 1}, nil
+	})
+	pt := param.Point{1, 1}
+	if _, err := c.Evaluate(pt); !IsTransient(err) {
+		t.Fatalf("want transient error, got %v", err)
+	}
+	if m, err := c.Evaluate(pt); err != nil || m["cost"] != 1 {
+		t.Fatalf("retry after transient failed: %v, %v", m, err)
+	}
+	if calls != 2 {
+		t.Errorf("evaluator ran %d times, want 2 (withdraw then retry)", calls)
+	}
+	st := c.Stats()
+	if st.Transient != 1 || st.Distinct != 1 {
+		t.Errorf("stats = %+v, want Transient=1 Distinct=1", st)
+	}
+}
+
+// TestHashModeBatchEquivalence mirrors the batch/single equivalence suite in
+// hash mode across batch shapes and parallelism, including duplicate-heavy
+// batches.
+func TestHashModeBatchEquivalence(t *testing.T) {
+	s, eval := toySpace()
+	r := rand.New(rand.NewSource(17))
+	var pts []param.Point
+	for i := 0; i < 90; i++ {
+		pt := s.Random(r)
+		pts = append(pts, pt, pt.Clone()) // heavy duplication
+	}
+
+	want := make([]metrics.Metrics, len(pts))
+	wantErr := make([]string, len(pts))
+	for i, pt := range pts {
+		m, err := eval(pt)
+		want[i] = m
+		if err != nil {
+			wantErr[i] = err.Error()
+		}
+	}
+
+	for _, batchSize := range []int{1, 7, linearBatchDedup + 16} {
+		for _, par := range []int{1, 4} {
+			c := NewCache(s, eval)
+			got := make([]metrics.Metrics, 0, len(pts))
+			gotErr := make([]string, 0, len(pts))
+			for lo := 0; lo < len(pts); lo += batchSize {
+				hi := lo + batchSize
+				if hi > len(pts) {
+					hi = len(pts)
+				}
+				ms, errs, err := c.EvaluateBatchCtx(context.Background(), pts[lo:hi], par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, ms...)
+				for _, e := range errs {
+					if e != nil {
+						gotErr = append(gotErr, e.Error())
+					} else {
+						gotErr = append(gotErr, "")
+					}
+				}
+			}
+			if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(gotErr, wantErr) {
+				t.Fatalf("hash batch (size=%d par=%d) diverged from direct evaluation", batchSize, par)
+			}
+		}
+	}
+}
+
+// TestHashedHotPathAllocs pins the perf contract behind the whole refactor:
+// a warm hash-keyed single lookup allocates nothing, and a warm batch
+// allocates only its two result slices. A regression here fails CI.
+func TestHashedHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts only hold in non-race builds")
+	}
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	pt := param.Point{3, 4}
+	h := s.Hash64(pt)
+	if _, err := c.EvaluateHashed(h, pt); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(200, func() {
+		c.EvaluateHashedCtx(ctx, h, pt)
+	}); avg != 0 {
+		t.Errorf("warm hashed lookup allocates %.1f times per call, want 0", avg)
+	}
+
+	// Generation-shaped warm batch: 32 requests over 16 distinct points.
+	r := rand.New(rand.NewSource(3))
+	batch := make([]param.Point, 0, 32)
+	hashes := make([]uint64, 0, 32)
+	for i := 0; i < 16; i++ {
+		pt := s.Random(r)
+		batch = append(batch, pt, pt)
+		hh := s.Hash64(pt)
+		hashes = append(hashes, hh, hh)
+	}
+	if _, _, err := c.EvaluateBatchHashedCtx(ctx, hashes, batch, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 2 result slices; everything else comes from the scratch pool.
+	const wantAllocs = 2
+	if avg := testing.AllocsPerRun(200, func() {
+		c.EvaluateBatchHashedCtx(ctx, hashes, batch, 1)
+	}); avg > wantAllocs {
+		t.Errorf("warm hashed batch allocates %.1f times per call, want <= %d", avg, wantAllocs)
+	}
+}
+
+// TestKeyModeAPIBridging checks each public entry point honors the cache's
+// mode even when handed the other representation.
+func TestKeyModeAPIBridging(t *testing.T) {
+	s, eval := toySpace()
+	pt := param.Point{2, 5}
+	key := s.Key(pt)
+	h := s.Hash64(pt)
+	ctx := context.Background()
+
+	for _, mode := range []KeyMode{KeyModeHash, KeyModeString} {
+		c := NewCache(s, eval)
+		c.SetKeyMode(mode)
+		if got := c.Mode(); got != mode {
+			t.Fatalf("Mode() = %v, want %v", got, mode)
+		}
+		wm, _ := eval(pt)
+		for name, call := range map[string]func() (metrics.Metrics, error){
+			"Evaluate":       func() (metrics.Metrics, error) { return c.Evaluate(pt) },
+			"EvaluateKeyed":  func() (metrics.Metrics, error) { return c.EvaluateKeyed(key, pt) },
+			"EvaluateHashed": func() (metrics.Metrics, error) { return c.EvaluateHashed(h, pt) },
+			"BatchKeyed": func() (metrics.Metrics, error) {
+				ms, errs, err := c.EvaluateBatchKeyedCtx(ctx, []string{key}, []param.Point{pt}, 1)
+				if err != nil {
+					return nil, err
+				}
+				return ms[0], errs[0]
+			},
+			"BatchHashed": func() (metrics.Metrics, error) {
+				ms, errs, err := c.EvaluateBatchHashedCtx(ctx, []uint64{h}, []param.Point{pt}, 1)
+				if err != nil {
+					return nil, err
+				}
+				return ms[0], errs[0]
+			},
+		} {
+			m, err := call()
+			if err != nil || !reflect.DeepEqual(m, wm) {
+				t.Errorf("mode %v: %s returned (%v, %v), want (%v, nil)", mode, name, m, err, wm)
+			}
+		}
+		if got := c.DistinctEvaluations(); got != 1 {
+			t.Errorf("mode %v: distinct = %d, want 1 across bridged entry points", mode, got)
+		}
+	}
+}
+
+// TestBatchLengthMismatch checks the batch entry points reject ragged
+// identity slices instead of misattributing results.
+func TestBatchLengthMismatch(t *testing.T) {
+	s, eval := toySpace()
+	c := NewCache(s, eval)
+	ctx := context.Background()
+	pts := []param.Point{{1, 1}, {2, 2}}
+	if _, _, err := c.EvaluateBatchHashedCtx(ctx, []uint64{1}, pts, 1); err == nil {
+		t.Error("hashed batch accepted 1 hash for 2 points")
+	}
+	c.SetKeyMode(KeyModeString)
+	if _, _, err := c.EvaluateBatchKeyedCtx(ctx, []string{"1,1"}, pts, 1); err == nil {
+		t.Error("keyed batch accepted 1 key for 2 points")
+	}
+}
+
+// TestTableGrowthAndTombstones drives one shard's open-addressed table
+// through many insert/withdraw cycles to exercise growth, tombstone reuse,
+// and rehash - the failure injection pattern a supervised flaky evaluator
+// produces.
+func TestTableGrowthAndTombstones(t *testing.T) {
+	s := param.MustSpace(param.Int("x", 0, 9999, 1))
+	attempt := make(map[int]int)
+	c := NewCache(s, func(pt param.Point) (metrics.Metrics, error) {
+		x := pt[0]
+		attempt[x]++
+		if attempt[x] == 1 && x%3 == 0 {
+			return nil, MarkTransient(fmt.Errorf("flaky %d", x))
+		}
+		return metrics.Metrics{"v": float64(x)}, nil
+	})
+	for x := 0; x < 2000; x++ {
+		pt := param.Point{x}
+		m, err := c.Evaluate(pt)
+		if x%3 == 0 {
+			if !IsTransient(err) {
+				t.Fatalf("x=%d: want transient, got %v", x, err)
+			}
+			m, err = c.Evaluate(pt) // retry lands in the tombstoned slot's chain
+		}
+		if err != nil || m["v"] != float64(x) {
+			t.Fatalf("x=%d: got (%v, %v)", x, m, err)
+		}
+	}
+	// Everything remains retrievable after growth interleaved with
+	// tombstoning.
+	for x := 0; x < 2000; x++ {
+		if m, err := c.Evaluate(param.Point{x}); err != nil || m["v"] != float64(x) {
+			t.Fatalf("post-growth lookup x=%d: (%v, %v)", x, m, err)
+		}
+	}
+	st := c.Stats()
+	if st.Distinct != 2000 {
+		t.Errorf("distinct = %d, want 2000", st.Distinct)
+	}
+}

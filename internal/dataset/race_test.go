@@ -1,0 +1,8 @@
+//go:build race
+
+package dataset
+
+// raceEnabled reports whether the race detector is active. Its
+// instrumentation adds allocations of its own, so allocation-count
+// assertions only hold in non-race builds.
+const raceEnabled = true

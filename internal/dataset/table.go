@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"sync/atomic"
+
+	"nautilus/internal/param"
+)
+
+// tombstone marks a slot whose entry was withdrawn (transient failure).
+// Probes walk through tombstones; inserts reuse them.
+var tombstone = &cacheEntry{}
+
+// cacheTable is one shard's open-addressed hash table: genome-hash keyed,
+// linear probing over a power-of-two slot array. It replaces the string-
+// keyed Go map on the hot path - a lookup is a handful of uint64 compares
+// with no per-key hashing or string allocation. True identity is the
+// (hash, packed genome) pair: a probe matches only when both agree, so a
+// 64-bit hash collision (impossible on packable spaces, astronomically rare
+// otherwise) degrades to an extra probe step, never a wrong answer. All
+// methods require the owning shard's lock.
+type cacheTable struct {
+	slots []*cacheEntry // power-of-two length; nil = empty
+	live  int           // occupied, non-tombstone slots
+	used  int           // occupied slots including tombstones
+}
+
+// tableMinSlots is the initial table size; shards grow by doubling once
+// three quarters full (counting tombstones, which rehashing clears).
+const tableMinSlots = 64
+
+// lookup returns the entry whose hash and genome both match, or nil.
+// Probes that pass an equal-hash entry holding a different genome are the
+// collision-verification events the cache counts.
+func (t *cacheTable) lookup(h uint64, pt param.Point, collisions *atomic.Int64) *cacheEntry {
+	if len(t.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := t.slots[i]
+		if e == nil {
+			return nil
+		}
+		if e == tombstone || e.hash != h {
+			continue
+		}
+		if param.PackedEqual(e.genome, pt) {
+			return e
+		}
+		collisions.Add(1)
+	}
+}
+
+// insert places a new entry, growing the table as needed. The caller has
+// already established (under the same lock) that no matching entry exists.
+func (t *cacheTable) insert(e *cacheEntry) {
+	if (t.used+1)*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := e.hash & mask; ; i = (i + 1) & mask {
+		if s := t.slots[i]; s == nil || s == tombstone {
+			if s == nil {
+				t.used++
+			}
+			t.slots[i] = e
+			t.live++
+			return
+		}
+	}
+}
+
+// remove withdraws exactly the given entry (pointer identity), leaving a
+// tombstone so later probe chains stay intact.
+func (t *cacheTable) remove(e *cacheEntry) {
+	if len(t.slots) == 0 {
+		return
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := e.hash & mask; ; i = (i + 1) & mask {
+		s := t.slots[i]
+		if s == nil {
+			return // not present (already withdrawn)
+		}
+		if s == e {
+			t.slots[i] = tombstone
+			t.live--
+			return
+		}
+	}
+}
+
+// grow rehashes live entries into a table sized for the next doubling,
+// dropping tombstones.
+func (t *cacheTable) grow() {
+	n := tableMinSlots
+	for n <= t.live*2 {
+		n *= 2
+	}
+	if n < len(t.slots) {
+		n = len(t.slots) // never shrink under an active probe population
+	}
+	old := t.slots
+	t.slots = make([]*cacheEntry, n)
+	t.used, t.live = 0, 0
+	mask := uint64(n - 1)
+	for _, e := range old {
+		if e == nil || e == tombstone {
+			continue
+		}
+		for i := e.hash & mask; ; i = (i + 1) & mask {
+			if t.slots[i] == nil {
+				t.slots[i] = e
+				t.used++
+				t.live++
+				break
+			}
+		}
+	}
+}
+
+// each calls fn for every live entry.
+func (t *cacheTable) each(fn func(*cacheEntry)) {
+	for _, e := range t.slots {
+		if e != nil && e != tombstone {
+			fn(e)
+		}
+	}
+}

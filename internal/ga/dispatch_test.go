@@ -46,6 +46,47 @@ func TestDispatchEquivalence(t *testing.T) {
 	}
 }
 
+// TestKeyModeEquivalence is the hash-keyed pipeline's core contract: runs
+// dispatched on genome hashes are byte-identical to string-keyed runs -
+// best point, trajectory, diversity counts, and cache accounting included -
+// across dispatch modes, batch sizes, and parallelism.
+func TestKeyModeEquivalence(t *testing.T) {
+	s, eval := quadSpace()
+	obj := metrics.MinimizeMetric("cost")
+	const pop = 14
+	run := func(keyMode, dispatch string, batchSize, par int) Result {
+		t.Helper()
+		e, err := New(s, obj, eval, Config{
+			Seed:           7,
+			PopulationSize: pop,
+			Generations:    30,
+			Parallelism:    par,
+			Dispatch:       dispatch,
+			BatchSize:      batchSize,
+			KeyMode:        keyMode,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run()
+	}
+
+	want := run(KeyModeString, DispatchSingle, 0, 1)
+	for _, keyMode := range []string{KeyModeHash, KeyModeString} {
+		for _, par := range []int{1, 4} {
+			if got := run(keyMode, DispatchSingle, 0, par); !reflect.DeepEqual(want, got) {
+				t.Errorf("key mode %s single dispatch par=%d differs from string-keyed baseline", keyMode, par)
+			}
+			for _, bs := range []int{1, 7, pop} {
+				if got := run(keyMode, DispatchBatch, bs, par); !reflect.DeepEqual(want, got) {
+					t.Errorf("key mode %s batch size=%d par=%d differs from string-keyed baseline\n got: %+v\nwant: %+v",
+						keyMode, bs, par, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestDispatchValidation rejects unknown modes and negative batch sizes.
 func TestDispatchValidation(t *testing.T) {
 	s, eval := quadSpace()
@@ -55,5 +96,8 @@ func TestDispatchValidation(t *testing.T) {
 	}
 	if _, err := New(s, obj, eval, Config{BatchSize: -1}, nil); err == nil {
 		t.Error("negative batch size accepted")
+	}
+	if _, err := New(s, obj, eval, Config{KeyMode: "sha256"}, nil); err == nil {
+		t.Error("unknown key mode accepted")
 	}
 }

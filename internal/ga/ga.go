@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"nautilus/internal/dataset"
@@ -124,6 +125,13 @@ type Config struct {
 	// process-wide shared cache) uses to coalesce in-flight batches across
 	// sessions.
 	BatchBackend dataset.BatchEvaluator
+	// KeyMode selects how the run's cache identifies design points:
+	// KeyModeHash (the default) dispatches on 64-bit genome hashes with no
+	// string key anywhere on the hot path, KeyModeString keeps the legacy
+	// canonical-key representation. Both produce byte-identical Results,
+	// cache stats, and checkpoints; string mode remains selectable for
+	// comparison benchmarks and equivalence tests.
+	KeyMode string
 }
 
 // Dispatch modes for Config.Dispatch.
@@ -133,6 +141,16 @@ const (
 	// DispatchSingle dispatches evaluations one cache lookup at a time
 	// (the pre-batching pipeline, kept for comparison).
 	DispatchSingle = "single"
+)
+
+// Key modes for Config.KeyMode.
+const (
+	// KeyModeHash identifies design points by 64-bit genome hash
+	// (param.Space.Hash64) - the key-free hot path.
+	KeyModeHash = "hash"
+	// KeyModeString identifies design points by canonical string key (the
+	// pre-hashing pipeline, kept for comparison).
+	KeyModeString = "string"
 )
 
 // withDefaults returns cfg with zero fields replaced by paper defaults.
@@ -169,6 +187,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Dispatch == "" {
 		c.Dispatch = DispatchBatch
+	}
+	if c.KeyMode == "" {
+		c.KeyMode = KeyModeHash
 	}
 	if c.Recorder == nil {
 		c.Recorder = telemetry.Nop
@@ -216,6 +237,11 @@ func (c Config) validate() error {
 	case DispatchBatch, DispatchSingle:
 	default:
 		return fmt.Errorf("ga: unknown dispatch mode %q", c.Dispatch)
+	}
+	switch c.KeyMode {
+	case KeyModeHash, KeyModeString:
+	default:
+		return fmt.Errorf("ga: unknown key mode %q", c.KeyMode)
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("ga: batch size %d < 0", c.BatchSize)
@@ -328,12 +354,19 @@ type Engine struct {
 	strategy Strategy
 	rec      telemetry.Recorder
 	// seen is the scratch map for per-generation genome-diversity counting,
-	// reused across generations to keep the hot loop allocation-free.
-	seen map[string]struct{}
-	// batchKeys/batchPts are the batch dispatch path's reusable request
-	// buffers, sized once per run to keep batching allocation-free too.
-	batchKeys []string
-	batchPts  []param.Point
+	// reused across generations to keep the hot loop allocation-free. It
+	// counts genome hashes in both key modes, so UniqueGenomes is trivially
+	// byte-identical across them.
+	seen map[uint64]struct{}
+	// batchKeys/batchHashes/batchPts are the batch dispatch path's reusable
+	// request buffers, sized once per run to keep batching allocation-free
+	// too. Exactly one of keys/hashes is used, per the key mode.
+	batchKeys   []string
+	batchHashes []uint64
+	batchPts    []param.Point
+	// order is the elite-selection scratch permutation, reused across
+	// generations.
+	order []int
 }
 
 // New builds an Engine. eval is the raw (uncached) evaluator; the engine
@@ -362,6 +395,9 @@ func NewContext(space *param.Space, obj metrics.Objective, eval dataset.ContextE
 		strategy = Baseline{Space: space}
 	}
 	cache := dataset.NewCacheContext(space, eval)
+	if cfg.KeyMode == KeyModeString {
+		cache.SetKeyMode(dataset.KeyModeString)
+	}
 	cache.SetRecorder(cfg.Recorder)
 	if cfg.BatchBackend != nil {
 		cache.SetBatchBackend(cfg.BatchBackend)
@@ -380,13 +416,49 @@ func NewContext(space *param.Space, obj metrics.Objective, eval dataset.ContextE
 func (e *Engine) Config() Config { return e.cfg }
 
 type individual struct {
+	// genome is a subslice of the run's flat genome arena (never an owned
+	// allocation); anything retaining it beyond the generation - the best-
+	// so-far individual, checkpoints - must clone it out.
 	genome param.Point
-	// key caches space.Key(genome); filled lazily at evaluation and carried
-	// along when an elite genome survives unchanged.
+	// hash is the genome's 64-bit identity (param.Space.Hash64), computed
+	// eagerly whenever the genome is (re)written. It drives hash-mode cache
+	// dispatch and the diversity count in both key modes.
+	hash uint64
+	// key caches space.Key(genome) in string key mode; filled lazily at
+	// evaluation and carried along when an elite genome survives unchanged.
+	// Always empty in hash mode - no string key exists on that path.
 	key     string
 	fitness float64
 	value   float64
 	ok      bool
+}
+
+// genomeArenas pools the flat []int backing arrays population genomes live
+// in, so repeated runs (and the two per-run generation buffers) reuse the
+// same storage instead of allocating one slice per individual per
+// generation.
+var genomeArenas sync.Pool
+
+// getArena returns a flat arena of at least n ints.
+func getArena(n int) []int {
+	if v, ok := genomeArenas.Get().(*[]int); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]int, n)
+}
+
+// putArena recycles an arena. The caller must not retain any subslice.
+func putArena(a []int) {
+	genomeArenas.Put(&a)
+}
+
+// bindArena points each individual's genome at its stride-L window of the
+// arena. Genome contents are whatever the arena last held; every slot is
+// overwritten before use.
+func bindArena(pop []individual, arena []int, l int) {
+	for i := range pop {
+		pop[i].genome = param.Point(arena[i*l : (i+1)*l : (i+1)*l])
+	}
 }
 
 // Run executes one full GA search and returns its result. The engine's
@@ -420,6 +492,23 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	prevBest := math.Inf(-1)
 	startGen := 0
 
+	// Population genomes live in two flat arenas ping-ponged between
+	// generations (parents in one, children bred into the other), pooled
+	// across runs: after warm-up a generation allocates no per-individual
+	// slices at all.
+	l := e.space.Len()
+	n := e.cfg.PopulationSize
+	arenas := [2][]int{getArena(n * l), getArena(n * l)}
+	popBufs := [2][]individual{make([]individual, n), make([]individual, n)}
+	bindArena(popBufs[0], arenas[0], l)
+	bindArena(popBufs[1], arenas[1], l)
+	cur := 0
+	pop = popBufs[0]
+	defer func() {
+		putArena(arenas[0])
+		putArena(arenas[1])
+	}()
+
 	if snap := e.cfg.Resume; snap != nil {
 		if err := e.validateResume(snap); err != nil {
 			return Result{}, err
@@ -428,9 +517,9 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			return Result{}, err
 		}
 		src.fastForward(snap.Draws)
-		pop = make([]individual, len(snap.Population))
 		for i, g := range snap.Population {
-			pop[i].genome = g.Clone()
+			copy(pop[i].genome, g)
+			pop[i].hash = e.space.Hash64(pop[i].genome)
 		}
 		if snap.Best != nil {
 			best = individual{
@@ -446,9 +535,9 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		startGen = snap.Generation
 	} else {
 		e.cache.Reset()
-		pop = make([]individual, e.cfg.PopulationSize)
 		for i := range pop {
-			pop[i].genome = e.space.Random(r)
+			e.space.RandomInto(r, pop[i].genome)
+			pop[i].hash = e.space.Hash64(pop[i].genome)
 		}
 	}
 
@@ -488,13 +577,34 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			}
 			break
 		}
-		for _, ind := range pop {
-			if ind.fitness > best.fitness {
-				best = ind
-				best.genome = ind.genome.Clone()
+		// One pass over the evaluated generation gathers everything the
+		// loop tail needs: the best individual, the diversity count (genome
+		// hashes into the reused scratch set), and the feasible-fitness
+		// aggregate telemetry reports.
+		if e.seen == nil {
+			e.seen = make(map[uint64]struct{}, len(pop))
+		} else {
+			clear(e.seen)
+		}
+		bestIdx, bestFit := -1, best.fitness
+		var sum float64
+		feasible := 0
+		for i := range pop {
+			ind := &pop[i]
+			if ind.fitness > bestFit {
+				bestIdx, bestFit = i, ind.fitness
+			}
+			e.seen[ind.hash] = struct{}{}
+			if ind.ok {
+				sum += ind.fitness
+				feasible++
 			}
 		}
-		unique := e.uniqueGenomes(pop)
+		if bestIdx >= 0 {
+			best = pop[bestIdx]
+			best.genome = pop[bestIdx].genome.Clone()
+		}
+		unique := len(e.seen)
 		trajectory = append(trajectory, GenPoint{
 			Generation:    gen,
 			DistinctEvals: e.cache.DistinctEvaluations(),
@@ -502,14 +612,6 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			UniqueGenomes: unique,
 		})
 		if recording {
-			var sum float64
-			feasible := 0
-			for _, ind := range pop {
-				if ind.ok {
-					sum += ind.fitness
-					feasible++
-				}
-			}
 			mean := math.NaN()
 			if feasible > 0 {
 				mean = sum / float64(feasible)
@@ -540,7 +642,9 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		if gen == e.cfg.Generations {
 			break
 		}
-		pop = e.nextGeneration(r, gen, pop)
+		cur = 1 - cur
+		e.nextGeneration(r, gen, pop, popBufs[cur])
+		pop = popBufs[cur]
 	}
 
 	res := Result{
@@ -581,21 +685,6 @@ func (e *Engine) snapshot(gen int, draws int64, pop []individual, best individua
 	return snap
 }
 
-// uniqueGenomes counts distinct genomes in the population. It runs after
-// evaluate, so every individual's key cache is populated; the scratch map
-// is reused across generations.
-func (e *Engine) uniqueGenomes(pop []individual) int {
-	if e.seen == nil {
-		e.seen = make(map[string]struct{}, len(pop))
-	} else {
-		clear(e.seen)
-	}
-	for i := range pop {
-		e.seen[pop[i].key] = struct{}{}
-	}
-	return len(e.seen)
-}
-
 // evaluate fills in fitness for the population. Under DispatchBatch (the
 // default) the generation is submitted to the cache as deduplicated
 // batches; under DispatchSingle each individual is a separate cache lookup
@@ -634,14 +723,24 @@ func (e *Engine) score(ind *individual, m metrics.Metrics, err error) {
 	}
 }
 
-// evaluateSingle is the legacy point-at-a-time dispatch path.
+// evaluateSingle is the point-at-a-time dispatch path. In hash mode each
+// lookup goes straight to the cache's hashed entry point on the
+// individual's precomputed genome hash; string mode builds (and caches)
+// canonical keys as before.
 func (e *Engine) evaluateSingle(ctx context.Context, gen int, pop []individual) error {
+	hashed := e.cfg.KeyMode != KeyModeString
 	eval := func(i int) {
 		ind := &pop[i]
-		if ind.key == "" {
-			ind.key = e.space.Key(ind.genome)
+		var m metrics.Metrics
+		var err error
+		if hashed {
+			m, err = e.cache.EvaluateHashedCtx(ctx, ind.hash, ind.genome)
+		} else {
+			if ind.key == "" {
+				ind.key = e.space.Key(ind.genome)
+			}
+			m, err = e.cache.EvaluateKeyedCtx(ctx, ind.key, ind.genome)
 		}
-		m, err := e.cache.EvaluateKeyedCtx(ctx, ind.key, ind.genome)
 		e.score(ind, m, err)
 		e.rec.RecordEvaluation(telemetry.EvaluationRecord{
 			Generation: gen,
@@ -653,31 +752,49 @@ func (e *Engine) evaluateSingle(ctx context.Context, gen int, pop []individual) 
 }
 
 // evaluateBatch submits the generation to the cache in chunks of BatchSize
-// (whole generation when 0). Keys, points, and outcomes stay index-aligned,
-// so the scored population is identical to evaluateSingle's.
+// (whole generation when 0). Identities (hashes or keys, per the key mode),
+// points, and outcomes stay index-aligned, so the scored population is
+// identical to evaluateSingle's.
 func (e *Engine) evaluateBatch(ctx context.Context, gen int, pop []individual) error {
+	hashed := e.cfg.KeyMode != KeyModeString
 	chunk := e.cfg.BatchSize
 	if chunk <= 0 || chunk > len(pop) {
 		chunk = len(pop)
 	}
-	if cap(e.batchKeys) < chunk {
-		e.batchKeys = make([]string, 0, chunk)
+	if cap(e.batchPts) < chunk {
 		e.batchPts = make([]param.Point, 0, chunk)
+		if hashed {
+			e.batchHashes = make([]uint64, 0, chunk)
+		} else {
+			e.batchKeys = make([]string, 0, chunk)
+		}
 	}
 	for lo := 0; lo < len(pop); lo += chunk {
 		hi := min(lo+chunk, len(pop))
 		batch := pop[lo:hi]
-		keys := e.batchKeys[:0]
 		pts := e.batchPts[:0]
-		for i := range batch {
-			ind := &batch[i]
-			if ind.key == "" {
-				ind.key = e.space.Key(ind.genome)
+		var ms []metrics.Metrics
+		var errs []error
+		var err error
+		if hashed {
+			hashes := e.batchHashes[:0]
+			for i := range batch {
+				hashes = append(hashes, batch[i].hash)
+				pts = append(pts, batch[i].genome)
 			}
-			keys = append(keys, ind.key)
-			pts = append(pts, ind.genome)
+			ms, errs, err = e.cache.EvaluateBatchHashedCtx(ctx, hashes, pts, e.cfg.Parallelism)
+		} else {
+			keys := e.batchKeys[:0]
+			for i := range batch {
+				ind := &batch[i]
+				if ind.key == "" {
+					ind.key = e.space.Key(ind.genome)
+				}
+				keys = append(keys, ind.key)
+				pts = append(pts, ind.genome)
+			}
+			ms, errs, err = e.cache.EvaluateBatchKeyedCtx(ctx, keys, pts, e.cfg.Parallelism)
 		}
-		ms, errs, err := e.cache.EvaluateBatchKeyedCtx(ctx, keys, pts, e.cfg.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -694,13 +811,16 @@ func (e *Engine) evaluateBatch(ctx context.Context, gen int, pop []individual) e
 	return ctx.Err()
 }
 
-// nextGeneration breeds the following population: elites first, then
-// children from tournament-selected parents via crossover and mutation.
-func (e *Engine) nextGeneration(r *rand.Rand, gen int, pop []individual) []individual {
-	next := make([]individual, 0, len(pop))
-
+// nextGeneration breeds the following population into next's arena-backed
+// genome slots: elites first, then children from selected parents via
+// crossover and mutation. Parents live in pop's arena and children are
+// written into next's, so nothing here allocates.
+func (e *Engine) nextGeneration(r *rand.Rand, gen int, pop, next []individual) {
 	// Elites: the top-Elitism genomes by fitness.
-	order := make([]int, len(pop))
+	if e.order == nil || len(e.order) != len(pop) {
+		e.order = make([]int, len(pop))
+	}
+	order := e.order
 	for i := range order {
 		order[i] = i
 	}
@@ -713,16 +833,21 @@ func (e *Engine) nextGeneration(r *rand.Rand, gen int, pop []individual) []indiv
 			}
 		}
 		order[k], order[maxI] = order[maxI], order[k]
-		// The elite genome is unchanged, so its cached key carries over.
-		next = append(next, individual{genome: pop[order[k]].genome.Clone(), key: pop[order[k]].key})
+		// The elite genome is unchanged, so its identity (hash, and cached
+		// key in string mode) carries over.
+		elite := &pop[order[k]]
+		copy(next[k].genome, elite.genome)
+		next[k].hash = elite.hash
+		next[k].key = elite.key
 	}
 
 	sel := e.newSelector(pop)
-	for len(next) < len(pop) {
-		child := e.breed(r, gen, pop, sel)
-		next = append(next, individual{genome: child})
+	for i := e.cfg.Elitism; i < len(next); i++ {
+		child := &next[i]
+		e.breedInto(r, gen, child.genome, sel)
+		child.hash = e.space.Hash64(child.genome)
+		child.key = "" // stale slot state from two generations ago
 	}
-	return next
 }
 
 // selector draws parents from the evaluated population.
@@ -767,15 +892,16 @@ func (e *Engine) newSelector(pop []individual) selector {
 	}
 }
 
-// breed produces one child genome.
-func (e *Engine) breed(r *rand.Rand, gen int, pop []individual, sel selector) param.Point {
+// breedInto produces one child genome in the caller-provided (arena-backed)
+// slot. The RNG draw sequence is identical to the historical allocate-and-
+// return implementation, so runs stay byte-identical.
+func (e *Engine) breedInto(r *rand.Rand, gen int, child param.Point, sel selector) {
 	p1 := sel(r)
-	var child param.Point
 	if r.Float64() < e.cfg.CrossoverRate {
 		p2 := sel(r)
-		child = e.crossover(r, p1.genome, p2.genome)
+		e.crossoverInto(r, child, p1.genome, p2.genome)
 	} else {
-		child = p1.genome.Clone()
+		copy(child, p1.genome)
 	}
 	for _, g := range e.strategy.MutationGenes(r, gen, child, e.cfg.MutationRate) {
 		if g < 0 || g >= len(child) {
@@ -786,12 +912,13 @@ func (e *Engine) breed(r *rand.Rand, gen int, pop []individual, sel selector) pa
 			child[g] = nv
 		}
 	}
-	return child
 }
 
-// crossover applies the configured crossover operator.
-func (e *Engine) crossover(r *rand.Rand, a, b param.Point) param.Point {
-	child := a.Clone()
+// crossoverInto applies the configured crossover operator, writing parent
+// a's genome modified by b's into child. a and b live in the previous
+// generation's arena, child in the next's, so the copies never alias.
+func (e *Engine) crossoverInto(r *rand.Rand, child, a, b param.Point) {
+	copy(child, a)
 	switch e.cfg.Crossover {
 	case CrossoverUniform:
 		for g := range child {
@@ -811,5 +938,4 @@ func (e *Engine) crossover(r *rand.Rand, a, b param.Point) param.Point {
 		cut := r.Intn(len(child))
 		copy(child[cut:], b[cut:])
 	}
-	return child
 }

@@ -1,0 +1,137 @@
+// Genome hashing and packing - the key-free identity a design point carries
+// on the evaluation hot path.
+//
+// The search stack dispatches millions of cached lookups per run, and the
+// canonical string key (Space.Key) costs one allocation per dispatched
+// point. Hash64 replaces it with a fixed 64-bit identity computed with no
+// allocations: for spaces whose cardinality fits a uint64 the hash is a
+// seeded mixed-radix pack pushed through an invertible finalizer, so it is
+// injective - distinct points can never collide. Spaces too large to pack
+// fall back to a chained strong hash, where collisions are possible (and
+// astronomically rare); callers that memoize by hash verify the stored
+// packed genome on every hit (see internal/dataset), so a collision costs a
+// re-evaluation, never a wrong answer. String keys remain the persistence
+// and checkpoint format - hashes are process-local identities, not stable
+// serialized state.
+package param
+
+import (
+	"fmt"
+	"math"
+)
+
+// hashSeedBase seeds every space's hash stream; initHash folds the space
+// shape on top so differently shaped spaces hash the same genome slice
+// differently.
+const hashSeedBase uint64 = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: an invertible avalanche over uint64,
+// so applying it to an injective pack keeps the result injective.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// initHash precomputes the space's hashing state: per-parameter radices,
+// packability (does the whole space fit a uint64 flat index?), and the
+// shape-derived seed.
+func (s *Space) initHash() {
+	s.packCards = make([]uint64, len(s.params))
+	s.packable = true
+	total := uint64(1)
+	seed := mix64(hashSeedBase ^ uint64(len(s.params)))
+	for i, p := range s.params {
+		c := uint64(p.Card())
+		s.packCards[i] = c
+		if total > math.MaxUint64/c {
+			s.packable = false
+		} else {
+			total *= c
+		}
+		seed = mix64(seed + c)
+	}
+	s.hashSeed = seed
+}
+
+// Hash64 returns the point's fixed 64-bit genome hash - the allocation-free
+// identity the evaluation hot path keys on. For packable spaces (cardinality
+// fits uint64, the common case) the hash is injective: it is the seeded
+// mixed-radix pack of the genome through an invertible finalizer, so equal
+// hashes imply equal points. Larger spaces chain a strong per-gene mix and
+// may collide; hash-keyed caches verify the stored genome on hit. Equal
+// points always produce equal hashes. Panics on invalid points, like Key.
+func (s *Space) Hash64(pt Point) uint64 {
+	if len(pt) != len(s.params) {
+		panic(fmt.Sprintf("param: point has %d genes, space has %d parameters", len(pt), len(s.params)))
+	}
+	if s.packable {
+		n := uint64(0)
+		for i, v := range pt {
+			c := s.packCards[i]
+			if uint64(v) >= c { // also catches v < 0 via wraparound
+				panic(s.Validate(pt))
+			}
+			n = n*c + uint64(v)
+		}
+		return mix64(n ^ s.hashSeed)
+	}
+	h := s.hashSeed
+	for i, v := range pt {
+		if uint64(v) >= s.packCards[i] {
+			panic(s.Validate(pt))
+		}
+		h = mix64(h ^ (uint64(v) + hashSeedBase))
+	}
+	return h
+}
+
+// HashInjective reports whether Hash64 is injective for this space (equal
+// hashes imply equal points), which holds whenever the space's cardinality
+// fits a uint64 flat index.
+func (s *Space) HashInjective() bool { return s.packable }
+
+// AppendPacked appends pt's genes to dst as fixed-width int32 - the packed
+// genome form hash-keyed caches store for collision verification. Gene
+// indices always fit int32 (NewSpace enforces the per-parameter bound).
+// Panics on invalid points.
+func (s *Space) AppendPacked(dst []int32, pt Point) []int32 {
+	if len(pt) != len(s.params) {
+		panic(fmt.Sprintf("param: point has %d genes, space has %d parameters", len(pt), len(s.params)))
+	}
+	for i, v := range pt {
+		if uint64(v) >= s.packCards[i] {
+			panic(s.Validate(pt))
+		}
+		dst = append(dst, int32(v))
+	}
+	return dst
+}
+
+// UnpackPoint converts a packed genome produced by AppendPacked back into a
+// Point.
+func (s *Space) UnpackPoint(packed []int32) Point {
+	pt := make(Point, len(packed))
+	for i, v := range packed {
+		pt[i] = int(v)
+	}
+	return pt
+}
+
+// PackedEqual reports whether a packed genome and a Point assign identical
+// value indices - the collision-verification compare on hash-keyed cache
+// hits.
+func PackedEqual(packed []int32, pt Point) bool {
+	if len(packed) != len(pt) {
+		return false
+	}
+	for i, v := range packed {
+		if int(v) != pt[i] {
+			return false
+		}
+	}
+	return true
+}

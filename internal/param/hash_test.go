@@ -1,0 +1,191 @@
+package param
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func hashTestSpace() *Space {
+	return MustSpace(
+		Int("width", 1, 8, 1),
+		Pow2("depth", 0, 4),
+		Choice("alloc", "rr", "islip", "age"),
+		Flag("bypass"),
+	)
+}
+
+// TestHash64InjectiveOnPackableSpace enumerates a full packable space and
+// checks every point hashes uniquely - the injectivity the mixed-radix pack
+// promises.
+func TestHash64InjectiveOnPackableSpace(t *testing.T) {
+	s := hashTestSpace()
+	if !s.HashInjective() {
+		t.Fatalf("small space should be packable")
+	}
+	seen := make(map[uint64]string, s.Cardinality())
+	s.Enumerate(func(pt Point) bool {
+		h := s.Hash64(pt)
+		key := s.Key(pt)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision on packable space: %s and %s both hash to %#x", prev, key, h)
+		}
+		seen[h] = key
+		return true
+	})
+	if len(seen) != int(s.Cardinality()) {
+		t.Fatalf("hashed %d points, space has %d", len(seen), s.Cardinality())
+	}
+}
+
+// TestHash64DeterministicAcrossCopies checks equal points hash equally even
+// through separately constructed spaces of the same shape.
+func TestHash64DeterministicAcrossCopies(t *testing.T) {
+	s1, s2 := hashTestSpace(), hashTestSpace()
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		pt := s1.Random(r)
+		if s1.Hash64(pt) != s2.Hash64(pt.Clone()) {
+			t.Fatalf("same-shape spaces disagree on hash of %s", s1.Key(pt))
+		}
+	}
+}
+
+// TestHash64LargeSpaceFallback exercises the chained-hash path on a space
+// whose cardinality saturates uint64, checking determinism and that random
+// distinct points do not trivially collide.
+func TestHash64LargeSpaceFallback(t *testing.T) {
+	params := make([]*Param, 8)
+	for i := range params {
+		params[i] = Int(string(rune('a'+i)), 0, 1<<16, 1)
+	}
+	s := MustSpace(params...)
+	if s.HashInjective() {
+		t.Fatalf("space with cardinality > MaxUint64 should not claim injectivity")
+	}
+	r := rand.New(rand.NewSource(7))
+	seen := make(map[uint64]string)
+	for i := 0; i < 5000; i++ {
+		pt := s.Random(r)
+		key := s.Key(pt)
+		h := s.Hash64(pt)
+		if h != s.Hash64(pt) {
+			t.Fatalf("non-deterministic hash for %s", key)
+		}
+		if prev, dup := seen[h]; dup && prev != key {
+			t.Fatalf("unexpected collision between %s and %s", prev, key)
+		}
+		seen[h] = key
+	}
+}
+
+// TestHash64PanicsOnInvalidPoints mirrors Key's contract.
+func TestHash64PanicsOnInvalidPoints(t *testing.T) {
+	s := hashTestSpace()
+	for _, pt := range []Point{nil, {0}, {0, 0, 0, 0, 0}, {8, 0, 0, 0}, {-1, 0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Hash64(%v) did not panic", pt)
+				}
+			}()
+			s.Hash64(pt)
+		}()
+	}
+}
+
+// TestHash64NoAllocs pins the whole reason the hash exists: computing it
+// allocates nothing, unlike the string key's one allocation per point.
+func TestHash64NoAllocs(t *testing.T) {
+	s := hashTestSpace()
+	pt := Point{3, 2, 1, 0}
+	if avg := testing.AllocsPerRun(200, func() { s.Hash64(pt) }); avg != 0 {
+		t.Errorf("Hash64 allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestPackedRoundTrip checks AppendPacked/UnpackPoint/PackedEqual agree
+// with the genome they encode.
+func TestPackedRoundTrip(t *testing.T) {
+	s := hashTestSpace()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		pt := s.Random(r)
+		packed := s.AppendPacked(nil, pt)
+		if !PackedEqual(packed, pt) {
+			t.Fatalf("PackedEqual false for the packed point itself (%s)", s.Key(pt))
+		}
+		back := s.UnpackPoint(packed)
+		if !back.Equal(pt) {
+			t.Fatalf("unpack round trip: %v != %v", back, pt)
+		}
+		other := s.Random(r)
+		if other.Equal(pt) != PackedEqual(packed, other) {
+			t.Fatalf("PackedEqual disagrees with Point.Equal for %v vs %v", pt, other)
+		}
+	}
+	if PackedEqual([]int32{1, 2}, Point{1, 2, 3}) {
+		t.Error("PackedEqual accepted mismatched lengths")
+	}
+}
+
+// TestParseKeyRejectsNonCanonicalGenes is the regression suite for the
+// strconv-based parser: encodings fmt.Sscanf("%d") tolerated but Key never
+// emits must be rejected.
+func TestParseKeyRejectsNonCanonicalGenes(t *testing.T) {
+	s := hashTestSpace()
+	good := s.Key(Point{1, 2, 0, 1})
+	if _, err := s.ParseKey(good); err != nil {
+		t.Fatalf("canonical key %q rejected: %v", good, err)
+	}
+	for _, key := range []string{
+		"+1,2,0,1",   // leading plus
+		" 1,2,0,1",   // leading whitespace
+		"1 ,2,0,1",   // trailing whitespace
+		"1,2,0,01",   // leading zero
+		"1,2,0,00",   // zero written with leading zero
+		"1,2,0,-0",   // signed zero
+		"1,2,0,1\n",  // trailing newline
+		"1,2,0,0x1",  // hex
+		"1,2,0,1e0",  // scientific
+		"1,,0,1",     // empty gene
+		"1,2,0,",     // trailing empty gene
+		"01,2,0,1",   // leading zero, first gene
+		"\t1,2,0,1",  // tab whitespace
+		"1,+2,0,1",   // interior plus
+		"1,2,0,1 ,1", // wrong arity with padding
+	} {
+		if _, err := s.ParseKey(key); err == nil {
+			t.Errorf("non-canonical key %q accepted", key)
+		}
+	}
+}
+
+// FuzzHash64MatchesKey fuzzes the consistency contract between the two
+// identities: two points have equal hashes whenever their canonical keys are
+// equal, and - on packable spaces - only then.
+func FuzzHash64MatchesKey(f *testing.F) {
+	s := MustSpace(
+		Int("a", 0, 7, 1),
+		Choice("b", "x", "y", "z"),
+		Flag("c"),
+	)
+	f.Add(0, 0, 0, 7, 2, 1)
+	f.Add(3, 1, 1, 3, 1, 1)
+	f.Add(5, 2, 0, 5, 2, 1)
+	f.Fuzz(func(t *testing.T, a1, b1, c1, a2, b2, c2 int) {
+		clamp := func(v, card int) int {
+			v %= card
+			if v < 0 {
+				v += card
+			}
+			return v
+		}
+		p1 := Point{clamp(a1, 8), clamp(b1, 3), clamp(c1, 2)}
+		p2 := Point{clamp(a2, 8), clamp(b2, 3), clamp(c2, 2)}
+		k1, k2 := s.Key(p1), s.Key(p2)
+		h1, h2 := s.Hash64(p1), s.Hash64(p2)
+		if (k1 == k2) != (h1 == h2) {
+			t.Fatalf("key/hash consistency broken: keys %q vs %q, hashes %#x vs %#x", k1, k2, h1, h2)
+		}
+	})
+}

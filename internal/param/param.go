@@ -315,6 +315,15 @@ func (pt Point) Equal(other Point) bool {
 type Space struct {
 	params []*Param
 	index  map[string]int
+
+	// Genome-hashing state, precomputed at construction (see Hash64).
+	// packCards holds each parameter's cardinality as uint64 for the
+	// mixed-radix pack; packable reports that the full space fits a uint64
+	// flat index, making the pack injective. hashSeed decorrelates hash
+	// streams across space shapes.
+	packCards []uint64
+	packable  bool
+	hashSeed  uint64
 }
 
 // NewSpace builds a Space from the given parameters. Parameter names must be
@@ -331,9 +340,14 @@ func NewSpace(params ...*Param) (*Space, error) {
 		if _, dup := idx[p.name]; dup {
 			return nil, fmt.Errorf("param: duplicate parameter name %q", p.name)
 		}
+		if p.Card() > math.MaxInt32 {
+			return nil, fmt.Errorf("param: parameter %q has %d values, beyond the packed-genome limit", p.name, p.Card())
+		}
 		idx[p.name] = i
 	}
-	return &Space{params: append([]*Param(nil), params...), index: idx}, nil
+	s := &Space{params: append([]*Param(nil), params...), index: idx}
+	s.initHash()
+	return s, nil
 }
 
 // MustSpace is NewSpace that panics on error, for compile-time-constant
@@ -407,11 +421,21 @@ func (s *Space) Validate(pt Point) error {
 
 // Random returns a uniformly random point of the space.
 func (s *Space) Random(r *rand.Rand) Point {
-	pt := make(Point, len(s.params))
-	for i, p := range s.params {
-		pt[i] = r.Intn(p.Card())
+	return s.RandomInto(r, make(Point, len(s.params)))
+}
+
+// RandomInto fills dst (which must have length Len) with a uniformly random
+// point and returns it - Random without the allocation, for callers placing
+// genomes into preallocated arenas. The RNG draw sequence is identical to
+// Random's, so the two are interchangeable in a deterministic run.
+func (s *Space) RandomInto(r *rand.Rand, dst Point) Point {
+	if len(dst) != len(s.params) {
+		panic(fmt.Sprintf("param: RandomInto dst has %d genes, space has %d parameters", len(dst), len(s.params)))
 	}
-	return pt
+	for i, p := range s.params {
+		dst[i] = r.Intn(p.Card())
+	}
+	return dst
 }
 
 // PointAt returns the point with flat enumeration index n, where the last
@@ -484,7 +508,10 @@ func (s *Space) Key(pt Point) string {
 	return string(buf)
 }
 
-// ParseKey is the inverse of Key.
+// ParseKey is the inverse of Key. Only the canonical encoding Key emits is
+// accepted: each gene must be a bare decimal with no sign, whitespace, or
+// leading zeros. ParseKey sits on every cache-restore path, so it parses
+// with strconv rather than fmt scanning.
 func (s *Space) ParseKey(key string) (Point, error) {
 	parts := strings.Split(key, ",")
 	if len(parts) != len(s.params) {
@@ -492,8 +519,8 @@ func (s *Space) ParseKey(key string) (Point, error) {
 	}
 	pt := make(Point, len(parts))
 	for i, part := range parts {
-		var v int
-		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+		v, err := parseGene(part)
+		if err != nil {
 			return nil, fmt.Errorf("param: bad gene %q in key: %v", part, err)
 		}
 		pt[i] = v
@@ -502,6 +529,21 @@ func (s *Space) ParseKey(key string) (Point, error) {
 		return nil, err
 	}
 	return pt, nil
+}
+
+// parseGene parses one canonical gene encoding: ASCII digits only, no sign,
+// no whitespace, no leading zeros (the forms Key never emits).
+func parseGene(g string) (int, error) {
+	if g == "" {
+		return 0, fmt.Errorf("empty gene")
+	}
+	if g[0] < '0' || g[0] > '9' {
+		return 0, fmt.Errorf("non-canonical encoding")
+	}
+	if g[0] == '0' && len(g) > 1 {
+		return 0, fmt.Errorf("non-canonical leading zero")
+	}
+	return strconv.Atoi(g)
 }
 
 // Describe renders the point as "name=value name=value ..." for logs and CLI
