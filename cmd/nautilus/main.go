@@ -9,6 +9,7 @@
 //	nautilus -ip noc|fft|gemm -query QUERY [-guidance baseline|weak|strong]
 //	         [-gens N] [-pop N] [-par N] [-seed N] [-summary] [-rtl FILE]
 //	         [-hints FILE] [-save-hints FILE] [-journal FILE] [-debug-addr ADDR]
+//	         [-trace-out FILE] [-trace-buffer N]
 //	         [-checkpoint FILE] [-checkpoint-every N] [-resume FILE]
 //	         [-eval-timeout DUR] [-eval-retries N] [-quarantine-after N]
 //	         [-fault-rate F] [-fault-failures N] [-fault-seed N]
@@ -114,6 +115,7 @@ func run(ctx context.Context) (int, error) {
 	par := cliflags.NewParallelism(flag.CommandLine, runtime.GOMAXPROCS(0), false)
 	seed := flag.Int64("seed", 1, "random seed")
 	obs := cliflags.NewObservability(flag.CommandLine, true)
+	trc := cliflags.NewTracing(flag.CommandLine)
 	emitRTL := flag.String("rtl", "", "write the best design's Verilog to this file")
 	hintsIn := flag.String("hints", "", "load the hint library from this JSON file instead of the built-in one")
 	hintsOut := flag.String("save-hints", "", "write the active hint library to this JSON file")
@@ -132,6 +134,9 @@ func run(ctx context.Context) (int, error) {
 		return exitUsage, err
 	}
 	if err := sup.Validate(); err != nil {
+		return exitUsage, err
+	}
+	if err := trc.Validate(); err != nil {
 		return exitUsage, err
 	}
 	if err := validateResilienceFlags(*checkpointEvery, *faultRate, *faultFailures); err != nil {
@@ -194,6 +199,15 @@ func run(ctx context.Context) (int, error) {
 	}
 	defer stack.Close()
 
+	// Span tracing is observational only: the tracer's ID stream is seeded
+	// separately from the search RNG, so a traced run's results match the
+	// untraced run's byte for byte.
+	tstack, err := trc.Build("", *seed)
+	if err != nil {
+		return exitFatal, err
+	}
+	defer tstack.Close()
+
 	// A registry shared with the collector surfaces resilience and
 	// checkpoint metrics in -summary and on the debug endpoint.
 	reg := stack.Registry()
@@ -240,18 +254,28 @@ func run(ctx context.Context) (int, error) {
 		cfg.Resume = snap
 		fmt.Fprintf(os.Stderr, "resuming from %s at generation %d\n", *resume, snap.Generation)
 	}
+	opts := []core.SearchOption{core.WithGuidance(guid)}
+	if tstack.Tracer != nil {
+		opts = append(opts, core.WithTracer(tstack.Tracer))
+	}
 	res, err := core.Search(ctx, core.SearchRequest{
 		Space:       space,
 		Objective:   obj,
 		EvaluateCtx: ctxEval,
 		Config:      cfg,
-	}, core.WithGuidance(guid))
+	}, opts...)
 	if err != nil {
+		// Post-mortem: the flight recorder holds the last spans before the
+		// failure - where the final moments of the run went.
+		tstack.DumpRing(os.Stderr)
 		return exitFatal, err
 	}
 
 	if obs.WantSummary() {
 		if err := stack.Collector.WriteSummary(os.Stdout); err != nil {
+			return exitFatal, err
+		}
+		if err := tstack.WriteSummary(os.Stdout); err != nil {
 			return exitFatal, err
 		}
 	}
@@ -261,6 +285,7 @@ func run(ctx context.Context) (int, error) {
 		}
 	}
 	if res.Interrupted {
+		tstack.DumpRing(os.Stderr)
 		if *checkpoint == "" {
 			return exitFatal, fmt.Errorf("interrupted (no -checkpoint configured; progress lost)")
 		}

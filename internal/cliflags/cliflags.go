@@ -1,23 +1,28 @@
 // Package cliflags is the one home of the flag wiring the Nautilus command
 // line tools share: evaluation parallelism (-par), evaluation supervision
 // (-eval-timeout, -eval-retries, -quarantine-after), run observability
-// (-summary, -journal, -debug-addr), and profiling (-cpuprofile,
-// -memprofile). Before this package each tool re-declared the flags and
-// re-implemented their validation and the telemetry sink assembly; now
-// there is exactly one usage string, one validation path, and one assembly
-// routine per concern, and a new tool opts into a concern with one call.
+// (-summary, -journal, -debug-addr), span tracing (-trace-out,
+// -trace-buffer), and profiling (-cpuprofile, -memprofile). Before this
+// package each tool re-declared the flags and re-implemented their
+// validation and the telemetry sink assembly; now there is exactly one
+// usage string, one validation path, and one assembly routine per concern,
+// and a new tool opts into a concern with one call.
 package cliflags
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"nautilus/internal/resilience"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // Parallelism is the shared -par flag.
@@ -188,6 +193,137 @@ func (o *Observability) Build() (*Stack, error) {
 		st.Recorder = telemetry.Multi(recorders...)
 	}
 	return st, nil
+}
+
+// Tracing bundles the span-tracing flags: -trace-out streams completed
+// spans as JSON lines, -trace-buffer keeps an in-memory flight recorder of
+// the last N spans for post-mortems. Distinct from the deprecated -trace
+// flag, which is an alias of -summary.
+type Tracing struct {
+	Out    *string
+	Buffer *int
+}
+
+// NewTracing registers -trace-out and -trace-buffer on fs.
+func NewTracing(fs *flag.FlagSet) *Tracing {
+	return &Tracing{
+		Out:    fs.String("trace-out", "", "append completed spans (generation, dispatch, cache, retry phases) as JSON lines to this file"),
+		Buffer: fs.Int("trace-buffer", 0, "retain the last N spans in memory and dump them on interrupt or failure (0 = off)"),
+	}
+}
+
+// Validate rejects out-of-range tracing values.
+func (t *Tracing) Validate() error {
+	if *t.Buffer < 0 {
+		return fmt.Errorf("-trace-buffer must be non-negative (0 = off), got %d", *t.Buffer)
+	}
+	return nil
+}
+
+// Enabled reports whether any tracing flag asks for a live tracer.
+func (t *Tracing) Enabled() bool { return *t.Out != "" || *t.Buffer > 0 }
+
+// TraceStack is the assembled tracer and its sinks. The zero stack (no
+// tracing flags set) costs nothing: Tracer is nil - the disabled tracer -
+// and every method no-ops.
+type TraceStack struct {
+	// Tracer is non-nil when a tracing flag was set; hand it to the engine
+	// (core.WithTracer). Tracing is observational only: span IDs come from
+	// a private seeded stream, so results are byte-identical either way.
+	Tracer *trace.Tracer
+	// Ring is the flight recorder behind -trace-buffer; nil otherwise.
+	Ring *trace.Ring
+	// Durations aggregates per-span-name latency histograms for the
+	// end-of-run span summary; nil when tracing is off.
+	Durations *trace.Durations
+	closers   []func() error
+}
+
+// Build assembles the tracer the flags describe: a JSONL journal sink for
+// -trace-out, a flight-recorder ring for -trace-buffer, and a duration
+// aggregator for the span summary. session labels every span ("" for CLI
+// runs); seed seeds the span-ID stream (pass the search seed so traces of
+// the same run are comparable). Call Close when the run is done.
+func (t *Tracing) Build(session string, seed int64) (*TraceStack, error) {
+	st := &TraceStack{}
+	if !t.Enabled() {
+		return st, nil
+	}
+	var sinks []trace.Sink
+	if *t.Out != "" {
+		f, err := os.Create(*t.Out)
+		if err != nil {
+			return nil, fmt.Errorf("trace-out: %w", err)
+		}
+		j := telemetry.NewJournal(f)
+		st.closers = append(st.closers, j.Close, f.Close)
+		sinks = append(sinks, trace.JournalSink{J: j})
+	}
+	if *t.Buffer > 0 {
+		st.Ring = trace.NewRing(*t.Buffer)
+		sinks = append(sinks, st.Ring)
+	}
+	st.Durations = trace.NewDurations()
+	sinks = append(sinks, st.Durations)
+	st.Tracer = trace.New(trace.Config{Session: session, Seed: seed, Sinks: sinks})
+	return st, nil
+}
+
+// DumpRing writes the flight recorder's retained spans as JSON lines,
+// oldest first - the post-mortem view of where the final moments of an
+// interrupted or failed run went. No-op without -trace-buffer.
+func (ts *TraceStack) DumpRing(w io.Writer) error {
+	if ts.Ring == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, sp := range ts.Ring.Snapshot() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary prints the per-span-name latency table (count, p50, p99,
+// mean) the Durations sink aggregated. No-op when tracing is off.
+func (ts *TraceStack) WriteSummary(w io.Writer) error {
+	if ts.Durations == nil {
+		return nil
+	}
+	snaps := ts.Durations.Hists.Snapshot()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "span latency (count, p50, p99, mean):\n"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		s := snaps[name]
+		us := func(ns float64) float64 { return ns / 1e3 }
+		if _, err := fmt.Fprintf(w, "  %-20s %7d  %10.1fµs %10.1fµs %10.1fµs\n",
+			name, s.Count, us(s.P50()), us(s.P99()), us(s.Mean())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the trace-out sink. Safe on the zero stack.
+func (ts *TraceStack) Close() error {
+	var first error
+	for _, c := range ts.closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ts.closers = nil
+	return first
 }
 
 // Profiling bundles the profiler flags: -cpuprofile and -memprofile, the

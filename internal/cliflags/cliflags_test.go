@@ -131,6 +131,95 @@ func TestObservabilityWantSummary(t *testing.T) {
 	}
 }
 
+func TestTracingBuild(t *testing.T) {
+	// Zero stack: no flags, nil tracer, every method no-ops.
+	fs := newFS()
+	tr := NewTracing(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Enabled() {
+		t.Error("Enabled() = true with no tracing flags")
+	}
+	st, err := tr.Build("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tracer != nil || st.Ring != nil || st.Durations != nil {
+		t.Errorf("zero stack not zero: %+v", st)
+	}
+	if err := st.DumpRing(discard{}); err != nil {
+		t.Errorf("DumpRing on zero stack: %v", err)
+	}
+	if err := st.WriteSummary(discard{}); err != nil {
+		t.Errorf("WriteSummary on zero stack: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("Close on zero stack: %v", err)
+	}
+
+	// Negative buffer rejected.
+	fs = newFS()
+	tr = NewTracing(fs)
+	if err := fs.Parse([]string{"-trace-buffer", "-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate() = nil with -trace-buffer -1")
+	}
+
+	// Full stack: spans reach the file, the ring, and the summary.
+	out := filepath.Join(t.TempDir(), "spans.jsonl")
+	fs = newFS()
+	tr = NewTracing(fs)
+	if err := fs.Parse([]string{"-trace-out", out, "-trace-buffer", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = tr.Build("", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tracer == nil || st.Ring == nil || st.Durations == nil {
+		t.Fatal("enabled stack missing tracer/ring/durations")
+	}
+	sp := st.Tracer.Start("test.op")
+	sp.Child("test.child").End()
+	sp.End()
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close() = %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"test.child"`) {
+		t.Errorf("trace-out file missing spans:\n%s", data)
+	}
+	if got := len(st.Ring.Snapshot()); got != 2 {
+		t.Errorf("ring retained %d spans, want 2", got)
+	}
+	var buf strings.Builder
+	if err := st.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test.op") {
+		t.Errorf("span summary missing test.op:\n%s", buf.String())
+	}
+
+	// An unwritable trace-out path surfaces as a Build error.
+	fs = newFS()
+	tr = NewTracing(fs)
+	if err := fs.Parse([]string{"-trace-out", filepath.Join(t.TempDir(), "no", "dir", "x.jsonl")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Build("", 1); err == nil || !strings.Contains(err.Error(), "trace-out") {
+		t.Errorf("Build() with bad trace-out path = %v, want trace-out error", err)
+	}
+}
+
 func TestStackZeroCost(t *testing.T) {
 	fs := newFS()
 	o := NewObservability(fs, true)

@@ -10,6 +10,7 @@ import (
 	"nautilus/internal/param"
 	"nautilus/internal/resilience"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // SearchRequest names everything a Nautilus search needs: the
@@ -60,6 +61,21 @@ func WithRecorder(rec telemetry.Recorder) SearchOption {
 	return func(c *searchConfig) {
 		if rec != nil {
 			c.override(func(cfg *ga.Config) { cfg.Recorder = rec })
+		}
+	}
+}
+
+// WithTracer attaches span-based latency tracing: per-generation
+// ga.generation spans with dispatch/selection/crossover/mutation phases,
+// the cache's batch-resolve phases, and - when a resilience policy is
+// also attached and its own Tracer is unset - supervisor attempt/backoff
+// spans. Like recording, tracing is observational only: span identity
+// comes from the tracer's own seeded stream, never the run RNG, so
+// results are byte-identical with tracing on or off.
+func WithTracer(tr *trace.Tracer) SearchOption {
+	return func(c *searchConfig) {
+		if tr != nil {
+			c.override(func(cfg *ga.Config) { cfg.Tracer = tr })
 		}
 	}
 }
@@ -170,7 +186,11 @@ func Search(ctx context.Context, req SearchRequest, opts ...SearchOption) (ga.Re
 		f(&cfg)
 	}
 	if sc.policy != nil {
-		sup, err := resilience.NewSupervisor(req.Space, eval, *sc.policy, sc.registry)
+		p := *sc.policy
+		if p.Tracer == nil {
+			p.Tracer = cfg.Tracer
+		}
+		sup, err := resilience.NewSupervisor(req.Space, eval, p, sc.registry)
 		if err != nil {
 			return ga.Result{}, err
 		}

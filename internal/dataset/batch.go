@@ -17,11 +17,13 @@ package dataset
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
 	"nautilus/internal/pool"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // BatchEvaluator characterizes a whole batch of design points in one call,
@@ -269,6 +271,19 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 	hashed := hashes != nil
 	c.total.Add(int64(n))
 
+	// Span tracing: one cache.batch root per resolution, with dedup/probe/
+	// wait phases emitted as pre-measured children and the miss fan-out as
+	// a live child span. All timing is gated on tracing so the disabled
+	// path never reads the clock.
+	tracing := c.tracer.Enabled()
+	var batchSpan trace.Active
+	var phaseStart time.Time
+	if tracing {
+		batchSpan = c.tracer.Start("cache.batch")
+		defer batchSpan.End()
+		phaseStart = time.Now()
+	}
+
 	// Collapse duplicates: one batchLookup per distinct point, in first-
 	// appearance order so the miss fan-out is deterministic. Generation-
 	// sized batches dedup by linear scan (an integer compare - shard or
@@ -367,12 +382,18 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 		}
 	}
 	sc.uniq = uniq // keep any growth for reuse
+	if tracing {
+		now := time.Now()
+		batchSpan.Emit("cache.dedup", phaseStart, now.Sub(phaseStart))
+		phaseStart = now
+	}
 
 	// Single sharded probe: group the unique points by shard and classify
 	// each under one lock acquisition per touched shard - hit (entry
 	// complete), merge (entry in flight elsewhere), or owned miss (entry
 	// inserted). Hash-mode probes verify the stored packed genome before
-	// declaring a hit.
+	// declaring a hit; collision probes are folded into the cache's
+	// accounting per shard, outside the lock.
 	byShard := &sc.byShard
 	for j := range uniq {
 		byShard[uniq[j].shard] = append(byShard[uniq[j].shard], j)
@@ -382,12 +403,15 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 			continue
 		}
 		sh := &c.shards[shi]
+		shardProbes := 0
 		sh.mu.Lock()
 		for _, j := range idxs {
 			u := &uniq[j]
 			var e *cacheEntry
 			if hashed {
-				e = sh.table.lookup(u.hash, u.pt, &c.collisions)
+				var probes int
+				e, probes = sh.table.lookup(u.hash, u.pt)
+				shardProbes += probes
 			} else {
 				e = sh.entries[u.key]
 			}
@@ -412,6 +436,12 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 			u.owned = true
 		}
 		sh.mu.Unlock()
+		c.noteCollisions(shardProbes, shi)
+	}
+	if tracing {
+		now := time.Now()
+		batchSpan.Emit("cache.probe", phaseStart, now.Sub(phaseStart))
+		phaseStart = now
 	}
 
 	// Telemetry mirrors the single-point path's per-lookup classification:
@@ -456,6 +486,10 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 	}
 	sc.owned = owned
 	if len(owned) > 0 {
+		fanout := trace.Active{}
+		if tracing {
+			fanout = batchSpan.Child("cache.fanout")
+		}
 		opts := sc.opts[:0]
 		for _, j := range owned {
 			opts = append(opts, uniq[j].pt)
@@ -540,22 +574,31 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 		if transient > 0 {
 			c.transient.Add(transient)
 		}
+		fanout.End()
 	}
 
 	// Merge with evaluations in flight elsewhere (another batch, another
 	// session on a shared cache, or a single-point lookup): wait for their
 	// results instead of re-dispatching. A canceled wait abandons the
 	// in-flight evaluation; its owner still completes the entry.
+	waited := false
+	if tracing {
+		phaseStart = time.Now()
+	}
 	for j := range uniq {
 		u := &uniq[j]
 		if !u.wait {
 			continue
 		}
+		waited = true
 		select {
 		case <-u.entry.done:
 		case <-ctx.Done():
 			u.canceled = true
 		}
+	}
+	if tracing && waited {
+		batchSpan.Emit("cache.wait", phaseStart, time.Since(phaseStart))
 	}
 
 	for i := range pts {

@@ -28,6 +28,7 @@ import (
 	"nautilus/internal/param"
 	"nautilus/internal/pool"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // Evaluator maps a design point to its characterization metrics. An error
@@ -119,11 +120,12 @@ const (
 // the evaluation, and concurrent waiters receive the error without the
 // shard being poisoned for the rest of the run.
 type Cache struct {
-	space *param.Space
-	eval  ContextEvaluator
-	rec   telemetry.Recorder
-	batch BatchEvaluator
-	mode  KeyMode
+	space  *param.Space
+	eval   ContextEvaluator
+	rec    telemetry.Recorder
+	tracer *trace.Tracer
+	batch  BatchEvaluator
+	mode   KeyMode
 	// hashFn computes a point's 64-bit genome hash. It defaults to the
 	// space's Hash64 and is overridable from tests to force collisions.
 	hashFn func(param.Point) uint64
@@ -201,6 +203,29 @@ func (c *Cache) SetRecorder(rec telemetry.Recorder) {
 	c.rec = telemetry.OrNop(rec)
 }
 
+// SetTracer attaches a span tracer covering batch resolution phases
+// (dedup, probe, fan-out, merge waits) and singleflight wait time. Call
+// it before the cache is shared across goroutines; nil (the default)
+// disables tracing at the cost of one nil check per phase. Tracing
+// observes timing only - results and counters are identical with it on
+// or off.
+func (c *Cache) SetTracer(tr *trace.Tracer) { c.tracer = tr }
+
+// noteCollisions folds a lookup's collision-probe count into the cache's
+// counter and telemetry. Called outside the shard lock; n is almost
+// always 0 (Hash64 is injective on packable spaces).
+func (c *Cache) noteCollisions(n, shi int) {
+	if n == 0 {
+		return
+	}
+	c.collisions.Add(int64(n))
+	if c.rec.Enabled() {
+		for k := 0; k < n; k++ {
+			c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheCollision, Shard: shi})
+		}
+	}
+}
+
 // shardFor stripes string keys across shards with FNV-1a.
 func (c *Cache) shardFor(key string) int {
 	h := uint32(2166136261)
@@ -248,9 +273,12 @@ func (c *Cache) waitShared(ctx context.Context, e *cacheEntry, shi int) (metrics
 	default:
 		c.dedup.Add(1)
 		c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheDedup, Shard: shi})
+		sp := c.tracer.Start("cache.wait")
 		select {
 		case <-e.done:
+			sp.End()
 		case <-ctx.Done():
+			sp.End()
 			// A canceled waiter abandons the in-flight evaluation; the
 			// owner still completes (or withdraws) the entry.
 			return nil, MarkTransient(ctx.Err())
@@ -331,13 +359,16 @@ func (c *Cache) EvaluateHashedCtx(ctx context.Context, h uint64, pt param.Point)
 	shi := shardForHash(h)
 	sh := &c.shards[shi]
 	sh.mu.Lock()
-	if e := sh.table.lookup(h, pt, &c.collisions); e != nil {
+	found, probes := sh.table.lookup(h, pt)
+	if found != nil {
 		sh.mu.Unlock()
-		return c.waitShared(ctx, e, shi)
+		c.noteCollisions(probes, shi)
+		return c.waitShared(ctx, found, shi)
 	}
 	e := &cacheEntry{done: make(chan struct{}), hash: h, genome: c.space.AppendPacked(nil, pt)}
 	sh.table.insert(e)
 	sh.mu.Unlock()
+	c.noteCollisions(probes, shi)
 	c.rec.RecordCache(telemetry.CacheRecord{Event: telemetry.CacheMiss, Shard: shi})
 
 	return c.runOwned(ctx, e, pt, shi, func() {

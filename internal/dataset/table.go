@@ -1,8 +1,6 @@
 package dataset
 
 import (
-	"sync/atomic"
-
 	"nautilus/internal/param"
 )
 
@@ -28,26 +26,28 @@ type cacheTable struct {
 // three quarters full (counting tombstones, which rehashing clears).
 const tableMinSlots = 64
 
-// lookup returns the entry whose hash and genome both match, or nil.
-// Probes that pass an equal-hash entry holding a different genome are the
-// collision-verification events the cache counts.
-func (t *cacheTable) lookup(h uint64, pt param.Point, collisions *atomic.Int64) *cacheEntry {
+// lookup returns the entry whose hash and genome both match (or nil) plus
+// the number of collision probes - probe steps that passed an equal-hash
+// entry holding a different genome. The caller folds that count into the
+// cache's collision accounting and telemetry outside the shard lock.
+func (t *cacheTable) lookup(h uint64, pt param.Point) (*cacheEntry, int) {
 	if len(t.slots) == 0 {
-		return nil
+		return nil, 0
 	}
+	collisions := 0
 	mask := uint64(len(t.slots) - 1)
 	for i := h & mask; ; i = (i + 1) & mask {
 		e := t.slots[i]
 		if e == nil {
-			return nil
+			return nil, collisions
 		}
 		if e == tombstone || e.hash != h {
 			continue
 		}
 		if param.PackedEqual(e.genome, pt) {
-			return e
+			return e, collisions
 		}
-		collisions.Add(1)
+		collisions++
 	}
 }
 

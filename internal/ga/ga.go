@@ -29,6 +29,7 @@ import (
 	"nautilus/internal/param"
 	"nautilus/internal/pool"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // Selection schemes. The default, rank-based roulette, matches the
@@ -91,6 +92,15 @@ type Config struct {
 	// identical with telemetry on or off. The recorder must be safe for
 	// concurrent use when Parallelism > 1.
 	Recorder telemetry.Recorder
+	// Tracer receives latency spans: a ga.generation root per generation
+	// with a ga.dispatch child around evaluation, pre-measured
+	// ga.selection / ga.crossover / ga.mutation breeding phases, and the
+	// cache's batch-resolve phases underneath. nil disables tracing at the
+	// cost of one boolean test per phase. Like the Recorder, tracing is
+	// purely observational - span IDs come from the tracer's own seeded
+	// stream, never the run RNG - so results are byte-identical with
+	// tracing on or off.
+	Tracer *trace.Tracer
 	// Checkpoint, when non-nil, receives a full resumable Snapshot of the
 	// run at generation boundaries: every CheckpointEvery generations, and
 	// once more when the run context is canceled (after the evaluation pool
@@ -353,6 +363,14 @@ type Engine struct {
 	cfg      Config
 	strategy Strategy
 	rec      telemetry.Recorder
+	tracer   *trace.Tracer
+	// tracing caches tracer.Enabled() so breeding-phase clock reads cost
+	// one boolean test when tracing is off.
+	tracing bool
+	// phaseSel/phaseCx/phaseMut accumulate breeding-phase wall time across
+	// one generation's breedInto calls, emitted as pre-measured spans at
+	// the generation boundary. Touched only when tracing.
+	phaseSel, phaseCx, phaseMut time.Duration
 	// seen is the scratch map for per-generation genome-diversity counting,
 	// reused across generations to keep the hot loop allocation-free. It
 	// counts genome hashes in both key modes, so UniqueGenomes is trivially
@@ -399,6 +417,7 @@ func NewContext(space *param.Space, obj metrics.Objective, eval dataset.ContextE
 		cache.SetKeyMode(dataset.KeyModeString)
 	}
 	cache.SetRecorder(cfg.Recorder)
+	cache.SetTracer(cfg.Tracer)
 	if cfg.BatchBackend != nil {
 		cache.SetBatchBackend(cfg.BatchBackend)
 	}
@@ -409,6 +428,8 @@ func NewContext(space *param.Space, obj metrics.Objective, eval dataset.ContextE
 		cfg:      cfg,
 		strategy: strategy,
 		rec:      cfg.Recorder,
+		tracer:   cfg.Tracer,
+		tracing:  cfg.Tracer.Enabled(),
 	}, nil
 }
 
@@ -566,9 +587,16 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		if recording {
 			genStart = time.Now()
 		}
+		var gspan, dspan trace.Active
+		if e.tracing {
+			gspan = e.tracer.Start("ga.generation")
+			dspan = gspan.Child("ga.dispatch")
+		}
 		if err := e.evaluate(ctx, gen, pop); err != nil {
 			// Canceled mid-generation: the pool has drained; discard the
 			// partially evaluated generation and checkpoint its boundary.
+			dspan.End()
+			gspan.End()
 			interrupted = true
 			if checkpointing {
 				if cerr := e.cfg.Checkpoint(boundary); cerr != nil {
@@ -577,6 +605,7 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			}
 			break
 		}
+		dspan.End()
 		// One pass over the evaluated generation gathers everything the
 		// loop tail needs: the best individual, the diversity count (genome
 		// hashes into the reused scratch set), and the feasible-fitness
@@ -636,14 +665,30 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			prevBest = best.fitness
 			if stale >= e.cfg.ConvergenceWindow {
 				converged = true
+				gspan.End()
 				break
 			}
 		}
 		if gen == e.cfg.Generations {
+			gspan.End()
 			break
 		}
 		cur = 1 - cur
+		var breedStart time.Time
+		if e.tracing {
+			e.phaseSel, e.phaseCx, e.phaseMut = 0, 0, 0
+			breedStart = time.Now()
+		}
 		e.nextGeneration(r, gen, pop, popBufs[cur])
+		if e.tracing {
+			// Breeding phases interleave per child, so they are emitted as
+			// aggregated pre-measured spans sharing the breeding interval's
+			// start rather than three disjoint sub-intervals.
+			gspan.Emit("ga.selection", breedStart, e.phaseSel)
+			gspan.Emit("ga.crossover", breedStart, e.phaseCx)
+			gspan.Emit("ga.mutation", breedStart, e.phaseMut)
+		}
+		gspan.End()
 		pop = popBufs[cur]
 	}
 
@@ -896,12 +941,35 @@ func (e *Engine) newSelector(pop []individual) selector {
 // slot. The RNG draw sequence is identical to the historical allocate-and-
 // return implementation, so runs stay byte-identical.
 func (e *Engine) breedInto(r *rand.Rand, gen int, child param.Point, sel selector) {
+	// Phase timing (tracing only) brackets the same calls the untraced path
+	// makes, in the same order, so the RNG draw sequence is untouched.
+	// Parent draws (and the crossover coin) count as selection; the
+	// recombination itself as crossover; the strategy pass as mutation.
+	var t0 time.Time
+	if e.tracing {
+		t0 = time.Now()
+	}
 	p1 := sel(r)
 	if r.Float64() < e.cfg.CrossoverRate {
 		p2 := sel(r)
+		if e.tracing {
+			now := time.Now()
+			e.phaseSel += now.Sub(t0)
+			t0 = now
+		}
 		e.crossoverInto(r, child, p1.genome, p2.genome)
+		if e.tracing {
+			now := time.Now()
+			e.phaseCx += now.Sub(t0)
+			t0 = now
+		}
 	} else {
 		copy(child, p1.genome)
+		if e.tracing {
+			now := time.Now()
+			e.phaseSel += now.Sub(t0)
+			t0 = now
+		}
 	}
 	for _, g := range e.strategy.MutationGenes(r, gen, child, e.cfg.MutationRate) {
 		if g < 0 || g >= len(child) {
@@ -911,6 +979,9 @@ func (e *Engine) breedInto(r *rand.Rand, gen int, child param.Point, sel selecto
 		if nv >= 0 && nv < e.space.Param(g).Card() {
 			child[g] = nv
 		}
+	}
+	if e.tracing {
+		e.phaseMut += time.Since(t0)
 	}
 }
 

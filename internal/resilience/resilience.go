@@ -43,6 +43,7 @@ import (
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // Metric names the Supervisor and checkpoint Saver maintain.
@@ -106,6 +107,12 @@ type Policy struct {
 	// are interruptible: cancellation of the evaluation context cuts them
 	// short.
 	Sleep func(time.Duration)
+	// Tracer receives resilience.evaluate spans with resilience.attempt
+	// children and pre-measured resilience.backoff waits (nil = tracing
+	// off). Spans observe scheduling the supervisor already decided; the
+	// backoff-jitter RNG is never consulted by tracing, so supervised
+	// results stay byte-identical with tracing on or off.
+	Tracer *trace.Tracer
 }
 
 func (p Policy) withDefaults() Policy {
@@ -274,6 +281,13 @@ func garbage(m metrics.Metrics) bool {
 func (s *Supervisor) Evaluate(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
 	key := s.space.Key(pt)
 
+	tracing := s.policy.Tracer.Enabled()
+	var esp trace.Active
+	if tracing {
+		esp = s.policy.Tracer.Start("resilience.evaluate")
+		defer esp.End()
+	}
+
 	s.mu.Lock()
 	failures, quarantined := s.quarantined[key]
 	s.mu.Unlock()
@@ -287,15 +301,30 @@ func (s *Supervisor) Evaluate(ctx context.Context, pt param.Point) (metrics.Metr
 		if attempt > 1 {
 			s.retries.Inc()
 			wait := s.backoff(attempt - 1)
+			var backoffStart time.Time
+			if tracing {
+				backoffStart = time.Now()
+			}
 			done := make(chan struct{})
 			go func() { s.policy.Sleep(wait); close(done) }()
+			interrupted := false
 			select {
 			case <-done:
 			case <-ctx.Done():
+				interrupted = true
+			}
+			if tracing {
+				esp.Emit("resilience.backoff", backoffStart, time.Since(backoffStart))
+			}
+			if interrupted {
 				return nil, dataset.MarkTransient(ctx.Err())
 			}
 		}
 
+		var asp trace.Active
+		if tracing {
+			asp = esp.Child("resilience.attempt")
+		}
 		actx := ctx
 		cancel := func() {}
 		if s.policy.Timeout > 0 {
@@ -304,6 +333,7 @@ func (s *Supervisor) Evaluate(ctx context.Context, pt param.Point) (metrics.Metr
 		m, err := s.eval(actx, pt)
 		timedOut := actx.Err() == context.DeadlineExceeded && ctx.Err() == nil
 		cancel()
+		asp.End()
 
 		switch {
 		case err == nil && garbage(m):

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // Sentinel and typed errors the API maps onto HTTP status codes.
@@ -49,9 +50,19 @@ func (e *FailedError) Error() string {
 //	GET    /v1/jobs/{id}/events SSE per-generation progress
 //	DELETE /v1/jobs/{id}        cancel a running session
 //	GET    /v1/stats            shared-cache + scheduler accounting
+//	GET    /v1/sessions         per-session generation-latency quantiles
 //	GET    /v1/healthz          liveness + draining flag
+//	GET    /metrics             Prometheus text exposition: registry
+//	                            metrics, per-route HTTP latency/status,
+//	                            per-phase span-duration histograms,
+//	                            shared-cache hit/collision accounting
 //	GET    /debug/sessions      per-session metric registry snapshots
+//	                            plus each session's span flight recorder
 //	/debug/vars, /debug/pprof/...   telemetry.DebugMux over the registry
+//
+// Every /v1 route (and its /api/v1 alias, which shares the canonical
+// route's metric series) is wrapped in the latency/status middleware
+// feeding /metrics.
 //
 // Every route is also reachable under the pre-versioning /api/v1/ prefix
 // for one release; those aliases answer identically but carry a
@@ -76,13 +87,16 @@ func (s *Server) Handler() http.Handler {
 		{"GET /jobs/{id}/events", s.handleEvents},
 		{"DELETE /jobs/{id}", s.handleCancel},
 		{"GET /stats", s.handleStats},
+		{"GET /sessions", s.handleSessions},
 		{"GET /healthz", s.handleHealthz},
 	}
 	for _, rt := range routes {
 		method, path, _ := strings.Cut(rt.pattern, " ")
-		mux.HandleFunc(method+" /v1"+path, rt.fn)
-		mux.HandleFunc(method+" /api/v1"+path, deprecated(path, rt.fn))
+		fn := s.instrument(method+" /v1"+path, rt.fn)
+		mux.HandleFunc(method+" /v1"+path, fn)
+		mux.HandleFunc(method+" /api/v1"+path, deprecated(path, fn))
 	}
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/sessions", s.handleDebugSessions)
 	mux.Handle("/debug/", telemetry.DebugMux(s.reg))
 	return mux
@@ -216,17 +230,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	type cacheStats struct {
-		Distinct  int     `json:"distinct_evals"`
-		Total     int     `json:"total_queries"`
-		Hits      int     `json:"hits"`
-		HitRate   float64 `json:"hit_rate"`
-		Transient int     `json:"transient"`
+		Distinct   int     `json:"distinct_evals"`
+		Total      int     `json:"total_queries"`
+		Hits       int     `json:"hits"`
+		HitRate    float64 `json:"hit_rate"`
+		Transient  int     `json:"transient"`
+		Collisions int     `json:"collisions"`
 	}
 	shared := make(map[string]cacheStats)
 	for ip, st := range s.SharedCacheStats() {
 		shared[ip] = cacheStats{
 			Distinct: st.Distinct, Total: st.Total, Hits: st.Hits,
 			HitRate: st.HitRate, Transient: st.Transient,
+			Collisions: st.Collisions,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -244,6 +260,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": s.Draining()})
 }
 
+// handleSessions reports each session's live performance view: running
+// generation-latency quantiles (p50/p90/p99/mean over every completed
+// generation) and the session-private cache hit ratio, in submission
+// order.
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]SessionPerf, 0, len(ids))
+	for _, id := range ids {
+		if sess, err := s.get(id); err == nil {
+			out = append(out, sess.perf())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
 // handleDebugSessions dumps each session's private metric registry - the
 // per-session half of the introspection story (the global half lives at
 // /debug/vars via the shared registry).
@@ -251,6 +284,9 @@ func (s *Server) handleDebugSessions(w http.ResponseWriter, _ *http.Request) {
 	type sessionDebug struct {
 		Status  JobStatus          `json:"status"`
 		Metrics telemetry.Snapshot `json:"metrics"`
+		// Spans is the session's flight recorder: its most recent spans
+		// (oldest first), capped at flightRecorderSize.
+		Spans []trace.Span `json:"spans,omitempty"`
 	}
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
@@ -261,7 +297,11 @@ func (s *Server) handleDebugSessions(w http.ResponseWriter, _ *http.Request) {
 		if err != nil {
 			continue
 		}
-		out[id] = sessionDebug{Status: sess.status(), Metrics: sess.col.Registry().Snapshot()}
+		out[id] = sessionDebug{
+			Status:  sess.status(),
+			Metrics: sess.col.Registry().Snapshot(),
+			Spans:   sess.ring.Snapshot(),
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

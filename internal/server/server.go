@@ -31,6 +31,7 @@ import (
 	"nautilus/internal/param"
 	"nautilus/internal/resilience"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 // Metric names the server maintains in its registry, alongside the
@@ -77,6 +78,11 @@ type Server struct {
 	global *telemetry.Collector
 	sched  *scheduler
 	store  *store
+	// http holds per-route request metrics; durs aggregates every
+	// session's span durations into the process-wide per-phase latency
+	// histograms. Both feed /metrics.
+	http *httpStats
+	durs *trace.Durations
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -128,6 +134,8 @@ func New(opts Options) (*Server, error) {
 		global:     global,
 		sched:      newScheduler(opts.Workers, opts.Registry),
 		store:      st,
+		http:       newHTTPStats(),
+		durs:       trace.NewDurations(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		sessions:   make(map[string]*session),
@@ -295,12 +303,22 @@ func (s *Server) run(ctx context.Context, sess *session, resume *ga.Snapshot) {
 		Resume:          resume,
 		BatchBackend:    batch,
 	}
+	// The session's tracer feeds its private flight recorder (the last
+	// spans, dumped by /debug/sessions) and the server-wide per-phase
+	// duration histograms on /metrics. Span IDs come from the tracer's own
+	// seeded stream, so tracing cannot perturb the run RNG and session
+	// results stay byte-identical to an untraced CLI run.
+	tr := trace.New(trace.Config{
+		Session: sess.id,
+		Seed:    sess.spec.Seed,
+		Sinks:   []trace.Sink{sess.ring, s.durs},
+	})
 	res, err := core.Search(ctx, core.SearchRequest{
 		Space:       sess.entry.Space,
 		Objective:   sess.entry.Objective,
 		EvaluateCtx: eval,
 		Config:      cfg,
-	}, core.WithGuidance(sess.guid))
+	}, core.WithGuidance(sess.guid), core.WithTracer(tr))
 
 	var state State
 	var msg string

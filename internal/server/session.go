@@ -10,6 +10,8 @@ import (
 	"nautilus/internal/catalog"
 	"nautilus/internal/core"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/hist"
+	"nautilus/internal/telemetry/trace"
 )
 
 // State is a session's lifecycle stage.
@@ -164,6 +166,13 @@ type genEvent struct {
 	UniqueGenomes int      `json:"unique_genomes"`
 	DistinctEvals int      `json:"distinct_evals"`
 	ElapsedMicros int64    `json:"elapsed_us"`
+	// LatencyP50Micros / LatencyP99Micros are the session's running
+	// generation-latency quantiles; CacheHitRate is its private cache's
+	// running hit ratio. All three grow monotonically more stable as the
+	// run ages; late SSE subscribers see them in every replayed event.
+	LatencyP50Micros int64    `json:"latency_p50_us,omitempty"`
+	LatencyP99Micros int64    `json:"latency_p99_us,omitempty"`
+	CacheHitRate     *float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // session is one supervised search running inside the server.
@@ -177,6 +186,12 @@ type session struct {
 	hub  *progressHub
 	col  *telemetry.Collector
 	done chan struct{}
+	// genLat distributes completed-generation wall times (power-of-two
+	// nanosecond buckets) for /v1/sessions and the SSE stream; ring is the
+	// session's span flight recorder, dumped by /debug/sessions. Both are
+	// observational only.
+	genLat hist.Hist
+	ring   *trace.Ring
 
 	mu         sync.Mutex
 	cancel     context.CancelFunc
@@ -201,6 +216,7 @@ func newSession(id string, seq int, spec JobSpec, entry *catalog.Entry, guid *co
 		hub:   newProgressHub(),
 		col:   telemetry.NewCollector(nil),
 		done:  make(chan struct{}),
+		ring:  trace.NewRing(flightRecorderSize),
 		state: StateRunning,
 		gen:   -1,
 	}
@@ -224,6 +240,57 @@ func (s *session) status() JobStatus {
 		st.BestValue = &v
 	}
 	return st
+}
+
+// SessionPerf is the /v1/sessions payload for one session: the live
+// generation-latency distribution (quantiles over every completed
+// generation so far, in microseconds) and the session-private cache's
+// running hit ratio.
+type SessionPerf struct {
+	ID            string `json:"id"`
+	State         State  `json:"state"`
+	Generation    int    `json:"generation"`
+	DistinctEvals int    `json:"distinct_evals"`
+	// Generations is how many generation latencies the histogram holds.
+	Generations          int64   `json:"generations_observed"`
+	GenLatencyP50Micros  float64 `json:"gen_latency_p50_us"`
+	GenLatencyP90Micros  float64 `json:"gen_latency_p90_us"`
+	GenLatencyP99Micros  float64 `json:"gen_latency_p99_us"`
+	GenLatencyMeanMicros float64 `json:"gen_latency_mean_us"`
+	CacheHitRate         float64 `json:"cache_hit_rate"`
+}
+
+// cacheHitRate reads the session collector's cache counters into a hit
+// ratio; ok is false before any lookup happened.
+func (s *session) cacheHitRate() (rate float64, ok bool) {
+	snap := s.col.Registry().Snapshot()
+	hits := snap.Counters[telemetry.MetricCacheHits]
+	total := hits + snap.Counters[telemetry.MetricCacheMisses] + snap.Counters[telemetry.MetricCacheDedups]
+	if total == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(total), true
+}
+
+// perf snapshots the session's performance view for /v1/sessions.
+func (s *session) perf() SessionPerf {
+	st := s.status()
+	lat := s.genLat.Snapshot()
+	p := SessionPerf{
+		ID:                   st.ID,
+		State:                st.State,
+		Generation:           st.Generation,
+		DistinctEvals:        st.DistinctEvals,
+		Generations:          lat.Count,
+		GenLatencyP50Micros:  lat.P50() / 1e3,
+		GenLatencyP90Micros:  lat.P90() / 1e3,
+		GenLatencyP99Micros:  lat.P99() / 1e3,
+		GenLatencyMeanMicros: lat.Mean() / 1e3,
+	}
+	if hr, ok := s.cacheHitRate(); ok {
+		p.CacheHitRate = hr
+	}
+	return p
 }
 
 // stop cancels the session's run context. user marks a client cancel
@@ -262,6 +329,7 @@ func (r sessionRecorder) Enabled() bool { return true }
 
 func (r sessionRecorder) RecordGeneration(g telemetry.GenerationRecord) {
 	s := r.s
+	s.genLat.ObserveDuration(g.Elapsed)
 	s.mu.Lock()
 	s.gen = g.Generation
 	s.distinct = g.DistinctEvals
@@ -274,12 +342,18 @@ func (r sessionRecorder) RecordGeneration(g telemetry.GenerationRecord) {
 	feasible := s.feasible
 	s.mu.Unlock()
 
+	lat := s.genLat.Snapshot()
 	ev := genEvent{
-		Generation:    g.Generation,
-		Feasible:      g.Feasible,
-		UniqueGenomes: g.UniqueGenomes,
-		DistinctEvals: g.DistinctEvals,
-		ElapsedMicros: g.Elapsed.Microseconds(),
+		Generation:       g.Generation,
+		Feasible:         g.Feasible,
+		UniqueGenomes:    g.UniqueGenomes,
+		DistinctEvals:    g.DistinctEvals,
+		ElapsedMicros:    g.Elapsed.Microseconds(),
+		LatencyP50Micros: int64(lat.P50() / 1e3),
+		LatencyP99Micros: int64(lat.P99() / 1e3),
+	}
+	if hr, ok := s.cacheHitRate(); ok {
+		ev.CacheHitRate = &hr
 	}
 	if feasible {
 		v := g.BestValue

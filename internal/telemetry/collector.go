@@ -23,6 +23,7 @@ const (
 	MetricCacheMisses      = "cache.misses"
 	MetricCacheDedups      = "cache.dedup_waits"
 	MetricCacheTransient   = "cache.transient_errors"
+	MetricCacheCollisions  = "cache.collisions"
 	MetricPoolTasks        = "pool.tasks"
 	MetricPoolBusy         = "pool.workers_busy"
 	MetricPoolBusyMax      = "pool.workers_busy_max"
@@ -56,10 +57,11 @@ type Collector struct {
 	gateGuided   *Counter
 	gateUnguided *Counter
 
-	cacheHits      *Counter
-	cacheMisses    *Counter
-	cacheDedups    *Counter
-	cacheTransient *Counter
+	cacheHits       *Counter
+	cacheMisses     *Counter
+	cacheDedups     *Counter
+	cacheTransient  *Counter
+	cacheCollisions *Counter
 
 	poolTasks *Counter
 	poolBusy  *Gauge
@@ -76,25 +78,26 @@ func NewCollector(reg *Registry) *Collector {
 		reg = NewRegistry()
 	}
 	c := &Collector{
-		reg:            reg,
-		generations:    reg.Counter(MetricGenerations),
-		evals:          reg.Counter(MetricEvaluations),
-		evalInfeasible: reg.Counter(MetricEvalInfeasible),
-		genMillis:      reg.Histogram(MetricGenerationMillis, generationMillisBounds),
-		bestValue:      reg.Gauge(MetricBestValue),
-		meanFitness:    reg.Gauge(MetricMeanFitness),
-		uniqueGenomes:  reg.Gauge(MetricUniqueGenomes),
-		distinctEvals:  reg.Gauge(MetricDistinctEvals),
-		hintCounters:   make(map[string]*Counter, 5),
-		gateGuided:     reg.Counter(gateGuidedMetric),
-		gateUnguided:   reg.Counter(gateUnguidedMetric),
-		cacheHits:      reg.Counter(MetricCacheHits),
-		cacheMisses:    reg.Counter(MetricCacheMisses),
-		cacheDedups:    reg.Counter(MetricCacheDedups),
-		cacheTransient: reg.Counter(MetricCacheTransient),
-		poolTasks:      reg.Counter(MetricPoolTasks),
-		poolBusy:       reg.Gauge(MetricPoolBusy),
-		poolMax:        reg.Gauge(MetricPoolBusyMax),
+		reg:             reg,
+		generations:     reg.Counter(MetricGenerations),
+		evals:           reg.Counter(MetricEvaluations),
+		evalInfeasible:  reg.Counter(MetricEvalInfeasible),
+		genMillis:       reg.Histogram(MetricGenerationMillis, generationMillisBounds),
+		bestValue:       reg.Gauge(MetricBestValue),
+		meanFitness:     reg.Gauge(MetricMeanFitness),
+		uniqueGenomes:   reg.Gauge(MetricUniqueGenomes),
+		distinctEvals:   reg.Gauge(MetricDistinctEvals),
+		hintCounters:    make(map[string]*Counter, 5),
+		gateGuided:      reg.Counter(gateGuidedMetric),
+		gateUnguided:    reg.Counter(gateUnguidedMetric),
+		cacheHits:       reg.Counter(MetricCacheHits),
+		cacheMisses:     reg.Counter(MetricCacheMisses),
+		cacheDedups:     reg.Counter(MetricCacheDedups),
+		cacheTransient:  reg.Counter(MetricCacheTransient),
+		cacheCollisions: reg.Counter(MetricCacheCollisions),
+		poolTasks:       reg.Counter(MetricPoolTasks),
+		poolBusy:        reg.Gauge(MetricPoolBusy),
+		poolMax:         reg.Gauge(MetricPoolBusyMax),
 	}
 	c.retain = true
 	for _, mech := range []string{
@@ -177,6 +180,8 @@ func (c *Collector) RecordCache(r CacheRecord) {
 		c.reg.Counter(fmt.Sprintf(dedupShardFmt, r.Shard)).Inc()
 	case CacheTransient:
 		c.cacheTransient.Inc()
+	case CacheCollision:
+		c.cacheCollisions.Inc()
 	}
 }
 
@@ -230,8 +235,12 @@ func (c *Collector) WriteSummary(w io.Writer) error {
 
 	hits, misses, dedups := c.cacheHits.Value(), c.cacheMisses.Value(), c.cacheDedups.Value()
 	if total := hits + misses + dedups; total > 0 {
-		fmt.Fprintf(w, "cache:        %d lookups: %d hits (%.1f%%), %d misses, %d deduped waits\n",
+		fmt.Fprintf(w, "cache:        %d lookups: %d hits (%.1f%% hit ratio), %d misses, %d deduped waits",
 			total, hits, 100*float64(hits)/float64(total), misses, dedups)
+		if collisions := c.cacheCollisions.Value(); collisions > 0 {
+			fmt.Fprintf(w, ", %d hash collisions", collisions)
+		}
+		fmt.Fprintln(w)
 	}
 	if transient := c.cacheTransient.Value(); transient > 0 {
 		fmt.Fprintf(w, "faults:       %d transient evaluation failures withdrawn from the cache\n", transient)

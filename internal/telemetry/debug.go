@@ -20,6 +20,7 @@ var (
 // with their own HTTP server (the nautserve daemon) can mount them beside
 // their API instead of opening a second port:
 //
+//	/metrics      - the registry in Prometheus text exposition format
 //	/debug/vars   - expvar, including the registry snapshot as "nautilus"
 //	/debug/pprof  - the standard Go profiling handlers
 //
@@ -39,6 +40,7 @@ func DebugMux(reg *Registry) *http.ServeMux {
 		}))
 	})
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", MetricsHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -58,6 +58,17 @@ func (j *Journal) sinceMillis() float64 {
 	return float64(time.Since(j.start)) / float64(time.Millisecond)
 }
 
+// SinceMillis returns the journal-relative wall clock in milliseconds -
+// the same clock every line's "t_ms" field uses - so external emitters
+// (the span tracer's JSONL sink) timestamp consistently with run events.
+func (j *Journal) SinceMillis() float64 { return j.sinceMillis() }
+
+// EmitRaw writes one arbitrary event line through the journal's encoder,
+// serialized with the Recorder events and sharing their sticky-error
+// handling. The event should carry its own "event" discriminator field;
+// callers own the schema of what they emit.
+func (j *Journal) EmitRaw(event any) { j.emit(event) }
+
 // Enabled implements Recorder.
 func (j *Journal) Enabled() bool { return true }
 

@@ -1,0 +1,357 @@
+package prom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads text exposition format strictly and returns the families
+// in input order. It is deliberately pickier than Prometheus' own
+// scraper - it is the CI gate that keeps /metrics well-formed:
+//
+//   - every sample must belong to a family declared by a preceding
+//     # TYPE line (untyped samples are a bug here, not a convenience);
+//   - metric and label names must be syntactically valid;
+//   - counter values must be finite and non-negative;
+//   - histogram families must carry _bucket/_sum/_count samples per
+//     label set, buckets must be cumulative and non-decreasing in le
+//     order, and the +Inf bucket must be present and equal the count;
+//   - duplicate samples (same name, suffix, and label set) are errors.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var fams []Family
+	byName := make(map[string]int)
+	seen := make(map[string]bool) // duplicate-sample detection
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				name, help, ok := cutSpace(strings.TrimPrefix(rest, "HELP "))
+				if !ok && name == "" {
+					return nil, fmt.Errorf("line %d: malformed HELP line", lineNo)
+				}
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+				}
+				i, ok2 := byName[name]
+				if !ok2 {
+					byName[name] = len(fams)
+					fams = append(fams, Family{Name: name, Help: help})
+				} else {
+					fams[i].Help = help
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				name, typ, ok := cutSpace(strings.TrimPrefix(rest, "TYPE "))
+				if !ok {
+					return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch Type(typ) {
+				case TypeCounter, TypeGauge, TypeHistogram, TypeUntyped, "summary":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+				}
+				i, ok2 := byName[name]
+				if !ok2 {
+					byName[name] = len(fams)
+					fams = append(fams, Family{Name: name, Type: Type(typ)})
+				} else {
+					if fams[i].Type != "" {
+						return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+					}
+					fams[i].Type = Type(typ)
+				}
+			default:
+				// Other comments are permitted by the format; strictness
+				// stops at unknown # directives that look like typos.
+				if strings.HasPrefix(strings.TrimSpace(rest), "HELP") || strings.HasPrefix(strings.TrimSpace(rest), "TYPE") {
+					return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName, suffix := name, ""
+		i, ok := byName[famName]
+		if !ok {
+			// Histogram component samples attach to their base family.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, suf) {
+					if j, ok2 := byName[strings.TrimSuffix(name, suf)]; ok2 && fams[j].Type == TypeHistogram {
+						famName, suffix = strings.TrimSuffix(name, suf), suf
+						i, ok = j, true
+					}
+					break
+				}
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, name)
+		}
+		f := &fams[i]
+		if f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %q has HELP but no TYPE", lineNo, name)
+		}
+		if f.Type == TypeHistogram && suffix == "" {
+			return nil, fmt.Errorf("line %d: histogram %s has a bare sample (want _bucket/_sum/_count)", lineNo, name)
+		}
+		if f.Type == TypeCounter && (value < 0 || math.IsNaN(value) || math.IsInf(value, 0)) {
+			return nil, fmt.Errorf("line %d: counter %s has non-finite or negative value %v", lineNo, name, value)
+		}
+		key := sampleKey(famName, suffix, labels)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+		f.Samples = append(f.Samples, Sample{Suffix: suffix, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for i := range fams {
+		if fams[i].Type == "" {
+			return nil, fmt.Errorf("metric %s has HELP but no TYPE", fams[i].Name)
+		}
+		if fams[i].Type == TypeHistogram {
+			if err := checkHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// cutSpace splits at the first space; ok reports whether a space existed.
+func cutSpace(s string) (before, after string, ok bool) {
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+1:], true
+}
+
+// sampleKey canonicalizes a sample's identity for duplicate detection.
+func sampleKey(name, suffix string, labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString(suffix)
+	for _, l := range ls {
+		fmt.Fprintf(&b, `|%s=%q`, l.Name, l.Value)
+	}
+	return b.String()
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (string, []Label, float64, error) {
+	rest := line
+	var name string
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []Label
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndexByte(rest, '}')
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	valueStr := strings.TrimSpace(rest)
+	if valueStr == "" {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	// Optional timestamp (we never emit one, but the format allows it).
+	if fields := strings.Fields(valueStr); len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q has trailing garbage", line)
+	} else if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %q has a malformed timestamp", line)
+		}
+		valueStr = fields[0]
+	}
+	value, err := parseFloat(valueStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q has malformed value: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseFloat accepts the exposition value syntax including +Inf/-Inf/NaN.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(s string) ([]Label, error) {
+	var labels []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %s", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %s", name)
+		}
+		labels = append(labels, Label{Name: name, Value: b.String()})
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// checkHistogram validates the histogram contract per label set:
+// cumulative non-decreasing buckets in ascending le order, a +Inf bucket
+// equal to the count, and matched _sum/_count samples.
+func checkHistogram(f *Family) error {
+	type series struct {
+		les      []float64
+		counts   []float64
+		count    *float64
+		sum      *float64
+		hasInf   bool
+		infCount float64
+	}
+	byLabels := make(map[string]*series)
+	order := []string{}
+	get := func(labels []Label) *series {
+		key := sampleKey("", "", labels)
+		s, ok := byLabels[key]
+		if !ok {
+			s = &series{}
+			byLabels[key] = s
+			order = append(order, key)
+		}
+		return s
+	}
+	for _, smp := range f.Samples {
+		switch smp.Suffix {
+		case "_bucket":
+			var le string
+			rest := make([]Label, 0, len(smp.Labels))
+			for _, l := range smp.Labels {
+				if l.Name == "le" {
+					le = l.Value
+					continue
+				}
+				rest = append(rest, l)
+			}
+			if le == "" {
+				return fmt.Errorf("histogram %s: bucket sample without le label", f.Name)
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: malformed le %q", f.Name, le)
+			}
+			s := get(rest)
+			if math.IsInf(bound, 1) {
+				s.hasInf = true
+				s.infCount = smp.Value
+			}
+			s.les = append(s.les, bound)
+			s.counts = append(s.counts, smp.Value)
+		case "_sum":
+			v := smp.Value
+			get(smp.Labels).sum = &v
+		case "_count":
+			v := smp.Value
+			get(smp.Labels).count = &v
+		}
+	}
+	for _, key := range order {
+		s := byLabels[key]
+		if !s.hasInf {
+			return fmt.Errorf("histogram %s%s: missing +Inf bucket", f.Name, key)
+		}
+		if s.count == nil || s.sum == nil {
+			return fmt.Errorf("histogram %s%s: missing _sum or _count", f.Name, key)
+		}
+		if s.infCount != *s.count {
+			return fmt.Errorf("histogram %s%s: +Inf bucket %v != count %v", f.Name, key, s.infCount, *s.count)
+		}
+		for i := 1; i < len(s.les); i++ {
+			if s.les[i] <= s.les[i-1] {
+				return fmt.Errorf("histogram %s%s: le bounds not ascending", f.Name, key)
+			}
+			if s.counts[i] < s.counts[i-1] {
+				return fmt.Errorf("histogram %s%s: bucket counts not cumulative", f.Name, key)
+			}
+		}
+	}
+	return nil
+}

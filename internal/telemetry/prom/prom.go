@@ -1,0 +1,237 @@
+// Package prom renders metrics in the Prometheus text exposition format
+// (version 0.0.4) and parses it back strictly. It is hand-rolled on
+// purpose: Nautilus takes no third-party dependencies, and the slice of
+// the format we need - counters, gauges, histograms with labels - is
+// small. The parser is the contract's enforcement arm: CI scrapes
+// /metrics and feeds it through Parse, so a malformed line or a renamed
+// metric fails the build rather than silently breaking dashboards.
+//
+// Naming scheme (DESIGN §9): internal dotted metric names such as
+// "cache.dedup_waits" become "nautilus_cache_dedup_waits" - the Name
+// function maps every character outside [a-zA-Z0-9_:] to '_' and callers
+// prepend the "nautilus_" namespace. Durations are exposed in
+// nanoseconds with a "_ns" suffix rather than rescaled to seconds, so
+// exposition stays integer-exact.
+package prom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nautilus/internal/telemetry/hist"
+)
+
+// ContentType is the HTTP Content-Type of text exposition format 0.0.4.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Type is a metric family's type as declared by its # TYPE line.
+type Type string
+
+// The metric types this package emits and accepts.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+	TypeUntyped   Type = "untyped"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition line within a family. Suffix extends the
+// family name ("_bucket", "_sum", "_count" for histograms; empty for
+// scalars).
+type Sample struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: a # HELP line, a # TYPE line, and its
+// samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    Type
+	Samples []Sample
+}
+
+// Name maps an internal metric name to a valid exposition name:
+// characters outside [a-zA-Z0-9_:] become '_', and a leading digit gets
+// a '_' prefix.
+func Name(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, r := range s {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if valid {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// validName reports whether s is a legal exposition metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s is a legal label name.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z'):
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// FormatValue renders a sample value (or an le bucket bound) the way
+// Prometheus expects: +Inf/-Inf/NaN spelled out, shortest round-trip
+// float otherwise.
+func FormatValue(v float64) string { return formatValue(v) }
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Write renders the families in exposition format. Families are written
+// sorted by name and each family's samples in the order given, so output
+// is deterministic for golden tests. Invalid metric or label names are
+// an error - the writer enforces the same rules the parser does.
+func Write(w io.Writer, fams []Family) error {
+	sorted := append([]Family(nil), fams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	bw := bufio.NewWriter(w)
+	for _, f := range sorted {
+		if !validName(f.Name) {
+			return fmt.Errorf("prom: invalid metric name %q", f.Name)
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = TypeUntyped
+		}
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, typ)
+		for _, s := range f.Samples {
+			bw.WriteString(f.Name)
+			bw.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if !validLabelName(l.Name) {
+						return fmt.Errorf("prom: invalid label name %q on %s", l.Name, f.Name)
+					}
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, `%s="%s"`, l.Name, escapeLabel(l.Value))
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// AddHist appends one hist.Snapshot's cumulative le buckets, sum, and
+// count to a histogram family. Only buckets that hold samples contribute
+// a boundary (plus the mandatory +Inf), keeping exposition proportional
+// to the distribution's spread rather than the full 64-bucket range.
+// labels distinguish series within the family (e.g. route="/v1/jobs");
+// the le label is appended after them.
+func (f *Family) AddHist(labels []Label, s hist.Snapshot) {
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := formatValue(float64(hist.BucketHi(i)))
+		f.Samples = append(f.Samples, Sample{
+			Suffix: "_bucket",
+			Labels: append(append([]Label(nil), labels...), Label{"le", le}),
+			Value:  float64(cum),
+		})
+	}
+	f.Samples = append(f.Samples,
+		Sample{Suffix: "_bucket", Labels: append(append([]Label(nil), labels...), Label{"le", "+Inf"}), Value: float64(s.Count)},
+		Sample{Suffix: "_sum", Labels: labels, Value: float64(s.Sum)},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(s.Count)},
+	)
+}
+
+// FromHist converts one hist.Snapshot into a histogram family (see
+// AddHist for the bucket layout).
+func FromHist(name, help string, labels []Label, s hist.Snapshot) Family {
+	f := Family{Name: name, Help: help, Type: TypeHistogram}
+	f.AddHist(labels, s)
+	return f
+}

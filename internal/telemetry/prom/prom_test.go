@@ -1,0 +1,205 @@
+package prom
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"nautilus/internal/telemetry/hist"
+)
+
+func TestName(t *testing.T) {
+	cases := map[string]string{
+		"cache.dedup_waits":        "cache_dedup_waits",
+		"ga.generation_ms":         "ga_generation_ms",
+		"http//v1/jobs":            "http__v1_jobs",
+		"9lives":                   "_9lives",
+		"ok_name:with_colon":       "ok_name:with_colon",
+		"spaces and-dashes":        "spaces_and_dashes",
+		"shared.10.0.0.1.distinct": "shared_10_0_0_1_distinct",
+	}
+	for in, want := range cases {
+		if got := Name(in); got != want {
+			t.Errorf("Name(%q) = %q, want %q", in, got, want)
+		}
+		if !validName(Name(in)) {
+			t.Errorf("Name(%q) = %q is not a valid exposition name", in, Name(in))
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	h := hist.New()
+	for _, v := range []int64{100, 200, 1500, 1500, 90_000} {
+		h.Observe(v)
+	}
+	histFam := Family{Name: "nautilus_span_ga_generation_ns", Help: "per-generation latency", Type: TypeHistogram}
+	histFam.AddHist([]Label{{"session", "s1"}}, h.Snapshot())
+	histFam.AddHist([]Label{{"session", "s2"}}, h.Snapshot())
+
+	fams := []Family{
+		{Name: "nautilus_cache_hits", Help: "cache hits", Type: TypeCounter,
+			Samples: []Sample{{Value: 42}}},
+		{Name: "nautilus_http_in_flight", Help: "in-flight requests", Type: TypeGauge,
+			Samples: []Sample{{Value: 3}}},
+		{Name: "nautilus_http_requests_total", Help: `routes with "quotes" and \slashes`, Type: TypeCounter,
+			Samples: []Sample{
+				{Labels: []Label{{"route", `/v1/jobs`}, {"class", "2xx"}}, Value: 10},
+				{Labels: []Label{{"route", `/v1/jobs`}, {"class", "5xx"}}, Value: 1},
+			}},
+		histFam,
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, fams); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse rejected our own output:\n%s\nerr: %v", buf.String(), err)
+	}
+	if len(got) != len(fams) {
+		t.Fatalf("round trip: %d families, want %d", len(got), len(fams))
+	}
+	byName := map[string]Family{}
+	for _, f := range got {
+		byName[f.Name] = f
+	}
+	if f := byName["nautilus_cache_hits"]; f.Type != TypeCounter || len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Errorf("counter family mangled: %+v", f)
+	}
+	if f := byName["nautilus_http_requests_total"]; len(f.Samples) != 2 || f.Samples[0].Labels[0].Value != "/v1/jobs" {
+		t.Errorf("labeled counter mangled: %+v", f)
+	}
+	hf := byName["nautilus_span_ga_generation_ns"]
+	if hf.Type != TypeHistogram {
+		t.Fatalf("histogram family type = %q", hf.Type)
+	}
+	// 2 label sets x (4 non-empty buckets + Inf + sum + count)
+	if len(hf.Samples) != 14 {
+		t.Errorf("histogram family has %d samples, want 14", len(hf.Samples))
+	}
+}
+
+func TestWriteIsSortedAndDeterministic(t *testing.T) {
+	fams := []Family{
+		{Name: "zzz", Type: TypeGauge, Samples: []Sample{{Value: 1}}},
+		{Name: "aaa", Type: TypeGauge, Samples: []Sample{{Value: 2}}},
+	}
+	var a, b bytes.Buffer
+	if err := Write(&a, fams); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, fams); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Write output not deterministic")
+	}
+	if strings.Index(a.String(), "aaa") > strings.Index(a.String(), "zzz") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestWriteRejectsInvalidNames(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, []Family{{Name: "bad-name", Type: TypeGauge}}); err == nil {
+		t.Error("Write accepted an invalid metric name")
+	}
+	if err := Write(&bytes.Buffer{}, []Family{{
+		Name: "ok", Type: TypeGauge,
+		Samples: []Sample{{Labels: []Label{{"bad-label", "v"}}, Value: 1}},
+	}}); err == nil {
+		t.Error("Write accepted an invalid label name")
+	}
+}
+
+func TestParseStrictness(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": `some_metric 3`,
+		"HELP but no TYPE": `# HELP some_metric described
+some_metric 3`,
+		"unknown type": `# TYPE some_metric countersz
+some_metric 3`,
+		"negative counter": `# TYPE some_total counter
+some_total -1`,
+		"NaN counter": `# TYPE some_total counter
+some_total NaN`,
+		"duplicate sample": `# TYPE m gauge
+m{a="1"} 3
+m{a="1"} 4`,
+		"duplicate TYPE": `# TYPE m gauge
+# TYPE m counter
+m 1`,
+		"bad label syntax": `# TYPE m gauge
+m{a=unquoted} 1`,
+		"unterminated labels": `# TYPE m gauge
+m{a="1" 1`,
+		"missing value": `# TYPE m gauge
+m{a="1"}`,
+		"histogram missing +Inf": `# TYPE h histogram
+h_bucket{le="10"} 1
+h_sum 5
+h_count 1`,
+		"histogram Inf != count": `# TYPE h histogram
+h_bucket{le="10"} 1
+h_bucket{le="+Inf"} 1
+h_sum 5
+h_count 2`,
+		"histogram non-cumulative": `# TYPE h histogram
+h_bucket{le="10"} 5
+h_bucket{le="20"} 3
+h_bucket{le="+Inf"} 5
+h_sum 5
+h_count 5`,
+		"histogram bare sample": `# TYPE h histogram
+h 5`,
+		"invalid name": `# TYPE bad-metric gauge
+bad-metric 1`,
+	}
+	for name, input := range cases {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Parse accepted invalid exposition:\n%s", name, input)
+		}
+	}
+}
+
+func TestParseAcceptsValidCorners(t *testing.T) {
+	input := `# HELP m a help with \\ backslash
+# TYPE m gauge
+m{a="va\"lue",b="line\nbreak"} -1.5e3
+
+# TYPE t counter
+t 0
+# TYPE inf_gauge gauge
+inf_gauge +Inf
+`
+	fams, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Parse rejected valid exposition: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	if fams[0].Samples[0].Labels[0].Value != `va"lue` {
+		t.Errorf("escaped quote mangled: %q", fams[0].Samples[0].Labels[0].Value)
+	}
+	if fams[0].Samples[0].Labels[1].Value != "line\nbreak" {
+		t.Errorf("escaped newline mangled: %q", fams[0].Samples[0].Labels[1].Value)
+	}
+	if !math.IsInf(fams[2].Samples[0].Value, 1) {
+		t.Errorf("inf gauge = %v, want +Inf", fams[2].Samples[0].Value)
+	}
+}
+
+func TestFromHistEmpty(t *testing.T) {
+	var h hist.Hist
+	f := FromHist("empty_ns", "no samples yet", nil, h.Snapshot())
+	var buf bytes.Buffer
+	if err := Write(&buf, []Family{f}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := Parse(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("empty histogram exposition invalid:\n%s\nerr: %v", buf.String(), err)
+	}
+}

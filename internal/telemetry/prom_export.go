@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"net/http"
+
+	"nautilus/internal/telemetry/prom"
+)
+
+// MetricNamespace is the prefix every Nautilus metric carries in
+// Prometheus exposition.
+const MetricNamespace = "nautilus_"
+
+// PromFamilies converts a registry snapshot into exposition families:
+// counters and gauges map directly, fixed-bucket histograms become
+// cumulative le-bucket histogram families. Internal dotted names are
+// sanitized through prom.Name and prefixed with MetricNamespace.
+func PromFamilies(s Snapshot) []prom.Family {
+	fams := make([]prom.Family, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		fams = append(fams, prom.Family{
+			Name:    MetricNamespace + prom.Name(name),
+			Help:    "counter " + name,
+			Type:    prom.TypeCounter,
+			Samples: []prom.Sample{{Value: float64(v)}},
+		})
+	}
+	for name, v := range s.Gauges {
+		fams = append(fams, prom.Family{
+			Name:    MetricNamespace + prom.Name(name),
+			Help:    "gauge " + name,
+			Type:    prom.TypeGauge,
+			Samples: []prom.Sample{{Value: v}},
+		})
+	}
+	for name, h := range s.Histograms {
+		f := prom.Family{
+			Name: MetricNamespace + prom.Name(name),
+			Help: "histogram " + name,
+			Type: prom.TypeHistogram,
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			f.Samples = append(f.Samples, prom.Sample{
+				Suffix: "_bucket",
+				Labels: []prom.Label{{Name: "le", Value: formatBound(bound)}},
+				Value:  float64(cum),
+			})
+		}
+		f.Samples = append(f.Samples,
+			prom.Sample{Suffix: "_bucket", Labels: []prom.Label{{Name: "le", Value: "+Inf"}}, Value: float64(h.Count)},
+			prom.Sample{Suffix: "_sum", Value: h.Sum},
+			prom.Sample{Suffix: "_count", Value: float64(h.Count)},
+		)
+		fams = append(fams, f)
+	}
+	return fams
+}
+
+// formatBound renders a histogram bucket bound as an le label value.
+func formatBound(v float64) string {
+	return prom.FormatValue(v)
+}
+
+// WriteMetrics renders reg's current state in Prometheus text exposition
+// format to w.
+func WriteMetrics(w http.ResponseWriter, reg *Registry) {
+	w.Header().Set("Content-Type", prom.ContentType)
+	_ = prom.Write(w, PromFamilies(reg.Snapshot()))
+}
+
+// MetricsHandler serves reg in Prometheus text exposition format.
+func MetricsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		WriteMetrics(w, reg)
+	}
+}

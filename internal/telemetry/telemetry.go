@@ -136,6 +136,11 @@ const (
 	// CacheTransient: the owned evaluation ended in a transient error; the
 	// entry was withdrawn so the point stays re-evaluable (never memoized).
 	CacheTransient = "transient"
+	// CacheCollision: a hash-keyed lookup probed past an entry whose
+	// 64-bit hash matched but whose packed genome did not. Collisions are
+	// correctness-neutral (identity is (hash, genome)) but each one costs
+	// an extra probe, so a rising rate flags a degenerate hash seed.
+	CacheCollision = "collision"
 )
 
 // CacheRecord reports one evaluation-cache lookup.

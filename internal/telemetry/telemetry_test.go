@@ -286,3 +286,68 @@ func TestJournalConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalConcurrentMixedWriters drives every Recorder event type plus
+// the raw-emit path (the span tracer's JSONL sink) from concurrent
+// goroutines and checks that no line is torn, every line is valid JSON
+// with the mandatory discriminator fields, and nothing is lost.
+func TestJournalConcurrentMixedWriters(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 5 {
+				case 0:
+					j.RecordGeneration(GenerationRecord{Generation: i, MeanFitness: math.NaN()})
+				case 1:
+					j.RecordEvaluation(EvaluationRecord{Generation: i, Feasible: true, Fitness: float64(i)})
+				case 2:
+					j.RecordCache(CacheRecord{Event: CacheHit, Shard: w})
+				case 3:
+					j.RecordPool(PoolRecord{Event: PoolTask, Worker: w})
+				case 4:
+					j.EmitRaw(struct {
+						Event   string  `json:"event"`
+						TMillis float64 `json:"t_ms"`
+						Worker  int     `json:"worker"`
+					}{Event: "span", TMillis: j.SinceMillis(), Worker: w})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != workers*perWorker {
+		t.Fatalf("journal has %d lines, want %d", len(lines), workers*perWorker)
+	}
+	counts := map[string]int{}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %v\n%s", err, line)
+		}
+		ev, _ := obj["event"].(string)
+		if ev == "" {
+			t.Fatalf("line lacks event discriminator: %s", line)
+		}
+		if _, ok := obj["t_ms"].(float64); !ok {
+			t.Fatalf("line lacks numeric t_ms: %s", line)
+		}
+		counts[ev]++
+	}
+	want := workers * perWorker / 5
+	for _, ev := range []string{"generation", "eval", "cache", "pool", "span"} {
+		if counts[ev] != want {
+			t.Errorf("event %q count = %d, want %d", ev, counts[ev], want)
+		}
+	}
+}

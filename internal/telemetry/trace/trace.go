@@ -1,0 +1,291 @@
+// Package trace is Nautilus' zero-dependency span tracer: a structural
+// complement to the telemetry package's counters. Counters say how often;
+// spans say where the wall-clock went on one specific request - which
+// generation, which batch resolve, which retry loop.
+//
+// Design constraints, in order:
+//
+//   - A nil *Tracer is the disabled tracer and costs one nil check per
+//     instrumentation point. Every method is nil-safe, so instrumented
+//     code threads the tracer unconditionally and never branches on a
+//     separate "enabled" flag.
+//   - Tracing never perturbs the search. Span IDs come from a private
+//     splitmix64 stream seeded at construction and advanced by an atomic
+//     counter - never from the run RNG - so results are byte-identical
+//     with tracing on or off (enforced by test, like the Recorder
+//     contract).
+//   - Allocation-lean: Active handles are values, Start/Child/End
+//     allocate nothing themselves; the only per-span cost beyond two
+//     time.Now calls is whatever each sink does (the Ring copies a
+//     struct under a mutex, the hist sink does three atomic adds).
+//
+// Spans flow to Sinks: Ring (a fixed-size flight recorder of the most
+// recent spans, inspectable over the debug API after the fact), Spans'
+// duration aggregation into hist.Set (powering per-phase latency
+// histograms on /metrics), and JournalSink (JSONL export through a
+// telemetry.Journal).
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/hist"
+)
+
+// Span is one completed timed operation. Parent links express the
+// structural nesting (generation -> dispatch -> cache batch) without the
+// sinks needing to keep per-trace state.
+type Span struct {
+	// Trace groups the spans of one root operation (one generation, one
+	// HTTP request). All descendants share the root's Trace.
+	Trace uint64 `json:"trace"`
+	// ID identifies this span within the process.
+	ID uint64 `json:"id"`
+	// Parent is the enclosing span's ID (0 for roots).
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the span taxonomy entry, e.g. "ga.generation" (DESIGN §9).
+	Name string `json:"name"`
+	// Session labels which service session produced the span ("" for CLI
+	// runs).
+	Session string `json:"session,omitempty"`
+	// Start is when the operation began.
+	Start time.Time `json:"-"`
+	// Duration is how long it took.
+	Duration time.Duration `json:"dur_ns"`
+}
+
+// Sink consumes completed spans. Implementations must be safe for
+// concurrent use and must return quickly: OnSpan runs inline at the
+// instrumentation point.
+type Sink interface {
+	OnSpan(Span)
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Session labels every span this tracer emits.
+	Session string
+	// Seed seeds the span-ID stream. Unrelated to (and never mixed with)
+	// any search RNG; two tracers with the same seed emit the same IDs.
+	Seed int64
+	// Sinks receive every completed span, in order.
+	Sinks []Sink
+}
+
+// Tracer mints spans and fans completed ones out to its sinks. The nil
+// Tracer is the disabled tracer: every method no-ops and Enabled reports
+// false.
+type Tracer struct {
+	session string
+	seed    uint64
+	ids     atomic.Uint64
+	sinks   []Sink
+}
+
+// New builds a tracer. Sinks equal to nil are dropped.
+func New(cfg Config) *Tracer {
+	t := &Tracer{session: cfg.Session, seed: splitmix64(uint64(cfg.Seed))}
+	for _, s := range cfg.Sinks {
+		if s != nil {
+			t.sinks = append(t.sinks, s)
+		}
+	}
+	return t
+}
+
+// Enabled reports whether spans are consumed at all; instrumented code
+// may skip measuring phases when false.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// splitmix64 is the SplitMix64 finalizer - the same mixing construction
+// param.Space.Hash64 uses, applied to a private counter stream here.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextID mints a process-unique-enough span ID from the seeded stream.
+func (t *Tracer) nextID() uint64 {
+	id := splitmix64(t.seed + t.ids.Add(1))
+	if id == 0 {
+		id = 1 // 0 means "no parent"
+	}
+	return id
+}
+
+// Active is a started span. It is a value: copying is cheap, and the
+// zero Active (from a nil tracer) no-ops everywhere.
+type Active struct {
+	t    *Tracer
+	span Span
+}
+
+// Start begins a root span (a fresh trace). On a nil tracer it returns
+// the inert zero Active without reading the clock.
+func (t *Tracer) Start(name string) Active {
+	if t == nil {
+		return Active{}
+	}
+	id := t.nextID()
+	return Active{t: t, span: Span{
+		Trace:   id,
+		ID:      id,
+		Name:    name,
+		Session: t.session,
+		Start:   time.Now(),
+	}}
+}
+
+// Child begins a span nested under a. Inert when a came from a nil
+// tracer.
+func (a Active) Child(name string) Active {
+	if a.t == nil {
+		return Active{}
+	}
+	return Active{t: a.t, span: Span{
+		Trace:   a.span.Trace,
+		ID:      a.t.nextID(),
+		Parent:  a.span.ID,
+		Name:    name,
+		Session: a.t.session,
+		Start:   time.Now(),
+	}}
+}
+
+// End completes the span and delivers it to the sinks. Inert on the zero
+// Active; calling End twice delivers twice (don't).
+func (a Active) End() {
+	if a.t == nil {
+		return
+	}
+	a.span.Duration = time.Since(a.span.Start)
+	a.t.deliver(a.span)
+}
+
+// Emit records a pre-measured child span under a - for phases whose
+// duration was accumulated out-of-band (the GA's per-generation operator
+// phases, backoff waits) where a live child span per sample would be too
+// hot or structurally awkward. start may be zero when only the duration
+// is known.
+func (a Active) Emit(name string, start time.Time, d time.Duration) {
+	if a.t == nil {
+		return
+	}
+	a.t.deliver(Span{
+		Trace:    a.span.Trace,
+		ID:       a.t.nextID(),
+		Parent:   a.span.ID,
+		Name:     name,
+		Session:  a.t.session,
+		Start:    start,
+		Duration: d,
+	})
+}
+
+// deliver fans a completed span out to the sinks.
+func (t *Tracer) deliver(s Span) {
+	for _, sink := range t.sinks {
+		sink.OnSpan(s)
+	}
+}
+
+// Ring is a fixed-capacity flight recorder: it retains the last N
+// completed spans, overwriting the oldest. Snapshot returns them oldest
+// first. The zero Ring (or nil) drops everything.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	full bool
+}
+
+// NewRing returns a flight recorder retaining the last n spans (nil when
+// n <= 0, which is a valid, always-empty Ring).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]Span, n)}
+}
+
+// OnSpan implements Sink.
+func (r *Ring) OnSpan(s Span) {
+	if r == nil || len(r.buf) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *Ring) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Span(nil), r.buf[:r.next]...)
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Durations aggregates span durations into a hist.Set keyed by span
+// name - the bridge from individual spans to the per-phase latency
+// histograms /metrics exposes.
+type Durations struct {
+	Hists *hist.Set
+}
+
+// NewDurations returns a duration-aggregating sink over a fresh set.
+func NewDurations() *Durations { return &Durations{Hists: hist.NewSet()} }
+
+// OnSpan implements Sink.
+func (d *Durations) OnSpan(s Span) {
+	if d == nil || d.Hists == nil {
+		return
+	}
+	d.Hists.Observe(s.Name, int64(s.Duration))
+}
+
+// JournalSink exports spans as JSONL lines through a telemetry.Journal,
+// interleaved (and mutex-serialized) with the journal's run events. Each
+// line carries event="span" plus the Span fields.
+type JournalSink struct {
+	J *telemetry.Journal
+}
+
+// journalSpan is the JSONL line format for one span.
+type journalSpan struct {
+	Event   string  `json:"event"`
+	TMillis float64 `json:"t_ms"`
+	Span
+	DurMicros float64 `json:"dur_us"`
+}
+
+// OnSpan implements Sink.
+func (s JournalSink) OnSpan(sp Span) {
+	if s.J == nil {
+		return
+	}
+	s.J.EmitRaw(journalSpan{
+		Event:     "span",
+		TMillis:   s.J.SinceMillis(),
+		Span:      sp,
+		DurMicros: float64(sp.Duration) / float64(time.Microsecond),
+	})
+}
