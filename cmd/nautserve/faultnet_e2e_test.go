@@ -1,0 +1,345 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nautilus/internal/server"
+)
+
+// End-to-end tests of the shipped daemon under the -fault-* harness:
+// seeded connection resets, partitions, and slow-loris throttling on
+// every accepted connection, driven from outside the process. The
+// in-package internal/server and internal/faultnet tests pin the same
+// behaviors in-process; these prove them against the real binary,
+// HTTP-over-TCP, SIGTERM and all.
+
+// faultClient is an HTTP client for a lossy daemon: no keep-alives (a
+// reset conn must not poison the next request) and a bounded per-request
+// lifetime.
+func faultClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   30 * time.Second,
+	}
+}
+
+// retryJSON GETs path until a decodable 200 arrives - requests that die
+// to a scheduled reset are simply tried again on a fresh connection.
+func retryJSON(t *testing.T, client *http.Client, url string, v any) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(v)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return
+		}
+		lastErr = fmt.Errorf("status %d: %v", resp.StatusCode, err)
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never succeeded through the fault scenario: %v", url, lastErr)
+}
+
+// retrySubmit posts spec until an accepted JobStatus comes back.
+func retrySubmit(t *testing.T, client *http.Client, base string, spec server.JobSpec) string {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(data))
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var st server.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusAccepted && st.ID != "" {
+			return st.ID
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("submit never succeeded through the fault scenario")
+	return ""
+}
+
+// retryWaitState polls a job through the faults until pred holds.
+func retryWaitState(t *testing.T, client *http.Client, base, id, what string, pred func(server.JobStatus) bool) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var st server.JobStatus
+		retryJSON(t, client, base+"/v1/jobs/"+id, &st)
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: timed out waiting for %s (state %s, generation %d)", id, what, st.State, st.Generation)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// sseReplay reads one full SSE stream - generations plus the final done
+// event - retrying on fresh connections when a scheduled fault kills one
+// mid-stream. Each attempt must replay the hub's retained history from
+// its first event, consecutively; that every retry starts over IS the
+// replay-on-reconnect contract. Returns the first generation seen and
+// how many generation events followed it.
+func sseReplay(t *testing.T, client *http.Client, url string) (first, events int) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	attempt := 0
+	for time.Now().Before(deadline) {
+		attempt++
+		resp, err := client.Get(url)
+		if err != nil {
+			continue
+		}
+		complete := false
+		first, events = -1, 0
+		sc := bufio.NewScanner(resp.Body)
+		wantGen := -1
+		for sc.Scan() {
+			data, found := strings.CutPrefix(sc.Text(), "data: ")
+			if !found {
+				continue
+			}
+			var ev struct {
+				Generation *int         `json:"generation"`
+				State      server.State `json:"state"`
+			}
+			if json.Unmarshal([]byte(data), &ev) != nil {
+				continue
+			}
+			if ev.State != "" { // the done event
+				complete = true
+				break
+			}
+			if ev.Generation == nil {
+				continue
+			}
+			if wantGen == -1 {
+				first, wantGen = *ev.Generation, *ev.Generation
+			}
+			if *ev.Generation != wantGen {
+				t.Fatalf("attempt %d: replay out of order: generation %d, want %d", attempt, *ev.Generation, wantGen)
+			}
+			wantGen++
+			events++
+		}
+		resp.Body.Close()
+		if complete {
+			return first, events
+		}
+		// The connection died mid-stream (reset, partition past the drain
+		// deadline): reconnect and require the replay to start over.
+	}
+	t.Fatal("no SSE attempt ever streamed to the done event")
+	return 0, 0
+}
+
+// faultFlags is the seeded scenario shared by the drain/resume e2e runs.
+func faultFlags(seed int, logPath string) []string {
+	return []string{
+		"-fault-seed", fmt.Sprint(seed),
+		"-fault-latency", "1ms", "-fault-jitter", "2ms",
+		"-fault-reset-rate", "0.25", "-fault-reset-bytes", "4096",
+		"-fault-partition-rate", "0.2", "-fault-partition-bytes", "2048",
+		"-fault-partition-heal", "100ms",
+		"-fault-slowloris-rate", "0.15", "-fault-slowloris-bps", "4096",
+		"-fault-log", logPath,
+	}
+}
+
+// TestFaultnetDrainResume: the daemon serves, checkpoints under SIGTERM,
+// and resumes byte-identically while every connection suffers the seeded
+// scenario - resets mid-response, partition windows, slow-loris
+// throttling. Clients ride it out with plain reconnect-and-retry.
+func TestFaultnetDrainResume(t *testing.T) {
+	specs := []server.JobSpec{
+		{IP: "fft", Query: "min-luts", Guidance: "strong", Generations: 12, Population: 6, Seed: 3, Parallelism: 2},
+		{IP: "fft", Query: "min-luts", Guidance: "strong", Generations: 12, Population: 6, Seed: 9, Parallelism: 2},
+	}
+	refs := make([]cliResult, len(specs))
+	for i, spec := range specs {
+		refs[i] = runCLI(t, fftCLIArgs(spec)...)
+	}
+
+	stateDir := t.TempDir()
+	logDir := t.TempDir()
+	log1 := filepath.Join(logDir, "faults-1.log")
+	log2 := filepath.Join(logDir, "faults-2.log")
+	base := []string{"-state-dir", stateDir, "-workers", "4", "-checkpoint-every", "2", "-eval-delay", "10ms"}
+	client := faultClient()
+
+	d := startDaemon(t, append(append([]string{}, base...), faultFlags(77, log1)...)...)
+	if !strings.Contains(d.output(), "fault harness armed") {
+		t.Fatalf("daemon did not arm the harness:\n%s", d.output())
+	}
+	url := "http://" + d.addr
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		ids[i] = retrySubmit(t, client, url, spec)
+	}
+	retryWaitState(t, client, url, ids[0], "generation 1", func(st server.JobStatus) bool {
+		return st.Generation >= 1 || st.State != server.StateRunning
+	})
+	// A mid-run SSE subscriber whose connection the scenario may kill at
+	// any byte: each reconnect must replay from generation 0 (sseReplay
+	// asserts the ordering) even while the stream is still growing.
+	func() {
+		resp, err := client.Get(url + "/v1/jobs/" + ids[0] + "/events")
+		if err != nil {
+			return // this conn drew an instant reset; the post-drain pass still covers replay
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev struct {
+					Generation *int `json:"generation"`
+				}
+				if json.Unmarshal([]byte(data), &ev) == nil && ev.Generation != nil {
+					if *ev.Generation != 0 {
+						t.Errorf("live SSE replay began at generation %d, want 0", *ev.Generation)
+					}
+					return
+				}
+			}
+		}
+	}()
+
+	d.drain(t)
+	if _, err := os.Stat(log1); err != nil {
+		t.Fatalf("first life wrote no fault log: %v", err)
+	}
+	// The drain persisted checkpoints for the interrupted sessions.
+	checkpoints := 0
+	for _, id := range ids {
+		if _, err := os.Stat(filepath.Join(stateDir, id, "checkpoint.json")); err == nil {
+			checkpoints++
+		}
+	}
+	if checkpoints == 0 {
+		t.Fatal("drain under faults left no per-session checkpoint")
+	}
+
+	// Second life, same faults: sessions resume and land exactly on the
+	// CLI's answers.
+	d2 := startDaemon(t, append(append([]string{}, base...), faultFlags(78, log2)...)...)
+	url2 := "http://" + d2.addr
+	for i, id := range ids {
+		st := retryWaitState(t, client, url2, id, "a terminal state", func(st server.JobStatus) bool {
+			return st.State != server.StateRunning
+		})
+		if st.State != server.StateDone {
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		var res server.JobResult
+		retryJSON(t, client, url2+"/v1/jobs/"+id+"/result", &res)
+		requireMatch(t, id, res, refs[i])
+	}
+	// Post-completion SSE: the replay (the resumed session's retained
+	// history, in order, through the final generation, then done)
+	// survives however many reconnects the scenario forces. The resumed
+	// hub's history starts at the checkpoint's generation, not 0.
+	first, events := sseReplay(t, client, url2+"/v1/jobs/"+ids[0]+"/events")
+	if last := first + events - 1; last != specs[0].Generations {
+		t.Errorf("replay covered generations %d..%d, want it to end at %d", first, last, specs[0].Generations)
+	}
+	d2.drain(t)
+	for _, p := range []string{log1, log2} {
+		data, err := os.ReadFile(p)
+		if err != nil || len(data) == 0 {
+			t.Fatalf("fault log %s missing or empty (err %v)", p, err)
+		}
+		if !strings.Contains(string(data), "kind=open") {
+			t.Fatalf("fault log %s has no open events:\n%s", p, data)
+		}
+	}
+}
+
+// TestFaultnetLogDeterminism: two daemon lives with the same scenario
+// seed, driven by the same sequential byte-for-byte workload, write
+// byte-identical fault-event logs - the harness' reproducibility
+// contract, end to end through the real binary.
+func TestFaultnetLogDeterminism(t *testing.T) {
+	logDir := t.TempDir()
+	flags := func(logPath string) []string {
+		return []string{
+			"-fault-seed", "4242",
+			"-fault-reset-rate", "0.5", "-fault-reset-bytes", "2048",
+			"-fault-partition-rate", "0.5", "-fault-partition-bytes", "1024",
+			"-fault-partition-heal", "50ms",
+			"-fault-slowloris-rate", "0.25", "-fault-slowloris-bps", "2048",
+			"-fault-log", logPath,
+		}
+	}
+	// The driver: sequential raw connections, fixed request bytes, each
+	// read to exhaustion before the next dial - so connection N is the
+	// same N in both lives and byte offsets line up exactly. A padding
+	// header fattens the request past every read-direction fault offset
+	// (drawn at or below -fault-reset-bytes / -fault-partition-bytes).
+	drive := func(addr string) {
+		request := "GET /v1/healthz HTTP/1.1\r\nHost: nautserve\r\nConnection: close\r\n" +
+			"X-Pad: " + strings.Repeat("x", 3000) + "\r\n\r\n"
+		for i := 0; i < 8; i++ {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			c.SetDeadline(time.Now().Add(20 * time.Second)) //nolint:errcheck
+			c.Write([]byte(request))                        //nolint:errcheck // resets are part of the scenario
+			buf := make([]byte, 4096)
+			for {
+				if _, err := c.Read(buf); err != nil {
+					break
+				}
+			}
+			c.Close()
+		}
+	}
+
+	logs := make([]string, 2)
+	for life := 0; life < 2; life++ {
+		logPath := filepath.Join(logDir, fmt.Sprintf("life-%d.log", life))
+		d := startDaemon(t, append([]string{"-state-dir", t.TempDir()}, flags(logPath)...)...)
+		drive(d.addr)
+		d.drain(t)
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatalf("life %d fault log: %v", life, err)
+		}
+		logs[life] = string(data)
+	}
+	if logs[0] != logs[1] {
+		t.Fatalf("same seed, same workload, different fault logs:\n--- life 0 ---\n%s--- life 1 ---\n%s", logs[0], logs[1])
+	}
+	if strings.Count(logs[0], "kind=open") != 8 {
+		t.Fatalf("fault log does not cover all 8 connections:\n%s", logs[0])
+	}
+	if !strings.Contains(logs[0], "kind=reset") {
+		t.Fatalf("scenario fired no resets over 8 connections:\n%s", logs[0])
+	}
+}

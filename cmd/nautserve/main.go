@@ -14,6 +14,11 @@
 // on the same -state-dir resumes all of them to the exact results they
 // would have reached uninterrupted.
 //
+// The -fault-* flags arm the internal/faultnet harness on the accept
+// side: every accepted connection gets a deterministic fault schedule
+// (latency, bandwidth, resets, partitions, slow-loris throttling) drawn
+// from -fault-seed. Production runs leave them off and serve plain TCP.
+//
 // Exit codes: 0 after a clean drain, 1 on a fatal error, 2 on a usage
 // error.
 package main
@@ -22,15 +27,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"nautilus/internal/faultnet"
 	"nautilus/internal/server"
 	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
 )
 
 const (
@@ -56,6 +62,21 @@ func run(args []string, out *os.File) (int, error) {
 	checkpointEvery := fs.Int("checkpoint-every", 5, "checkpoint cadence in generations (drain always checkpoints)")
 	evalDelay := fs.Duration("eval-delay", 0, "artificial per-evaluation latency, simulating synthesis cost (testing)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain may take before forcing exit")
+
+	var sc faultnet.Scenario
+	fs.Int64Var(&sc.Seed, "fault-seed", 1, "seed of the fault scenario's private stream")
+	fs.DurationVar(&sc.Latency, "fault-latency", 0, "base per-operation network latency to inject")
+	fs.DurationVar(&sc.Jitter, "fault-jitter", 0, "extra deterministic per-operation jitter in [0, jitter)")
+	fs.IntVar(&sc.BandwidthBPS, "fault-bandwidth", 0, "per-direction bandwidth cap in bytes/sec (0 = unlimited)")
+	fs.Float64Var(&sc.ResetRate, "fault-reset-rate", 0, "probability a connection gets a scheduled reset")
+	fs.IntVar(&sc.ResetMaxBytes, "fault-reset-bytes", 4096, "reset offsets are drawn in [1, this]")
+	fs.Float64Var(&sc.PartitionRate, "fault-partition-rate", 0, "probability a connection gets a scheduled partition window")
+	fs.IntVar(&sc.PartitionMaxBytes, "fault-partition-bytes", 4096, "partition trigger offsets are drawn in [1, this]")
+	fs.DurationVar(&sc.PartitionHeal, "fault-partition-heal", 250*time.Millisecond, "how long a scheduled partition window lasts")
+	fs.Float64Var(&sc.SlowLorisRate, "fault-slowloris-rate", 0, "probability a connection is throttled to slow-loris rates")
+	fs.IntVar(&sc.SlowLorisBPS, "fault-slowloris-bps", 256, "slow-loris per-direction throughput in bytes/sec")
+	faultLog := fs.String("fault-log", "", "file receiving the canonical fault-event log on exit")
+
 	if err := fs.Parse(args); err != nil {
 		return exitUsage, nil // flag package already printed the error
 	}
@@ -66,28 +87,65 @@ func run(args []string, out *os.File) (int, error) {
 	if fs.NArg() > 0 {
 		return exitUsage, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if err := sc.Validate(); err != nil {
+		return exitUsage, err
+	}
 
-	srv, err := server.New(server.Options{
+	reg := telemetry.NewRegistry()
+	opts := server.Options{
 		StateDir:        *stateDir,
 		Workers:         *workers,
 		MaxSessions:     *maxSessions,
 		CheckpointEvery: *checkpointEvery,
 		EvalDelay:       *evalDelay,
-		Registry:        telemetry.NewRegistry(),
-	})
-	if err != nil {
-		return exitFatal, err
+		Registry:        reg,
+	}
+	// With any fault knob set, accepted connections route through the
+	// deterministic fault harness; otherwise the server binds plain TCP.
+	var fnet *faultnet.Faulty
+	if sc.Active() {
+		fnet = faultnet.New(faultnet.Config{Scenario: sc, Registry: reg})
+		opts.Network = fnet
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	srv, err := server.New(opts)
 	if err != nil {
 		return exitFatal, err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	if fnet != nil {
+		// Fault events land beside the engine's phases in the /metrics
+		// latency histograms; the span-ID stream is the scenario's own.
+		fnet.SetTracer(trace.New(trace.Config{
+			Session: "faultnet",
+			Seed:    sc.Seed,
+			Sinks:   []trace.Sink{srv.SpanSink()},
+		}))
+	}
+
+	base, err := srv.Listen(*addr)
+	if err != nil {
+		return exitFatal, err
+	}
+	// Transient accept failures (fd pressure, aborted handshakes) back off
+	// and retry instead of killing the serve loop.
+	ln := server.NewRetryListener(base, reg)
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Header reads and idle keep-alives are bounded; no global write
+		// timeout because /v1/jobs/{id}/events streams SSE for a session's
+		// whole lifetime.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	// The bound address line is machine-read by tests driving -addr :0;
+	if fnet != nil {
+		fmt.Fprintf(out, "nautserve fault harness armed (seed %d)\n", sc.Seed)
+	}
+	// The bound address line is machine-read by tests driving -addr :0 and
+	// is printed last so everything above it is visible once it appears;
 	// keep its format stable.
 	fmt.Fprintf(out, "nautserve listening on %s\n", ln.Addr())
 	fmt.Fprintf(out, "nautserve state dir %s\n", *stateDir)
@@ -105,6 +163,11 @@ func run(args []string, out *os.File) (int, error) {
 	defer cancel()
 	drainErr := srv.Drain(ctx)
 	_ = hs.Shutdown(ctx)
+	if fnet != nil && *faultLog != "" {
+		if werr := os.WriteFile(*faultLog, []byte(fnet.Events().String()), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "nautserve: write fault log: %v\n", werr)
+		}
+	}
 	if drainErr != nil {
 		return exitFatal, drainErr
 	}

@@ -1,0 +1,321 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// dirState is the per-direction bookkeeping of one fault connection.
+type dirState struct {
+	mu       sync.Mutex
+	offset   int64 // bytes transferred so far
+	ops      uint64
+	deadline time.Time
+}
+
+func (s *dirState) setDeadline(t time.Time) {
+	s.mu.Lock()
+	s.deadline = t
+	s.mu.Unlock()
+}
+
+func (s *dirState) getDeadline() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadline
+}
+
+// faultConn shapes every read and write of one wrapped connection
+// through its schedule: manual gates, scheduled partition windows,
+// latency, bandwidth pacing, and the reset offset. Faults apply at
+// operation granularity - an op already blocked inside the underlying
+// transport is not interrupted, the next one is shaped.
+type faultConn struct {
+	net.Conn
+	f    *Faulty
+	id   uint64
+	plan connPlan
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	seqMu sync.Mutex
+	seq   int
+
+	resetFired atomic.Bool
+
+	// Scheduled partition window, shared by both directions.
+	partMu        sync.Mutex
+	partTriggered bool
+	partUntil     time.Time
+
+	rd dirState
+	wr dirState
+}
+
+// log records a per-connection event with the next sequence number.
+func (c *faultConn) log(e Event) {
+	c.seqMu.Lock()
+	c.seq++
+	e.Seq = c.seq
+	c.seqMu.Unlock()
+	e.Conn = c.id
+	c.f.log.add(e)
+}
+
+func (c *faultConn) state(d dir) *dirState {
+	if d == dirRead {
+		return &c.rd
+	}
+	return &c.wr
+}
+
+func (c *faultConn) opErr(d dir, err error) error {
+	return &net.OpError{Op: d.String(), Net: "faultnet", Addr: c.Conn.RemoteAddr(), Err: err}
+}
+
+// sleep waits for dur, abandoning the wait if the connection closes or
+// the direction's deadline expires first.
+func (c *faultConn) sleep(d dir, dur time.Duration) error {
+	if dur <= 0 {
+		return nil
+	}
+	if dl := c.state(d).getDeadline(); !dl.IsZero() {
+		until := time.Until(dl)
+		if until < dur {
+			if until > 0 {
+				t := time.NewTimer(until)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-c.closed:
+					return net.ErrClosed
+				}
+			}
+			return c.opErr(d, errTimeout)
+		}
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// waitGate blocks while a manual partition covers direction d.
+func (c *faultConn) waitGate(d dir) error {
+	for {
+		ch := c.f.gate(d)
+		if ch == nil {
+			return nil
+		}
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if dl := c.state(d).getDeadline(); !dl.IsZero() {
+			until := time.Until(dl)
+			if until <= 0 {
+				return c.opErr(d, errTimeout)
+			}
+			timer = time.NewTimer(until)
+			timeout = timer.C
+		}
+		select {
+		case <-ch:
+		case <-c.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			return net.ErrClosed
+		case <-timeout:
+			return c.opErr(d, errTimeout)
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// waitPartition serves this connection's scheduled partition window:
+// once triggered, ops in the stalled direction(s) wait until the window
+// heals.
+func (c *faultConn) waitPartition(d dir) error {
+	if c.plan.partAt < 0 {
+		return nil
+	}
+	if !c.plan.partTwoWay && d != c.plan.partDir {
+		return nil
+	}
+	c.partMu.Lock()
+	triggered, until := c.partTriggered, c.partUntil
+	c.partMu.Unlock()
+	if !triggered {
+		return nil
+	}
+	if wait := time.Until(until); wait > 0 {
+		return c.sleep(d, wait)
+	}
+	return nil
+}
+
+// advance moves direction d's byte offset and trips the scheduled
+// partition when its trigger offset is crossed.
+func (c *faultConn) advance(d dir, n int) {
+	st := c.state(d)
+	st.mu.Lock()
+	st.offset += int64(n)
+	off := st.offset
+	st.mu.Unlock()
+	if c.plan.partAt >= 0 && d == c.plan.partDir && off >= c.plan.partAt {
+		c.triggerPartition()
+	}
+}
+
+// triggerPartition opens the scheduled window once. The heal event is
+// logged here too - the window length is fixed by the schedule, so
+// logging it at trigger time keeps the event log a pure function of the
+// scenario while the serving path just stalls.
+func (c *faultConn) triggerPartition() {
+	c.partMu.Lock()
+	if c.partTriggered {
+		c.partMu.Unlock()
+		return
+	}
+	c.partTriggered = true
+	c.partUntil = time.Now().Add(c.plan.partHeal)
+	c.partMu.Unlock()
+	mode, dirs := "one-way", c.plan.partDir.String()
+	if c.plan.partTwoWay {
+		mode, dirs = "two-way", "both"
+	}
+	c.log(Event{Kind: "partition", Dir: dirs, Offset: c.plan.partAt, Detail: mode})
+	c.log(Event{Kind: "heal", Dir: dirs, Offset: c.plan.partAt, Detail: "scheduled"})
+	inc(c.f.partitions)
+	inc(c.f.heals)
+	c.f.span(SpanPartition, time.Now(), c.plan.partHeal)
+}
+
+// fireReset kills the connection at its scheduled reset offset.
+func (c *faultConn) fireReset(d dir) {
+	if !c.resetFired.CompareAndSwap(false, true) {
+		return
+	}
+	c.log(Event{Kind: "reset", Dir: d.String(), Offset: c.plan.resetAt})
+	inc(c.f.resets)
+	c.f.span(SpanReset, time.Now(), 0)
+	c.Close()
+}
+
+// step performs one fault-shaped transfer in direction d. The buffer is
+// clamped so offsets land exactly on the reset boundary and bandwidth
+// pacing sees uniform chunks.
+func (c *faultConn) step(d dir, p []byte, op func([]byte) (int, error)) (int, error) {
+	if c.resetFired.Load() {
+		return 0, c.opErr(d, ErrReset)
+	}
+	if err := c.waitGate(d); err != nil {
+		return 0, err
+	}
+	if err := c.waitPartition(d); err != nil {
+		return 0, err
+	}
+	st := c.state(d)
+	st.mu.Lock()
+	opNum := st.ops
+	st.ops++
+	offset := st.offset
+	st.mu.Unlock()
+	if del := c.plan.opDelay(d, opNum); del > 0 {
+		if err := c.sleep(d, del); err != nil {
+			return 0, err
+		}
+	}
+	lim := len(p)
+	var pace time.Duration
+	if bps := c.plan.bandwidthBPS; bps > 0 {
+		chunk := bps / 10
+		if chunk < 1 {
+			chunk = 1
+		}
+		if lim > chunk {
+			lim = chunk
+		}
+		pace = time.Duration(float64(lim) / float64(bps) * float64(time.Second))
+	}
+	if c.plan.resetAt >= 0 && c.plan.resetDir == d {
+		rem := c.plan.resetAt - offset
+		if rem <= 0 {
+			c.fireReset(d)
+			return 0, c.opErr(d, ErrReset)
+		}
+		if int64(lim) > rem {
+			lim = int(rem)
+		}
+	}
+	n, err := op(p[:lim])
+	if n > 0 {
+		c.advance(d, n)
+		if pace > 0 {
+			if serr := c.sleep(d, pace); serr != nil && err == nil {
+				err = serr
+			}
+		}
+	}
+	return n, err
+}
+
+// Read performs one shaped read step.
+func (c *faultConn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return c.Conn.Read(p)
+	}
+	return c.step(dirRead, p, c.Conn.Read)
+}
+
+// Write pushes all of p through shaped steps: clamping never surfaces as
+// a short write, the loop carries on until done or a real error.
+func (c *faultConn) Write(p []byte) (int, error) {
+	var total int
+	for total < len(p) {
+		n, err := c.step(dirWrite, p[total:], c.Conn.Write)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, c.opErr(dirWrite, io.ErrShortWrite)
+		}
+	}
+	return total, nil
+}
+
+// Close releases stalled operations and closes the underlying transport.
+func (c *faultConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.rd.setDeadline(t)
+	c.wr.setDeadline(t)
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.rd.setDeadline(t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.wr.setDeadline(t)
+	return c.Conn.SetWriteDeadline(t)
+}

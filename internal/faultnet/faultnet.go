@@ -1,0 +1,72 @@
+// Package faultnet is the service tier's deterministic network-fault
+// harness: a swappable network stack that lets the server (and the future
+// multi-node cluster) run under seeded latency, bandwidth caps, connection
+// resets, partitions, and slow-loris peers - in-process, in CI, with the
+// same reproducibility discipline the faulty evaluator gives the search
+// path.
+//
+// Three layers compose:
+//
+//   - Network is the seam: Listen/DialContext over any transport.
+//     Production code takes a Network and defaults to System (real TCP),
+//     so shipping behavior is unchanged.
+//   - Memory is an in-memory Network: virtual addresses, buffered duplex
+//     pipes with full net.Conn deadline semantics. Server tests (and
+//     future cluster tests) run whole HTTP conversations through it
+//     without touching a socket.
+//   - Faulty wraps any underlying Network (System or Memory - the netem
+//     "drop-in Net over an UnderlyingNetwork" shape) and injects faults
+//     scheduled by a Scenario: every fault decision is drawn from a
+//     dedicated splitmix64 stream keyed on (scenario seed, connection
+//     sequence number), never from the run RNG - the same discipline as
+//     internal/resilience backoff jitter and telemetry/trace span IDs.
+//
+// Determinism contract: the fault schedule of connection k is a pure
+// function of (Scenario.Seed, k), and fired fault events are a pure
+// function of the schedule and the bytes a client pushes. A deterministic
+// driver (sequential connections, fixed payloads) therefore produces a
+// byte-identical fault-event log on every run - Log.String is that
+// canonical form, and the nautserve e2e pins it.
+package faultnet
+
+import (
+	"context"
+	"net"
+)
+
+// Network abstracts the transport the service tier binds and dials
+// through. Implementations: System (real TCP), Memory (in-memory pipes),
+// and Faulty (fault injection over either).
+type Network interface {
+	// Listen binds address and returns a listener whose accepted
+	// connections are full net.Conns (deadlines included).
+	Listen(network, address string) (net.Listener, error)
+	// DialContext connects to address, honoring ctx cancellation. The
+	// signature matches net.Dialer.DialContext so an http.Transport can
+	// use it directly.
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+}
+
+// System is the real TCP stack - the production default. Its zero value
+// is ready to use.
+type System struct{}
+
+// Listen implements Network over net.Listen.
+func (System) Listen(network, address string) (net.Listener, error) {
+	return net.Listen(network, address)
+}
+
+// DialContext implements Network over a zero net.Dialer.
+func (System) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, network, address)
+}
+
+// Addr is the net.Addr of in-memory endpoints.
+type Addr string
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "faultnet" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return string(a) }

@@ -1,0 +1,523 @@
+package faultnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nautilus/internal/telemetry"
+)
+
+// echoServer accepts on ln and echoes n-byte requests back, closing each
+// connection after one exchange. Returns a stop func.
+func echoServer(t *testing.T, ln net.Listener, n int) func() {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				buf := make([]byte, n)
+				if _, err := io.ReadFull(c, buf); err != nil {
+					return
+				}
+				c.Write(buf) //nolint:errcheck // faults make write errors expected
+			}()
+		}
+	}()
+	return func() {
+		ln.Close()
+		wg.Wait()
+	}
+}
+
+func TestMemoryNetworkHTTP(t *testing.T) {
+	mem := NewMemory()
+	ln, err := mem.Listen("tcp", "nautserve:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok over faultnet")
+	})}
+	go hs.Serve(ln) //nolint:errcheck
+	defer hs.Close()
+
+	client := &http.Client{Transport: &http.Transport{DialContext: mem.DialContext}}
+	resp, err := client.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok over faultnet" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestMemoryListenSemantics(t *testing.T) {
+	mem := NewMemory()
+	ln1, err := mem.Listen("tcp", "a:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ln2, err := mem.Listen("tcp", "a:0")
+	if err != nil {
+		t.Fatalf("second ephemeral listen: %v", err)
+	}
+	if ln1.Addr().String() == ln2.Addr().String() {
+		t.Fatalf("ephemeral listens share address %s", ln1.Addr())
+	}
+	if _, err := mem.Listen("tcp", ln1.Addr().String()); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	if _, err := mem.DialContext(context.Background(), "tcp", "nobody:1"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+	ln1.Close()
+	if _, err := mem.DialContext(context.Background(), "tcp", ln1.Addr().String()); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+}
+
+func TestPipeCloseSemantics(t *testing.T) {
+	c, s := newConnPair("client:1", "server:1")
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := s.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	// Peer close: buffered data drains, then EOF; writes to it break.
+	if _, err := c.Write([]byte("bye")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.Close()
+	n, err = s.Read(buf)
+	if err != nil || string(buf[:n]) != "bye" {
+		t.Fatalf("drain read = %q, %v", buf[:n], err)
+	}
+	if _, err := s.Read(buf); err != io.EOF {
+		t.Fatalf("read after peer close = %v, want EOF", err)
+	}
+	if _, err := s.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestPipeReadDeadline(t *testing.T) {
+	c, s := newConnPair("client:1", "server:1")
+	defer c.Close()
+	defer s.Close()
+	s.SetReadDeadline(time.Now().Add(30 * time.Millisecond)) //nolint:errcheck
+	start := time.Now()
+	_, err := s.Read(make([]byte, 1))
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("read = %v, want timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline took far too long")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	if err := (Scenario{ResetRate: 1.5}).Validate(); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if err := (Scenario{Latency: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if err := (Scenario{SlowLorisBPS: -1}).Validate(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if err := (Scenario{ResetRate: 0.5, Latency: time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	if (Scenario{}).Active() {
+		t.Fatal("zero scenario reports active")
+	}
+	if !(Scenario{SlowLorisRate: 0.1}).Active() {
+		t.Fatal("slow-loris scenario reports inactive")
+	}
+}
+
+// findSeed returns a seed whose connection-1 plan satisfies want.
+func findSeed(t *testing.T, sc Scenario, want func(connPlan) bool) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 10_000; seed++ {
+		sc.Seed = seed
+		if want(sc.withDefaults().plan(1)) {
+			return seed
+		}
+	}
+	t.Fatal("no seed under 10000 produces the wanted plan")
+	return 0
+}
+
+// faultyOverMemory builds a Faulty wrapping only the accept side of an
+// in-memory network - the same shape the daemon uses, which keeps
+// connection numbering deterministic for sequential dialers.
+func faultyOverMemory(t *testing.T, sc Scenario, reg *telemetry.Registry) (*Faulty, *Memory, net.Listener) {
+	t.Helper()
+	mem := NewMemory()
+	fnet := New(Config{Under: mem, Scenario: sc, Registry: reg})
+	ln, err := fnet.Listen("tcp", "srv:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return fnet, mem, ln
+}
+
+func TestResetFiresAtExactOffset(t *testing.T) {
+	sc := Scenario{ResetRate: 1, ResetMaxBytes: 1000}
+	sc.Seed = findSeed(t, sc, func(p connPlan) bool { return p.resetDir == dirRead })
+	plan := sc.withDefaults().plan(1)
+
+	fnet, mem, ln := faultyOverMemory(t, sc, nil)
+	var got int64
+	var readErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			readErr = err
+			return
+		}
+		defer c.Close()
+		got, readErr = io.Copy(io.Discard, c)
+	}()
+
+	cc, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cc.Write(bytes.Repeat([]byte("x"), int(plan.resetAt)+4096)) //nolint:errcheck
+	<-done
+	if got != plan.resetAt {
+		t.Fatalf("server read %d bytes before reset, want exactly %d", got, plan.resetAt)
+	}
+	if !errors.Is(readErr, ErrReset) {
+		t.Fatalf("read error = %v, want ErrReset", readErr)
+	}
+	wantLine := fmt.Sprintf("conn=1 seq=2 kind=reset dir=read offset=%d", plan.resetAt)
+	if log := fnet.Events().String(); !strings.Contains(log, wantLine) {
+		t.Fatalf("log missing %q:\n%s", wantLine, log)
+	}
+}
+
+func TestScheduledPartitionStallsAndHeals(t *testing.T) {
+	const heal = 200 * time.Millisecond
+	sc := Scenario{PartitionRate: 1, PartitionMaxBytes: 500, PartitionHeal: heal}
+	sc.Seed = findSeed(t, sc, func(p connPlan) bool { return p.partDir == dirRead })
+	plan := sc.withDefaults().plan(1)
+
+	fnet, mem, ln := faultyOverMemory(t, sc, nil)
+	payload := bytes.Repeat([]byte("y"), int(plan.partAt)+64)
+	stop := echoServer(t, ln, len(payload))
+	defer stop()
+
+	cc, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cc.Close()
+	start := time.Now()
+	if _, err := cc.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := io.ReadFull(cc, make([]byte, len(payload))); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < heal/2 {
+		t.Fatalf("round trip took %s; partition window (%s) did not stall it", elapsed, heal)
+	}
+	log := fnet.Events().String()
+	for _, want := range []string{"kind=partition", "kind=heal"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestManualPartitionAndHeal(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	fnet, mem, ln := faultyOverMemory(t, Scenario{}, reg)
+	stop := echoServer(t, ln, 5)
+	defer stop()
+
+	dial := func() net.Conn {
+		c, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return c
+	}
+	// Healthy exchange first.
+	c1 := dial()
+	defer c1.Close()
+	c1.Write([]byte("hello")) //nolint:errcheck
+	if _, err := io.ReadFull(c1, make([]byte, 5)); err != nil {
+		t.Fatalf("healthy echo: %v", err)
+	}
+
+	// Two-way partition: the server cannot read the request, so no echo
+	// arrives before the deadline...
+	fnet.Partition(PartitionTwoWay)
+	c2 := dial()
+	defer c2.Close()
+	c2.Write([]byte("world"))                                 //nolint:errcheck
+	c2.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	if _, err := io.ReadFull(c2, make([]byte, 5)); err == nil {
+		t.Fatal("echo arrived through a two-way partition")
+	}
+	// ...and new dials through the faulty side are refused.
+	if _, err := fnet.DialContext(context.Background(), "tcp", ln.Addr().String()); err == nil {
+		t.Fatal("dial through two-way partition succeeded")
+	}
+
+	// Heal: the stalled exchange completes.
+	fnet.Heal()
+	c2.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if _, err := io.ReadFull(c2, make([]byte, 5)); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+
+	log := fnet.Events().String()
+	for _, want := range []string{
+		"conn=0 seq=1 kind=partition dir=both manual",
+		"conn=0 seq=2 kind=heal manual",
+	} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+	if v := reg.Counter(MetricPartitions).Value(); v != 1 {
+		t.Fatalf("partitions counter = %d, want 1", v)
+	}
+	if v := reg.Counter(MetricHeals).Value(); v != 1 {
+		t.Fatalf("heals counter = %d, want 1", v)
+	}
+	if v := reg.Counter(MetricConns).Value(); v != 2 {
+		t.Fatalf("conns counter = %d, want 2", v)
+	}
+}
+
+func TestOneWayPartitionLetsReadsThrough(t *testing.T) {
+	fnet, mem, ln := faultyOverMemory(t, Scenario{}, nil)
+	stop := echoServer(t, ln, 3)
+	defer stop()
+
+	fnet.Partition(PartitionOneWay)
+	defer fnet.Heal()
+	c, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	// Requests still arrive (server reads pass); the echo (server write)
+	// stalls until heal.
+	c.Write([]byte("abc"))                                   //nolint:errcheck
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	if _, err := io.ReadFull(c, make([]byte, 3)); err == nil {
+		t.Fatal("echo crossed a one-way partition")
+	}
+	fnet.Heal()
+	c.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if _, err := io.ReadFull(c, make([]byte, 3)); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestDeadlineHonoredWhileGated(t *testing.T) {
+	fnet, mem, ln := faultyOverMemory(t, Scenario{}, nil)
+	acceptCh := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			acceptCh <- c
+		}
+	}()
+	cc, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cc.Close()
+	sc := <-acceptCh
+	defer sc.Close()
+
+	fnet.Partition(PartitionTwoWay)
+	defer fnet.Heal()
+	sc.SetReadDeadline(time.Now().Add(40 * time.Millisecond)) //nolint:errcheck
+	cc.Write([]byte("data"))                                  //nolint:errcheck
+	start := time.Now()
+	_, rerr := sc.Read(make([]byte, 4))
+	var nerr net.Error
+	if !errors.As(rerr, &nerr) || !nerr.Timeout() {
+		t.Fatalf("gated read = %v, want timeout", rerr)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("gated read ignored its deadline")
+	}
+}
+
+func TestLatencyDelaysOperations(t *testing.T) {
+	const lat = 25 * time.Millisecond
+	_, mem, ln := faultyOverMemory(t, Scenario{Latency: lat}, nil)
+	stop := echoServer(t, ln, 4)
+	defer stop()
+
+	c, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	start := time.Now()
+	c.Write([]byte("ping")) //nolint:errcheck
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	// The wrapped side pays latency on its read and on its write.
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("round trip %s beat the configured latency %s", elapsed, lat)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	const bps = 64 * 1024
+	const size = 16 * 1024 // 250ms at bps
+	_, mem, ln := faultyOverMemory(t, Scenario{BandwidthBPS: bps}, nil)
+	var got int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		got, _ = io.Copy(io.Discard, c)
+	}()
+	c, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	start := time.Now()
+	c.Write(bytes.Repeat([]byte("b"), size)) //nolint:errcheck
+	c.Close()
+	<-done
+	if got != size {
+		t.Fatalf("server got %d bytes, want %d", got, size)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("transfer of %d bytes at %d B/s finished in %s; pacing missing", size, bps, elapsed)
+	}
+}
+
+// TestLogDeterminism is the harness' core contract: the same scenario
+// seed driven by the same sequential workload yields a byte-identical
+// fault-event log, run after run.
+func TestLogDeterminism(t *testing.T) {
+	sc := Scenario{
+		Seed:          42,
+		BandwidthBPS:  1 << 20,
+		ResetRate:     0.5,
+		ResetMaxBytes: 4096,
+		PartitionRate: 0.5,
+		PartitionHeal: 5 * time.Millisecond,
+		SlowLorisRate: 0.3,
+		SlowLorisBPS:  1 << 19,
+	}
+	const conns = 8
+	payload := bytes.Repeat([]byte("z"), 8192)
+
+	run := func() string {
+		fnet, mem, ln := faultyOverMemory(t, sc, nil)
+		stop := echoServer(t, ln, len(payload))
+		defer stop()
+		for i := 0; i < conns; i++ {
+			c, err := mem.DialContext(context.Background(), "tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatalf("dial %d: %v", i, err)
+			}
+			c.Write(payload)       //nolint:errcheck // resets are expected
+			io.Copy(io.Discard, c) //nolint:errcheck
+			c.Close()
+		}
+		return fnet.Events().String()
+	}
+
+	first := run()
+	second := run()
+	if first != second {
+		t.Fatalf("fault logs differ across identical runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "kind=reset") {
+		t.Fatalf("scenario fired no resets over %d connections:\n%s", conns, first)
+	}
+	if strings.Count(first, "kind=open") != conns {
+		t.Fatalf("log records %d opens, want %d:\n%s", strings.Count(first, "kind=open"), conns, first)
+	}
+}
+
+func TestFaultyHTTPUnderFaults(t *testing.T) {
+	// An HTTP server behind a lossy network keeps answering on healthy
+	// connections even as scheduled resets kill others.
+	reg := telemetry.NewRegistry()
+	sc := Scenario{Seed: 7, ResetRate: 0.4, ResetMaxBytes: 200}
+	mem := NewMemory()
+	fnet := New(Config{Under: mem, Scenario: sc, Registry: reg})
+	ln, err := fnet.Listen("tcp", "srv:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, strings.Repeat("p", 512))
+	})}
+	go hs.Serve(ln) //nolint:errcheck
+	defer hs.Close()
+
+	client := &http.Client{Transport: &http.Transport{
+		DialContext:       mem.DialContext,
+		DisableKeepAlives: true,
+	}}
+	ok := 0
+	for i := 0; i < 12; i++ {
+		resp, err := client.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			continue
+		}
+		if _, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
+			ok++
+		}
+		resp.Body.Close()
+	}
+	if ok == 0 {
+		t.Fatal("no request survived the scenario")
+	}
+	if reg.Counter(MetricResets).Value() == 0 {
+		t.Fatal("scenario fired no resets")
+	}
+	if reg.Counter(MetricConns).Value() == 0 {
+		t.Fatal("conns counter never moved")
+	}
+}

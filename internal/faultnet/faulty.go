@@ -1,0 +1,275 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
+)
+
+// ErrReset is the error surfaced when a scheduled connection reset fires
+// (wrapped in a *net.OpError, like the kernel's ECONNRESET would be).
+var ErrReset = errors.New("connection reset by faultnet scenario")
+
+// Registry metric names the harness maintains (exposed on /metrics as
+// nautilus_faultnet_*).
+const (
+	MetricConns      = "faultnet.conns"
+	MetricResets     = "faultnet.resets"
+	MetricPartitions = "faultnet.partitions"
+	MetricHeals      = "faultnet.heals"
+	MetricSlowLoris  = "faultnet.slowloris_conns"
+)
+
+// Span names fault events emit when a tracer is attached.
+const (
+	SpanReset     = "faultnet.reset"
+	SpanPartition = "faultnet.partition"
+	SpanHeal      = "faultnet.heal"
+)
+
+// Mode selects a manual partition's shape.
+type Mode int
+
+const (
+	// PartitionNone: traffic flows.
+	PartitionNone Mode = iota
+	// PartitionOneWay stalls the write direction of every wrapped
+	// endpoint (responses stop flowing; requests still arrive).
+	PartitionOneWay
+	// PartitionTwoWay stalls both directions.
+	PartitionTwoWay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PartitionOneWay:
+		return "one-way"
+	case PartitionTwoWay:
+		return "two-way"
+	default:
+		return "none"
+	}
+}
+
+// Config parameterizes a Faulty network.
+type Config struct {
+	// Under is the transport faults are injected over (default System).
+	Under Network
+	// Scenario is the seeded fault schedule (zero = no scheduled faults).
+	Scenario Scenario
+	// Registry, when set, receives the faultnet.* counters.
+	Registry *telemetry.Registry
+	// Log, when set, collects fault events (default: a fresh Log).
+	Log *Log
+}
+
+// Faulty injects scenario faults over an underlying Network. Every
+// connection it wraps - accepted or dialed - gets a deterministic fault
+// schedule keyed on its sequence number, and every fired fault lands in
+// the event log, the counters, and (when a tracer is attached) the span
+// stream.
+type Faulty struct {
+	under Network
+	sc    Scenario
+	log   *Log
+
+	connMu   sync.Mutex
+	connSeq  uint64
+	eventSeq int // per-network (conn=0) event sequence
+
+	// Manual partition state: healCh is non-nil while partitioned and is
+	// closed by Heal to release every gate waiter at once.
+	partMu sync.Mutex
+	mode   Mode
+	healCh chan struct{}
+
+	trMu   sync.Mutex
+	tracer *trace.Tracer
+
+	conns      *telemetry.Counter
+	resets     *telemetry.Counter
+	partitions *telemetry.Counter
+	heals      *telemetry.Counter
+	slow       *telemetry.Counter
+}
+
+// New builds a fault-injecting network over cfg.Under.
+func New(cfg Config) *Faulty {
+	if cfg.Under == nil {
+		cfg.Under = System{}
+	}
+	if cfg.Log == nil {
+		cfg.Log = NewLog()
+	}
+	f := &Faulty{under: cfg.Under, sc: cfg.Scenario.withDefaults(), log: cfg.Log}
+	if reg := cfg.Registry; reg != nil {
+		f.conns = reg.Counter(MetricConns)
+		f.resets = reg.Counter(MetricResets)
+		f.partitions = reg.Counter(MetricPartitions)
+		f.heals = reg.Counter(MetricHeals)
+		f.slow = reg.Counter(MetricSlowLoris)
+	}
+	return f
+}
+
+// Events returns the fault-event log.
+func (f *Faulty) Events() *Log { return f.log }
+
+// SetTracer attaches (or replaces) the tracer fault events are emitted
+// to as spans. Safe to call after the network is serving.
+func (f *Faulty) SetTracer(tr *trace.Tracer) {
+	f.trMu.Lock()
+	f.tracer = tr
+	f.trMu.Unlock()
+}
+
+// span emits one pre-measured fault span when a tracer is attached.
+func (f *Faulty) span(name string, start time.Time, d time.Duration) {
+	f.trMu.Lock()
+	tr := f.tracer
+	f.trMu.Unlock()
+	tr.Event(name, start, d)
+}
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Listen implements Network: accepted connections are wrapped with their
+// scheduled faults.
+func (f *Faulty) Listen(network, address string) (net.Listener, error) {
+	ln, err := f.under.Listen(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{f: f, Listener: ln}, nil
+}
+
+// DialContext implements Network: dialed connections are wrapped with
+// their scheduled faults. While a manual two-way partition is up, dials
+// are refused the way an unreachable network refuses them.
+func (f *Faulty) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if f.manualMode() == PartitionTwoWay {
+		return nil, &net.OpError{Op: "dial", Net: "faultnet", Addr: Addr(address),
+			Err: errors.New("network partitioned")}
+	}
+	c, err := f.under.DialContext(ctx, network, address)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(c), nil
+}
+
+// faultListener wraps Accept with the fault pipeline.
+type faultListener struct {
+	f *Faulty
+	net.Listener
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.f.wrap(c), nil
+}
+
+// wrap assigns the connection its sequence number and schedule, logs the
+// open event, and returns the fault-injecting endpoint.
+func (f *Faulty) wrap(c net.Conn) net.Conn {
+	f.connMu.Lock()
+	f.connSeq++
+	id := f.connSeq
+	f.connMu.Unlock()
+	plan := f.sc.plan(id)
+	inc(f.conns)
+	if plan.slowLoris {
+		inc(f.slow)
+	}
+	fc := &faultConn{Conn: c, f: f, id: id, plan: plan, closed: make(chan struct{})}
+	fc.log(Event{Kind: "open", Detail: plan.describe()})
+	return fc
+}
+
+// Partition manually splits the network: every wrapped connection's
+// gated direction stalls until Heal (one-way stalls writes, two-way
+// stalls both and refuses new dials). Used by tests that need a split
+// wider than the per-connection scenario windows - e.g. "drain under
+// partition". Calling Partition while partitioned just changes the mode.
+func (f *Faulty) Partition(mode Mode) {
+	f.partMu.Lock()
+	if mode == PartitionNone {
+		f.partMu.Unlock()
+		f.Heal()
+		return
+	}
+	if f.healCh == nil {
+		f.healCh = make(chan struct{})
+	}
+	f.mode = mode
+	f.partMu.Unlock()
+	inc(f.partitions)
+	f.netEvent(Event{Kind: "partition", Dir: dirLabel(mode), Detail: "manual"})
+	f.span(SpanPartition, time.Now(), 0)
+}
+
+// Heal lifts a manual partition, releasing every stalled operation.
+func (f *Faulty) Heal() {
+	f.partMu.Lock()
+	ch := f.healCh
+	f.healCh = nil
+	f.mode = PartitionNone
+	f.partMu.Unlock()
+	if ch == nil {
+		return
+	}
+	close(ch)
+	inc(f.heals)
+	f.netEvent(Event{Kind: "heal", Detail: "manual"})
+	f.span(SpanHeal, time.Now(), 0)
+}
+
+// manualMode reports the current manual partition mode.
+func (f *Faulty) manualMode() Mode {
+	f.partMu.Lock()
+	defer f.partMu.Unlock()
+	return f.mode
+}
+
+// gate returns the channel an operation in direction d must wait on
+// (closed on heal), or nil when traffic flows.
+func (f *Faulty) gate(d dir) <-chan struct{} {
+	f.partMu.Lock()
+	defer f.partMu.Unlock()
+	if f.healCh == nil {
+		return nil
+	}
+	if f.mode == PartitionOneWay && d == dirRead {
+		return nil
+	}
+	return f.healCh
+}
+
+// netEvent logs a network-wide (conn=0) event.
+func (f *Faulty) netEvent(e Event) {
+	f.connMu.Lock()
+	f.eventSeq++
+	e.Seq = f.eventSeq
+	f.connMu.Unlock()
+	f.log.add(e)
+}
+
+// dirLabel renders a manual mode's affected direction.
+func dirLabel(m Mode) string {
+	if m == PartitionTwoWay {
+		return "both"
+	}
+	return "write"
+}

@@ -1,0 +1,110 @@
+package faultnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one fault occurrence: a connection being wrapped, a scheduled
+// reset or partition firing, a window healing, or a manual network-wide
+// split. Events deliberately carry no wall-clock timestamps - their
+// identity is (connection, per-connection sequence, kind, byte offset),
+// which is what stays byte-identical across replays of the same scenario.
+type Event struct {
+	// Conn is the connection's sequence number (0 for network-wide
+	// events from manual Partition/Heal calls).
+	Conn uint64 `json:"conn"`
+	// Seq orders events within one connection.
+	Seq int `json:"seq"`
+	// Kind: "open", "reset", "partition", "heal".
+	Kind string `json:"kind"`
+	// Dir is the affected direction ("read", "write", "both") where it
+	// applies.
+	Dir string `json:"dir,omitempty"`
+	// Offset is the byte offset at which a scheduled fault fired.
+	Offset int64 `json:"offset,omitempty"`
+	// Detail carries the connection's fault schedule on "open" events and
+	// mode annotations elsewhere.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event as one canonical log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conn=%d seq=%d kind=%s", e.Conn, e.Seq, e.Kind)
+	if e.Dir != "" {
+		fmt.Fprintf(&b, " dir=%s", e.Dir)
+	}
+	if e.Offset > 0 {
+		fmt.Fprintf(&b, " offset=%d", e.Offset)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// Log collects fault events. Appends are concurrent-safe; Snapshot and
+// String return the events in canonical (connection, sequence) order, so
+// two runs of the same scenario over the same deterministic driver
+// produce byte-identical renderings regardless of goroutine interleaving.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+func (l *Log) add(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Snapshot returns the events sorted by (Conn, Seq).
+func (l *Log) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := append([]Event(nil), l.events...)
+	l.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Conn != out[b].Conn {
+			return out[a].Conn < out[b].Conn
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
+// String renders the canonical log: one line per event, sorted, newline
+// terminated (empty string for an empty log).
+func (l *Log) String() string {
+	events := l.Snapshot()
+	if len(events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Len reports how many events have been recorded.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}

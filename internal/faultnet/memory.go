@@ -1,0 +1,108 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Memory is an in-memory Network: listeners register under virtual
+// addresses ("nautserve:80", "127.0.0.1:0", any host:port string) and
+// dials connect to them through buffered duplex pipes. It exists so the
+// whole service tier - HTTP server, SSE streams, future cluster RPC - can
+// run inside one test process, under the race detector, with no sockets.
+type Memory struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	nextPort  int
+	nextConn  int
+}
+
+// NewMemory returns an empty in-memory network.
+func NewMemory() *Memory {
+	return &Memory{listeners: make(map[string]*memListener), nextPort: 49152}
+}
+
+// Listen implements Network. A trailing ":0" port picks a fresh virtual
+// port, mirroring net.Listen's ephemeral-port behavior.
+func (m *Memory) Listen(network, address string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if host, ok := strings.CutSuffix(address, ":0"); ok {
+		m.nextPort++
+		address = fmt.Sprintf("%s:%d", host, m.nextPort)
+	}
+	if _, taken := m.listeners[address]; taken {
+		return nil, &net.OpError{Op: "listen", Net: "faultnet", Addr: Addr(address),
+			Err: errors.New("address already in use")}
+	}
+	l := &memListener{
+		m:      m,
+		addr:   Addr(address),
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	m.listeners[address] = l
+	return l, nil
+}
+
+// DialContext implements Network: it hands the server half of a fresh
+// pipe pair to the listener bound at address and returns the client half.
+func (m *Memory) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	m.mu.Lock()
+	l := m.listeners[address]
+	m.nextConn++
+	client := Addr(fmt.Sprintf("client:%d", m.nextConn))
+	m.mu.Unlock()
+	if l == nil {
+		return nil, &net.OpError{Op: "dial", Net: "faultnet", Addr: Addr(address),
+			Err: errors.New("connection refused")}
+	}
+	cc, sc := newConnPair(client, l.addr)
+	select {
+	case l.accept <- sc:
+		return cc, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "dial", Net: "faultnet", Addr: Addr(address),
+			Err: errors.New("connection refused")}
+	case <-ctx.Done():
+		return nil, &net.OpError{Op: "dial", Net: "faultnet", Addr: Addr(address),
+			Err: ctx.Err()}
+	}
+}
+
+// memListener queues dialed-in connections for Accept.
+type memListener struct {
+	m      *Memory
+	addr   Addr
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "accept", Net: "faultnet", Addr: l.addr, Err: net.ErrClosed}
+	}
+}
+
+// Close implements net.Listener: pending and future dials are refused.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.m.mu.Lock()
+		delete(l.m.listeners, string(l.addr))
+		l.m.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,166 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// timeoutError is the net.Error returned when a deadline expires inside
+// the in-memory stack (pipe reads, fault stalls).
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// errTimeout is the shared deadline-expiry error value.
+var errTimeout net.Error = timeoutError{}
+
+// pipeBuffer is one direction of an in-memory connection: an unbounded
+// byte queue with blocking reads, writer-close (EOF) and reader-close
+// (broken pipe) semantics, and read-deadline support. Writes never block;
+// flow shaping is Faulty's job, one layer up.
+type pipeBuffer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	data []byte
+	// eof: the writer closed; readers drain the queue then see io.EOF.
+	eof bool
+	// rclosed: the reader closed; writes fail like a TCP RST would.
+	rclosed  bool
+	deadline time.Time
+	timer    *time.Timer
+}
+
+func newPipeBuffer() *pipeBuffer {
+	b := &pipeBuffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Read blocks until data, EOF, reader close, or the read deadline.
+func (b *pipeBuffer) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.rclosed {
+			return 0, net.ErrClosed
+		}
+		if len(b.data) > 0 {
+			n := copy(p, b.data)
+			b.data = b.data[n:]
+			if len(b.data) == 0 {
+				b.data = nil
+			}
+			return n, nil
+		}
+		if b.eof {
+			return 0, io.EOF
+		}
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			return 0, errTimeout
+		}
+		b.cond.Wait()
+	}
+}
+
+// Write appends p; it fails once either side is closed.
+func (b *pipeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rclosed || b.eof {
+		return 0, net.ErrClosed
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+// closeWrite ends the stream: readers drain what is buffered, then EOF.
+func (b *pipeBuffer) closeWrite() {
+	b.mu.Lock()
+	b.eof = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// closeRead abandons the stream: pending data is dropped and subsequent
+// writes from the peer fail.
+func (b *pipeBuffer) closeRead() {
+	b.mu.Lock()
+	b.rclosed = true
+	b.data = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// setReadDeadline arms a wakeup so blocked readers observe expiry.
+func (b *pipeBuffer) setReadDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deadline = t
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if t.IsZero() {
+		return
+	}
+	if d := time.Until(t); d > 0 {
+		b.timer = time.AfterFunc(d, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	} else {
+		b.cond.Broadcast()
+	}
+}
+
+// memConn is one endpoint of an in-memory connection: it reads from `in`
+// and writes to `out` (the peer holds the same two buffers swapped).
+type memConn struct {
+	in, out       *pipeBuffer
+	local, remote Addr
+	closeOnce     sync.Once
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.in.Read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.out.Write(p) }
+
+// Close tears the endpoint down: our reads stop (peer writes break) and
+// our writes end the peer's stream with EOF after it drains.
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.in.closeRead()
+		c.out.closeWrite()
+	})
+	return nil
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return c.local }
+func (c *memConn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *memConn) SetDeadline(t time.Time) error {
+	c.in.setReadDeadline(t)
+	return nil
+}
+
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.in.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline is accepted but inert: pipe writes never block.
+func (c *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// newConnPair builds the two endpoints of one in-memory connection.
+func newConnPair(client, server Addr) (*memConn, *memConn) {
+	toServer := newPipeBuffer() // client writes, server reads
+	toClient := newPipeBuffer() // server writes, client reads
+	c := &memConn{in: toClient, out: toServer, local: client, remote: server}
+	s := &memConn{in: toServer, out: toClient, local: server, remote: client}
+	return c, s
+}

@@ -1,0 +1,241 @@
+package faultnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scenario parameterizes the fault schedule a Faulty network applies.
+// Every per-connection decision - does connection k reset, at which byte
+// offset, is it a slow-loris peer, when does its partition window open
+// and heal - is drawn from a splitmix64 stream keyed on (Seed, k). The
+// schedule is therefore a pure function of the scenario, and the
+// fault-event log of a deterministic driver is byte-identical across
+// runs. The zero Scenario injects nothing (Faulty then only wraps,
+// counts, and honors manual Partition/Heal calls).
+type Scenario struct {
+	// Seed keys the scenario's private splitmix64 stream. It is unrelated
+	// to (and never mixed with) any search RNG.
+	Seed int64
+	// Latency is a base per-operation one-way delay; Jitter adds a
+	// deterministic pseudo-random extra in [0, Jitter) per operation.
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBPS caps sustained per-direction throughput in bytes per
+	// second (0 = unlimited). Transfers are chunked and paced.
+	BandwidthBPS int
+	// ResetRate is the probability a connection gets a scheduled reset:
+	// after ResetAt bytes (drawn in [1, ResetMaxBytes]) cross the chosen
+	// direction, the connection dies with ErrReset - mid-response, the
+	// way real peers vanish.
+	ResetRate     float64
+	ResetMaxBytes int
+	// PartitionRate is the probability a connection gets a scheduled
+	// partition window: after a drawn byte offset, one direction (one-way)
+	// or both (two-way) stall, then heal after PartitionHeal.
+	PartitionRate     float64
+	PartitionMaxBytes int
+	PartitionHeal     time.Duration
+	// SlowLorisRate is the probability a connection is a slow-loris peer:
+	// both directions are throttled to SlowLorisBPS bytes per second,
+	// stalling whatever the other side is trying to push.
+	SlowLorisRate float64
+	SlowLorisBPS  int
+}
+
+// Scenario defaults applied by withDefaults for fields left zero when a
+// fault class is enabled.
+const (
+	defaultResetMaxBytes     = 4096
+	defaultPartitionMaxBytes = 4096
+	defaultPartitionHeal     = 250 * time.Millisecond
+	defaultSlowLorisBPS      = 256
+)
+
+// Active reports whether the scenario injects any fault at all.
+func (s Scenario) Active() bool {
+	return s.Latency > 0 || s.Jitter > 0 || s.BandwidthBPS > 0 ||
+		s.ResetRate > 0 || s.PartitionRate > 0 || s.SlowLorisRate > 0
+}
+
+// Validate rejects out-of-range knobs (rates outside [0,1], negative
+// durations or sizes).
+func (s Scenario) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"reset rate", s.ResetRate},
+		{"partition rate", s.PartitionRate},
+		{"slow-loris rate", s.SlowLorisRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultnet: %s %g outside [0, 1]", r.name, r.v)
+		}
+	}
+	if s.Latency < 0 || s.Jitter < 0 || s.PartitionHeal < 0 {
+		return fmt.Errorf("faultnet: negative duration in scenario")
+	}
+	if s.BandwidthBPS < 0 || s.ResetMaxBytes < 0 || s.PartitionMaxBytes < 0 || s.SlowLorisBPS < 0 {
+		return fmt.Errorf("faultnet: negative size in scenario")
+	}
+	return nil
+}
+
+// withDefaults fills the bound fields that fault classes need once
+// enabled.
+func (s Scenario) withDefaults() Scenario {
+	if s.ResetMaxBytes == 0 {
+		s.ResetMaxBytes = defaultResetMaxBytes
+	}
+	if s.PartitionMaxBytes == 0 {
+		s.PartitionMaxBytes = defaultPartitionMaxBytes
+	}
+	if s.PartitionHeal == 0 {
+		s.PartitionHeal = defaultPartitionHeal
+	}
+	if s.SlowLorisBPS == 0 {
+		s.SlowLorisBPS = defaultSlowLorisBPS
+	}
+	return s
+}
+
+// dir is a transfer direction relative to the wrapped endpoint.
+type dir int
+
+const (
+	dirRead dir = iota
+	dirWrite
+)
+
+func (d dir) String() string {
+	if d == dirRead {
+		return "read"
+	}
+	return "write"
+}
+
+// splitmix64 is the SplitMix64 finalizer - the same construction
+// param.Space.Hash64 and trace span IDs use, applied here to the
+// scenario's private stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// stream is a tiny deterministic generator over splitmix64.
+type stream struct{ state uint64 }
+
+// connStream keys a stream on (seed, connection number).
+func connStream(seed int64, conn uint64) *stream {
+	return &stream{state: splitmix64(uint64(seed)) ^ splitmix64(conn*0x9e3779b97f4a7c15)}
+}
+
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return splitmix64(s.state)
+}
+
+// float returns a uniform draw in [0, 1).
+func (s *stream) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n).
+func (s *stream) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+// connPlan is the full fault schedule of one connection, fixed at
+// wrap time. Offsets of -1 mean "never".
+type connPlan struct {
+	latency time.Duration
+	jitter  time.Duration
+	// jitterSeed keys the per-operation jitter fractions.
+	jitterSeed uint64
+	// bandwidthBPS is the per-direction pacing cap (slow-loris overrides
+	// it downward).
+	bandwidthBPS int
+	slowLoris    bool
+
+	resetDir dir
+	resetAt  int64
+
+	// partDir is the stalled direction for one-way windows (and the
+	// trigger direction for both modes); partTwoWay stalls both.
+	partDir    dir
+	partAt     int64
+	partTwoWay bool
+	partHeal   time.Duration
+}
+
+// plan derives connection conn's schedule from the scenario stream. The
+// draw order is fixed; with the same (Seed, conn) the schedule is
+// identical on every run.
+func (s Scenario) plan(conn uint64) connPlan {
+	r := connStream(s.Seed, conn)
+	p := connPlan{
+		latency:      s.Latency,
+		jitter:       s.Jitter,
+		jitterSeed:   r.next(),
+		bandwidthBPS: s.BandwidthBPS,
+		resetAt:      -1,
+		partAt:       -1,
+	}
+	if s.ResetRate > 0 && r.float() < s.ResetRate {
+		p.resetDir = dir(r.intn(2))
+		p.resetAt = int64(1 + r.intn(s.ResetMaxBytes))
+	}
+	if s.PartitionRate > 0 && r.float() < s.PartitionRate {
+		p.partTwoWay = r.intn(2) == 1
+		p.partDir = dir(r.intn(2))
+		p.partAt = int64(1 + r.intn(s.PartitionMaxBytes))
+		p.partHeal = s.PartitionHeal
+	}
+	if s.SlowLorisRate > 0 && r.float() < s.SlowLorisRate {
+		p.slowLoris = true
+		if p.bandwidthBPS == 0 || p.bandwidthBPS > s.SlowLorisBPS {
+			p.bandwidthBPS = s.SlowLorisBPS
+		}
+	}
+	return p
+}
+
+// opDelay is the deterministic latency of operation op in direction d:
+// base latency plus a jitter fraction keyed on (conn, direction, op).
+func (p connPlan) opDelay(d dir, op uint64) time.Duration {
+	if p.latency <= 0 && p.jitter <= 0 {
+		return 0
+	}
+	del := p.latency
+	if p.jitter > 0 {
+		frac := float64(splitmix64(p.jitterSeed^(uint64(d)<<63)+op)>>11) / (1 << 53)
+		del += time.Duration(frac * float64(p.jitter))
+	}
+	return del
+}
+
+// describe renders the schedule for the connection's "open" log event -
+// pure scenario data, so it is deterministic.
+func (p connPlan) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency=%s jitter=%s bw=%d", p.latency, p.jitter, p.bandwidthBPS)
+	if p.resetAt >= 0 {
+		fmt.Fprintf(&b, " reset=%s@%d", p.resetDir, p.resetAt)
+	}
+	if p.partAt >= 0 {
+		mode := "one-way"
+		if p.partTwoWay {
+			mode = "two-way"
+		}
+		fmt.Fprintf(&b, " partition=%s:%s@%d/%s", mode, p.partDir, p.partAt, p.partHeal)
+	}
+	if p.slowLoris {
+		b.WriteString(" slowloris")
+	}
+	return b.String()
+}

@@ -72,8 +72,9 @@ func (e *FailedError) Error() string {
 //	{"error": {"code": "not_found", "message": "no such job"}}
 //
 // with codes bad_request, not_found, not_ready, draining,
-// too_many_sessions, failed, and internal (failed errors also carry the
-// session's terminal state).
+// too_many_sessions, too_large, failed, and internal (failed errors also
+// carry the session's terminal state). Body-carrying routes cap the
+// request body at maxRequestBody and answer 413 too_large past it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -92,7 +93,11 @@ func (s *Server) Handler() http.Handler {
 	}
 	for _, rt := range routes {
 		method, path, _ := strings.Cut(rt.pattern, " ")
-		fn := s.instrument(method+" /v1"+path, rt.fn)
+		fn := rt.fn
+		if method == http.MethodPost {
+			fn = limitBody(fn)
+		}
+		fn = s.instrument(method+" /v1"+path, fn)
 		mux.HandleFunc(method+" /v1"+path, fn)
 		mux.HandleFunc(method+" /api/v1"+path, deprecated(path, fn))
 	}
@@ -129,9 +134,26 @@ const (
 	CodeNotReady        = "not_ready"
 	CodeDraining        = "draining"
 	CodeTooManySessions = "too_many_sessions"
+	CodeTooLarge        = "too_large"
 	CodeFailed          = "failed"
 	CodeInternal        = "internal"
 )
+
+// maxRequestBody bounds every body-carrying /v1 request. A JobSpec is a
+// few hundred bytes; one MiB leaves generous headroom while keeping a
+// misbehaving (or slow-loris) client from streaming an unbounded body
+// into the decoder.
+const maxRequestBody = 1 << 20
+
+// limitBody caps r.Body so oversized requests surface as
+// *http.MaxBytesError (mapped to 413 too_large) instead of being read
+// to completion.
+func limitBody(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		fn(w, r)
+	}
+}
 
 // ErrorBody is the payload of the uniform error envelope.
 type ErrorBody struct {
@@ -153,7 +175,12 @@ func writeError(w http.ResponseWriter, err error) {
 	status, code := http.StatusInternalServerError, CodeInternal
 	var bad *BadRequestError
 	var failed *FailedError
+	var tooBig *http.MaxBytesError
 	switch {
+	// MaxBytesError first: the submit path wraps decode errors in
+	// BadRequestError, and an overflow must stay a 413, not decay to 400.
+	case errors.As(err, &tooBig):
+		status, code = http.StatusRequestEntityTooLarge, CodeTooLarge
 	case errors.As(err, &bad):
 		status, code = http.StatusBadRequest, CodeBadRequest
 	case errors.As(err, &failed):
@@ -326,20 +353,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	writeEvent := func(name string, data []byte) {
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	// writeEvent surfaces the connection's write error so a client that
+	// vanished mid-replay (reset, partition) aborts the handler instead of
+	// streaming the rest of history into a dead pipe.
+	writeEvent := func(name string, data []byte) error {
+		_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		return err
 	}
 	finish := func() {
 		data, err := json.Marshal(sess.status())
-		if err == nil {
-			writeEvent("done", data)
+		if err == nil && writeEvent("done", data) == nil {
 			fl.Flush()
 		}
 	}
 
 	ch, replay, closed := sess.hub.subscribe()
 	for _, b := range replay {
-		writeEvent("generation", b)
+		if writeEvent("generation", b) != nil {
+			if !closed {
+				sess.hub.unsubscribe(ch)
+			}
+			return
+		}
 	}
 	fl.Flush()
 	if closed {
@@ -354,7 +389,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				finish()
 				return
 			}
-			writeEvent("generation", b)
+			if writeEvent("generation", b) != nil {
+				return
+			}
 			fl.Flush()
 		case <-r.Context().Done():
 			return

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -201,9 +202,16 @@ func readEvents(t *testing.T, url string) ([]genEvent, JobStatus) {
 	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("SSE: content type %q", ct)
 	}
+	return parseSSE(t, resp.Body)
+}
+
+// parseSSE consumes one SSE body to completion: the generation events
+// and the final done status.
+func parseSSE(t *testing.T, body io.Reader) ([]genEvent, JobStatus) {
+	t.Helper()
 	var gens []genEvent
 	var final JobStatus
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(body)
 	event := ""
 	for sc.Scan() {
 		line := sc.Text()

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nautilus/internal/faultnet"
+	"nautilus/internal/telemetry"
+	"nautilus/internal/telemetry/trace"
+)
+
+// memFaultServer runs a full server - engine, scheduler, HTTP API - over
+// an in-memory fault-injecting network. Returns the server, the fault
+// network (for manual Partition/Heal and the event log), the memory
+// substrate (clients dial it directly, bypassing injection on their own
+// side), and the virtual listen address.
+func memFaultServer(t *testing.T, sc faultnet.Scenario, opts Options) (*Server, *faultnet.Faulty, *faultnet.Memory, string) {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	mem := faultnet.NewMemory()
+	fnet := faultnet.New(faultnet.Config{Under: mem, Scenario: sc, Registry: opts.Registry})
+	opts.Network = fnet
+	s := newTestServer(t, opts)
+	fnet.SetTracer(trace.New(trace.Config{Session: "faultnet", Seed: 1, Sinks: []trace.Sink{s.SpanSink()}}))
+	ln, err := s.Listen("nautserve:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() {
+		fnet.Heal() // release any still-gated handler before teardown
+		hs.Close()
+	})
+	return s, fnet, mem, ln.Addr().String()
+}
+
+// memHTTPClient dials the in-memory network directly (no fault injection
+// on the client side; the server's accept side carries the scenario).
+func memHTTPClient(mem *faultnet.Memory) *http.Client {
+	return &http.Client{Transport: &http.Transport{DialContext: mem.DialContext}}
+}
+
+// TestServeOverMemoryNetwork pins the Network seam end to end: a job
+// submitted over HTTP through the in-memory stack - under injected
+// latency - completes with the exact result a solo CLI run produces.
+func TestServeOverMemoryNetwork(t *testing.T) {
+	spec := testSpec()
+	solo, soloConfig := soloRun(t, spec)
+
+	s, _, mem, addr := memFaultServer(t, faultnet.Scenario{
+		Seed:    11,
+		Latency: 200 * time.Microsecond,
+		Jitter:  300 * time.Microsecond,
+	}, Options{})
+	defer s.Drain(context.Background())
+	client := memHTTPClient(mem)
+
+	var payload strings.Builder
+	payload.WriteString(fmt.Sprintf(
+		`{"ip":%q,"query":%q,"guidance":%q,"generations":%d,"population":%d,"seed":%d,"parallelism":%d}`,
+		spec.IP, spec.Query, spec.Guidance, spec.Generations, spec.Population, spec.Seed, spec.Parallelism))
+	resp, err := client.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(payload.String()))
+	if err != nil {
+		t.Fatalf("submit over memory network: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	(&apiClient{t: t}).decode(body, &st)
+	waitDone(t, s, st.ID)
+
+	res, err := s.Result(st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Configuration != soloConfig {
+		t.Fatalf("server over faultnet found %q, solo run found %q", res.Configuration, soloConfig)
+	}
+	if res.BestValue != solo.BestValue || res.DistinctEvals != solo.DistinctEvals {
+		t.Fatalf("accounting drifted: server (%v, %d) vs solo (%v, %d)",
+			res.BestValue, res.DistinctEvals, solo.BestValue, solo.DistinctEvals)
+	}
+}
+
+// sseDialRaw opens an SSE stream as raw bytes over the memory network so
+// the test can kill the connection abruptly - the client-reset shape an
+// http.Client won't produce on demand.
+func sseDialRaw(t *testing.T, mem *faultnet.Memory, addr, id string) net.Conn {
+	t.Helper()
+	c, err := mem.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	req := fmt.Sprintf("GET /v1/jobs/%s/events HTTP/1.1\r\nHost: nautserve\r\nAccept: text/event-stream\r\n\r\n", id)
+	if _, err := c.Write([]byte(req)); err != nil {
+		t.Fatalf("write request: %v", err)
+	}
+	return c
+}
+
+// TestSSESurvivesClientResetMidStream: a client that vanishes mid-stream
+// must not leak its hub subscription or disturb the session, and a
+// reconnect must replay the progress history from generation 0.
+func TestSSESurvivesClientResetMidStream(t *testing.T) {
+	s, _, mem, addr := memFaultServer(t, faultnet.Scenario{}, Options{EvalDelay: 2 * time.Millisecond})
+	defer s.Drain(context.Background())
+
+	spec := testSpec()
+	spec.Generations = 30
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := s.get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGeneration(t, s, st.ID, 2)
+
+	// Stream a little, then vanish without a goodbye.
+	raw := sseDialRaw(t, mem, addr, st.ID)
+	buf := make([]byte, 256)
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := raw.Read(buf); err != nil {
+		t.Fatalf("read SSE head: %v", err)
+	}
+	raw.Close()
+
+	// The handler lets go of the hub...
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.hub.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SSE handler still subscribed %d after client reset", sess.hub.subscribers())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// ...the session is unbothered...
+	if cur, _ := s.Status(st.ID); cur.State != StateRunning && cur.State != StateDone {
+		t.Fatalf("session state %s after client reset", cur.State)
+	}
+	final := waitDone(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("session ended %s (%s)", final.State, final.Error)
+	}
+	// ...and a reconnect replays everything from generation 0.
+	gens, done := readEventsVia(t, memHTTPClient(mem), "http://"+addr+"/v1/jobs/"+st.ID+"/events")
+	if len(gens) != spec.Generations+1 {
+		t.Fatalf("reconnect replayed %d events, want %d", len(gens), spec.Generations+1)
+	}
+	for i, g := range gens {
+		if g.Generation != i {
+			t.Fatalf("replay event %d is generation %d", i, g.Generation)
+		}
+	}
+	if done.State != StateDone {
+		t.Fatalf("done event carried %s", done.State)
+	}
+	if n := sess.hub.subscribers(); n != 0 {
+		t.Fatalf("%d subscriptions leaked", n)
+	}
+}
+
+// TestDrainUnderPartitionResumesExactly: a SIGTERM-style drain that
+// happens while the network is fully partitioned still checkpoints every
+// session locally, and a restart on the same state dir resumes to the
+// byte-identical result.
+func TestDrainUnderPartitionResumesExactly(t *testing.T) {
+	spec := testSpec()
+	spec.Generations = 60
+	solo, soloConfig := soloRun(t, spec)
+
+	dir := t.TempDir()
+	s, fnet, mem, addr := memFaultServer(t, faultnet.Scenario{}, Options{
+		StateDir: dir, EvalDelay: 2 * time.Millisecond, CheckpointEvery: 3,
+	})
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGeneration(t, s, st.ID, 2)
+
+	// A live SSE subscriber whose stream is mid-flight when the network
+	// splits: its writes gate, and the drain must not wait on it.
+	raw := sseDialRaw(t, mem, addr, st.ID)
+	defer raw.Close()
+	buf := make([]byte, 128)
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := raw.Read(buf); err != nil {
+		t.Fatalf("read SSE head: %v", err)
+	}
+
+	fnet.Partition(faultnet.PartitionTwoWay)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain under partition: %v", err)
+	}
+	cur, _ := s.Status(st.ID)
+	if cur.State != StateInterrupted {
+		t.Fatalf("session state after drain = %s, want interrupted", cur.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, st.ID, "checkpoint.json")); err != nil {
+		t.Fatalf("no checkpoint written under partition: %v", err)
+	}
+	log := fnet.Events().String()
+	if !strings.Contains(log, "kind=partition dir=both manual") {
+		t.Fatalf("fault log missing the manual partition:\n%s", log)
+	}
+	fnet.Heal()
+
+	// Restart on the same state dir, network healed: the session resumes
+	// and lands exactly where the uninterrupted solo run lands.
+	s2 := newTestServer(t, Options{StateDir: dir})
+	defer s2.Drain(context.Background())
+	final := waitDone(t, s2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed session ended %s (%s)", final.State, final.Error)
+	}
+	res, err := s2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configuration != soloConfig || res.BestValue != solo.BestValue {
+		t.Fatalf("resume diverged: got (%q, %v), want (%q, %v)",
+			res.Configuration, res.BestValue, soloConfig, solo.BestValue)
+	}
+	if res.DistinctEvals != solo.DistinctEvals {
+		t.Fatalf("resume accounting drifted: %d distinct vs solo %d", res.DistinctEvals, solo.DistinctEvals)
+	}
+}
+
+// TestSlowLorisClientsDoNotStarveSessions: with every accepted
+// connection throttled to slow-loris rates, SSE streams crawl - but the
+// engine, scheduler, and other sessions never block on them (the hub
+// drops rather than waits), so jobs finish on time.
+func TestSlowLorisClientsDoNotStarveSessions(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, _, mem, addr := memFaultServer(t, faultnet.Scenario{
+		Seed:          5,
+		SlowLorisRate: 1,
+		SlowLorisBPS:  64,
+	}, Options{Registry: reg, EvalDelay: time.Millisecond})
+	defer s.Drain(context.Background())
+
+	spec := testSpec()
+	spec.Generations = 12
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three slow-loris SSE clients latch onto the stream; at 64 B/s they
+	// will not even finish the HTTP handshake before the job is done.
+	var lorises []net.Conn
+	for i := 0; i < 3; i++ {
+		lorises = append(lorises, sseDialRaw(t, mem, addr, st.ID))
+	}
+	defer func() {
+		for _, c := range lorises {
+			c.Close()
+		}
+	}()
+
+	start := time.Now()
+	final := waitDone(t, s, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("session ended %s (%s) with slow-loris clients attached", final.State, final.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 45*time.Second {
+		t.Fatalf("job took %s with slow-loris clients attached", elapsed)
+	}
+	if v := reg.Counter(faultnet.MetricSlowLoris).Value(); v < 3 {
+		t.Fatalf("slow-loris counter = %d, want >= 3", v)
+	}
+	// A second job right behind it also completes: the stalled handlers
+	// hold no scheduler or session capacity.
+	st2, err := s.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDone(t, s, st2.ID); final.State != StateDone {
+		t.Fatalf("follow-up session ended %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestFaultnetMetricsOnMetricsEndpoint: once faults fire, their counters
+// surface as nautilus_faultnet_* families on /metrics (they are absent -
+// and the golden family set untouched - when no fault network is wired).
+func TestFaultnetMetricsOnMetricsEndpoint(t *testing.T) {
+	s, fnet, mem, addr := memFaultServer(t, faultnet.Scenario{}, Options{})
+	defer s.Drain(context.Background())
+	fnet.Partition(faultnet.PartitionOneWay)
+	fnet.Heal()
+
+	client := memHTTPClient(mem)
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics over memory network: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{
+		"nautilus_faultnet_conns",
+		"nautilus_faultnet_partitions",
+		"nautilus_faultnet_heals",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Fatalf("/metrics missing %s:\n%s", fam, body)
+		}
+	}
+}
+
+// readEventsVia is readEvents with a custom client (the memory-network
+// transport).
+func readEventsVia(t *testing.T, client *http.Client, url string) ([]genEvent, JobStatus) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE: status %d", resp.StatusCode)
+	}
+	return parseSSE(t, resp.Body)
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"time"
+
+	"nautilus/internal/telemetry"
+)
+
+// MetricAcceptRetries counts transient accept failures the retry
+// listener absorbed instead of tearing the server down.
+const MetricAcceptRetries = "server.accept_retries"
+
+// retryAcceptMaxBackoff caps the accept-retry backoff; the floor is
+// retryAcceptBaseBackoff.
+const (
+	retryAcceptBaseBackoff = 5 * time.Millisecond
+	retryAcceptMaxBackoff  = time.Second
+)
+
+// NewRetryListener wraps ln so transient accept failures (EMFILE under
+// fd pressure, ECONNABORTED from clients vanishing in the SYN queue,
+// EINTR, timeouts) are retried with capped exponential backoff instead
+// of being returned - http.Server.Serve exits on the first non-temporary
+// accept error, which would turn one fd-exhaustion spike into a full
+// outage. Permanent errors (including net.ErrClosed on shutdown) pass
+// through. reg may be nil; when set, absorbed failures count under
+// MetricAcceptRetries.
+func NewRetryListener(ln net.Listener, reg *telemetry.Registry) net.Listener {
+	rl := &retryListener{Listener: ln}
+	if reg != nil {
+		rl.retries = reg.Counter(MetricAcceptRetries)
+	}
+	return rl
+}
+
+type retryListener struct {
+	net.Listener
+	retries *telemetry.Counter
+}
+
+func (l *retryListener) Accept() (net.Conn, error) {
+	backoff := retryAcceptBaseBackoff
+	for {
+		c, err := l.Listener.Accept()
+		if err == nil {
+			return c, nil
+		}
+		if !temporaryAccept(err) {
+			return nil, err
+		}
+		if l.retries != nil {
+			l.retries.Inc()
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > retryAcceptMaxBackoff {
+			backoff = retryAcceptMaxBackoff
+		}
+	}
+}
+
+// temporaryAccept classifies accept errors worth retrying. net.ErrClosed
+// is never temporary - it is how shutdown looks.
+func temporaryAccept(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNABORTED, syscall.ECONNRESET,
+		syscall.EMFILE, syscall.ENFILE, syscall.EINTR,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	// Fall back to the (deprecated, but still what syscall errors report)
+	// Temporary classification for anything exotic.
+	type temporary interface{ Temporary() bool }
+	var terr temporary
+	return errors.As(err, &terr) && terr.Temporary()
+}

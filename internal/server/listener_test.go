@@ -1,0 +1,91 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"nautilus/internal/telemetry"
+)
+
+// scriptedListener replays a fixed sequence of accept outcomes.
+type scriptedListener struct {
+	script []error // nil entry = deliver a connection
+	i      int
+}
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	if l.i >= len(l.script) {
+		return nil, net.ErrClosed
+	}
+	err := l.script[l.i]
+	l.i++
+	if err != nil {
+		return nil, err
+	}
+	c, s := net.Pipe()
+	s.Close()
+	return c, nil
+}
+
+func (l *scriptedListener) Close() error   { return nil }
+func (l *scriptedListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+func TestRetryListenerAbsorbsTemporaryErrors(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ln := NewRetryListener(&scriptedListener{script: []error{
+		&net.OpError{Op: "accept", Err: syscall.ECONNABORTED},
+		&net.OpError{Op: "accept", Err: syscall.EMFILE},
+		&net.OpError{Op: "accept", Err: syscall.EINTR},
+		nil, // then a connection arrives
+	}}, reg)
+	start := time.Now()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept after transient errors: %v", err)
+	}
+	c.Close()
+	if got := reg.Counter(MetricAcceptRetries).Value(); got != 3 {
+		t.Fatalf("retry counter = %d, want 3", got)
+	}
+	// 5ms + 10ms + 20ms of backoff were paid.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("accept returned in %s; backoff missing", elapsed)
+	}
+}
+
+func TestRetryListenerPropagatesPermanentErrors(t *testing.T) {
+	permanent := errors.New("listener torn out of the kernel")
+	ln := NewRetryListener(&scriptedListener{script: []error{permanent}}, nil)
+	if _, err := ln.Accept(); !errors.Is(err, permanent) {
+		t.Fatalf("accept = %v, want the permanent error", err)
+	}
+	// Shutdown's ErrClosed passes straight through - that is how
+	// http.Server.Serve learns to stop.
+	ln = NewRetryListener(&scriptedListener{}, nil)
+	if _, err := ln.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("accept on closed = %v, want net.ErrClosed", err)
+	}
+}
+
+func TestTemporaryAcceptClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{&net.OpError{Op: "accept", Err: syscall.ECONNABORTED}, true},
+		{&net.OpError{Op: "accept", Err: syscall.ECONNRESET}, true},
+		{&net.OpError{Op: "accept", Err: syscall.EMFILE}, true},
+		{&net.OpError{Op: "accept", Err: syscall.ENFILE}, true},
+		{&net.OpError{Op: "accept", Err: syscall.EINTR}, true},
+		{net.ErrClosed, false},
+		{&net.OpError{Op: "accept", Err: net.ErrClosed}, false},
+		{errors.New("something structural"), false},
+	} {
+		if got := temporaryAccept(tc.err); got != tc.want {
+			t.Errorf("temporaryAccept(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

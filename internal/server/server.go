@@ -19,6 +19,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"nautilus/internal/catalog"
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
+	"nautilus/internal/faultnet"
 	"nautilus/internal/ga"
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
@@ -68,6 +70,10 @@ type Options struct {
 	// Registry receives server, scheduler, and aggregated run metrics
 	// (default: a fresh registry, exposed at /debug/vars).
 	Registry *telemetry.Registry
+	// Network is the transport Listen binds through (default
+	// faultnet.System, i.e. real TCP). Tests and the fault harness swap in
+	// an in-memory or fault-injecting network; the server is agnostic.
+	Network faultnet.Network
 }
 
 // Server owns the session table, the shared per-IP caches, and the global
@@ -119,6 +125,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Registry == nil {
 		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.Network == nil {
+		opts.Network = faultnet.System{}
 	}
 	st, err := newStore(opts.StateDir)
 	if err != nil {
@@ -555,3 +564,16 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Registry exposes the server's metric registry (for the debug endpoint).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Listen binds a TCP listener on addr through the server's configured
+// Network - real sockets by default, an in-memory or fault-injecting
+// stack when one was swapped in.
+func (s *Server) Listen(addr string) (net.Listener, error) {
+	return s.opts.Network.Listen("tcp", addr)
+}
+
+// SpanSink exposes the server's span-duration sink, the one feeding the
+// per-phase latency histograms on /metrics. External span sources (the
+// fault harness, future cluster RPC) attach tracers to it so their
+// events land beside the engine's phases.
+func (s *Server) SpanSink() trace.Sink { return s.durs }

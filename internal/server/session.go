@@ -436,6 +436,14 @@ func (h *progressHub) unsubscribe(ch chan []byte) {
 	delete(h.subs, ch)
 }
 
+// subscribers reports the live subscriber count - tests use it to prove
+// abandoned SSE handlers actually let go of the hub.
+func (h *progressHub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
 // close ends the stream: subscribers' channels are closed after any
 // buffered events drain.
 func (h *progressHub) close() {

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSSEClientDisconnectMidReplay: a subscriber with a deep replay
+// backlog that disconnects before draining it must not leave the handler
+// pumping history into a dead socket or holding its hub subscription,
+// and the session must keep running. A reconnect then replays from
+// generation 0.
+func TestSSEClientDisconnectMidReplay(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer s.Drain(context.Background())
+	spec := testSpec()
+	entry, guid, err := spec.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fabricated live session with a history deep enough (~400 KiB)
+	// that its replay cannot fit any socket buffer: the handler must hit
+	// a write error mid-replay once the client is gone.
+	sess := newSession("job-999999", 999999, spec, entry, guid)
+	s.register(sess)
+	const histEvents = 400
+	filler := strings.Repeat("x", 1024)
+	for i := 0; i < histEvents; i++ {
+		sess.hub.publish([]byte(fmt.Sprintf(`{"generation":%d,"distinct_evals":%d,"feasible":1,"filler":%q}`,
+			i, i, filler)))
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Raw TCP so the disconnect is abrupt - no graceful HTTP teardown.
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := "GET /v1/jobs/job-999999/events HTTP/1.1\r\nHost: t\r\nAccept: text/event-stream\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 512)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	if _, err := conn.Read(head); err != nil {
+		t.Fatalf("read SSE head: %v", err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.hub.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handler kept %d hub subscriptions after mid-replay disconnect", sess.hub.subscribers())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st, _ := s.Status("job-999999"); st.State != StateRunning {
+		t.Fatalf("session state %s after subscriber vanished, want running", st.State)
+	}
+
+	// Reconnect: replay starts over from the first retained event.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req2, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/job-999999/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var first genEvent
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			if err := json.Unmarshal([]byte(data), &first); err != nil {
+				t.Fatalf("bad replayed event %q: %v", data, err)
+			}
+			break
+		}
+	}
+	if first.Generation != 0 {
+		t.Fatalf("reconnect replay started at generation %d, want 0", first.Generation)
+	}
+	cancel()
+	deadline = time.Now().Add(10 * time.Second)
+	for sess.hub.subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect subscription leaked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubmitBodyTooLarge: oversized request bodies stop at the
+// MaxBytesReader cap with a 413 and the uniform envelope, instead of
+// being streamed into the JSON decoder.
+func TestSubmitBodyTooLarge(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	huge := append([]byte(`{"ip":"`), bytes.Repeat([]byte("a"), maxRequestBody+1024)...)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: status %d, want 413", resp.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Error.Code != CodeTooLarge {
+		t.Fatalf("error code %q, want %q", env.Error.Code, CodeTooLarge)
+	}
+
+	// A normal-sized spec still goes through the same wrapped route.
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"ip":"fft","query":"min-luts","generations":1,"population":4,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("normal submit after cap: status %d", resp2.StatusCode)
+	}
+}

@@ -187,6 +187,24 @@ func (a Active) Emit(name string, start time.Time, d time.Duration) {
 	})
 }
 
+// Event records a pre-measured root span - for one-shot occurrences
+// (fault injections, external stalls) measured out-of-band that have no
+// enclosing Active. start may be zero when only the duration is known.
+func (t *Tracer) Event(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	id := t.nextID()
+	t.deliver(Span{
+		Trace:    id,
+		ID:       id,
+		Name:     name,
+		Session:  t.session,
+		Start:    start,
+		Duration: d,
+	})
+}
+
 // deliver fans a completed span out to the sinks.
 func (t *Tracer) deliver(s Span) {
 	for _, sink := range t.sinks {
