@@ -19,6 +19,12 @@
 // (latency, bandwidth, resets, partitions, slow-loris throttling) drawn
 // from -fault-seed. Production runs leave them off and serve plain TCP.
 //
+// The -node-id/-cluster-addr/-peers flags join the server to a nautserve
+// cluster: the evaluation cache shards over a consistent-hash ring (each
+// design point is evaluated once per cluster), submitted jobs run as
+// island-model searches spread across the membership, and /v1 job routes
+// proxy to the owning node so the cluster answers behind any one member.
+//
 // Exit codes: 0 after a clean drain, 1 on a fatal error, 2 on a usage
 // error.
 package main
@@ -30,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +51,49 @@ const (
 	exitFatal = 1
 	exitUsage = 2
 )
+
+// clusterOptions assembles server.ClusterOptions from the cluster flags.
+// Clustering is armed by -node-id; a -peers entry "id=rpcaddr/apiaddr"
+// registers both the peer's cluster RPC address and (optionally) its HTTP
+// API address for /v1 job proxying.
+func clusterOptions(nodeID, clusterAddr, peers string, islands, migrationEvery, migrationCount int) (*server.ClusterOptions, error) {
+	if nodeID == "" {
+		if clusterAddr != "" || peers != "" {
+			return nil, fmt.Errorf("-cluster-addr/-peers require -node-id")
+		}
+		return nil, nil
+	}
+	if clusterAddr == "" {
+		return nil, fmt.Errorf("-node-id requires -cluster-addr")
+	}
+	co := &server.ClusterOptions{
+		NodeID:            nodeID,
+		Addr:              clusterAddr,
+		Peers:             make(map[string]string),
+		APIPeers:          make(map[string]string),
+		Islands:           islands,
+		MigrationInterval: migrationEvery,
+		MigrationCount:    migrationCount,
+	}
+	if peers == "" {
+		return co, nil
+	}
+	for _, part := range strings.Split(peers, ",") {
+		id, addrs, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addrs == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want id=rpcaddr[/apiaddr])", part)
+		}
+		rpcAddr, apiAddr, hasAPI := strings.Cut(addrs, "/")
+		if _, dup := co.Peers[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers entry for node %q", id)
+		}
+		co.Peers[id] = rpcAddr
+		if hasAPI && apiAddr != "" {
+			co.APIPeers[id] = apiAddr
+		}
+	}
+	return co, nil
+}
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -62,6 +112,13 @@ func run(args []string, out *os.File) (int, error) {
 	checkpointEvery := fs.Int("checkpoint-every", 5, "checkpoint cadence in generations (drain always checkpoints)")
 	evalDelay := fs.Duration("eval-delay", 0, "artificial per-evaluation latency, simulating synthesis cost (testing)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain may take before forcing exit")
+
+	nodeID := fs.String("node-id", "", "stable cluster identity of this node (enables clustering)")
+	clusterAddr := fs.String("cluster-addr", "", "cluster RPC listen address (required with -node-id)")
+	peers := fs.String("peers", "", "comma-separated peers as id=rpcaddr[/apiaddr]; apiaddr enables /v1 job proxying to that peer")
+	islands := fs.Int("islands", 0, "islands per clustered session (0 = one per cluster member)")
+	migrationEvery := fs.Int("migration-every", 5, "island migrant-exchange cadence in generations (negative disables)")
+	migrationCount := fs.Int("migration-count", 1, "migrants shipped per island exchange")
 
 	var sc faultnet.Scenario
 	fs.Int64Var(&sc.Seed, "fault-seed", 1, "seed of the fault scenario's private stream")
@@ -90,6 +147,10 @@ func run(args []string, out *os.File) (int, error) {
 	if err := sc.Validate(); err != nil {
 		return exitUsage, err
 	}
+	clusterOpts, err := clusterOptions(*nodeID, *clusterAddr, *peers, *islands, *migrationEvery, *migrationCount)
+	if err != nil {
+		return exitUsage, err
+	}
 
 	reg := telemetry.NewRegistry()
 	opts := server.Options{
@@ -99,6 +160,7 @@ func run(args []string, out *os.File) (int, error) {
 		CheckpointEvery: *checkpointEvery,
 		EvalDelay:       *evalDelay,
 		Registry:        reg,
+		Cluster:         clusterOpts,
 	}
 	// With any fault knob set, accepted connections route through the
 	// deterministic fault harness; otherwise the server binds plain TCP.
@@ -143,6 +205,10 @@ func run(args []string, out *os.File) (int, error) {
 
 	if fnet != nil {
 		fmt.Fprintf(out, "nautserve fault harness armed (seed %d)\n", sc.Seed)
+	}
+	if clusterOpts != nil {
+		fmt.Fprintf(out, "nautserve cluster node %s on %s (%d peers)\n",
+			clusterOpts.NodeID, clusterOpts.Addr, len(clusterOpts.Peers))
 	}
 	// The bound address line is machine-read by tests driving -addr :0 and
 	// is printed last so everything above it is visible once it appears;

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"nautilus/internal/ga"
+	"nautilus/internal/param"
+)
+
+// IslandSeed derives island k's RNG seed from the session seed. Island 0
+// keeps the session seed unchanged, so a one-island cluster run is the
+// very same search as a solo run; further islands draw distinct streams
+// through the SplitMix64 finalizer. Pure, so every node computes the
+// same assignment.
+func IslandSeed(seed int64, k int) int64 {
+	if k == 0 {
+		return seed
+	}
+	return int64(mix64(uint64(seed) ^ mix64(uint64(k))))
+}
+
+// IslandSpec is the opIsland payload: everything a node needs to run one
+// island of a cluster session deterministically. Payload is the
+// embedder's job description (the server ships its JobSpec; tests ship
+// whatever their RunIsland understands), opaque to this package.
+type IslandSpec struct {
+	// Session names the run; migrant mailboxes are scoped to it.
+	Session string `json:"session"`
+	// Island is this island's index in [0, Islands).
+	Island int `json:"island"`
+	// Islands is the total island count K.
+	Islands int `json:"islands"`
+	// Members is the sorted node membership the session was planned
+	// against; island k runs on Members[k % len(Members)]. Pinning it in
+	// the spec keeps the topology - and with it the migration schedule -
+	// stable even if ring views drift.
+	Members []string `json:"members"`
+	// Seed is the island's derived RNG seed (IslandSeed(sessionSeed, k)).
+	Seed int64 `json:"seed"`
+	// Migration carries the exchange cadence; nil disables migration and
+	// the islands search independently.
+	Migration *MigrationSpec `json:"migration,omitempty"`
+	// Payload is the embedder-defined job description.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// MigrationSpec is the wire form of the exchange schedule.
+type MigrationSpec struct {
+	// Interval is the generation cadence (ga.Migration.Interval).
+	Interval int `json:"interval"`
+	// Count is the emigrants per exchange (ga.Migration.Count).
+	Count int `json:"count"`
+}
+
+// Exchange materializes the island's ga.MigrantExchange on node n - ring
+// topology over spec.Members, mailboxes scoped to spec.Session. Returns
+// nil when the spec disables migration.
+func (spec *IslandSpec) Exchange(n *Node) *ga.Migration {
+	if spec.Migration == nil || spec.Islands <= 1 {
+		return nil
+	}
+	return &ga.Migration{
+		Interval: spec.Migration.Interval,
+		Count:    spec.Migration.Count,
+		Exchange: n.exchangeFor(spec.Session, spec.Island, spec.Islands, spec.Members),
+	}
+}
+
+// IslandResult is one island's search outcome in wire form.
+type IslandResult struct {
+	Island        int           `json:"island"`
+	Best          []int         `json:"best,omitempty"`
+	BestValue     float64       `json:"best_value"`
+	Feasible      bool          `json:"feasible"`
+	Trajectory    []ga.GenPoint `json:"trajectory"`
+	DistinctEvals int           `json:"distinct_evals"`
+	Converged     bool          `json:"converged"`
+}
+
+// Request describes one cluster session for Node.RunSession.
+type Request struct {
+	// Session names the run (migrant mailbox scope). Required.
+	Session string
+	// Seed is the session seed; island k derives IslandSeed(Seed, k).
+	Seed int64
+	// Islands is the island count K (default: one per member).
+	Islands int
+	// Migration sets the exchange schedule; nil searches independent
+	// islands.
+	Migration *MigrationSpec
+	// Payload is handed to every island's RunIsland verbatim.
+	Payload json.RawMessage
+	// Better reports whether objective value a beats b, and Worst is the
+	// objective's sentinel for "nothing feasible" - the two pieces of
+	// objective knowledge the merge needs.
+	Better func(a, b float64) bool
+	Worst  float64
+}
+
+// Result is the deterministic merge of a session's island results.
+type Result struct {
+	Best      param.Point
+	BestValue float64
+	Feasible  bool
+	// Trajectory has one entry per generation: the best value across
+	// islands so far, with DistinctEvals and UniqueGenomes summed over
+	// islands (an island past its convergence point contributes its final
+	// entry). Note the sum counts per-island cache distinct totals; with
+	// ring sharing the cluster-wide distinct count is lower - that gap
+	// *is* the cluster dedup.
+	Trajectory    []ga.GenPoint
+	DistinctEvals int
+	Islands       []IslandResult
+}
+
+// RunSession fans one session out as an island-model search over the
+// membership and merges the results: island k runs on Members[k % N] -
+// remotely over opIsland, locally through Options.RunIsland - and every
+// degraded remote island (unreachable host, mid-run failure) is re-run
+// locally, so a session submitted to a live coordinator completes even
+// fully partitioned. Given the same seed and membership the fan-out,
+// schedules, and merge are all deterministic.
+func (n *Node) RunSession(ctx context.Context, req Request) (Result, error) {
+	if n.opts.RunIsland == nil {
+		return Result{}, fmt.Errorf("cluster: node cannot host islands")
+	}
+	if req.Session == "" {
+		return Result{}, fmt.Errorf("cluster: session name required")
+	}
+	if req.Better == nil {
+		return Result{}, fmt.Errorf("cluster: objective comparison required")
+	}
+	members := n.ring.Nodes()
+	k := req.Islands
+	if k <= 0 {
+		k = len(members)
+	}
+	results := make([]IslandResult, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		spec := IslandSpec{
+			Session:   req.Session,
+			Island:    i,
+			Islands:   k,
+			Members:   members,
+			Seed:      IslandSeed(req.Seed, i),
+			Migration: req.Migration,
+			Payload:   req.Payload,
+		}
+		wg.Add(1)
+		go func(i int, spec IslandSpec) {
+			defer wg.Done()
+			results[i], errs[i] = n.runIsland(ctx, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: island %d: %w", i, err)
+		}
+	}
+	return mergeIslands(req, results), nil
+}
+
+// runIsland places one island: locally when this node hosts it, over
+// opIsland otherwise - with a local re-run as the degradation path when
+// the remote host cannot be reached or fails mid-run (the island is a
+// pure function of its spec, so the re-run computes the same search the
+// peer would have).
+func (n *Node) runIsland(ctx context.Context, spec IslandSpec) (IslandResult, error) {
+	host := spec.Members[spec.Island%len(spec.Members)]
+	if host != n.opts.ID {
+		payload, err := json.Marshal(spec)
+		if err != nil {
+			return IslandResult{}, err
+		}
+		status, body, err := n.callIsland(ctx, host, payload)
+		if err == nil && status == statusOK {
+			var res IslandResult
+			if err := json.Unmarshal(body, &res); err != nil {
+				return IslandResult{}, err
+			}
+			return res, nil
+		}
+		if err == nil && status == statusErr {
+			return IslandResult{}, fmt.Errorf("island host %s: %s", host, body)
+		}
+		// Unreachable host: fall back to running the island here.
+		inc(n.fallbacks)
+	}
+	n.beginIsland(spec.Session)
+	defer n.endIsland(spec.Session)
+	return n.opts.RunIsland(ctx, spec)
+}
+
+// mergeIslands folds island results into one Result, deterministically:
+// the best feasible value under req.Better with lowest-island tie-break,
+// and a generation-aligned trajectory (shorter trajectories contribute
+// their final entry).
+func mergeIslands(req Request, results []IslandResult) Result {
+	out := Result{BestValue: req.Worst, Islands: results}
+	maxLen := 0
+	for i := range results {
+		r := &results[i]
+		r.Island = i
+		out.DistinctEvals += r.DistinctEvals
+		if len(r.Trajectory) > maxLen {
+			maxLen = len(r.Trajectory)
+		}
+		if r.Feasible && (!out.Feasible || req.Better(r.BestValue, out.BestValue)) {
+			out.Feasible = true
+			out.BestValue = r.BestValue
+			out.Best = param.Point(r.Best)
+		}
+	}
+	out.Trajectory = make([]ga.GenPoint, 0, maxLen)
+	for g := 0; g < maxLen; g++ {
+		gp := ga.GenPoint{Generation: g, BestValue: req.Worst}
+		feasible := false
+		for i := range results {
+			tr := results[i].Trajectory
+			if len(tr) == 0 {
+				continue
+			}
+			e := tr[min(g, len(tr)-1)]
+			gp.DistinctEvals += e.DistinctEvals
+			gp.UniqueGenomes += e.UniqueGenomes
+			if e.BestValue != req.Worst && (!feasible || req.Better(e.BestValue, gp.BestValue)) {
+				feasible = true
+				gp.BestValue = e.BestValue
+			}
+		}
+		out.Trajectory = append(out.Trajectory, gp)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"nautilus/internal/faultnet"
+)
+
+// TestClusterSeededFaultSoak is the cluster-soak scenario CI repeats: a
+// 3-node island session over a seeded faultnet.Faulty schedule (latency,
+// jitter, scheduled resets and partition windows on every connection).
+// Fault timing interleaves with goroutine scheduling, so the *outcome* is
+// not pinned byte-for-byte here - what must hold under any schedule is
+// validity: the session completes, every island's best is consistent with
+// the objective it reports, the merged best is the best of the islands,
+// and the nodes shut down without leaking goroutines.
+func TestClusterSeededFaultSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	faulty := faultnet.New(faultnet.Config{Scenario: faultnet.Scenario{
+		Seed:              9,
+		Latency:           200 * time.Microsecond,
+		Jitter:            time.Millisecond,
+		ResetRate:         0.15,
+		ResetMaxBytes:     2048,
+		PartitionRate:     0.1,
+		PartitionMaxBytes: 2048,
+		PartitionHeal:     50 * time.Millisecond,
+	}, Under: faultnet.NewMemory()})
+	nodes := newTestCluster(t, faulty, []string{"alpha", "beta", "gamma"}, func(o *Options) {
+		o.RPCTimeout = 250 * time.Millisecond
+		o.MigrationTimeout = 500 * time.Millisecond
+	})
+
+	res, err := nodes[0].node.RunSession(context.Background(), testRequest("fault-soak", 5, true))
+	if err != nil {
+		t.Fatalf("faulted session failed: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("faulted session found nothing feasible")
+	}
+	_, rawEval := testSpace()
+	cost := func(pt []int) float64 {
+		m, _ := rawEval(pt)
+		return m["cost"]
+	}
+	if got := cost(res.Best); res.BestValue != got {
+		t.Fatalf("merged best inconsistent: %v reported %v, evaluates to %v", res.Best, res.BestValue, got)
+	}
+	best := res.Islands[0].BestValue
+	for _, island := range res.Islands {
+		if !island.Feasible {
+			t.Fatalf("island %d found nothing feasible", island.Island)
+		}
+		if got := cost(island.Best); island.BestValue != got {
+			t.Fatalf("island %d best inconsistent: %v reported %v, evaluates to %v",
+				island.Island, island.Best, island.BestValue, got)
+		}
+		if island.BestValue < best {
+			best = island.BestValue
+		}
+	}
+	if res.BestValue != best {
+		t.Fatalf("merged best %v is not the best island value %v", res.BestValue, best)
+	}
+
+	// Whatever the fault schedule did to individual RPCs, shutdown must be
+	// clean: no serving or exchange goroutine may outlive its node.
+	for _, tn := range nodes {
+		tn.node.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak under faults: %d > baseline %d\n%s", got, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"nautilus/internal/faultnet"
+	"nautilus/internal/param"
+)
+
+// TestPartitionDegradesToLocal is the faultnet satellite: a two-way
+// partition mid-search makes remote cache lookups degrade to local
+// evaluation (counted in cluster.fallbacks, the nautilus_cluster_fallbacks
+// family), the search still completes with correct results, healing
+// re-enables sharing, and the whole exercise leaks no goroutines.
+func TestPartitionDegradesToLocal(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	faulty := faultnet.New(faultnet.Config{Under: faultnet.NewMemory()})
+	nodes := newTestCluster(t, faulty, []string{"alpha", "beta"}, func(o *Options) {
+		o.RPCTimeout = 50 * time.Millisecond
+		o.MigrationTimeout = 250 * time.Millisecond
+	})
+	a, b := nodes[0], nodes[1]
+	ring := a.node.Ring()
+	space, rawEval := testSpace()
+
+	// pointsOwnedBy picks distinct points whose hashes land on owner, so
+	// each Evaluate below is guaranteed to exercise the remote tier.
+	pointsOwnedBy := func(owner string, n int) []param.Point {
+		var pts []param.Point
+		for w := 0; w < 16 && len(pts) < n; w++ {
+			for x := 0; x < 16 && len(pts) < n; x++ {
+				pt := param.Point{w, x, 5, 5}
+				if ring.Owner(space.Hash64(pt)) == owner {
+					pts = append(pts, pt.Clone())
+				}
+			}
+		}
+		return pts
+	}
+
+	// Healthy: alpha resolves beta-owned points through beta.
+	healthy := pointsOwnedBy("beta", 4)
+	for _, pt := range healthy {
+		if _, err := a.cache.Evaluate(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := a.counter(MetricRemoteHits); hits != int64(len(healthy)) {
+		t.Fatalf("healthy remote hits = %d, want %d", hits, len(healthy))
+	}
+	if a.evals.Load() != 0 || b.evals.Load() != int64(len(healthy)) {
+		t.Fatalf("healthy evaluation placement wrong: alpha=%d beta=%d", a.evals.Load(), b.evals.Load())
+	}
+
+	// Partition two-way mid-search: beta-owned lookups must fall back to
+	// alpha's local evaluator - counted, completed, and correct.
+	faulty.Partition(faultnet.PartitionTwoWay)
+	parted := pointsOwnedBy("beta", 8)[4:]
+	for _, pt := range parted {
+		m, err := a.cache.Evaluate(pt)
+		if err != nil {
+			t.Fatalf("partitioned evaluation failed: %v", err)
+		}
+		want, _ := rawEval(pt)
+		if m["cost"] != want["cost"] {
+			t.Fatalf("partitioned evaluation wrong: %v != %v", m, want)
+		}
+	}
+	if fb := a.counter(MetricFallbacks); fb != int64(len(parted)) {
+		t.Fatalf("fallbacks = %d, want %d", fb, len(parted))
+	}
+	if a.evals.Load() != int64(len(parted)) {
+		t.Fatalf("partitioned points not evaluated locally: alpha evals = %d", a.evals.Load())
+	}
+
+	// A full island session submitted while partitioned still completes:
+	// cross-node islands degrade to local re-runs and exchanges time out,
+	// but the merged result is feasible and correct.
+	res, err := a.node.RunSession(context.Background(), testRequest("parted", 21, true))
+	if err != nil {
+		t.Fatalf("partitioned session failed: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("partitioned session found nothing feasible")
+	}
+	var sum float64 = 1
+	for i, tv := range []int{3, 12, 7, 9} {
+		d := float64(res.Best[i] - tv)
+		sum += d * d
+	}
+	if res.BestValue != sum {
+		t.Fatalf("partitioned session returned inconsistent best: %v -> %v, want %v", res.Best, res.BestValue, sum)
+	}
+
+	// Heal: sharing resumes - new beta-owned points ride the RPC again.
+	faulty.Heal()
+	preHits := a.counter(MetricRemoteHits)
+	preBetaEvals := b.evals.Load()
+	healed := pointsOwnedBy("beta", 12)[8:]
+	for _, pt := range healed {
+		if _, err := a.cache.Evaluate(pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := a.counter(MetricRemoteHits) - preHits; hits != int64(len(healed)) {
+		t.Fatalf("post-heal remote hits = %d, want %d", hits, len(healed))
+	}
+	if deval := b.evals.Load() - preBetaEvals; deval != int64(len(healed)) {
+		t.Fatalf("post-heal evaluations landed wrong: beta evaluated %d, want %d", deval, len(healed))
+	}
+
+	// No goroutine leaks once the nodes shut down.
+	a.node.Close()
+	b.node.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d > baseline %d\n%s", got, baseline, buf[:runtime.Stack(buf, true)])
+	}
+
+	// The cluster never produced a wrong answer anywhere above; spot-check
+	// the cache contents agree with the raw evaluator end to end.
+	for _, pt := range append(append(healthy, parted...), healed...) {
+		m, err := a.cache.Evaluate(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := rawEval(pt)
+		if m["cost"] != want["cost"] {
+			t.Fatalf("memoized value for %v drifted: %v != %v", pt, m, want)
+		}
+	}
+}

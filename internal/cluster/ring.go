@@ -1,0 +1,118 @@
+// Package cluster turns N nautserve nodes into one search service: a
+// consistent-hash ring shards the evaluation cache across nodes (each
+// design point is evaluated once per *cluster*), a coordinator fans a
+// session out as an island-model GA over the membership, and a small
+// length-prefixed RPC carries cache lookups and migrants between peers.
+//
+// Every byte between nodes travels through a faultnet.Network, so the
+// whole cluster runs in-process on faultnet.Memory for tests and under
+// faultnet.Faulty for partition soaks - and every degradation path
+// (unreachable peer, partitioned exchange) falls back to local work,
+// never to a wrong result: evaluators are deterministic, so a remote
+// answer and the local evaluation it replaces are byte-identical, and
+// routing changes only move *where* a point is characterized.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the per-node virtual-node count. 64 points per node
+// keeps the expected per-node key share within a few percent of uniform
+// (the ring property test pins 15%) at negligible table cost.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over node IDs. Keys are the
+// 64-bit genome hashes the cache shards already dispatch on
+// (param.Space.Hash64); each node projects Vnodes points onto the hash
+// circle and a key belongs to the first point at or after it.
+//
+// Immutability is what makes membership changes auditable: join/leave
+// builds a new Ring, and the property test pins that the rebuild moves
+// only ~1/N of the key space.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash, ties broken by node ID
+	nodes  []string    // sorted member IDs
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given members with vnodes virtual nodes
+// each (DefaultVnodes when <= 0). Duplicate and empty IDs are rejected;
+// an empty membership yields a ring that owns nothing.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	nodes := append([]string(nil), members...)
+	sort.Strings(nodes)
+	for i, id := range nodes {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if i > 0 && nodes[i-1] == id {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+	}
+	r := &Ring{vnodes: vnodes, nodes: nodes}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for _, id := range nodes {
+		h := stringHash(id)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: mix64(h ^ mix64(uint64(v)+1)), node: id})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Owner returns the node owning key h, or "" on an empty ring.
+func (r *Ring) Owner(h uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	// First vnode strictly after h, wrapping to points[0].
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the sorted membership. The caller must not mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// mix64 is the SplitMix64 finalizer - the same full-avalanche mix the
+// genome hashes and the faultnet scenario streams use, so vnode points
+// spread uniformly regardless of how similar node IDs look.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// stringHash is an FNV-1a over the node ID, finalized by mix64.
+func stringHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}

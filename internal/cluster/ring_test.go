@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	return ids
+}
+
+// TestRingDistribution pins the satellite bound: at 64 vnodes, every
+// node's key share stays within 15% of uniform. The ring is a pure
+// function of the membership, so these measurements are exact, not
+// statistical.
+func TestRingDistribution(t *testing.T) {
+	const keys = 100000
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		r, err := NewRing(ringIDs(n), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int, n)
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(mix64(uint64(i)))]++
+		}
+		for id, c := range counts {
+			dev := float64(c)/(float64(keys)/float64(n)) - 1
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > 0.15 {
+				t.Errorf("n=%d: node %s owns %d of %d keys, %.1f%% off uniform (cap 15%%)",
+					n, id, c, keys, 100*dev)
+			}
+		}
+	}
+}
+
+// TestRingMinimalReshuffle pins consistent hashing's defining property:
+// growing N nodes to N+1 moves only ~1/(N+1) of the key space, and every
+// moved key lands on the new node; removing a node moves only the keys it
+// owned, and none of the survivors' keys.
+func TestRingMinimalReshuffle(t *testing.T) {
+	const keys = 50000
+	for _, n := range []int{2, 3, 5, 7} {
+		before, err := NewRing(ringIDs(n), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined, err := NewRing(ringIDs(n+1), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newID := fmt.Sprintf("node-%d", n)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			h := mix64(uint64(i))
+			was, now := before.Owner(h), joined.Owner(h)
+			if was != now {
+				moved++
+				if now != newID {
+					t.Fatalf("n=%d: key moved %s->%s on join of %s", n, was, now, newID)
+				}
+			}
+		}
+		ideal := float64(keys) / float64(n+1)
+		if f := float64(moved); f > 1.5*ideal {
+			t.Errorf("n=%d: join moved %d keys, want ~%.0f (1/N+1 of %d)", n, moved, ideal, keys)
+		}
+		// Leave is join in reverse: removing newID must restore exactly
+		// the old ownership (the moved set returns, nothing else stirs).
+		for i := 0; i < keys; i++ {
+			h := mix64(uint64(i))
+			if before.Owner(h) != joined.Owner(h) && joined.Owner(h) != newID {
+				t.Fatalf("n=%d: non-new-node churn on membership change", n)
+			}
+		}
+	}
+}
+
+// TestRingOwnerProperties drives testing/quick over random keys and
+// membership sizes: ownership is total, a member of the ring, stable
+// across identically-built rings, and unmoved keys keep their owner
+// across a join.
+func TestRingOwnerProperties(t *testing.T) {
+	prop := func(key uint64, size uint8) bool {
+		n := int(size%7) + 2 // 2..8 members
+		a, err := NewRing(ringIDs(n), 64)
+		if err != nil {
+			return false
+		}
+		b, err := NewRing(ringIDs(n), 64)
+		if err != nil {
+			return false
+		}
+		owner := a.Owner(key)
+		found := false
+		for _, id := range a.Nodes() {
+			if id == owner {
+				found = true
+			}
+		}
+		if !found || owner != b.Owner(key) {
+			return false
+		}
+		grown, err := NewRing(ringIDs(n+1), 64)
+		if err != nil {
+			return false
+		}
+		after := grown.Owner(key)
+		return after == owner || after == fmt.Sprintf("node-%d", n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingRejectsBadMembership pins constructor validation.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Error("duplicate node id accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Error("empty node id accepted")
+	}
+	empty, err := NewRing(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Owner(42); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"nautilus/internal/metrics"
+	"nautilus/internal/param"
+)
+
+// The wire protocol is a single tiny frame shape in both directions:
+//
+//	4-byte big-endian length | 1-byte opcode | payload
+//
+// where length covers opcode+payload. Requests carry op* opcodes,
+// responses carry status* opcodes. Cache lookups (the hot path) use a
+// fixed binary payload keyed on the packed-genome uint64 hash the shard
+// tables already dispatch on; migrant and island traffic - control
+// plane, a few frames per generation at most - rides JSON payloads.
+const (
+	opEval    byte = 0x01 // evaluate-or-lookup one design point
+	opMigrate byte = 0x02 // deposit migrants for an island's mailbox
+	opIsland  byte = 0x03 // run one island of a cluster session
+
+	statusOK   byte = 0x80 // payload: op-specific success body
+	statusErr  byte = 0x81 // payload: error string (permanent, memoizable for opEval)
+	statusMiss byte = 0x82 // opEval only: owner cannot answer; caller resolves locally
+)
+
+// maxFrame bounds a frame's length word. Island results carry whole
+// trajectories, so the cap is generous; anything larger is a protocol
+// error, not a bigger buffer.
+const maxFrame = 8 << 20
+
+// writeFrame sends one frame.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("cluster: frame %d bytes exceeds cap", len(payload)+1)
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = op
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame length %d outside [1, %d]", n, maxFrame)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// appendString appends a u16-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// encodeEvalRequest builds an opEval payload: which shared space the
+// point lives in (the catalog IP), its 64-bit genome hash, and the
+// genome itself so the owner can verify and, on a miss, evaluate.
+func encodeEvalRequest(ip string, hash uint64, pt param.Point) []byte {
+	b := make([]byte, 0, 2+len(ip)+8+2+4*len(pt))
+	b = appendString(b, ip)
+	b = binary.BigEndian.AppendUint64(b, hash)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(pt)))
+	for _, v := range pt {
+		b = binary.BigEndian.AppendUint32(b, uint32(int32(v)))
+	}
+	return b
+}
+
+// decodeEvalRequest parses an opEval payload.
+func decodeEvalRequest(b []byte) (ip string, hash uint64, pt param.Point, err error) {
+	ip, b, err = takeString(b)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if len(b) < 10 {
+		return "", 0, nil, fmt.Errorf("cluster: truncated eval request")
+	}
+	hash = binary.BigEndian.Uint64(b)
+	n := int(binary.BigEndian.Uint16(b[8:]))
+	b = b[10:]
+	if len(b) != 4*n {
+		return "", 0, nil, fmt.Errorf("cluster: eval request genome length mismatch")
+	}
+	pt = make(param.Point, n)
+	for i := range pt {
+		pt[i] = int(int32(binary.BigEndian.Uint32(b[4*i:])))
+	}
+	return ip, hash, pt, nil
+}
+
+// encodeMetrics builds a statusOK opEval body: u16 entry count, then
+// u16-prefixed name + float64 bits per entry, in sorted-name order so
+// the encoding is canonical.
+func encodeMetrics(m metrics.Metrics) []byte {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sortStrings(names)
+	b := binary.BigEndian.AppendUint16(nil, uint16(len(names)))
+	for _, k := range names {
+		b = appendString(b, k)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(m[k]))
+	}
+	return b
+}
+
+// decodeMetrics parses a statusOK opEval body.
+func decodeMetrics(b []byte) (metrics.Metrics, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("cluster: truncated metrics")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	m := make(metrics.Metrics, n)
+	for i := 0; i < n; i++ {
+		var k string
+		var err error
+		k, b, err = takeString(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < 8 {
+			return nil, fmt.Errorf("cluster: truncated metric value")
+		}
+		m[k] = math.Float64frombits(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing metric bytes", len(b))
+	}
+	return m, nil
+}
+
+// takeString consumes a u16-length-prefixed string.
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("cluster: truncated string")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("cluster: string length %d past frame end", n)
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// sortStrings is a tiny insertion sort; metric maps hold a handful of
+// entries and this keeps the codec dependency-free.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -141,6 +141,18 @@ func WithCheckpoint(save func(*ga.Snapshot) error, every int) SearchOption {
 	}
 }
 
+// WithMigration makes the run one island of an island-model search: every
+// m.Interval generations its best genomes travel through m.Exchange and
+// the returned immigrants join the population (see ga.Migration for the
+// determinism contract). nil is a no-op.
+func WithMigration(m *ga.Migration) SearchOption {
+	return func(c *searchConfig) {
+		if m != nil {
+			c.override(func(cfg *ga.Config) { cfg.Migration = m })
+		}
+	}
+}
+
 // WithResume starts the run from a previously checkpointed snapshot.
 func WithResume(snap *ga.Snapshot) SearchOption {
 	return func(c *searchConfig) {

@@ -521,7 +521,7 @@ func (c *Cache) batchResolve(ctx context.Context, sc *batchScratch, keys []strin
 			ran := sc.ran[:len(owned)]
 			clear(ran)
 			_ = pool.EachRecCtx(ctx, par, len(owned), func(k int) {
-				oms[k], oerrs[k] = c.eval(ctx, opts[k])
+				oms[k], oerrs[k] = c.resolve(ctx, opts[k])
 				ran[k] = true
 			}, c.rec)
 			for k := range ran {

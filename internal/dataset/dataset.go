@@ -80,6 +80,52 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t) && t.Transient()
 }
 
+// Remote is a cluster-level cache tier a Cache consults on a local miss,
+// after the shard tables and singleflight slots have ruled out a local
+// answer but before the local evaluator pays for the point. The hash is
+// the point's 64-bit genome identity (param.Space.Hash64) - the same
+// identity the shard tables key on, and the one a cluster's consistent-
+// hash ring routes by.
+//
+// Lookup returns ok=false when it cannot resolve the point - the ring
+// owner is this process, the owning peer is unreachable, the remote tier
+// is degraded - and the cache falls through to its local evaluator, so a
+// remote tier can only ever add a resolution source, never remove one.
+// ok=true outcomes are definitive (a characterization or a permanent
+// infeasibility error) and are memoized exactly like local ones; a remote
+// tier must never return transient transport failures as ok=true.
+//
+// Because the tier sits under the singleflight slot, a distinct design
+// point costs at most one remote lookup no matter how many goroutines
+// race for it - the cluster analogue of the paper's one-synthesis-job-per-
+// point accounting.
+type Remote interface {
+	Lookup(ctx context.Context, hash uint64, pt param.Point) (m metrics.Metrics, err error, ok bool)
+}
+
+// SetRemote attaches (or, with nil, detaches) a remote cache tier
+// consulted on every local miss before the local evaluator runs. Call it
+// before the cache is shared across goroutines. Determinism note: for the
+// deterministic evaluators the search stack uses, a remote answer is
+// byte-identical to the local evaluation it replaces, so results are
+// unchanged by where a point was resolved - only the cluster-level
+// counters (maintained by the Remote implementation) differ.
+func (c *Cache) SetRemote(r Remote) { c.remote = r }
+
+// resolve answers one owned miss: the remote tier first (when attached
+// and willing), the local evaluator otherwise. Every residual-miss path -
+// single-point singleflight and batch fan-out alike - funnels through
+// here, so the remote tier sees exactly the lookups that would otherwise
+// spend a local evaluation.
+func (c *Cache) resolve(ctx context.Context, pt param.Point) (metrics.Metrics, error) {
+	if c.remote != nil {
+		if m, err, ok := c.remote.Lookup(ctx, c.hashFn(pt), pt); ok {
+			return m, err
+		}
+	}
+	return c.eval(ctx, pt)
+}
+
 // cacheShards is the number of lock stripes in a Cache. A modest power of
 // two keeps the footprint small while making shard collisions rare at the
 // parallelism levels the experiment harness runs at.
@@ -125,6 +171,7 @@ type Cache struct {
 	rec    telemetry.Recorder
 	tracer *trace.Tracer
 	batch  BatchEvaluator
+	remote Remote
 	mode   KeyMode
 	// hashFn computes a point's 64-bit genome hash. It defaults to the
 	// space's Hash64 and is overridable from tests to force collisions.
@@ -292,7 +339,7 @@ func (c *Cache) waitShared(ctx context.Context, e *cacheEntry, shi int) (metrics
 // withdraw func before the done channel closes, so no later lookup inherits
 // a poisoned entry; everything else is memoized and counted distinct.
 func (c *Cache) runOwned(ctx context.Context, e *cacheEntry, pt param.Point, shi int, withdraw func()) (metrics.Metrics, error) {
-	e.m, e.err = c.eval(ctx, pt)
+	e.m, e.err = c.resolve(ctx, pt)
 	if e.err != nil && IsTransient(e.err) {
 		withdraw()
 		c.transient.Add(1)

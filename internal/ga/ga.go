@@ -135,6 +135,14 @@ type Config struct {
 	// process-wide shared cache) uses to coalesce in-flight batches across
 	// sessions.
 	BatchBackend dataset.BatchEvaluator
+	// Migration, when non-nil, makes the run one island of an island-model
+	// search: every Migration.Interval generations the island's best
+	// genomes are shipped through Migration.Exchange and the returned
+	// immigrants overwrite the last non-elite slots of the freshly bred
+	// generation. Migration never draws from the run RNG (see the
+	// Migration type's determinism contract), so a run with an exchange
+	// that returns nothing is byte-identical to one with Migration nil.
+	Migration *Migration
 	// KeyMode selects how the run's cache identifies design points:
 	// KeyModeHash (the default) dispatches on 64-bit genome hashes with no
 	// string key anywhere on the hot path, KeyModeString keeps the legacy
@@ -204,6 +212,9 @@ func (c Config) withDefaults() Config {
 	if c.Recorder == nil {
 		c.Recorder = telemetry.Nop
 	}
+	if c.Migration != nil {
+		c.Migration = c.Migration.withDefaults()
+	}
 	return c
 }
 
@@ -255,6 +266,17 @@ func (c Config) validate() error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("ga: batch size %d < 0", c.BatchSize)
+	}
+	if m := c.Migration; m != nil {
+		if m.Exchange == nil {
+			return fmt.Errorf("ga: migration without an exchange")
+		}
+		if m.Interval < 1 {
+			return fmt.Errorf("ga: migration interval %d < 1", m.Interval)
+		}
+		if m.Count < 1 || m.Count > c.PopulationSize-c.Elitism {
+			return fmt.Errorf("ga: migration count %d outside [1, population-elitism]", m.Count)
+		}
 	}
 	return nil
 }
@@ -689,6 +711,12 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			gspan.Emit("ga.mutation", breedStart, e.phaseMut)
 		}
 		gspan.End()
+		// Migration happens after breeding so the RNG draw sequence is
+		// identical whether or not immigrants arrive; generation gen+1 is
+		// the one receiving them.
+		if mig := e.cfg.Migration; mig != nil && mig.due(gen+1) {
+			e.migrate(ctx, gen+1, pop, popBufs[cur])
+		}
 		pop = popBufs[cur]
 	}
 

@@ -72,21 +72,31 @@ func (e *FailedError) Error() string {
 //	{"error": {"code": "not_found", "message": "no such job"}}
 //
 // with codes bad_request, not_found, not_ready, draining,
-// too_many_sessions, too_large, failed, and internal (failed errors also
-// carry the session's terminal state). Body-carrying routes cap the
-// request body at maxRequestBody and answer 413 too_large past it.
+// too_many_sessions, too_large, failed, internal, and peer_unreachable
+// (failed errors also carry the session's terminal state). Body-carrying
+// routes cap the request body at maxRequestBody and answer 413 too_large
+// past it.
+//
+// On a clustered server (Options.Cluster) the job-addressed routes answer
+// for the whole cluster: a job minted by a peer proxies to that peer's
+// API, /v1/sessions and /v1/stats carry a "cluster" block, and /metrics
+// gains the nautilus_cluster_* families.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
 		pattern string
 		fn      http.HandlerFunc
 	}{
+		// Job-addressed routes go through proxyJob: on a clustered server,
+		// requests for jobs minted by a peer forward to that peer's API, so
+		// the whole cluster answers behind any one member. Solo servers pay
+		// nothing (jobOwner declines immediately).
 		{"POST /jobs", s.handleSubmit},
 		{"GET /jobs", s.handleList},
-		{"GET /jobs/{id}", s.handleStatus},
-		{"GET /jobs/{id}/result", s.handleResult},
-		{"GET /jobs/{id}/events", s.handleEvents},
-		{"DELETE /jobs/{id}", s.handleCancel},
+		{"GET /jobs/{id}", s.proxyJob(s.handleStatus)},
+		{"GET /jobs/{id}/result", s.proxyJob(s.handleResult)},
+		{"GET /jobs/{id}/events", s.proxyJob(s.handleEvents)},
+		{"DELETE /jobs/{id}", s.proxyJob(s.handleCancel)},
 		{"GET /stats", s.handleStats},
 		{"GET /sessions", s.handleSessions},
 		{"GET /healthz", s.handleHealthz},
@@ -272,7 +282,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Collisions: st.Collisions,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"shared_caches": shared,
 		"scheduler": map[string]any{
 			"capacity": s.opts.Workers,
@@ -280,7 +290,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"waiting":  s.sched.waiting(),
 		},
 		"sessions_active": s.runningCount(),
-	})
+	}
+	if ci := s.clusterInfo(); ci != nil {
+		resp["cluster"] = ci
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -301,7 +315,11 @@ func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
 			out = append(out, sess.perf())
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+	resp := map[string]any{"sessions": out}
+	if ci := s.clusterInfo(); ci != nil {
+		resp["cluster"] = ci
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleDebugSessions dumps each session's private metric registry - the

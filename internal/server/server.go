@@ -20,11 +20,13 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"nautilus/internal/catalog"
+	"nautilus/internal/cluster"
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
 	"nautilus/internal/faultnet"
@@ -74,6 +76,10 @@ type Options struct {
 	// faultnet.System, i.e. real TCP). Tests and the fault harness swap in
 	// an in-memory or fault-injecting network; the server is agnostic.
 	Network faultnet.Network
+	// Cluster, when set, joins this server to a nautserve cluster: shared
+	// caches shard over a consistent-hash ring, sessions run as island-model
+	// searches across the membership, and /v1 job routes proxy to owners.
+	Cluster *ClusterOptions
 }
 
 // Server owns the session table, the shared per-IP caches, and the global
@@ -94,6 +100,10 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
+	// clusterHTTP proxies /v1 job requests to peers over opts.Network;
+	// nil on a solo server.
+	clusterHTTP *http.Client
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	order    []string // session IDs in submission order
@@ -101,6 +111,7 @@ type Server struct {
 	running  int
 	draining bool
 	shared   map[string]*dataset.Cache // per-IP process-wide cache
+	cluster  *cluster.Node             // nil on a solo server
 
 	started  *telemetry.Counter
 	resumed  *telemetry.Counter
@@ -156,8 +167,17 @@ func New(opts Options) (*Server, error) {
 		canceled:   opts.Registry.Counter(MetricSessionsCanceled),
 		active:     opts.Registry.Gauge(MetricSessionsActive),
 	}
+	// The cluster node comes up before restore, so resumed sessions (and
+	// the peers' first cache lookups) already see the ring.
+	if opts.Cluster != nil {
+		if err := s.initCluster(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	if err := s.restore(); err != nil {
 		cancel()
+		s.closeCluster()
 		return nil, err
 	}
 	return s, nil
@@ -243,7 +263,12 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, ErrTooManySessions
 	}
 	s.nextSeq++
+	// Clustered IDs embed the minting node, so any member can route a job
+	// request to its owner (see jobOwner/proxyJob).
 	id := fmt.Sprintf("job-%06d", s.nextSeq)
+	if co := s.opts.Cluster; co != nil {
+		id = fmt.Sprintf("job-%s-%06d", co.NodeID, s.nextSeq)
+	}
 	sess := newSession(id, s.nextSeq, spec, entry, guid)
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
@@ -322,12 +347,22 @@ func (s *Server) run(ctx context.Context, sess *session, resume *ga.Snapshot) {
 		Seed:    sess.spec.Seed,
 		Sinks:   []trace.Sink{sess.ring, s.durs},
 	})
-	res, err := core.Search(ctx, core.SearchRequest{
-		Space:       sess.entry.Space,
-		Objective:   sess.entry.Objective,
-		EvaluateCtx: eval,
-		Config:      cfg,
-	}, core.WithGuidance(sess.guid), core.WithTracer(tr))
+	var res ga.Result
+	var err error
+	if s.clusterNode() != nil && resume == nil {
+		// Clustered sessions fan out as island-model searches across the
+		// membership. They never checkpoint mid-run (islands are pure in
+		// their specs), so an interrupted one restarts from scratch after a
+		// drain - determinism makes that the same search.
+		res, err = s.searchCluster(ctx, sess)
+	} else {
+		res, err = core.Search(ctx, core.SearchRequest{
+			Space:       sess.entry.Space,
+			Objective:   sess.entry.Objective,
+			EvaluateCtx: eval,
+			Config:      cfg,
+		}, core.WithGuidance(sess.guid), core.WithTracer(tr))
+	}
 
 	var state State
 	var msg string
@@ -430,6 +465,13 @@ func (s *Server) sharedCacheFor(entry *catalog.Entry) *dataset.Cache {
 		return eval(pt)
 	}
 	c := dataset.NewCacheContext(entry.Space, base)
+	// On a clustered server the shared cache gains the ring's remote tier:
+	// misses whose hash another node owns are answered by that peer (one
+	// evaluation per cluster), degrading to local evaluation when the peer
+	// is unreachable.
+	if s.cluster != nil {
+		c.SetRemote(s.cluster.RemoteFor(entry.IP))
+	}
 	s.shared[entry.IP] = c
 	return c
 }
@@ -555,9 +597,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeCluster()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel()
+		s.closeCluster()
 		return fmt.Errorf("server: drain: %w", ctx.Err())
 	}
 }
