@@ -7,6 +7,7 @@
 // Usage:
 //
 //	nautilus -ip noc|fft|gemm -query QUERY [-guidance baseline|weak|strong]
+//	         [-mode scalar|pareto|portfolio] [-queries Q1,Q2,...]
 //	         [-gens N] [-pop N] [-par N] [-seed N] [-summary] [-rtl FILE]
 //	         [-hints FILE] [-save-hints FILE] [-journal FILE] [-debug-addr ADDR]
 //	         [-trace-out FILE] [-trace-buffer N]
@@ -19,6 +20,17 @@
 //	noc:  max-frequency | min-luts | min-area-delay
 //	fft:  min-luts | max-throughput | max-throughput-per-lut | max-snr
 //	gemm: min-luts | max-gmacs | max-gmacs-per-lut
+//
+// Modes: the default scalar mode optimizes the single -query objective.
+// -mode pareto trades two or more objectives off simultaneously: pass them
+// as -queries min-luts,max-throughput (the first is the primary objective
+// the scalar result lines describe) and the run prints the full
+// non-dominated front with its hypervolume instead of a single winner.
+// -mode portfolio races the guided GA, the unguided baseline GA, and
+// simulated annealing concurrently over one shared evaluation cache on the
+// -query objective and reports each strategy's private outcome alongside
+// the merged best; the race re-runs from scratch on restart, so it cannot
+// be combined with -checkpoint or -resume.
 //
 // Long searches survive crashes and preemption: -checkpoint snapshots the
 // full GA state every -checkpoint-every generations (atomic rename, never a
@@ -41,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"nautilus/internal/catalog"
@@ -48,6 +61,7 @@ import (
 	"nautilus/internal/core"
 	"nautilus/internal/dataset"
 	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
 	"nautilus/internal/resilience"
 	"nautilus/internal/resilience/faulty"
 )
@@ -91,6 +105,53 @@ func validateFlags(pop, gens int, seed int64) error {
 	return nil
 }
 
+// validateModeFlags front-doors the mode surface: pareto needs two or more
+// distinct -queries (and owns the query choice, so an explicit -query is a
+// conflict), the other modes must not pass -queries, and portfolio races
+// cannot checkpoint or resume (the race restarts from scratch).
+func validateModeFlags(mode string, querySet bool, queries []string, checkpoint, resume string) error {
+	switch mode {
+	case "", core.ModeScalar, core.ModePortfolio:
+		if len(queries) > 0 {
+			return fmt.Errorf("-queries requires -mode pareto (got %q)", mode)
+		}
+		if mode == core.ModePortfolio && (checkpoint != "" || resume != "") {
+			return fmt.Errorf("-mode portfolio cannot checkpoint or resume: the race re-runs from scratch on restart")
+		}
+	case core.ModePareto:
+		if querySet {
+			return fmt.Errorf("-mode pareto takes its objectives from -queries; drop -query")
+		}
+		if len(queries) < 2 {
+			return fmt.Errorf("-mode pareto needs at least two comma-separated -queries, got %d", len(queries))
+		}
+		seen := make(map[string]bool, len(queries))
+		for _, q := range queries {
+			if seen[q] {
+				return fmt.Errorf("-queries lists %q twice", q)
+			}
+			seen[q] = true
+		}
+	default:
+		return fmt.Errorf("-mode must be scalar, pareto, or portfolio, got %q", mode)
+	}
+	return nil
+}
+
+// splitQueries parses the comma-separated -queries value, trimming blanks.
+func splitQueries(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, q := range strings.Split(s, ",") {
+		if q = strings.TrimSpace(q); q != "" {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
 // validateResilienceFlags front-doors the checkpoint and fault-injection
 // flags (the supervision flags validate through cliflags).
 func validateResilienceFlags(every int, faultRate float64, faultFailures int) error {
@@ -109,6 +170,8 @@ func validateResilienceFlags(every int, faultRate float64, faultFailures int) er
 func run(ctx context.Context) (int, error) {
 	ip := flag.String("ip", "fft", "IP generator: noc, fft, or gemm")
 	query := flag.String("query", "min-luts", "optimization query (see doc)")
+	mode := flag.String("mode", core.ModeScalar, "search mode: scalar, pareto, or portfolio")
+	queriesFlag := flag.String("queries", "", "comma-separated objectives for -mode pareto (first is primary)")
 	guidance := flag.String("guidance", "strong", "baseline, weak, or strong")
 	gens := flag.Int("gens", 80, "GA generations")
 	pop := flag.Int("pop", 10, "GA population size")
@@ -130,6 +193,16 @@ func run(ctx context.Context) (int, error) {
 	if err := validateFlags(*pop, *gens, *seed); err != nil {
 		return exitUsage, err
 	}
+	querySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "query" {
+			querySet = true
+		}
+	})
+	queries := splitQueries(*queriesFlag)
+	if err := validateModeFlags(*mode, querySet, queries, *checkpoint, *resume); err != nil {
+		return exitUsage, err
+	}
 	if err := par.Validate(); err != nil {
 		return exitUsage, err
 	}
@@ -146,7 +219,20 @@ func run(ctx context.Context) (int, error) {
 	// The catalog resolves (ip, query) to the space, evaluator, default
 	// hint library, and objective - the same resolution nautserve performs,
 	// so a CLI run and a server session with equal settings are
-	// byte-identical searches.
+	// byte-identical searches. A pareto run resolves every -queries entry
+	// against the same IP (all queries of an IP share one space) and leads
+	// with the first as the primary objective.
+	var objs []metrics.Objective
+	if *mode == core.ModePareto {
+		for _, q := range queries {
+			e, err := catalog.Lookup(*ip, q)
+			if err != nil {
+				return exitUsage, err
+			}
+			objs = append(objs, e.Objective)
+		}
+		*query = queries[0]
+	}
 	entry, err := catalog.Lookup(*ip, *query)
 	if err != nil {
 		return exitUsage, err
@@ -258,12 +344,15 @@ func run(ctx context.Context) (int, error) {
 	if tstack.Tracer != nil {
 		opts = append(opts, core.WithTracer(tstack.Tracer))
 	}
-	res, err := core.Search(ctx, core.SearchRequest{
+	req := core.SearchRequest{
 		Space:       space,
+		Mode:        *mode,
 		Objective:   obj,
+		Objectives:  objs,
 		EvaluateCtx: ctxEval,
 		Config:      cfg,
-	}, opts...)
+	}
+	res, err := core.Search(ctx, req, opts...)
 	if err != nil {
 		// Post-mortem: the flight recorder holds the last spans before the
 		// failure - where the final moments of the run went.
@@ -301,12 +390,46 @@ func run(ctx context.Context) (int, error) {
 	if err != nil {
 		return exitFatal, err
 	}
-	fmt.Printf("query:           %s on %s (%s guidance)\n", obj, *ip, *guidance)
+	if *mode == core.ModePareto {
+		fmt.Printf("query:           pareto over %s on %s (%s guidance)\n",
+			strings.Join(queries, ", "), *ip, *guidance)
+	} else {
+		fmt.Printf("query:           %s on %s (%s guidance)\n", obj, *ip, *guidance)
+	}
 	fmt.Printf("best value:      %.4g\n", res.BestValue)
 	fmt.Printf("configuration:   %s\n", space.Describe(res.BestPoint))
 	fmt.Printf("all metrics:     %s\n", m)
 	fmt.Printf("synthesis jobs:  %d distinct design evaluations (%d queries, %.1f%% cache hits)\n",
 		res.Cache.Distinct, res.Cache.Total, 100*res.Cache.HitRate)
+
+	// Pareto runs print the whole trade-off surface: one row per
+	// non-dominated design, values in -queries order, best-primary first
+	// (the row the scalar lines above describe).
+	if len(res.Front) > 0 {
+		fmt.Printf("pareto front:    %d non-dominated designs, hypervolume %.4g\n",
+			len(res.Front), res.Hypervolume)
+		for _, fp := range res.Front {
+			vals := make([]string, len(fp.Values))
+			for d, v := range fp.Values {
+				vals[d] = fmt.Sprintf("%s=%.4g", queries[d], v)
+			}
+			fmt.Printf("  %-44s %s\n", strings.Join(vals, " "), space.Describe(fp.Point))
+		}
+	}
+
+	// Portfolio runs print each raced strategy's private outcome; the
+	// starred winner is the strategy whose best the merged result adopted.
+	for _, o := range res.Portfolio {
+		marker := " "
+		if o.Winner {
+			marker = "*"
+		}
+		value := "infeasible"
+		if o.Feasible {
+			value = fmt.Sprintf("best %.4g", o.BestValue)
+		}
+		fmt.Printf("  %s %-9s %-14s %d distinct evals\n", marker, o.Strategy, value, o.DistinctEvals)
+	}
 
 	if *emitRTL != "" {
 		design, err := entry.RTL(res.BestPoint)

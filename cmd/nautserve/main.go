@@ -9,6 +9,14 @@
 // once - while each session's own accounting (and result) stays
 // byte-identical to a solo nautilus CLI run of the same spec.
 //
+// A job's optional "mode" field widens the search shape: "pareto" (with a
+// "queries" list of two or more objectives) returns the non-dominated
+// front with its hypervolume and streams per-generation front growth over
+// SSE; "portfolio" races the guided GA, the baseline GA, and simulated
+// annealing over one shared dedup cache and reports each strategy's
+// outcome. Pareto sessions checkpoint and resume like scalar ones;
+// portfolio sessions re-run from scratch after a restart.
+//
 // SIGTERM/SIGINT drains gracefully: every in-flight session stops at its
 // next generation boundary and persists a resumable checkpoint; a restart
 // on the same -state-dir resumes all of them to the exact results they

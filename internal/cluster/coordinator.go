@@ -7,7 +7,9 @@ import (
 	"sync"
 
 	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
 	"nautilus/internal/param"
+	"nautilus/internal/pareto"
 )
 
 // IslandSeed derives island k's RNG seed from the session seed. Island 0
@@ -78,6 +80,12 @@ type IslandResult struct {
 	Trajectory    []ga.GenPoint `json:"trajectory"`
 	DistinctEvals int           `json:"distinct_evals"`
 	Converged     bool          `json:"converged"`
+	// Front / Hypervolume / Nadir carry a pareto island's non-dominated
+	// set, its dominated hypervolume, and its per-objective worst feasible
+	// values (empty on scalar islands).
+	Front       []pareto.FrontPoint `json:"front,omitempty"`
+	Hypervolume float64             `json:"hypervolume,omitempty"`
+	Nadir       []float64           `json:"nadir,omitempty"`
 }
 
 // Request describes one cluster session for Node.RunSession.
@@ -95,9 +103,15 @@ type Request struct {
 	Payload json.RawMessage
 	// Better reports whether objective value a beats b, and Worst is the
 	// objective's sentinel for "nothing feasible" - the two pieces of
-	// objective knowledge the merge needs.
+	// objective knowledge the merge needs. In pareto sessions both
+	// describe the primary objective (Objectives[0]).
 	Better func(a, b float64) bool
 	Worst  float64
+	// Objectives, when two or more, marks a pareto session: every island
+	// runs the multi-objective search and the merge unions their fronts
+	// into one cluster-wide non-dominated set. Coordinator-local (the
+	// islands resolve their own vector from Payload); nil for scalar.
+	Objectives []metrics.Objective
 }
 
 // Result is the deterministic merge of a session's island results.
@@ -114,6 +128,13 @@ type Result struct {
 	Trajectory    []ga.GenPoint
 	DistinctEvals int
 	Islands       []IslandResult
+	// Front is the cluster-wide non-dominated union of the islands' fronts
+	// (pareto sessions; canonical archive order). Hypervolume is recomputed
+	// against the merged Nadir (elementwise worst across islands), so it is
+	// exact for the merged front, not an aggregate of island values.
+	Front       []pareto.FrontPoint
+	Hypervolume float64
+	Nadir       []float64
 }
 
 // RunSession fans one session out as an island-model search over the
@@ -233,8 +254,54 @@ func mergeIslands(req Request, results []IslandResult) Result {
 				feasible = true
 				gp.BestValue = e.BestValue
 			}
+			// Per-island archives overlap, so the union's size and volume
+			// are not per-generation sums; the max over islands is the
+			// tightest deterministic lower bound available without
+			// replaying the archives. The final merged front below is
+			// exact.
+			gp.FrontSize = max(gp.FrontSize, e.FrontSize)
+			gp.Hypervolume = max(gp.Hypervolume, e.Hypervolume)
 		}
 		out.Trajectory = append(out.Trajectory, gp)
 	}
+	mergeFronts(req, results, &out)
 	return out
+}
+
+// mergeFronts unions pareto islands' fronts into the cluster-wide
+// non-dominated set. The archive is insertion-order independent, so the
+// merge is deterministic regardless of which node hosted which island.
+func mergeFronts(req Request, results []IslandResult, out *Result) {
+	if len(req.Objectives) < 2 {
+		return
+	}
+	arch := pareto.NewArchive(req.Objectives)
+	for i := range results {
+		for _, fp := range results[i].Front {
+			arch.Add(fp.Point, fp.Values)
+		}
+		for d, v := range results[i].Nadir {
+			if d >= len(req.Objectives) {
+				break
+			}
+			if len(out.Nadir) == 0 {
+				out.Nadir = append([]float64(nil), results[i].Nadir...)
+				break
+			}
+			// The merged nadir is the per-objective worst feasible value
+			// across islands: replace when the current merged value beats
+			// (is Better than) the candidate.
+			if req.Objectives[d].Better(out.Nadir[d], v) {
+				out.Nadir[d] = v
+			}
+		}
+	}
+	out.Front = arch.Members()
+	if len(req.Objectives) == 2 && len(out.Front) > 0 && len(out.Nadir) == 2 {
+		ref := pareto.RefFromNadir([2]metrics.Objective{req.Objectives[0], req.Objectives[1]},
+			[2]float64{out.Nadir[0], out.Nadir[1]})
+		if hv, err := pareto.Hypervolume2D([2]metrics.Objective{req.Objectives[0], req.Objectives[1]}, out.Front, ref); err == nil {
+			out.Hypervolume = hv
+		}
+	}
 }

@@ -13,16 +13,40 @@ import (
 	"nautilus/internal/telemetry/trace"
 )
 
+// Search modes. The zero value is ModeScalar, the paper's single-objective
+// guided GA.
+const (
+	// ModeScalar optimizes the single req.Objective (the default).
+	ModeScalar = "scalar"
+	// ModePareto optimizes req.Objectives (two or more) simultaneously with
+	// NSGA-II-style non-dominated sorting and crowding-distance selection;
+	// the Result carries the full non-dominated Front plus its Hypervolume
+	// (two objectives) alongside the primary-best scalar fields.
+	ModePareto = "pareto"
+	// ModePortfolio races the guided GA, the unguided baseline GA, and
+	// simulated annealing concurrently over one shared dedup cache, merging
+	// deterministically; Result.Portfolio reports each strategy's outcome.
+	ModePortfolio = "portfolio"
+)
+
 // SearchRequest names everything a Nautilus search needs: the
-// characterized space, the objective, exactly one evaluator form, and the
-// GA scale. Cross-cutting concerns - guidance, telemetry, resilience,
-// batching, checkpointing - attach as SearchOptions rather than widening
-// this struct or the Search signature.
+// characterized space, the objective (or objective vector), exactly one
+// evaluator form, and the GA scale. Cross-cutting concerns - guidance,
+// telemetry, resilience, batching, checkpointing - attach as SearchOptions
+// rather than widening this struct or the Search signature.
 type SearchRequest struct {
 	// Space is the design space to search.
 	Space *param.Space
-	// Objective scores evaluated metrics.
+	// Mode selects the search shape: ModeScalar ("" or "scalar", the
+	// default), ModePareto, or ModePortfolio.
+	Mode string
+	// Objective scores evaluated metrics (scalar and portfolio modes).
 	Objective metrics.Objective
+	// Objectives is the multi-objective vector for ModePareto (two or
+	// more; Objectives[0] is the primary objective that scalar reporting
+	// fields describe). Must be empty in the other modes, where the single
+	// Objective field applies.
+	Objectives []metrics.Objective
 	// Evaluate characterizes one design point. Exactly one of Evaluate and
 	// EvaluateCtx must be set.
 	Evaluate dataset.Evaluator
@@ -170,7 +194,10 @@ func (c *searchConfig) override(f func(*ga.Config)) {
 // batched) GA over req.Space under req.Config, optionally guided,
 // supervised, and recorded via opts. It is the single entry point an IP
 // generator embeds; Run, RunContext, and RunBaseline are thin deprecated
-// wrappers over it.
+// wrappers over it. req.Mode widens the shape - ModePareto swaps in
+// NSGA-II selection over req.Objectives, ModePortfolio races three
+// strategies over one shared dedup cache - without changing the signature
+// or the determinism contract.
 //
 // Canceling ctx stops the search at the next evaluation boundary; with a
 // checkpoint configured the engine writes a final snapshot first and the
@@ -209,16 +236,43 @@ func Search(ctx context.Context, req SearchRequest, opts ...SearchOption) (ga.Re
 		eval = sup.Evaluate
 	}
 
-	var strategy ga.Strategy
-	if g := sc.guidance; g != nil {
-		if cfg.Recorder != nil {
-			g = g.WithRecorder(cfg.Recorder)
+	switch req.Mode {
+	case "", ModeScalar:
+		if len(req.Objectives) > 0 {
+			return ga.Result{}, fmt.Errorf("core: Objectives requires Mode %q (got %q)", ModePareto, req.Mode)
 		}
-		strategy = g
+	case ModePareto:
+		engine, err := ga.NewMultiContext(req.Space, req.Objectives, eval, cfg, sc.strategy(&cfg))
+		if err != nil {
+			return ga.Result{}, err
+		}
+		return engine.RunContext(ctx)
+	case ModePortfolio:
+		if len(req.Objectives) > 0 {
+			return ga.Result{}, fmt.Errorf("core: Objectives requires Mode %q (got %q)", ModePareto, ModePortfolio)
+		}
+		return searchPortfolio(ctx, req, eval, cfg, &sc)
+	default:
+		return ga.Result{}, fmt.Errorf("core: unknown search mode %q", req.Mode)
 	}
-	engine, err := ga.NewContext(req.Space, req.Objective, eval, cfg, strategy)
+
+	engine, err := ga.NewContext(req.Space, req.Objective, eval, cfg, sc.strategy(&cfg))
 	if err != nil {
 		return ga.Result{}, err
 	}
 	return engine.RunContext(ctx)
+}
+
+// strategy resolves the run's mutation strategy: the configured guidance
+// (wrapped with the recorder when one is active) or nil for the unguided
+// baseline.
+func (c *searchConfig) strategy(cfg *ga.Config) ga.Strategy {
+	g := c.guidance
+	if g == nil {
+		return nil
+	}
+	if cfg.Recorder != nil {
+		g = g.WithRecorder(cfg.Recorder)
+	}
+	return g
 }

@@ -27,6 +27,7 @@ import (
 	"nautilus/internal/dataset"
 	"nautilus/internal/metrics"
 	"nautilus/internal/param"
+	"nautilus/internal/pareto"
 	"nautilus/internal/pool"
 	"nautilus/internal/telemetry"
 	"nautilus/internal/telemetry/trace"
@@ -334,6 +335,12 @@ type GenPoint struct {
 	// generation - the diversity signal that collapses as the GA
 	// converges and starts revisiting cached designs.
 	UniqueGenomes int
+	// FrontSize and Hypervolume track the non-dominated archive in
+	// multi-objective (pareto) runs: the archive's cardinality after this
+	// generation and, for exactly two objectives, the dominated area
+	// relative to a nadir-derived reference. Zero in scalar runs.
+	FrontSize   int     `json:",omitempty"`
+	Hypervolume float64 `json:",omitempty"`
 }
 
 // Result summarizes one GA run.
@@ -360,6 +367,32 @@ type Result struct {
 	// hits, hit rate). Deterministic in (Seed, Config, Strategy,
 	// evaluator) like every other Result field.
 	Cache dataset.CacheStats
+	// Front is the final non-dominated archive over every feasible design
+	// the run evaluated, in canonical order (multi-objective runs only;
+	// see NewMultiContext). BestPoint/BestValue then describe the front
+	// member that is best on the primary objective.
+	Front []pareto.FrontPoint `json:",omitempty"`
+	// Hypervolume is Front's dominated area relative to a reference
+	// derived from Nadir (exactly two objectives; 0 otherwise).
+	Hypervolume float64 `json:",omitempty"`
+	// Nadir holds the per-objective worst feasible values observed across
+	// the whole run - the anchor for Hypervolume's reference point.
+	Nadir []float64 `json:",omitempty"`
+	// Portfolio lists per-strategy outcomes when this result was produced
+	// by a portfolio race (core.ModePortfolio); nil otherwise.
+	Portfolio []StrategyOutcome `json:",omitempty"`
+}
+
+// StrategyOutcome reports one strategy's contribution to a portfolio race:
+// its private best, its private evaluation accounting, and whether the
+// deterministic merge picked it as the winner.
+type StrategyOutcome struct {
+	Strategy      string  `json:"strategy"`
+	BestValue     float64 `json:"best_value"`
+	Feasible      bool    `json:"feasible"`
+	DistinctEvals int     `json:"distinct_evals"`
+	Converged     bool    `json:"converged"`
+	Winner        bool    `json:"winner"`
 }
 
 // EvalsToReach returns the number of distinct evaluations after which the
@@ -407,6 +440,16 @@ type Engine struct {
 	// order is the elite-selection scratch permutation, reused across
 	// generations.
 	order []int
+	// objs is the full objective vector in multi-objective (pareto) runs;
+	// nil in scalar runs. objs[0] is the primary objective and aliases
+	// e.obj, so every scalar reporting path speaks the primary objective.
+	objs []metrics.Objective
+	// mvVals/mvOK/mvRanks/mvCrowd are the NSGA-II scratch buffers for
+	// per-generation rank/crowding assignment, reused across generations.
+	mvVals  [][]float64
+	mvOK    []bool
+	mvRanks []int
+	mvCrowd []float64
 }
 
 // New builds an Engine. eval is the raw (uncached) evaluator; the engine
@@ -474,6 +517,10 @@ type individual struct {
 	fitness float64
 	value   float64
 	ok      bool
+	// vals holds the individual's objective-value vector in multi-objective
+	// runs (a per-slot scratch buffer reused across generations); nil in
+	// scalar runs.
+	vals []float64
 }
 
 // genomeArenas pools the flat []int backing arrays population genomes live
@@ -526,6 +573,10 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	src := newCountingSource(e.cfg.Seed)
 	r := rand.New(src)
 
+	// mv carries the multi-objective run state (non-dominated archive +
+	// running nadir); nil in scalar runs, so the scalar hot path is
+	// untouched.
+	mv := e.newMultiState()
 	best := individual{fitness: math.Inf(-1), value: e.obj.Worst()}
 	var pop []individual
 	var trajectory []GenPoint
@@ -576,6 +627,14 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		stale = snap.Stale
 		prevBest = snap.PrevBest
 		startGen = snap.Generation
+		if mv != nil {
+			// The archive is a pure function of the set of evaluated points,
+			// so it is rebuilt from the restored cache rather than persisted:
+			// resumed runs rejoin the uninterrupted run's archive exactly.
+			if err := mv.rebuild(e.space, snap.Cache); err != nil {
+				return Result{}, err
+			}
+		}
 	} else {
 		e.cache.Reset()
 		for i := range pop {
@@ -628,6 +687,12 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			break
 		}
 		dspan.End()
+		// In multi-objective runs, replace the provisional per-individual
+		// scores with NSGA-II selection fitness (non-domination rank plus
+		// bounded crowding) now that the whole generation is evaluated.
+		if mv != nil {
+			e.assignParetoFitness(pop)
+		}
 		// One pass over the evaluated generation gathers everything the
 		// loop tail needs: the best individual, the diversity count (genome
 		// hashes into the reused scratch set), and the feasible-fitness
@@ -642,26 +707,43 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		feasible := 0
 		for i := range pop {
 			ind := &pop[i]
-			if ind.fitness > bestFit {
-				bestIdx, bestFit = i, ind.fitness
+			// Best-so-far comparisons speak the primary objective in both
+			// modes: NSGA-II rank fitness only orders within one generation.
+			f := ind.fitness
+			if mv != nil {
+				f = e.primaryFitness(ind)
+			}
+			if f > bestFit {
+				bestIdx, bestFit = i, f
 			}
 			e.seen[ind.hash] = struct{}{}
 			if ind.ok {
 				sum += ind.fitness
 				feasible++
+				if mv != nil {
+					mv.observe(ind.genome, ind.vals)
+				}
 			}
 		}
 		if bestIdx >= 0 {
 			best = pop[bestIdx]
 			best.genome = pop[bestIdx].genome.Clone()
+			best.vals = nil // slot scratch; never read through best
+			if mv != nil {
+				best.fitness = bestFit
+			}
 		}
 		unique := len(e.seen)
-		trajectory = append(trajectory, GenPoint{
+		gp := GenPoint{
 			Generation:    gen,
 			DistinctEvals: e.cache.DistinctEvaluations(),
 			BestValue:     best.value,
 			UniqueGenomes: unique,
-		})
+		}
+		if mv != nil {
+			gp.FrontSize, gp.Hypervolume = mv.stats()
+		}
+		trajectory = append(trajectory, gp)
 		if recording {
 			mean := math.NaN()
 			if feasible > 0 {
@@ -675,6 +757,8 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 				Feasible:      feasible,
 				UniqueGenomes: unique,
 				DistinctEvals: e.cache.DistinctEvaluations(),
+				FrontSize:     gp.FrontSize,
+				Hypervolume:   gp.Hypervolume,
 				Elapsed:       time.Since(genStart),
 			})
 		}
@@ -733,6 +817,11 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	} else {
 		res.BestValue = e.obj.Worst()
 	}
+	if mv != nil {
+		res.Front = mv.front()
+		_, res.Hypervolume = mv.stats()
+		res.Nadir = mv.nadirValues()
+	}
 	return res, nil
 }
 
@@ -780,8 +869,15 @@ func (e *Engine) evaluate(ctx context.Context, gen int, pop []individual) error 
 }
 
 // score interprets one evaluation outcome into the individual's fitness
-// fields: errors and infeasible metrics both demote to -Inf / Worst.
+// fields: errors and infeasible metrics both demote to -Inf / Worst. In
+// multi-objective runs the fitness written here is provisional (the
+// primary objective's) - selection fitness is reassigned population-wide
+// by assignParetoFitness once the whole generation is evaluated.
 func (e *Engine) score(ind *individual, m metrics.Metrics, err error) {
+	if e.objs != nil {
+		e.scoreMulti(ind, m, err)
+		return
+	}
 	if err != nil {
 		ind.fitness = math.Inf(-1)
 		ind.value = e.obj.Worst()

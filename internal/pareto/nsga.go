@@ -1,0 +1,235 @@
+// NSGA-II machinery: value-slice dominance, fast non-dominated sorting
+// with crowding distances, and a deterministic incremental front archive.
+// These operate on pre-extracted objective-value slices (rather than
+// metrics bags) so the GA engine can drive them on its hot path without
+// re-deriving metric values per comparison.
+package pareto
+
+import (
+	"math"
+	"sort"
+
+	"nautilus/internal/metrics"
+)
+
+// DominatesValues reports whether value vector a Pareto-dominates b under
+// the given objectives: at least as good on every objective, strictly
+// better on at least one. Both slices must be len(objs) long, values in
+// objective order.
+func DominatesValues(objs []metrics.Objective, a, b []float64) bool {
+	strictly := false
+	for i, o := range objs {
+		if o.Better(b[i], a[i]) {
+			return false
+		}
+		if o.Better(a[i], b[i]) {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// RankCrowd runs fast non-dominated sorting plus crowding-distance
+// assignment (NSGA-II) over a population's objective-value vectors.
+// vals[i] holds individual i's values in objective order; ok[i] false
+// marks an infeasible or failed individual, which is excluded from the
+// sort and assigned the sentinel rank len(vals) with zero crowding.
+// ranks and crowd must be caller-allocated with len(vals) entries; rank 0
+// is the non-dominated front. Crowding distances are normalized per
+// objective by the front's value range and capped at +Inf for boundary
+// points. The computation is fully deterministic: ties in the crowding
+// sorts break on population index.
+func RankCrowd(objs []metrics.Objective, vals [][]float64, ok []bool, ranks []int, crowd []float64) {
+	n := len(vals)
+	sentinel := n
+	// Collect feasible indices.
+	feas := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ranks[i] = sentinel
+		crowd[i] = 0
+		if ok == nil || ok[i] {
+			feas = append(feas, i)
+		}
+	}
+	if len(feas) == 0 {
+		return
+	}
+
+	// Fast non-dominated sort: count dominators and record dominated sets.
+	domCount := make(map[int]int, len(feas))
+	domSets := make(map[int][]int, len(feas))
+	var front []int
+	for ai, a := range feas {
+		for _, b := range feas[ai+1:] {
+			switch {
+			case DominatesValues(objs, vals[a], vals[b]):
+				domSets[a] = append(domSets[a], b)
+				domCount[b]++
+			case DominatesValues(objs, vals[b], vals[a]):
+				domSets[b] = append(domSets[b], a)
+				domCount[a]++
+			}
+		}
+	}
+	for _, i := range feas {
+		if domCount[i] == 0 {
+			ranks[i] = 0
+			front = append(front, i)
+		}
+	}
+	for rank := 0; len(front) > 0; rank++ {
+		crowdFront(objs, vals, front, crowd)
+		var next []int
+		for _, i := range front {
+			for _, j := range domSets[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					ranks[j] = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		// Indices enter fronts in ascending population order because feas
+		// is ascending and domSets preserve it; keep that invariant.
+		sort.Ints(next)
+		front = next
+	}
+}
+
+// crowdFront writes crowding distances for one front's members.
+func crowdFront(objs []metrics.Objective, vals [][]float64, front []int, crowd []float64) {
+	if len(front) <= 2 {
+		for _, i := range front {
+			crowd[i] = math.Inf(1)
+		}
+		return
+	}
+	order := make([]int, len(front))
+	for oi := range objs {
+		copy(order, front)
+		sort.SliceStable(order, func(a, b int) bool {
+			va, vb := vals[order[a]][oi], vals[order[b]][oi]
+			if va != vb {
+				return va < vb
+			}
+			return order[a] < order[b]
+		})
+		lo, hi := vals[order[0]][oi], vals[order[len(order)-1]][oi]
+		crowd[order[0]] = math.Inf(1)
+		crowd[order[len(order)-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < len(order)-1; k++ {
+			if math.IsInf(crowd[order[k]], 1) {
+				continue
+			}
+			crowd[order[k]] += (vals[order[k+1]][oi] - vals[order[k-1]][oi]) / (hi - lo)
+		}
+	}
+}
+
+// Archive is an incremental non-dominated set over everything a search has
+// evaluated. Insertion keeps only mutually non-dominated members; points
+// with identical genomes are deduplicated. The archive is deterministic:
+// its final contents depend only on the set of points added, never on the
+// order, because Members sorts canonically.
+type Archive struct {
+	objs    []metrics.Objective
+	members []FrontPoint
+}
+
+// NewArchive returns an empty archive under the given objectives (two or
+// more).
+func NewArchive(objs []metrics.Objective) *Archive {
+	return &Archive{objs: objs}
+}
+
+// Add offers a genome and its objective-value vector to the archive. It
+// returns true if the point was admitted (i.e. no existing member
+// dominates it). Both slices are cloned; callers may reuse their buffers.
+func (a *Archive) Add(genome []int, vals []float64) bool {
+	for _, m := range a.members {
+		if DominatesValues(a.objs, m.Values, vals) {
+			return false
+		}
+		if samePoint(m.Point, genome) {
+			return false
+		}
+	}
+	// Evict members the newcomer dominates.
+	kept := a.members[:0]
+	for _, m := range a.members {
+		if !DominatesValues(a.objs, vals, m.Values) {
+			kept = append(kept, m)
+		}
+	}
+	a.members = append(kept, FrontPoint{
+		Point:  append([]int(nil), genome...),
+		Values: append([]float64(nil), vals...),
+	})
+	return true
+}
+
+// Size returns the number of archive members.
+func (a *Archive) Size() int { return len(a.members) }
+
+// Members returns the archive contents in canonical order: best first on
+// the first objective, ties broken by later objectives and finally by
+// genome lexicographic order. The returned slice aliases archive storage;
+// callers must not mutate it.
+func (a *Archive) Members() []FrontPoint {
+	sort.SliceStable(a.members, func(i, j int) bool {
+		mi, mj := a.members[i], a.members[j]
+		for oi, o := range a.objs {
+			if mi.Values[oi] != mj.Values[oi] {
+				return o.Better(mi.Values[oi], mj.Values[oi])
+			}
+		}
+		return lessGenome(mi.Point, mj.Point)
+	})
+	return a.members
+}
+
+func samePoint(a []int, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessGenome(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// RefFromNadir returns a hypervolume reference point strictly dominated by
+// every point at least as good as the nadir (the per-objective worst
+// feasible values seen): each coordinate is pushed 1% of its magnitude
+// (plus a small epsilon) further in the worse direction. Deriving the
+// reference from the running nadir keeps hypervolume reports deterministic
+// without asking callers to guess objective scales.
+func RefFromNadir(objs [2]metrics.Objective, nadir [2]float64) [2]float64 {
+	var ref [2]float64
+	for i := 0; i < 2; i++ {
+		pad := 1e-9 + 0.01*math.Abs(nadir[i])
+		if objs[i].Direction() == metrics.Minimize {
+			ref[i] = nadir[i] + pad
+		} else {
+			ref[i] = nadir[i] - pad
+		}
+	}
+	return ref
+}

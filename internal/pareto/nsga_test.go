@@ -1,0 +1,184 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+
+	"nautilus/internal/metrics"
+)
+
+func fp(vals ...float64) FrontPoint { return FrontPoint{Values: vals} }
+
+// Hypervolume2D degenerate inputs: duplicate points must not double-count
+// area, a single-point front is the plain rectangle to the reference, and
+// a reference point dominated by (or interior to) the front is an error.
+func TestHypervolume2DDuplicatePoints(t *testing.T) {
+	o := [2]metrics.Objective{metrics.MinimizeMetric("cost"), metrics.MaximizeMetric("quality")}
+	ref := [2]float64{100, 0}
+	single := []FrontPoint{fp(10, 5)}
+	base, err := Hypervolume2D(o, single, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Hypervolume2D(o, []FrontPoint{fp(10, 5), fp(10, 5), fp(10, 5)}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup != base {
+		t.Errorf("duplicated point changed hypervolume: %g vs %g", dup, base)
+	}
+}
+
+func TestHypervolume2DSinglePoint(t *testing.T) {
+	o := [2]metrics.Objective{metrics.MinimizeMetric("cost"), metrics.MaximizeMetric("quality")}
+	hv, err := Hypervolume2D(o, []FrontPoint{fp(10, 5)}, [2]float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (100-10) wide by (5-0) tall in maximize-form coordinates.
+	if want := 90.0 * 5.0; hv != want {
+		t.Errorf("single-point hypervolume = %g, want %g", hv, want)
+	}
+	// A front point sitting exactly on the reference contributes zero area
+	// but is not an error.
+	hv, err = Hypervolume2D(o, []FrontPoint{fp(100, 0)}, [2]float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv != 0 {
+		t.Errorf("on-reference point hypervolume = %g, want 0", hv)
+	}
+}
+
+func TestHypervolume2DRefDominatedByFront(t *testing.T) {
+	o := [2]metrics.Objective{metrics.MinimizeMetric("cost"), metrics.MaximizeMetric("quality")}
+	// ref cost 5 is better than the front point's 10: the reference fails
+	// to bound the front and the area is undefined.
+	if _, err := Hypervolume2D(o, []FrontPoint{fp(10, 5)}, [2]float64{5, 0}); err == nil {
+		t.Fatal("expected error for reference point dominated by front")
+	}
+	// One bad coordinate is enough.
+	if _, err := Hypervolume2D(o, []FrontPoint{fp(10, 5)}, [2]float64{100, 7}); err == nil {
+		t.Fatal("expected error for reference quality above front point")
+	}
+	if _, err := Hypervolume2D(o, nil, [2]float64{100, 0}); err == nil {
+		t.Fatal("expected error for empty front")
+	}
+}
+
+func TestDominatesValues(t *testing.T) {
+	o := objs()
+	if !DominatesValues(o, []float64{10, 5}, []float64{20, 5}) {
+		t.Error("cheaper same-quality point should dominate")
+	}
+	if DominatesValues(o, []float64{10, 5}, []float64{10, 5}) {
+		t.Error("equal vectors must not dominate each other")
+	}
+	if DominatesValues(o, []float64{10, 5}, []float64{5, 1}) || DominatesValues(o, []float64{5, 1}, []float64{10, 5}) {
+		t.Error("incomparable pair must not dominate either way")
+	}
+}
+
+func TestRankCrowd(t *testing.T) {
+	o := objs()
+	// Two front-0 points (trade-off), one dominated, one infeasible.
+	vals := [][]float64{
+		{10, 5},  // front 0
+		{20, 9},  // front 0 (worse cost, better quality)
+		{25, 5},  // dominated by 0 => front 1
+		{1, 100}, // infeasible: excluded
+	}
+	ok := []bool{true, true, true, false}
+	ranks := make([]int, len(vals))
+	crowd := make([]float64, len(vals))
+	RankCrowd(o, vals, ok, ranks, crowd)
+	if ranks[0] != 0 || ranks[1] != 0 {
+		t.Errorf("trade-off pair should be rank 0, got %v", ranks)
+	}
+	if ranks[2] != 1 {
+		t.Errorf("dominated point should be rank 1, got %d", ranks[2])
+	}
+	if ranks[3] != len(vals) {
+		t.Errorf("infeasible point should hold sentinel rank %d, got %d", len(vals), ranks[3])
+	}
+	if !math.IsInf(crowd[0], 1) || !math.IsInf(crowd[1], 1) {
+		t.Errorf("two-member front must be all-boundary (Inf crowding), got %v", crowd)
+	}
+}
+
+func TestRankCrowdInteriorDistance(t *testing.T) {
+	o := objs()
+	// Three-point front: the middle point gets a finite normalized
+	// crowding distance, boundaries get Inf.
+	vals := [][]float64{{10, 1}, {20, 5}, {30, 9}}
+	ranks := make([]int, 3)
+	crowd := make([]float64, 3)
+	RankCrowd(o, vals, nil, ranks, crowd)
+	for i, r := range ranks {
+		if r != 0 {
+			t.Fatalf("point %d rank = %d, want 0", i, r)
+		}
+	}
+	if !math.IsInf(crowd[0], 1) || !math.IsInf(crowd[2], 1) {
+		t.Errorf("boundary points should have Inf crowding, got %v", crowd)
+	}
+	// Middle point spans the full range on both objectives: (30-10)/20 +
+	// (9-1)/8 = 2.
+	if math.Abs(crowd[1]-2) > 1e-12 {
+		t.Errorf("interior crowding = %g, want 2", crowd[1])
+	}
+}
+
+func TestArchiveInsertionOrderIndependent(t *testing.T) {
+	o := objs()
+	points := []struct {
+		g []int
+		v []float64
+	}{
+		{[]int{0, 0}, []float64{10, 1}},
+		{[]int{1, 0}, []float64{15, 2}},
+		{[]int{2, 0}, []float64{20, 3}},
+		{[]int{2, 1}, []float64{27, 3}}, // dominated by {2,0}
+		{[]int{0, 1}, []float64{17, 1}}, // dominated by {0,0}
+	}
+	build := func(order []int) *Archive {
+		a := NewArchive(o)
+		for _, i := range order {
+			a.Add(points[i].g, points[i].v)
+		}
+		return a
+	}
+	fwd := build([]int{0, 1, 2, 3, 4})
+	rev := build([]int{4, 3, 2, 1, 0})
+	fm, rm := fwd.Members(), rev.Members()
+	if len(fm) != 3 || len(rm) != 3 {
+		t.Fatalf("front sizes = %d, %d, want 3", len(fm), len(rm))
+	}
+	for i := range fm {
+		if !samePoint(fm[i].Point, rm[i].Point) {
+			t.Errorf("member %d differs across insertion orders: %v vs %v", i, fm[i].Point, rm[i].Point)
+		}
+	}
+	// Canonical order: best first on the first objective (min cost).
+	if fm[0].Values[0] != 10 || fm[2].Values[0] != 20 {
+		t.Errorf("canonical order wrong: %v", fm)
+	}
+	// Re-adding an existing genome is a no-op.
+	if fwd.Add([]int{0, 0}, []float64{10, 1}) {
+		t.Error("duplicate genome admitted")
+	}
+	if fwd.Size() != 3 {
+		t.Errorf("size after duplicate add = %d, want 3", fwd.Size())
+	}
+}
+
+func TestRefFromNadir(t *testing.T) {
+	o := [2]metrics.Objective{metrics.MinimizeMetric("cost"), metrics.MaximizeMetric("quality")}
+	ref := RefFromNadir(o, [2]float64{100, 2})
+	if ref[0] <= 100 {
+		t.Errorf("minimize ref %g should exceed nadir 100", ref[0])
+	}
+	if ref[1] >= 2 {
+		t.Errorf("maximize ref %g should sit below nadir 2", ref[1])
+	}
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,15 +42,25 @@ func (c AnnealConfig) withDefaults() AnnealConfig {
 // accepts worsening moves with probability exp(-delta/T) under a cooling
 // schedule.
 func Anneal(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, cfg AnnealConfig) (ga.Result, error) {
+	return AnnealCtx(context.Background(), space, obj, dataset.AdaptContext(eval), cfg)
+}
+
+// AnnealCtx is Anneal for a context-aware evaluator, the form the portfolio
+// racer drives: the run context reaches every evaluation (so layered
+// shared caches and supervised evaluators can honor deadlines), and
+// cancellation stops the walk at the next step with Interrupted set on the
+// partial result. The RNG draw sequence is identical to Anneal's, so both
+// entry points produce byte-identical results for the same inputs.
+func AnnealCtx(ctx context.Context, space *param.Space, obj metrics.Objective, eval dataset.ContextEvaluator, cfg AnnealConfig) (ga.Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Budget < 2 {
 		return ga.Result{}, fmt.Errorf("search: anneal budget %d < 2", cfg.Budget)
 	}
-	cache := dataset.NewCache(space, eval)
+	cache := dataset.NewCacheContext(space, eval)
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	fitness := func(pt param.Point) float64 {
-		m, err := cache.Evaluate(pt)
+		m, err := cache.EvaluateCtx(ctx, pt)
 		if err != nil {
 			return math.Inf(-1)
 		}
@@ -104,7 +115,7 @@ func Anneal(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, c
 		if fit > best {
 			best = fit
 			bestPt = pt.Clone()
-			if m, err := cache.Evaluate(pt); err == nil {
+			if m, err := cache.EvaluateCtx(ctx, pt); err == nil {
 				if v, ok := obj.Value(m); ok {
 					bestVal = v
 				}
@@ -113,7 +124,12 @@ func Anneal(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, c
 	}
 
 	step := 0
+	interrupted := false
 	for restart := 0; restart < cfg.Restarts && cache.DistinctEvaluations() < cfg.Budget; restart++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		cur := space.Random(r)
 		curFit := fitness(cur)
 		note(cur, curFit)
@@ -142,6 +158,10 @@ func Anneal(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, c
 		minTemp := temp * 1e-4
 
 		for temp > minTemp && cache.DistinctEvaluations() < cfg.Budget {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			step++
 			nb := neighbor(cur)
 			nbFit := fitness(nb)
@@ -162,5 +182,7 @@ func Anneal(space *param.Space, obj metrics.Objective, eval dataset.Evaluator, c
 		BestValue:     bestVal,
 		Trajectory:    trajectory,
 		DistinctEvals: cache.DistinctEvaluations(),
+		Interrupted:   interrupted,
+		Cache:         cache.Stats(),
 	}, nil
 }

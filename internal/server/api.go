@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"nautilus/internal/telemetry"
 	"nautilus/internal/telemetry/trace"
@@ -83,10 +84,36 @@ func (e *FailedError) Error() string {
 // gains the nautilus_cluster_* families.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	routes := []struct {
-		pattern string
-		fn      http.HandlerFunc
-	}{
+	for _, rt := range s.routeDefs() {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		fn := rt.fn
+		if method == http.MethodPost {
+			fn = limitBody(fn)
+		}
+		fn = s.instrument(method+" /v1"+path, fn)
+		mux.HandleFunc(method+" /v1"+path, fn)
+		ctr := s.http.deprecatedCounter(method + " /v1" + path)
+		mux.HandleFunc(method+" /api/v1"+path, deprecated(path, ctr, fn))
+	}
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/sessions", s.handleDebugSessions)
+	mux.Handle("/debug/", telemetry.DebugMux(s.reg))
+	return mux
+}
+
+// routeDef binds one canonical API route pattern (method + path, without
+// the version prefix) to its handler.
+type routeDef struct {
+	pattern string
+	fn      http.HandlerFunc
+}
+
+// routeDefs is the single source of the versioned route table: Handler
+// registers each pattern under /v1 and its deprecated /api/v1 alias, and
+// RouteTable exposes the canonical pattern list (pinned by a golden test -
+// route changes must show up as a reviewed golden diff).
+func (s *Server) routeDefs() []routeDef {
+	return []routeDef{
 		// Job-addressed routes go through proxyJob: on a clustered server,
 		// requests for jobs minted by a peer forward to that peer's API, so
 		// the whole cluster answers behind any one member. Solo servers pay
@@ -101,27 +128,29 @@ func (s *Server) Handler() http.Handler {
 		{"GET /sessions", s.handleSessions},
 		{"GET /healthz", s.handleHealthz},
 	}
-	for _, rt := range routes {
+}
+
+// RouteTable returns the canonical /v1 route patterns ("METHOD /v1/path")
+// in registration order. Every listed route also answers under the legacy
+// /api/v1 prefix with a Deprecation header.
+func RouteTable() []string {
+	var s Server // handlers are method values, never invoked here
+	defs := s.routeDefs()
+	out := make([]string, len(defs))
+	for i, rt := range defs {
 		method, path, _ := strings.Cut(rt.pattern, " ")
-		fn := rt.fn
-		if method == http.MethodPost {
-			fn = limitBody(fn)
-		}
-		fn = s.instrument(method+" /v1"+path, fn)
-		mux.HandleFunc(method+" /v1"+path, fn)
-		mux.HandleFunc(method+" /api/v1"+path, deprecated(path, fn))
+		out[i] = method + " /v1" + path
 	}
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/sessions", s.handleDebugSessions)
-	mux.Handle("/debug/", telemetry.DebugMux(s.reg))
-	return mux
+	return out
 }
 
 // deprecated wraps a legacy-alias route: same handler, plus headers that
 // announce the canonical /v1/ home so clients can migrate before the alias
-// is dropped.
-func deprecated(path string, fn http.HandlerFunc) http.HandlerFunc {
+// is dropped, and a per-route counter surfaced as
+// nautilus_http_deprecated_requests_total on /metrics.
+func deprecated(path string, ctr *atomic.Int64, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctr.Add(1)
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", `</v1`+path+`>; rel="successor-version"`)
 		fn(w, r)

@@ -155,7 +155,7 @@ func (s *Server) runClusterIsland(ctx context.Context, spec cluster.IslandSpec) 
 		return cluster.IslandResult{}, fmt.Errorf("island payload: %w", err)
 	}
 	js = js.withDefaults(s.opts.Workers)
-	entry, guid, err := js.resolve()
+	entry, guid, objs, err := js.resolve()
 	if err != nil {
 		return cluster.IslandResult{}, err
 	}
@@ -174,7 +174,9 @@ func (s *Server) runClusterIsland(ctx context.Context, spec cluster.IslandSpec) 
 	}
 	res, err := core.Search(ctx, core.SearchRequest{
 		Space:       entry.Space,
+		Mode:        js.Mode,
 		Objective:   entry.Objective,
+		Objectives:  objs,
 		EvaluateCtx: eval,
 		Config:      cfg,
 	}, core.WithGuidance(guid), core.WithMigration(spec.Exchange(s.clusterNode())))
@@ -195,6 +197,9 @@ func (s *Server) runClusterIsland(ctx context.Context, spec cluster.IslandSpec) 
 		Trajectory:    res.Trajectory,
 		DistinctEvals: res.DistinctEvals,
 		Converged:     res.Converged,
+		Front:         res.Front,
+		Hypervolume:   res.Hypervolume,
+		Nadir:         res.Nadir,
 	}, nil
 }
 
@@ -214,13 +219,14 @@ func (s *Server) searchCluster(ctx context.Context, sess *session) (ga.Result, e
 		return ga.Result{}, err
 	}
 	cres, err := s.clusterNode().RunSession(ctx, cluster.Request{
-		Session:   sess.id,
-		Seed:      sess.spec.Seed,
-		Islands:   co.Islands,
-		Migration: co.migrationSpec(),
-		Payload:   payload,
-		Better:    sess.entry.Objective.Better,
-		Worst:     sess.entry.Objective.Worst(),
+		Session:    sess.id,
+		Seed:       sess.spec.Seed,
+		Islands:    co.Islands,
+		Migration:  co.migrationSpec(),
+		Payload:    payload,
+		Better:     sess.entry.Objective.Better,
+		Worst:      sess.entry.Objective.Worst(),
+		Objectives: sess.objs,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -233,6 +239,9 @@ func (s *Server) searchCluster(ctx context.Context, sess *session) (ga.Result, e
 		BestValue:     cres.BestValue,
 		Trajectory:    cres.Trajectory,
 		DistinctEvals: cres.DistinctEvals,
+		Front:         cres.Front,
+		Hypervolume:   cres.Hypervolume,
+		Nadir:         cres.Nadir,
 	}
 	rec := sessionRecorder{s: sess}
 	worst := sess.entry.Objective.Worst()
@@ -247,6 +256,8 @@ func (s *Server) searchCluster(ctx context.Context, sess *session) (ga.Result, e
 			Feasible:      feasible,
 			UniqueGenomes: gp.UniqueGenomes,
 			DistinctEvals: gp.DistinctEvals,
+			FrontSize:     gp.FrontSize,
+			Hypervolume:   gp.Hypervolume,
 		})
 	}
 	return res, nil

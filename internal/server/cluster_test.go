@@ -211,3 +211,50 @@ func TestClusterServerProxy(t *testing.T) {
 		t.Error("clustered /metrics is missing nautilus_cluster_* families")
 	}
 }
+
+// TestClusterParetoFrontMerge runs a pareto session over a 2-node cluster:
+// islands run the multi-objective search (migrating front members with the
+// usual exchange), and the coordinator merges their fronts into one
+// cluster-wide non-dominated set that reaches the job result. A fresh
+// cluster reproduces it byte for byte.
+func TestClusterParetoFrontMerge(t *testing.T) {
+	spec := paretoSpec()
+	spec.Seed = 7
+
+	env := newClusterEnv(t, faultnet.NewMemory(), 2)
+	_, res := runClusterJob(t, env, spec)
+	if len(res.Front) == 0 {
+		t.Fatal("clustered pareto result has no front")
+	}
+	if res.Hypervolume <= 0 || len(res.Nadir) != 2 {
+		t.Errorf("merged hypervolume/nadir missing: hv=%v nadir=%v", res.Hypervolume, res.Nadir)
+	}
+	for i, a := range res.Front {
+		for j, b := range res.Front {
+			if i == j {
+				continue
+			}
+			noWorse := a.Values[0] <= b.Values[0] && a.Values[1] >= b.Values[1]
+			strict := a.Values[0] < b.Values[0] || a.Values[1] > b.Values[1]
+			if noWorse && strict {
+				t.Errorf("merged front[%d] %v dominates front[%d] %v", i, a.Values, j, b.Values)
+			}
+		}
+	}
+	// Status reflects the exact merged front once the session finishes.
+	st, err := env.servers[0].Status(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FrontSize != len(res.Front) || st.Hypervolume != res.Hypervolume {
+		t.Errorf("status front %d/hv %v, result %d/%v", st.FrontSize, st.Hypervolume, len(res.Front), res.Hypervolume)
+	}
+
+	fresh := newClusterEnv(t, faultnet.NewMemory(), 2)
+	_, res2 := runClusterJob(t, fresh, spec)
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(res2)
+	if string(a) != string(b) {
+		t.Errorf("same-seed clustered pareto results differ:\n%s\n%s", a, b)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nautilus/internal/core"
 	"nautilus/internal/dataset"
 	"nautilus/internal/telemetry"
 	"nautilus/internal/telemetry/hist"
@@ -28,6 +29,11 @@ type httpStats struct {
 
 	mu     sync.Mutex
 	routes map[string]*routeStats
+	// deprecated counts requests served through the legacy /api/v1 aliases,
+	// keyed by the canonical /v1 route pattern they forward to. The family
+	// is always exposed (zero samples included) so dashboards can alert on
+	// lingering legacy traffic before the aliases are dropped.
+	deprecated map[string]*atomic.Int64
 }
 
 // routeStats is one route pattern's accounting.
@@ -39,7 +45,10 @@ type routeStats struct {
 }
 
 func newHTTPStats() *httpStats {
-	return &httpStats{routes: make(map[string]*routeStats)}
+	return &httpStats{
+		routes:     make(map[string]*routeStats),
+		deprecated: make(map[string]*atomic.Int64),
+	}
 }
 
 // route returns (registering on first use) the stats slot for a pattern.
@@ -52,6 +61,19 @@ func (h *httpStats) route(pattern string) *routeStats {
 		h.routes[pattern] = rs
 	}
 	return rs
+}
+
+// deprecatedCounter returns (registering on first use) the legacy-alias
+// request counter for a canonical route pattern.
+func (h *httpStats) deprecatedCounter(pattern string) *atomic.Int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.deprecated[pattern]
+	if !ok {
+		c = &atomic.Int64{}
+		h.deprecated[pattern] = c
+	}
+	return c
 }
 
 // statusClasses are the label values of nautilus_http_requests_total.
@@ -102,7 +124,31 @@ func (h *httpStats) promFamilies() []prom.Family {
 		Type:    prom.TypeGauge,
 		Samples: []prom.Sample{{Value: float64(h.inflight.Load())}},
 	}
-	return []prom.Family{lat, reqs, inflight}
+	depr := prom.Family{
+		Name: telemetry.MetricNamespace + "http_deprecated_requests_total",
+		Help: "requests served through the legacy /api/v1 aliases, by canonical route",
+		Type: prom.TypeCounter,
+	}
+	h.mu.Lock()
+	dnames := make([]string, 0, len(h.deprecated))
+	for name := range h.deprecated {
+		dnames = append(dnames, name)
+	}
+	counters := make(map[string]*atomic.Int64, len(h.deprecated))
+	for name, c := range h.deprecated {
+		counters[name] = c
+	}
+	h.mu.Unlock()
+	sort.Strings(dnames)
+	for _, name := range dnames {
+		if n := counters[name].Load(); n > 0 {
+			depr.Samples = append(depr.Samples, prom.Sample{
+				Labels: []prom.Label{{Name: "route", Value: name}},
+				Value:  float64(n),
+			})
+		}
+	}
+	return []prom.Family{lat, reqs, inflight, depr}
 }
 
 // statusWriter captures the response status code for the middleware.
@@ -204,15 +250,116 @@ func sharedCacheFamilies(stats map[string]dataset.CacheStats) []prom.Family {
 	return []prom.Family{distinct, lookups, hits, collisions, ratio}
 }
 
+// modeFamilies renders the nautilus_pareto_* and nautilus_portfolio_*
+// exposition for multi-objective and strategy-race sessions. Both family
+// groups materialize lazily - a server that has never seen a pareto or
+// portfolio job exposes neither - so the base family set (pinned by the
+// metrics golden) is unchanged for scalar-only deployments.
+func (s *Server) modeFamilies() []prom.Family {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	sessions := make([]*session, 0, len(ids))
+	for _, id := range ids {
+		if sess, ok := s.sessions[id]; ok {
+			sessions = append(sessions, sess)
+		}
+	}
+	s.mu.Unlock()
+
+	frontSize := prom.Family{
+		Name: telemetry.MetricNamespace + "pareto_front_size",
+		Help: "non-dominated archive size per pareto session",
+		Type: prom.TypeGauge,
+	}
+	hv := prom.Family{
+		Name: telemetry.MetricNamespace + "pareto_hypervolume",
+		Help: "dominated hypervolume against the running-nadir reference per pareto session",
+		Type: prom.TypeGauge,
+	}
+	races := prom.Family{
+		Name: telemetry.MetricNamespace + "portfolio_races_total",
+		Help: "portfolio sessions completed",
+		Type: prom.TypeCounter,
+	}
+	wins := prom.Family{
+		Name: telemetry.MetricNamespace + "portfolio_strategy_wins_total",
+		Help: "portfolio races won per strategy",
+		Type: prom.TypeCounter,
+	}
+	stratEvals := prom.Family{
+		Name: telemetry.MetricNamespace + "portfolio_strategy_evals_total",
+		Help: "private distinct evaluations per strategy across portfolio races",
+		Type: prom.TypeCounter,
+	}
+	saved := prom.Family{
+		Name: telemetry.MetricNamespace + "portfolio_evals_saved_total",
+		Help: "evaluator invocations saved by the shared dedup cache across portfolio races",
+		Type: prom.TypeCounter,
+	}
+
+	var pareto, portfolio bool
+	var raceCount, savedCount float64
+	winCount := make(map[string]float64)
+	evalCount := make(map[string]float64)
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		mode, fs, h, res := sess.spec.Mode, sess.frontSize, sess.hypervolume, sess.result
+		id := sess.id
+		sess.mu.Unlock()
+		switch mode {
+		case core.ModePareto:
+			pareto = true
+			labels := []prom.Label{{Name: "job", Value: id}}
+			frontSize.Samples = append(frontSize.Samples, prom.Sample{Labels: labels, Value: float64(fs)})
+			hv.Samples = append(hv.Samples, prom.Sample{Labels: labels, Value: h})
+		case core.ModePortfolio:
+			portfolio = true
+			if res == nil {
+				continue
+			}
+			raceCount++
+			private := 0
+			for _, o := range res.Portfolio {
+				evalCount[o.Strategy] += float64(o.DistinctEvals)
+				private += o.DistinctEvals
+				if o.Winner {
+					winCount[o.Strategy]++
+				}
+			}
+			if private > res.DistinctEvals {
+				savedCount += float64(private - res.DistinctEvals)
+			}
+		}
+	}
+
+	var fams []prom.Family
+	if pareto {
+		fams = append(fams, frontSize, hv)
+	}
+	if portfolio {
+		races.Samples = []prom.Sample{{Value: raceCount}}
+		saved.Samples = []prom.Sample{{Value: savedCount}}
+		for _, name := range []string{core.StrategyGuided, core.StrategyBaseline, core.StrategyAnneal} {
+			labels := []prom.Label{{Name: "strategy", Value: name}}
+			wins.Samples = append(wins.Samples, prom.Sample{Labels: labels, Value: winCount[name]})
+			stratEvals.Samples = append(stratEvals.Samples, prom.Sample{Labels: labels, Value: evalCount[name]})
+		}
+		fams = append(fams, races, wins, stratEvals, saved)
+	}
+	return fams
+}
+
 // handleMetrics serves the full service-tier exposition: the shared
 // registry (server/scheduler/aggregated-run metrics), per-route HTTP
 // latency and status counters, per-phase span-duration histograms, and
-// per-IP shared-cache accounting.
+// per-IP shared-cache accounting - plus the lazily materialized pareto and
+// portfolio families once such sessions exist.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fams := telemetry.PromFamilies(s.reg.Snapshot())
 	fams = append(fams, s.http.promFamilies()...)
 	fams = append(fams, spanFamily(s.durs))
 	fams = append(fams, sharedCacheFamilies(s.SharedCacheStats())...)
+	fams = append(fams, s.modeFamilies()...)
 	w.Header().Set("Content-Type", prom.ContentType)
 	_ = prom.Write(w, fams)
 }

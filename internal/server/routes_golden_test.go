@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRouteTableGolden pins the versioned API surface: the canonical /v1
+// route patterns (methods and paths), the uniform error-envelope shape,
+// and the machine-readable error codes. The golden file is the API
+// contract with clients - any route or envelope change must show up as a
+// reviewed golden diff, not silently.
+func TestRouteTableGolden(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# canonical /v1 routes (each also served at /api/v1 with a Deprecation header)\n")
+	for _, rt := range RouteTable() {
+		b.WriteString(rt)
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("# error envelope\n")
+	env, err := json.Marshal(ErrorEnvelope{Error: ErrorBody{
+		Code:    CodeFailed,
+		Message: "<message>",
+		State:   StateFailed,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(env)
+	b.WriteByte('\n')
+
+	b.WriteString("# error codes\n")
+	for _, code := range []string{
+		CodeBadRequest, CodeNotFound, CodeNotReady, CodeDraining,
+		CodeTooManySessions, CodeTooLarge, CodeFailed, CodeInternal,
+		CodePeerUnreachable,
+	} {
+		b.WriteString(code)
+		b.WriteByte('\n')
+	}
+
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "routes.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("route table drifted from golden (UPDATE_GOLDEN=1 to accept):\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDeprecatedAliasCounter checks legacy /api/v1 traffic is counted per
+// canonical route and surfaced as nautilus_http_deprecated_requests_total
+// on /metrics; canonical /v1 traffic never increments it.
+func TestDeprecatedAliasCounter(t *testing.T) {
+	s := newTestServer(t, Options{})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &apiClient{t: t, base: ts.URL}
+
+	// Canonical traffic only: the family is exposed but empty.
+	c.do("GET", "/v1/healthz", nil)
+	_, body := c.do("GET", "/metrics", nil)
+	if !strings.Contains(string(body), "# TYPE nautilus_http_deprecated_requests_total counter") {
+		t.Fatal("deprecated-requests family missing from /metrics")
+	}
+	if strings.Contains(string(body), `nautilus_http_deprecated_requests_total{`) {
+		t.Errorf("canonical traffic incremented the deprecated counter:\n%s", body)
+	}
+
+	c.do("GET", "/api/v1/healthz", nil)
+	c.do("GET", "/api/v1/healthz", nil)
+	c.do("GET", "/api/v1/jobs", nil)
+	_, body = c.do("GET", "/metrics", nil)
+	for _, want := range []string{
+		`nautilus_http_deprecated_requests_total{route="GET /v1/healthz"} 2`,
+		`nautilus_http_deprecated_requests_total{route="GET /v1/jobs"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

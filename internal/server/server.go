@@ -192,7 +192,7 @@ func (s *Server) restore() error {
 		return err
 	}
 	for _, rec := range recs {
-		entry, guid, rerr := rec.Spec.resolve()
+		entry, guid, objs, rerr := rec.Spec.resolve()
 		if rerr != nil {
 			// The record predates a spec-breaking change; surface it as a
 			// failed session rather than refusing to start.
@@ -203,7 +203,7 @@ func (s *Server) restore() error {
 			s.register(sess)
 			continue
 		}
-		sess := newSession(rec.ID, rec.Seq, rec.Spec, entry, guid)
+		sess := newSession(rec.ID, rec.Seq, rec.Spec, entry, guid, objs)
 		// Running (crashed mid-flight) and interrupted (drained) sessions
 		// resume; done/failed/canceled stay terminal.
 		if rec.State.terminal() && rec.State != StateInterrupted {
@@ -217,6 +217,8 @@ func (s *Server) restore() error {
 					sess.bestValue = res.BestValue
 					sess.distinct = res.DistinctEvals
 					sess.gen = res.Generations
+					sess.frontSize = len(res.Front)
+					sess.hypervolume = res.Hypervolume
 				}
 			}
 			sess.finish(rec.State, rec.Error, res)
@@ -249,7 +251,7 @@ func (s *Server) register(sess *session) {
 // Submit validates a job spec, persists it, and starts its session.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	spec = spec.withDefaults(s.opts.Workers)
-	entry, guid, err := spec.resolve()
+	entry, guid, objs, err := spec.resolve()
 	if err != nil {
 		return JobStatus{}, &BadRequestError{Err: err}
 	}
@@ -269,7 +271,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if co := s.opts.Cluster; co != nil {
 		id = fmt.Sprintf("job-%s-%06d", co.NodeID, s.nextSeq)
 	}
-	sess := newSession(id, s.nextSeq, spec, entry, guid)
+	sess := newSession(id, s.nextSeq, spec, entry, guid, objs)
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
 	s.mu.Unlock()
@@ -325,17 +327,25 @@ func (s *Server) run(ctx context.Context, sess *session, resume *ga.Snapshot) {
 			context.WithValue(ctx, sessionKey{}, sess.id), pts, sess.spec.Parallelism)
 		return ms, errs
 	}
-	saver := resilience.NewSaver(s.store.checkpointPath(sess.id), sess.entry.Space, sess.col.Registry())
 	cfg := ga.Config{
-		PopulationSize:  sess.spec.Population,
-		Generations:     sess.spec.Generations,
-		Seed:            sess.spec.Seed,
-		Parallelism:     sess.spec.Parallelism,
-		Recorder:        telemetry.Multi(sessionRecorder{s: sess}, sess.col, s.global),
-		Checkpoint:      saver.Save,
-		CheckpointEvery: s.opts.CheckpointEvery,
-		Resume:          resume,
-		BatchBackend:    batch,
+		PopulationSize: sess.spec.Population,
+		Generations:    sess.spec.Generations,
+		Seed:           sess.spec.Seed,
+		Parallelism:    sess.spec.Parallelism,
+		Recorder:       telemetry.Multi(sessionRecorder{s: sess}, sess.col, s.global),
+		Resume:         resume,
+		BatchBackend:   batch,
+	}
+	// Portfolio sessions never checkpoint: a race is three interleaved
+	// searches whose shared-cache state is not a ga.Snapshot, and core
+	// rejects the combination. Determinism makes a drain/restart re-run
+	// the identical race from scratch instead. Scalar and pareto sessions
+	// checkpoint as usual (a pareto snapshot restores its archive from the
+	// cache entries, so resumed fronts are byte-identical too).
+	if sess.spec.Mode != core.ModePortfolio {
+		saver := resilience.NewSaver(s.store.checkpointPath(sess.id), sess.entry.Space, sess.col.Registry())
+		cfg.Checkpoint = saver.Save
+		cfg.CheckpointEvery = s.opts.CheckpointEvery
 	}
 	// The session's tracer feeds its private flight recorder (the last
 	// spans, dumped by /debug/sessions) and the server-wide per-phase
@@ -349,16 +359,22 @@ func (s *Server) run(ctx context.Context, sess *session, resume *ga.Snapshot) {
 	})
 	var res ga.Result
 	var err error
-	if s.clusterNode() != nil && resume == nil {
+	if s.clusterNode() != nil && resume == nil && sess.spec.Mode != core.ModePortfolio {
 		// Clustered sessions fan out as island-model searches across the
-		// membership. They never checkpoint mid-run (islands are pure in
-		// their specs), so an interrupted one restarts from scratch after a
-		// drain - determinism makes that the same search.
+		// membership (pareto islands migrate front members and the
+		// coordinator merges their fronts). They never checkpoint mid-run
+		// (islands are pure in their specs), so an interrupted one restarts
+		// from scratch after a drain - determinism makes that the same
+		// search. Portfolio races stay local: the race already multiplexes
+		// three strategies over the shared cache (remote tier included), so
+		// the cluster still pays for each distinct point once.
 		res, err = s.searchCluster(ctx, sess)
 	} else {
 		res, err = core.Search(ctx, core.SearchRequest{
 			Space:       sess.entry.Space,
+			Mode:        sess.spec.Mode,
 			Objective:   sess.entry.Objective,
+			Objectives:  sess.objs,
 			EvaluateCtx: eval,
 			Config:      cfg,
 		}, core.WithGuidance(sess.guid), core.WithTracer(tr))
@@ -420,7 +436,7 @@ func (s *Server) buildResult(sess *session, res ga.Result) *JobResult {
 	if n := len(res.Trajectory); n > 0 {
 		gens = res.Trajectory[n-1].Generation
 	}
-	return &JobResult{
+	out := &JobResult{
 		ID:            sess.id,
 		BestValue:     res.BestValue,
 		Configuration: space.Describe(res.BestPoint),
@@ -433,7 +449,23 @@ func (s *Server) buildResult(sess *session, res ga.Result) *JobResult {
 		HitRate:       res.Cache.HitRate,
 		Converged:     res.Converged,
 		Generations:   gens,
+		Hypervolume:   res.Hypervolume,
+		Nadir:         res.Nadir,
+		Portfolio:     res.Portfolio,
 	}
+	if len(res.Front) > 0 {
+		out.Objectives = append([]string(nil), sess.spec.Queries...)
+		out.Front = make([]ParetoPoint, len(res.Front))
+		for i, fp := range res.Front {
+			pt := fp.Point
+			out.Front[i] = ParetoPoint{
+				Key:           space.Key(pt),
+				Configuration: space.Describe(pt),
+				Values:        fp.Values,
+			}
+		}
+	}
+	return out
 }
 
 // sharedCacheFor returns the process-wide cache for the entry's IP,

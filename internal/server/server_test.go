@@ -30,7 +30,7 @@ func testSpec() JobSpec {
 // configuration. The server must reproduce this byte for byte.
 func soloRun(t *testing.T, spec JobSpec) (ga.Result, string) {
 	t.Helper()
-	entry, guid, err := spec.resolve()
+	entry, guid, _, err := spec.resolve()
 	if err != nil {
 		t.Fatal(err)
 	}

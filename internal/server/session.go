@@ -9,6 +9,8 @@ import (
 
 	"nautilus/internal/catalog"
 	"nautilus/internal/core"
+	"nautilus/internal/ga"
+	"nautilus/internal/metrics"
 	"nautilus/internal/telemetry"
 	"nautilus/internal/telemetry/hist"
 	"nautilus/internal/telemetry/trace"
@@ -43,8 +45,20 @@ func (s State) terminal() bool { return s != StateRunning }
 type JobSpec struct {
 	// IP selects the bundled generator: noc, fft, or gemm.
 	IP string `json:"ip"`
-	// Query is the optimization goal (see catalog.Queries).
-	Query string `json:"query"`
+	// Query is the optimization goal (see catalog.Queries). Required in
+	// scalar and portfolio modes; must be empty in pareto mode, where
+	// Queries names the objective vector instead.
+	Query string `json:"query,omitempty"`
+	// Mode selects the search shape: "" or "scalar" (the default
+	// single-objective guided GA), "pareto" (NSGA-II multi-objective
+	// search over Queries), or "portfolio" (guided GA, baseline GA, and
+	// simulated annealing raced over one shared dedup cache).
+	Mode string `json:"mode,omitempty"`
+	// Queries is the pareto-mode objective vector: two or more query names
+	// on the same IP (Queries[0] is the primary objective whose optimum
+	// the scalar reporting fields describe). Must be empty outside pareto
+	// mode.
+	Queries []string `json:"queries,omitempty"`
 	// Guidance is baseline, weak, or strong (default strong).
 	Guidance string `json:"guidance,omitempty"`
 	// Generations is the GA generation count (default 80).
@@ -80,36 +94,72 @@ func (j JobSpec) withDefaults(workers int) JobSpec {
 	return j
 }
 
-// resolve validates the spec and compiles its catalog entry and guidance.
-func (j JobSpec) resolve() (*catalog.Entry, *core.Guidance, error) {
+// resolve validates the spec and compiles its catalog entry, guidance,
+// and - in pareto mode - the multi-objective vector (one metrics.Objective
+// per Queries entry; nil in the other modes). The entry is the primary
+// query's: in pareto mode Queries[0] resolves it, so guidance hints and
+// the scalar reporting fields follow the primary objective.
+func (j JobSpec) resolve() (*catalog.Entry, *core.Guidance, []metrics.Objective, error) {
 	if j.Population < 2 {
-		return nil, nil, fmt.Errorf("population must be at least 2, got %d", j.Population)
+		return nil, nil, nil, fmt.Errorf("population must be at least 2, got %d", j.Population)
 	}
 	if j.Generations < 1 {
-		return nil, nil, fmt.Errorf("generations must be at least 1, got %d", j.Generations)
+		return nil, nil, nil, fmt.Errorf("generations must be at least 1, got %d", j.Generations)
 	}
 	if j.Parallelism < 1 {
-		return nil, nil, fmt.Errorf("parallelism must be at least 1, got %d", j.Parallelism)
+		return nil, nil, nil, fmt.Errorf("parallelism must be at least 1, got %d", j.Parallelism)
 	}
 	if j.Seed < 0 {
-		return nil, nil, fmt.Errorf("seed must be non-negative, got %d", j.Seed)
+		return nil, nil, nil, fmt.Errorf("seed must be non-negative, got %d", j.Seed)
 	}
-	entry, err := catalog.Lookup(j.IP, j.Query)
+	primary := j.Query
+	var objs []metrics.Objective
+	switch j.Mode {
+	case "", core.ModeScalar, core.ModePortfolio:
+		if len(j.Queries) > 0 {
+			return nil, nil, nil, fmt.Errorf("queries requires mode %q (got %q); scalar and portfolio jobs use query", core.ModePareto, j.Mode)
+		}
+	case core.ModePareto:
+		if j.Query != "" {
+			return nil, nil, nil, fmt.Errorf("pareto jobs name their objectives in queries; query must be empty (got %q)", j.Query)
+		}
+		if len(j.Queries) < 2 {
+			return nil, nil, nil, fmt.Errorf("pareto mode needs at least two queries, got %d", len(j.Queries))
+		}
+		seen := make(map[string]bool, len(j.Queries))
+		objs = make([]metrics.Objective, 0, len(j.Queries))
+		for _, q := range j.Queries {
+			if seen[q] {
+				return nil, nil, nil, fmt.Errorf("duplicate pareto query %q", q)
+			}
+			seen[q] = true
+			e, err := catalog.Lookup(j.IP, q)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			objs = append(objs, e.Objective)
+		}
+		primary = j.Queries[0]
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown mode %q (want %q, %q, or %q)",
+			j.Mode, core.ModeScalar, core.ModePareto, core.ModePortfolio)
+	}
+	entry, err := catalog.Lookup(j.IP, primary)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	lib := entry.Library
 	if len(j.Hints) > 0 {
 		lib, err = core.LoadLibrary(entry.Space, bytes.NewReader(j.Hints))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	guid, err := entry.Guidance(j.Guidance, lib)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return entry, guid, nil
+	return entry, guid, objs, nil
 }
 
 // JobStatus is the status payload for one session.
@@ -128,6 +178,12 @@ type JobStatus struct {
 	Error         string `json:"error,omitempty"`
 	// Resumed marks a session restored from a drain checkpoint.
 	Resumed bool `json:"resumed,omitempty"`
+	// FrontSize and Hypervolume track a pareto session's non-dominated
+	// archive: the feasible points no other evaluated point dominates, and
+	// the front's dominated hypervolume against the running-nadir reference
+	// (two-objective runs). Absent outside pareto mode.
+	FrontSize   int     `json:"front_size,omitempty"`
+	Hypervolume float64 `json:"hypervolume,omitempty"`
 }
 
 // JobResult is the final payload of a completed session.
@@ -155,6 +211,29 @@ type JobResult struct {
 	Converged     bool    `json:"converged"`
 	// Generations is the last completed generation index.
 	Generations int `json:"generations"`
+	// Objectives names the pareto objective vector (the spec's Queries, in
+	// order); Front is the final non-dominated set, sorted best-first on
+	// the primary objective, each member carrying its objective values in
+	// Objectives order. Hypervolume is the front's dominated hypervolume
+	// against the Nadir-derived reference point (two-objective runs).
+	// All four are absent outside pareto mode.
+	Objectives  []string      `json:"objectives,omitempty"`
+	Front       []ParetoPoint `json:"front,omitempty"`
+	Hypervolume float64       `json:"hypervolume,omitempty"`
+	Nadir       []float64     `json:"nadir,omitempty"`
+	// Portfolio reports each raced strategy's outcome (portfolio mode
+	// only); exactly one entry has Winner set and the scalar fields above
+	// describe that strategy's best design.
+	Portfolio []ga.StrategyOutcome `json:"portfolio,omitempty"`
+}
+
+// ParetoPoint is one front member in wire form: the design's canonical
+// key and human rendering plus its objective values (JobResult.Objectives
+// order).
+type ParetoPoint struct {
+	Key           string    `json:"key"`
+	Configuration string    `json:"configuration"`
+	Values        []float64 `json:"values"`
 }
 
 // genEvent is one SSE progress event, derived from a GenerationRecord.
@@ -173,6 +252,10 @@ type genEvent struct {
 	LatencyP50Micros int64    `json:"latency_p50_us,omitempty"`
 	LatencyP99Micros int64    `json:"latency_p99_us,omitempty"`
 	CacheHitRate     *float64 `json:"cache_hit_rate,omitempty"`
+	// FrontSize / Hypervolume stream a pareto session's per-generation
+	// front growth (absent outside pareto mode).
+	FrontSize   int     `json:"front_size,omitempty"`
+	Hypervolume float64 `json:"hypervolume,omitempty"`
 }
 
 // session is one supervised search running inside the server.
@@ -182,6 +265,9 @@ type session struct {
 	spec  JobSpec
 	entry *catalog.Entry
 	guid  *core.Guidance
+	// objs is the resolved pareto objective vector (nil outside pareto
+	// mode), in spec.Queries order.
+	objs []metrics.Objective
 
 	hub  *progressHub
 	col  *telemetry.Collector
@@ -193,26 +279,29 @@ type session struct {
 	genLat hist.Hist
 	ring   *trace.Ring
 
-	mu         sync.Mutex
-	cancel     context.CancelFunc
-	state      State
-	gen        int
-	bestValue  float64
-	feasible   bool
-	distinct   int
-	errMsg     string
-	resumed    bool
-	userCancel bool
-	result     *JobResult
+	mu          sync.Mutex
+	cancel      context.CancelFunc
+	state       State
+	gen         int
+	bestValue   float64
+	feasible    bool
+	distinct    int
+	frontSize   int
+	hypervolume float64
+	errMsg      string
+	resumed     bool
+	userCancel  bool
+	result      *JobResult
 }
 
-func newSession(id string, seq int, spec JobSpec, entry *catalog.Entry, guid *core.Guidance) *session {
+func newSession(id string, seq int, spec JobSpec, entry *catalog.Entry, guid *core.Guidance, objs []metrics.Objective) *session {
 	return &session{
 		id:    id,
 		seq:   seq,
 		spec:  spec,
 		entry: entry,
 		guid:  guid,
+		objs:  objs,
 		hub:   newProgressHub(),
 		col:   telemetry.NewCollector(nil),
 		done:  make(chan struct{}),
@@ -234,6 +323,8 @@ func (s *session) status() JobStatus {
 		DistinctEvals: s.distinct,
 		Error:         s.errMsg,
 		Resumed:       s.resumed,
+		FrontSize:     s.frontSize,
+		Hypervolume:   s.hypervolume,
 	}
 	if s.feasible {
 		v := s.bestValue
@@ -314,6 +405,12 @@ func (s *session) finish(state State, errMsg string, result *JobResult) {
 	s.state = state
 	s.errMsg = errMsg
 	s.result = result
+	if result != nil && len(result.Front) > 0 {
+		// The result's front is exact (a clustered session's per-generation
+		// replay streams only a lower bound); status reports it from here on.
+		s.frontSize = len(result.Front)
+		s.hypervolume = result.Hypervolume
+	}
 	s.mu.Unlock()
 	s.hub.close()
 	close(s.done)
@@ -333,6 +430,8 @@ func (r sessionRecorder) RecordGeneration(g telemetry.GenerationRecord) {
 	s.mu.Lock()
 	s.gen = g.Generation
 	s.distinct = g.DistinctEvals
+	s.frontSize = g.FrontSize
+	s.hypervolume = g.Hypervolume
 	if g.Feasible > 0 || s.feasible {
 		// BestValue is the objective's Worst sentinel until something is
 		// feasible; only publish it once real.
@@ -351,6 +450,8 @@ func (r sessionRecorder) RecordGeneration(g telemetry.GenerationRecord) {
 		ElapsedMicros:    g.Elapsed.Microseconds(),
 		LatencyP50Micros: int64(lat.P50() / 1e3),
 		LatencyP99Micros: int64(lat.P99() / 1e3),
+		FrontSize:        g.FrontSize,
+		Hypervolume:      g.Hypervolume,
 	}
 	if hr, ok := s.cacheHitRate(); ok {
 		ev.CacheHitRate = &hr

@@ -23,14 +23,14 @@ func TestSSEClientDisconnectMidReplay(t *testing.T) {
 	s := newTestServer(t, Options{})
 	defer s.Drain(context.Background())
 	spec := testSpec()
-	entry, guid, err := spec.resolve()
+	entry, guid, _, err := spec.resolve()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A fabricated live session with a history deep enough (~400 KiB)
 	// that its replay cannot fit any socket buffer: the handler must hit
 	// a write error mid-replay once the client is gone.
-	sess := newSession("job-999999", 999999, spec, entry, guid)
+	sess := newSession("job-999999", 999999, spec, entry, guid, nil)
 	s.register(sess)
 	const histEvents = 400
 	filler := strings.Repeat("x", 1024)

@@ -74,6 +74,12 @@ type GenerationRecord struct {
 	// DistinctEvals is the cumulative number of distinct design points
 	// evaluated - the paper's search-cost metric.
 	DistinctEvals int
+	// FrontSize and Hypervolume describe the non-dominated archive in
+	// multi-objective (pareto) runs: its cardinality after this generation
+	// and, for two-objective runs, the dominated area relative to the
+	// nadir-derived reference. Zero in scalar runs.
+	FrontSize   int
+	Hypervolume float64
 	// Elapsed is the wall-clock time this generation took (evaluation
 	// through bookkeeping). Wall time never feeds back into the search.
 	Elapsed time.Duration
